@@ -1,0 +1,98 @@
+//! Ablations of STR's design choices (DESIGN.md §5):
+//!
+//! 1. **Tiling vs plain sort** — STR with its vertical slices vs a bare
+//!    x-sort (which is exactly NX): is the tiling step what buys the
+//!    query speed?
+//! 2. **Per-level re-tiling vs leaf-only** — the General Algorithm
+//!    re-applies the ordering at every level; does tiling only the leaves
+//!    and packing upper levels in arrival order cost anything?
+//! 3. **Slice count sensitivity** — STR chooses S = ⌈√P⌉ slices; halving
+//!    and doubling it probes how flat that optimum is.
+//!
+//! Query wall-clock on equal-size trees is the proxy (it tracks nodes
+//! visited; the disk-access version of this comparison is `repro`'s job).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geom::Rect2;
+use rtree::{Entry, NodeCapacity, RTree};
+use str_bench::{fresh_pool, uniform_items};
+use str_core::{CustomOrder, PackingOrder, StrPacker};
+
+/// STR-like tiling with an explicit slice-page count multiplier.
+fn tile_with_factor(entries: &mut [Entry<2>], n: usize, factor: f64) {
+    let pages = entries.len().div_ceil(n);
+    let slab_pages = (((pages as f64).sqrt() * factor).ceil() as usize).max(1);
+    entries.sort_by(|a, b| a.rect.cmp_center(&b.rect, 0));
+    for slab in entries.chunks_mut(slab_pages * n) {
+        slab.sort_by(|a, b| a.rect.cmp_center(&b.rect, 1));
+    }
+}
+
+fn build_variants(items: &[(Rect2, u64)]) -> Vec<(&'static str, RTree<2>)> {
+    let cap = NodeCapacity::new(100).unwrap();
+    let mut out = Vec::new();
+
+    out.push((
+        "str_full",
+        StrPacker::new().pack(fresh_pool(), items.to_vec(), cap).unwrap(),
+    ));
+    out.push((
+        "str_leaf_only",
+        CustomOrder::new("str-leaf-only", |es: &mut Vec<Entry<2>>, level, cap| {
+            if level == 0 {
+                StrPacker::new().order_level(es, level, cap);
+            }
+        })
+        .pack(fresh_pool(), items.to_vec(), cap)
+        .unwrap(),
+    ));
+    out.push((
+        "x_sort_only",
+        CustomOrder::new("x-sort", |es: &mut Vec<Entry<2>>, _, _| {
+            es.sort_by(|a, b| a.rect.cmp_center(&b.rect, 0));
+        })
+        .pack(fresh_pool(), items.to_vec(), cap)
+        .unwrap(),
+    ));
+    out.push((
+        "half_slices",
+        CustomOrder::new("half", |es: &mut Vec<Entry<2>>, _, cap: NodeCapacity| {
+            tile_with_factor(es, cap.max(), 2.0) // double pages/slice = half the slices
+        })
+        .pack(fresh_pool(), items.to_vec(), cap)
+        .unwrap(),
+    ));
+    out.push((
+        "double_slices",
+        CustomOrder::new("double", |es: &mut Vec<Entry<2>>, _, cap: NodeCapacity| {
+            tile_with_factor(es, cap.max(), 0.5)
+        })
+        .pack(fresh_pool(), items.to_vec(), cap)
+        .unwrap(),
+    ));
+    out
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let items = uniform_items(50_000, 11);
+    let variants = build_variants(&items);
+    let regions = datagen::region_queries(256, &Rect2::unit(), 0.1, 12);
+
+    let mut g = c.benchmark_group("ablation_region_1pct");
+    for (name, tree) in &variants {
+        let mut i = 0usize;
+        g.bench_function(BenchmarkId::from_parameter(*name), |b| {
+            b.iter(|| {
+                i = (i + 1) % regions.len();
+                let mut hits = 0u64;
+                tree.query_region_visit(&regions[i], &mut |_, _| hits += 1)
+                    .unwrap();
+                hits
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Buffer-pool micro-benchmarks: the hit path must be a hash probe plus
+//! a list splice, the miss path adds a 4 KiB copy and possibly a
+//! write-back. The experiment harness drives millions of these.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use storage::{BufferPool, Disk, MemDisk, PageId};
+
+fn pool_with_pages(capacity: usize, pages: u64) -> BufferPool {
+    let disk = Arc::new(MemDisk::default_size());
+    for _ in 0..pages {
+        disk.allocate().unwrap();
+    }
+    BufferPool::new(disk, capacity)
+}
+
+fn bench_hit(c: &mut Criterion) {
+    let pool = pool_with_pages(64, 64);
+    for i in 0..64 {
+        pool.with_page(PageId(i), |_| {}).unwrap();
+    }
+    let mut g = c.benchmark_group("buffer");
+    g.throughput(Throughput::Elements(1));
+    let mut i = 0u64;
+    g.bench_function("hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 64;
+            pool.with_page(PageId(i), |d| d[0]).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_miss_evict(c: &mut Criterion) {
+    // Working set double the capacity: every access misses and evicts.
+    let pool = pool_with_pages(32, 64);
+    let mut g = c.benchmark_group("buffer");
+    g.throughput(Throughput::Elements(1));
+    let mut i = 0u64;
+    g.bench_function("miss_evict_clean", |b| {
+        b.iter(|| {
+            i = (i + 1) % 64;
+            pool.with_page(PageId(i), |d| d[0]).unwrap()
+        })
+    });
+    let mut j = 0u64;
+    g.bench_function("miss_evict_dirty", |b| {
+        b.iter(|| {
+            j = (j + 1) % 64;
+            pool.with_page_mut(PageId(j), |d| d[0] = d[0].wrapping_add(1))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_node_codec(c: &mut Criterion) {
+    use geom::Rect;
+    use rtree::{codec, Entry, Node};
+
+    let node = Node {
+        level: 0,
+        entries: (0..100)
+            .map(|i| {
+                Entry::data(
+                    Rect::new([i as f64, 0.0], [i as f64 + 0.5, 1.0]),
+                    i as u64,
+                )
+            })
+            .collect::<Vec<Entry<2>>>(),
+    };
+    let mut page = vec![0u8; 4096];
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("encode_100", |b| {
+        b.iter(|| codec::encode(&node, &mut page))
+    });
+    codec::encode(&node, &mut page);
+    g.bench_function("decode_100", |b| {
+        b.iter(|| codec::decode::<2>(&page, PageId(0)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hit, bench_miss_evict, bench_node_codec);
+criterion_main!(benches);

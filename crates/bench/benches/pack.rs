@@ -1,0 +1,121 @@
+//! Bulk-load throughput: the paper's load-time claim (§1) quantified.
+//!
+//! Packing is a sort plus a sequential write; Guttman insertion is a
+//! root-to-leaf descent per rectangle with split cascades. The gap is the
+//! "(a) high load time" motivation for packing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtree::{NodeCapacity, RTree, SplitPolicy};
+use str_bench::{fresh_pool, uniform_items};
+use str_core::PackerKind;
+
+fn bench_packers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack");
+    for &n in &[10_000usize, 50_000] {
+        let items = uniform_items(n, 1);
+        g.throughput(Throughput::Elements(n as u64));
+        for kind in PackerKind::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &items,
+                |b, items| {
+                    b.iter(|| {
+                        kind.pack(fresh_pool(), items.clone(), NodeCapacity::new(100).unwrap())
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_guttman_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pack");
+    g.sample_size(10);
+    let n = 10_000usize;
+    let items = uniform_items(n, 1);
+    g.throughput(Throughput::Elements(n as u64));
+    for (name, policy) in [
+        ("guttman-linear", SplitPolicy::Linear),
+        ("guttman-quadratic", SplitPolicy::Quadratic),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, n), &items, |b, items| {
+            b.iter(|| {
+                let mut tree =
+                    RTree::<2>::create(fresh_pool(), NodeCapacity::new(100).unwrap()).unwrap();
+                tree.set_split_policy(policy);
+                for (r, id) in items {
+                    tree.insert(*r, *id).unwrap();
+                }
+                tree
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_str(c: &mut Criterion) {
+    use str_core::{PackingOrder, StrPacker};
+
+    let mut g = c.benchmark_group("pack_parallel_str");
+    let n = 200_000usize;
+    let items = uniform_items(n, 5);
+    let entries: Vec<rtree::Entry<2>> = items
+        .iter()
+        .map(|(r, id)| rtree::Entry::data(*r, *id))
+        .collect();
+    let cap = NodeCapacity::new(100).unwrap();
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(20);
+    for threads in [1usize, 2, 4, 8] {
+        let packer = StrPacker::with_threads(threads);
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &entries, |b, es| {
+            b.iter(|| {
+                let mut e = es.clone();
+                packer.order_level(&mut e, 0, cap);
+                e
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dynamic_structures(c: &mut Criterion) {
+    // Insert throughput of the dynamic structures (one-at-a-time), the
+    // baseline the paper's load-time claim is about.
+    let mut g = c.benchmark_group("dynamic_insert");
+    g.sample_size(10);
+    let n = 5_000usize;
+    let items = uniform_items(n, 9);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_with_input(BenchmarkId::new("rstar", n), &items, |b, items| {
+        b.iter(|| {
+            let mut tree =
+                RTree::<2>::create(fresh_pool(), NodeCapacity::new(100).unwrap()).unwrap();
+            for (r, id) in items {
+                tree.insert_rstar(*r, *id).unwrap();
+            }
+            tree
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("hilbert-rtree", n), &items, |b, items| {
+        b.iter(|| {
+            let mut tree = hrtree::HilbertRTree::create(fresh_pool(), 72).unwrap();
+            for (r, id) in items {
+                tree.insert(*r, *id).unwrap();
+            }
+            tree
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_packers,
+    bench_guttman_baseline,
+    bench_parallel_str,
+    bench_dynamic_structures
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! The `repro` binary regenerates the paper's tables and figures (disk
+//! accesses, areas, perimeters); the benches in `benches/` cover the
+//! *time* dimension the paper mentions but does not tabulate: bulk-load
+//! throughput ("high load time" of one-at-a-time insertion, §1), query
+//! latency, and the cost of the machinery itself (Hilbert keys, buffer
+//! pool).
+
+use std::sync::Arc;
+
+use geom::Rect2;
+use rtree::{NodeCapacity, RTree};
+use storage::{BufferPool, MemDisk};
+use str_core::PackerKind;
+
+/// A pool sized so benches never thrash on build.
+pub fn fresh_pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 4096))
+}
+
+/// Uniform synthetic squares, density 1, as (rect, id) items.
+pub fn uniform_items(n: usize, seed: u64) -> Vec<(Rect2, u64)> {
+    datagen::synthetic::synthetic_squares(n, 1.0, seed).items()
+}
+
+/// Pack `items` with `kind` at the paper's fan-out.
+pub fn packed(items: Vec<(Rect2, u64)>, kind: PackerKind) -> RTree<2> {
+    kind.pack(fresh_pool(), items, NodeCapacity::new(100).unwrap())
+        .unwrap()
+}

@@ -1,0 +1,379 @@
+//! The operations behind each subcommand.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use rtree::{NodeCapacity, RTree};
+use storage::{BufferPool, FileDisk, DEFAULT_PAGE_SIZE};
+use str_core::{PackingOrder, TgsPacker, TreeMetrics};
+
+use crate::{csvio, CliResult};
+
+/// Which packing algorithm a `--packer` flag names.
+pub fn parse_packer(name: &str) -> CliResult<Box<dyn PackingOrder<2>>> {
+    match name.to_ascii_lowercase().as_str() {
+        "str" => Ok(Box::new(str_core::StrPacker::new())),
+        "str-par" | "str-parallel" => Ok(Box::new(str_core::StrPacker::parallel())),
+        "hs" | "hilbert" => Ok(Box::new(str_core::HilbertPacker::new())),
+        "nx" | "nearest-x" => Ok(Box::new(str_core::NearestXPacker::new())),
+        "tgs" => Ok(Box::new(TgsPacker::new())),
+        other => Err(format!(
+            "unknown packer '{other}' (expected str, str-par, hs, nx, tgs)"
+        )),
+    }
+}
+
+/// Open an existing index file behind a buffer of `buffer` pages.
+pub fn open_index(path: &Path, buffer: usize) -> CliResult<RTree<2>> {
+    let disk = Arc::new(
+        FileDisk::open(path, DEFAULT_PAGE_SIZE).map_err(|e| format!("{}: {e}", path.display()))?,
+    );
+    let pool = Arc::new(BufferPool::new(disk, buffer.max(1)));
+    RTree::open(pool).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// `build`: pack a CSV of rectangles into an index file.
+///
+/// `external_budget` > 0 switches STR to the out-of-core pipeline with
+/// that many records of sort memory (ignored for other packers, which
+/// have no streaming formulation).
+pub fn build(
+    input: &Path,
+    output: &Path,
+    packer_name: &str,
+    capacity: usize,
+    external_budget: usize,
+) -> CliResult<String> {
+    let items = csvio::read_items(input)?;
+    if items.is_empty() {
+        return Err(format!("{}: no rectangles", input.display()));
+    }
+    let packer = parse_packer(packer_name)?;
+    let cap = NodeCapacity::new(capacity)
+        .ok_or_else(|| format!("invalid capacity {capacity} (need >= 2)"))?;
+    let disk = Arc::new(
+        FileDisk::create(output, DEFAULT_PAGE_SIZE)
+            .map_err(|e| format!("{}: {e}", output.display()))?,
+    );
+    let pool = Arc::new(BufferPool::new(disk, 1024));
+    let n = items.len();
+    let tree = if external_budget > 0 && packer_name.starts_with("str") {
+        let scratch = Arc::new(storage::MemDisk::default_size());
+        str_core::pack_str_external(pool, scratch, items, cap, external_budget)
+            .map_err(|e| e.to_string())?
+    } else {
+        str_core::pack(pool, items, cap, packer.as_ref()).map_err(|e| e.to_string())?
+    };
+    tree.persist().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "packed {n} rectangles with {} into {} ({} levels, {} pages)",
+        packer.name(),
+        output.display(),
+        tree.height(),
+        tree.node_count().map_err(|e| e.to_string())?
+    ))
+}
+
+/// `gen`: generate a named data set as CSV.
+pub fn generate(dataset: &str, n: usize, seed: u64, output: &Path) -> CliResult<String> {
+    let ds = match dataset.to_ascii_lowercase().as_str() {
+        "uniform" | "points" => datagen::synthetic::synthetic_points(n, seed),
+        "squares" => datagen::synthetic::synthetic_squares(n, 5.0, seed),
+        "tiger" | "gis" => datagen::tiger::tiger_like(n, seed),
+        "vlsi" => datagen::vlsi::vlsi_like(n, seed),
+        "cfd" => datagen::cfd::cfd_like(n, seed),
+        other => {
+            return Err(format!(
+                "unknown dataset '{other}' (expected uniform, squares, tiger, vlsi, cfd)"
+            ))
+        }
+    };
+    csvio::write_items(output, &ds.items())?;
+    Ok(format!("wrote {} rectangles to {}", ds.len(), output.display()))
+}
+
+/// `query`: region query with I/O accounting.
+pub fn query_region(index: &Path, region: geom::Rect2, buffer: usize) -> CliResult<String> {
+    let tree = open_index(index, buffer)?;
+    let before = tree.pool().stats();
+    let hits = tree.query_region(&region).map_err(|e| e.to_string())?;
+    let io = tree.pool().stats().since(&before);
+    let mut out = String::new();
+    for (r, id) in &hits {
+        out.push_str(&format!("{},{},{},{},{id}\n", r.lo(0), r.lo(1), r.hi(0), r.hi(1)));
+    }
+    out.push_str(&format!(
+        "# {} hits, {} disk accesses, {} buffer hits\n",
+        hits.len(),
+        io.misses,
+        io.hits
+    ));
+    Ok(out)
+}
+
+/// `knn`: k nearest neighbours of a point.
+pub fn knn(index: &Path, at: geom::Point2, k: usize, buffer: usize) -> CliResult<String> {
+    let tree = open_index(index, buffer)?;
+    let nn = tree.nearest(&at, k).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for (r, id, dist) in nn {
+        out.push_str(&format!(
+            "{},{},{},{},{id},{dist:.6}\n",
+            r.lo(0),
+            r.lo(1),
+            r.hi(0),
+            r.hi(1)
+        ));
+    }
+    Ok(out)
+}
+
+/// `stats`: per-level summary plus quality metrics.
+pub fn stats(index: &Path) -> CliResult<String> {
+    let tree = open_index(index, 256)?;
+    let summary = tree.summary().map_err(|e| e.to_string())?;
+    let metrics = TreeMetrics::compute(&tree).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "rectangles : {}\nheight     : {}\npages      : {}\nutilization: {:.1}%\n",
+        tree.len(),
+        tree.height(),
+        metrics.nodes,
+        metrics.utilization * 100.0
+    );
+    out.push_str(&format!(
+        "leaf  area {:.4}  perimeter {:.2}\ntotal area {:.4}  perimeter {:.2}\n",
+        metrics.leaf_area, metrics.leaf_perimeter, metrics.total_area, metrics.total_perimeter
+    ));
+    out.push_str("level  nodes  entries  area        perimeter\n");
+    for l in &summary.levels {
+        out.push_str(&format!(
+            "{:<6} {:<6} {:<8} {:<11.4} {:.2}\n",
+            l.level, l.nodes, l.entries, l.area_sum, l.perimeter_sum
+        ));
+    }
+    Ok(out)
+}
+
+/// `validate`: check structural invariants.
+pub fn validate(index: &Path) -> CliResult<String> {
+    let tree = open_index(index, 256)?;
+    tree.validate(false).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{}: OK ({} rectangles, {} levels)",
+        index.display(),
+        tree.len(),
+        tree.height()
+    ))
+}
+
+/// `dump-leaves`: leaf MBRs as CSV (plot fodder, as in the paper's
+/// Figures 2–4).
+pub fn dump_leaves(index: &Path) -> CliResult<String> {
+    let tree = open_index(index, 256)?;
+    let leaves = tree.level_mbrs(0).map_err(|e| e.to_string())?;
+    let mut out = String::from("xmin,ymin,xmax,ymax\n");
+    for mbr in leaves {
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            mbr.lo(0),
+            mbr.lo(1),
+            mbr.hi(0),
+            mbr.hi(1)
+        ));
+    }
+    Ok(out)
+}
+
+/// `compare`: pack the input with every packer and print a quality/IO
+/// comparison table — the paper's experiment, on the user's own data.
+pub fn compare(input: &Path, capacity: usize, buffer: usize) -> CliResult<String> {
+    use std::sync::Arc as StdArc;
+    let items = csvio::read_items(input)?;
+    if items.is_empty() {
+        return Err(format!("{}: no rectangles", input.display()));
+    }
+    let cap = NodeCapacity::new(capacity)
+        .ok_or_else(|| format!("invalid capacity {capacity}"))?;
+    // Paper-style probes over the data's bounding box.
+    let bbox = geom::Rect2::union_all(items.iter().map(|(r, _)| r));
+    let side = 0.1 * bbox.extent(0).max(bbox.extent(1));
+    let points = datagen::point_queries(1000, &bbox, 11);
+    let regions = datagen::region_queries(1000, &bbox, side, 12);
+
+    let mut out = format!(
+        "{:<8} {:>8} {:>8} {:>12} {:>12} {:>12}\n",
+        "packer", "pages", "util%", "leaf perim", "pt acc", "1% acc"
+    );
+    for name in ["str", "hs", "nx", "tgs"] {
+        let packer = parse_packer(name)?;
+        let disk = StdArc::new(storage::MemDisk::default_size());
+        let pool = StdArc::new(BufferPool::new(disk, 1024));
+        let tree = str_core::pack(pool, items.clone(), cap, packer.as_ref())
+            .map_err(|e| e.to_string())?;
+        let m = TreeMetrics::compute(&tree).map_err(|e| e.to_string())?;
+        let pool = tree.pool();
+        pool.set_capacity(buffer.max(1)).map_err(|e| e.to_string())?;
+        pool.reset_stats();
+        for p in &points {
+            tree.query_point(p).map_err(|e| e.to_string())?;
+        }
+        let pt_acc = pool.stats().misses as f64 / points.len() as f64;
+        pool.set_capacity(buffer.max(1)).map_err(|e| e.to_string())?;
+        pool.reset_stats();
+        for q in &regions {
+            tree.query_region_visit(q, &mut |_, _| {}).map_err(|e| e.to_string())?;
+        }
+        let rg_acc = pool.stats().misses as f64 / regions.len() as f64;
+        out.push_str(&format!(
+            "{:<8} {:>8} {:>8.1} {:>12.2} {:>12.2} {:>12.2}\n",
+            packer.name(),
+            m.nodes,
+            m.utilization * 100.0,
+            m.leaf_perimeter,
+            pt_acc,
+            rg_acc
+        ));
+    }
+    Ok(out)
+}
+
+/// `insert`: add rectangles from a CSV to an existing index (Guttman
+/// dynamic insertion), persisting afterwards.
+pub fn insert(index: &Path, input: &Path, buffer: usize) -> CliResult<String> {
+    let items = csvio::read_items(input)?;
+    let mut tree = open_index(index, buffer.max(64))?;
+    let n = items.len();
+    for (rect, id) in items {
+        tree.insert(rect, id).map_err(|e| e.to_string())?;
+    }
+    tree.persist().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "inserted {n} rectangles; index now holds {}",
+        tree.len()
+    ))
+}
+
+/// `delete`: remove rectangles listed in a CSV (exact rect + id match).
+pub fn delete(index: &Path, input: &Path, buffer: usize) -> CliResult<String> {
+    let items = csvio::read_items(input)?;
+    let mut tree = open_index(index, buffer.max(64))?;
+    let mut removed = 0u64;
+    for (rect, id) in items {
+        if tree.delete(&rect, id).map_err(|e| e.to_string())? {
+            removed += 1;
+        }
+    }
+    tree.persist().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "deleted {removed} rectangles; index now holds {}",
+        tree.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rtree-cli-cmd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let data = tmp("life.csv");
+        let index = tmp("life.rtree");
+
+        let msg = generate("uniform", 2000, 7, &data).unwrap();
+        assert!(msg.contains("2000"));
+
+        let msg = build(&data, &index, "str", 50, 0).unwrap();
+        assert!(msg.contains("packed 2000"), "{msg}");
+
+        let msg = validate(&index).unwrap();
+        assert!(msg.contains("OK"));
+
+        let out = query_region(
+            &index,
+            geom::Rect2::new([0.0, 0.0], [0.25, 0.25]),
+            32,
+        )
+        .unwrap();
+        assert!(out.contains("disk accesses"));
+
+        let out = knn(&index, geom::Point2::new([0.5, 0.5]), 3, 32).unwrap();
+        assert_eq!(out.lines().count(), 3);
+
+        let out = stats(&index).unwrap();
+        assert!(out.contains("utilization"));
+        assert!(out.contains("level"));
+
+        let leaves = dump_leaves(&index).unwrap();
+        assert_eq!(leaves.lines().count(), 1 + 2000usize.div_ceil(50));
+
+        // Insert more, delete some.
+        let extra = tmp("extra.csv");
+        generate("uniform", 100, 8, &extra).unwrap();
+        let msg = insert(&index, &extra, 64).unwrap();
+        assert!(msg.contains("2100"), "{msg}");
+        let msg = delete(&index, &extra, 64).unwrap();
+        assert!(msg.contains("deleted"), "{msg}");
+
+        std::fs::remove_file(data).ok();
+        std::fs::remove_file(index).ok();
+        std::fs::remove_file(extra).ok();
+    }
+
+    #[test]
+    fn every_packer_name_builds() {
+        let data = tmp("packers.csv");
+        generate("squares", 500, 9, &data).unwrap();
+        for name in ["str", "str-par", "hs", "nx", "tgs"] {
+            let index = tmp(&format!("packers-{name}.rtree"));
+            let msg = build(&data, &index, name, 20, 0).unwrap();
+            assert!(msg.contains("packed 500"), "{name}: {msg}");
+            validate(&index).unwrap();
+            std::fs::remove_file(index).ok();
+        }
+        assert!(parse_packer("bogus").is_err());
+        std::fs::remove_file(data).ok();
+    }
+
+    #[test]
+    fn compare_prints_all_packers() {
+        let data = tmp("cmp.csv");
+        generate("uniform", 800, 10, &data).unwrap();
+        let out = compare(&data, 40, 16).unwrap();
+        for name in ["STR", "HS", "NX", "TGS"] {
+            assert!(out.contains(name), "{name} missing from:\n{out}");
+        }
+        assert!(out.lines().count() >= 5);
+        std::fs::remove_file(data).ok();
+    }
+
+    #[test]
+    fn external_build_matches_in_memory() {
+        let data = tmp("ext.csv");
+        generate("uniform", 3000, 12, &data).unwrap();
+        let a = tmp("ext-mem.rtree");
+        let b = tmp("ext-ext.rtree");
+        build(&data, &a, "str", 50, 0).unwrap();
+        build(&data, &b, "str", 50, 100).unwrap();
+        assert_eq!(dump_leaves(&a).unwrap(), dump_leaves(&b).unwrap());
+        std::fs::remove_file(data).ok();
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+    }
+
+    #[test]
+    fn every_dataset_name_generates() {
+        for ds in ["uniform", "squares", "tiger", "vlsi", "cfd"] {
+            let path = tmp(&format!("gen-{ds}.csv"));
+            let msg = generate(ds, 300, 1, &path).unwrap();
+            assert!(msg.contains("300"), "{ds}: {msg}");
+            std::fs::remove_file(path).ok();
+        }
+        assert!(generate("bogus", 10, 1, &tmp("x.csv")).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Plain CSV reading/writing of rectangle data.
+//!
+//! Format: `xmin,ymin,xmax,ymax[,id]` per line, `#`-comments and a
+//! header line (detected by non-numeric first field) allowed. Missing
+//! ids are assigned sequentially.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use geom::Rect2;
+
+use crate::CliResult;
+
+/// Read `(rect, id)` items from a CSV file.
+pub fn read_items(path: &Path) -> CliResult<Vec<(Rect2, u64)>> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let reader = BufReader::new(file);
+    let mut items = Vec::new();
+    let mut next_id = 0u64;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("{}:{}: {e}", path.display(), lineno + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(|f| f.trim()).collect();
+        if fields.len() != 4 && fields.len() != 5 {
+            return Err(format!(
+                "{}:{}: expected 4 or 5 fields, got {}",
+                path.display(),
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        // Header row: first field not a number.
+        if lineno == 0 && fields[0].parse::<f64>().is_err() {
+            continue;
+        }
+        let mut v = [0.0f64; 4];
+        for (i, f) in fields[..4].iter().enumerate() {
+            v[i] = f.parse().map_err(|e| {
+                format!("{}:{}: field {}: {e}", path.display(), lineno + 1, i + 1)
+            })?;
+        }
+        let rect = Rect2::try_new([v[0], v[1]], [v[2], v[3]])
+            .map_err(|e| format!("{}:{}: {e}", path.display(), lineno + 1))?;
+        let id = match fields.get(4) {
+            Some(f) => f
+                .parse()
+                .map_err(|e| format!("{}:{}: id: {e}", path.display(), lineno + 1))?,
+            None => {
+                let id = next_id;
+                next_id += 1;
+                id
+            }
+        };
+        next_id = next_id.max(id + 1);
+        items.push((rect, id));
+    }
+    Ok(items)
+}
+
+/// Write `(rect, id)` items as CSV.
+pub fn write_items(path: &Path, items: &[(Rect2, u64)]) -> CliResult<()> {
+    let mut file =
+        std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    writeln!(file, "xmin,ymin,xmax,ymax,id").map_err(|e| e.to_string())?;
+    for (r, id) in items {
+        writeln!(
+            file,
+            "{},{},{},{},{id}",
+            r.lo(0),
+            r.lo(1),
+            r.hi(0),
+            r.hi(1)
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rtree-cli-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = tmp("rt.csv");
+        let items = vec![
+            (Rect2::new([0.0, 0.0], [1.0, 1.0]), 0),
+            (Rect2::new([0.25, 0.5], [0.75, 0.9]), 7),
+        ];
+        write_items(&path, &items).unwrap();
+        let back = read_items(&path).unwrap();
+        assert_eq!(back, items);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn reads_without_ids_and_with_comments() {
+        let path = tmp("noids.csv");
+        std::fs::write(&path, "# data\n0,0,1,1\n\n0.1,0.1,0.2,0.2\n").unwrap();
+        let items = read_items(&path).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].1, 0);
+        assert_eq!(items[1].1, 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn skips_header_row() {
+        let path = tmp("hdr.csv");
+        std::fs::write(&path, "xmin,ymin,xmax,ymax\n0,0,1,1\n").unwrap();
+        assert_eq!(read_items(&path).unwrap().len(), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        let path = tmp("bad.csv");
+        std::fs::write(&path, "0,0,1\n").unwrap();
+        assert!(read_items(&path).unwrap_err().contains("expected 4 or 5"));
+        std::fs::write(&path, "1,0,0,1\n").unwrap();
+        assert!(read_items(&path).is_err(), "inverted rect");
+        std::fs::write(&path, "0,0,x,1\n").unwrap();
+        assert!(read_items(&path).is_err(), "non-numeric");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,49 @@
+//! Library core of `rtree-cli`: argument-free functions the binary wires
+//! to flags, kept separate so they are unit-testable without spawning
+//! processes.
+
+pub mod commands;
+pub mod csvio;
+
+/// CLI-level errors, all stringly — they go straight to stderr.
+pub type CliResult<T> = Result<T, String>;
+
+/// Parse "x,y" into a point.
+pub fn parse_point(s: &str) -> CliResult<geom::Point2> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 2 {
+        return Err(format!("expected x,y — got '{s}'"));
+    }
+    let x: f64 = parts[0].trim().parse().map_err(|e| format!("bad x: {e}"))?;
+    let y: f64 = parts[1].trim().parse().map_err(|e| format!("bad y: {e}"))?;
+    geom::Point2::try_new([x, y]).map_err(|e| e.to_string())
+}
+
+/// Parse "x0,y0,x1,y1" into a rectangle.
+pub fn parse_rect(s: &str) -> CliResult<geom::Rect2> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 4 {
+        return Err(format!("expected x0,y0,x1,y1 — got '{s}'"));
+    }
+    let mut v = [0.0f64; 4];
+    for (i, p) in parts.iter().enumerate() {
+        v[i] = p.trim().parse().map_err(|e| format!("bad coordinate {i}: {e}"))?;
+    }
+    geom::Rect2::try_new([v[0], v[1]], [v[2], v[3]]).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_points_and_rects() {
+        assert_eq!(parse_point("0.5, 0.25").unwrap(), geom::Point2::new([0.5, 0.25]));
+        assert!(parse_point("1").is_err());
+        assert!(parse_point("a,b").is_err());
+        let r = parse_rect("0,0,1,0.5").unwrap();
+        assert_eq!(r, geom::Rect2::new([0.0, 0.0], [1.0, 0.5]));
+        assert!(parse_rect("1,0,0,0.5").is_err(), "inverted rect rejected");
+        assert!(parse_rect("0,0,1").is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! `rtree-cli` — build, query and inspect packed R-tree index files.
+//!
+//! ```text
+//! rtree-cli gen      --dataset tiger --n 53145 --seed 1 --output data.csv
+//! rtree-cli build    --input data.csv --output index.rtree [--packer str|str-par|hs|nx|tgs] [--capacity 100] [--external N]
+//! rtree-cli query    --index index.rtree --region 0.1,0.1,0.3,0.3 [--buffer 32]
+//! rtree-cli point    --index index.rtree --at 0.5,0.5
+//! rtree-cli knn      --index index.rtree --at 0.5,0.5 --k 10
+//! rtree-cli compare  --input data.csv [--capacity 100] [--buffer 32]
+//! rtree-cli stats    --index index.rtree
+//! rtree-cli validate --index index.rtree
+//! rtree-cli dump-leaves --index index.rtree
+//! rtree-cli insert   --index index.rtree --input more.csv
+//! rtree-cli delete   --index index.rtree --input victims.csv
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use rtree_cli::{commands, parse_point, parse_rect, CliResult};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rtree-cli <gen|build|query|point|knn|stats|validate|dump-leaves|insert|delete|compare> \
+         [--flag value]...\nsee the crate docs for per-command flags"
+    );
+    std::process::exit(2);
+}
+
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> CliResult<Self> {
+        let mut map = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            map.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Self(map))
+    }
+
+    fn req(&self, key: &str) -> CliResult<&str> {
+        self.0
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    fn opt(&self, key: &str, default: &str) -> String {
+        self.0.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> CliResult<T>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        }
+    }
+}
+
+fn run() -> CliResult<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "gen" => commands::generate(
+            flags.req("dataset")?,
+            flags.parse_num("n", 10_000usize)?,
+            flags.parse_num("seed", 1u64)?,
+            &PathBuf::from(flags.req("output")?),
+        ),
+        "build" => commands::build(
+            &PathBuf::from(flags.req("input")?),
+            &PathBuf::from(flags.req("output")?),
+            &flags.opt("packer", "str"),
+            flags.parse_num("capacity", 100usize)?,
+            flags.parse_num("external", 0usize)?,
+        ),
+        "query" => commands::query_region(
+            &PathBuf::from(flags.req("index")?),
+            parse_rect(flags.req("region")?)?,
+            flags.parse_num("buffer", 32usize)?,
+        ),
+        "point" => {
+            let p = parse_point(flags.req("at")?)?;
+            commands::query_region(
+                &PathBuf::from(flags.req("index")?),
+                geom::Rect2::from_point(p),
+                flags.parse_num("buffer", 32usize)?,
+            )
+        }
+        "knn" => commands::knn(
+            &PathBuf::from(flags.req("index")?),
+            parse_point(flags.req("at")?)?,
+            flags.parse_num("k", 5usize)?,
+            flags.parse_num("buffer", 32usize)?,
+        ),
+        "compare" => commands::compare(
+            &PathBuf::from(flags.req("input")?),
+            flags.parse_num("capacity", 100usize)?,
+            flags.parse_num("buffer", 32usize)?,
+        ),
+        "stats" => commands::stats(&PathBuf::from(flags.req("index")?)),
+        "validate" => commands::validate(&PathBuf::from(flags.req("index")?)),
+        "dump-leaves" => commands::dump_leaves(&PathBuf::from(flags.req("index")?)),
+        "insert" => commands::insert(
+            &PathBuf::from(flags.req("index")?),
+            &PathBuf::from(flags.req("input")?),
+            flags.parse_num("buffer", 64usize)?,
+        ),
+        "delete" => commands::delete(
+            &PathBuf::from(flags.req("index")?),
+            &PathBuf::from(flags.req("input")?),
+            flags.parse_num("buffer", 64usize)?,
+        ),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    match run() {
+        Ok(out) => print!("{out}{}", if out.ends_with('\n') { "" } else { "\n" }),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

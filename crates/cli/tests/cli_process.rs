@@ -1,0 +1,108 @@
+//! End-to-end tests of the `rtree-cli` binary as a subprocess.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rtree-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtree-cli-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn gen_build_query_pipeline() {
+    let data = tmp("pipe.csv");
+    let index = tmp("pipe.rtree");
+
+    let out = bin()
+        .args(["gen", "--dataset", "tiger", "--n", "3000", "--seed", "2", "--output"])
+        .arg(&data)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args(["build", "--packer", "str", "--capacity", "64", "--input"])
+        .arg(&data)
+        .arg("--output")
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("packed 3000"));
+
+    let out = bin()
+        .args(["query", "--region", "0.4,0.4,0.6,0.6", "--index"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("disk accesses"), "{stdout}");
+
+    let out = bin()
+        .args(["stats", "--index"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("utilization"));
+
+    let out = bin()
+        .args(["validate", "--index"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+
+    let out = bin().args(["build", "--input"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = bin()
+        .args(["query", "--index", "/nonexistent.rtree", "--region", "0,0,1,1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn knn_outputs_k_lines() {
+    let data = tmp("knn.csv");
+    let index = tmp("knn.rtree");
+    assert!(bin()
+        .args(["gen", "--dataset", "uniform", "--n", "500", "--output"])
+        .arg(&data)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["build", "--input"])
+        .arg(&data)
+        .arg("--output")
+        .arg(&index)
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args(["knn", "--at", "0.5,0.5", "--k", "7", "--index"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim().lines().count(), 7);
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+}

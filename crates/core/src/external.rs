@@ -1,0 +1,276 @@
+//! Out-of-core STR packing.
+//!
+//! The paper's General Algorithm starts from a *data file* (§2.2), and
+//! STR's global x-sort is the only step that needs to see all the data at
+//! once. This module runs that step as an external merge sort (the
+//! [`extsort`] crate) and streams the rest:
+//!
+//! 1. every rectangle goes through the external sorter, keyed by the
+//!    order-preserving bits of its x-center;
+//! 2. the sorted stream is consumed slab by slab — a slab is
+//!    `n·⌈P^((k−1)/k)⌉` consecutive rectangles, a few node-capacities of
+//!    memory regardless of data size;
+//! 3. each slab is tiled in memory over the remaining coordinates
+//!    (§2.2's recursion) and fed straight to the streaming bulk loader,
+//!    which writes finished leaves and keeps only the (tiny) upper
+//!    levels in memory.
+//!
+//! Peak memory is `O(sort budget + slab size)` — independent of `r` —
+//! while the result is **bit-identical** to in-memory
+//! [`StrPacker`](crate::StrPacker) packing (the tests assert it).
+
+use std::sync::Arc;
+
+use extsort::ExternalSorter;
+use geom::Rect;
+use hilbert::f64_order_key;
+use rtree::{BulkLoader, Entry, NodeCapacity, RTree};
+use storage::{BufferPool, Disk};
+
+use crate::str_pack::{order_slab, slab_pages};
+use crate::PackingOrder;
+
+/// Errors from the external packing pipeline.
+#[derive(Debug)]
+pub enum ExternalPackError {
+    /// Failure in the external sort phase (scratch disk).
+    Sort(extsort::SortError),
+    /// Failure building the tree (destination disk).
+    Tree(rtree::RTreeError),
+}
+
+impl std::fmt::Display for ExternalPackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExternalPackError::Sort(e) => write!(f, "external sort: {e}"),
+            ExternalPackError::Tree(e) => write!(f, "tree build: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExternalPackError {}
+
+impl From<extsort::SortError> for ExternalPackError {
+    fn from(e: extsort::SortError) -> Self {
+        ExternalPackError::Sort(e)
+    }
+}
+
+impl From<rtree::RTreeError> for ExternalPackError {
+    fn from(e: rtree::RTreeError) -> Self {
+        ExternalPackError::Tree(e)
+    }
+}
+
+/// STR-pack `items` into a tree on `pool`, sorting through `scratch`
+/// with an in-memory budget of `budget` records.
+///
+/// `budget` plays the role of the sort buffer in a real DBMS; the slab
+/// buffer additionally holds one slab (`n·⌈P^((k−1)/k)⌉` records). The
+/// produced tree is identical to `StrPacker::new().pack(...)` on the
+/// same items.
+pub fn pack_str_external<const D: usize, I>(
+    pool: Arc<BufferPool>,
+    scratch: Arc<dyn Disk>,
+    items: I,
+    cap: NodeCapacity,
+    budget: usize,
+) -> Result<RTree<D>, ExternalPackError>
+where
+    I: IntoIterator<Item = (Rect<D>, u64)>,
+{
+    // Phase 1: external sort by x-center. The order-preserving u64 key
+    // avoids f64 comparators in the merge heap.
+    let mut sorter = ExternalSorter::new(scratch, budget, |e: &Entry<D>| {
+        f64_order_key(e.rect.center_coord(0))
+    });
+    for (rect, id) in items {
+        sorter.push(Entry::data(rect, id))?;
+    }
+    let total = sorter.len() as usize;
+    if total == 0 {
+        return Err(ExternalPackError::Tree(rtree::RTreeError::EmptyLoad));
+    }
+
+    // Phase 2: slab streaming. Slab arithmetic identical to the
+    // in-memory implementation.
+    let n = cap.max();
+    let pages = total.div_ceil(n);
+    let slab_size = if D == 1 || pages <= 1 {
+        total
+    } else {
+        n * slab_pages(pages, D as u32)
+    };
+
+    let mut merge = sorter.finish()?;
+    let mut failure: Option<extsort::SortError> = None;
+
+    // An iterator adapter that pulls from the merge stream, buffers one
+    // slab, tiles it, and yields its entries leaf-ready.
+    let mut slab: Vec<Entry<D>> = Vec::with_capacity(slab_size.min(total));
+    let mut drained: std::vec::IntoIter<Entry<D>> = Vec::new().into_iter();
+    let leaf_stream = std::iter::from_fn(|| {
+        loop {
+            if let Some(e) = drained.next() {
+                return Some(e);
+            }
+            if failure.is_some() {
+                return None;
+            }
+            // Refill: read one slab from the merge.
+            while slab.len() < slab_size {
+                match merge.next() {
+                    Some(Ok(e)) => slab.push(e),
+                    Some(Err(err)) => {
+                        failure = Some(err);
+                        return None;
+                    }
+                    None => break,
+                }
+            }
+            if slab.is_empty() {
+                return None;
+            }
+            order_slab::<D>(&mut slab, n);
+            drained = std::mem::take(&mut slab).into_iter();
+        }
+    });
+
+    // Phase 3: stream into the bulk loader; upper levels get the normal
+    // in-memory STR treatment, matching the batch path.
+    let loader = BulkLoader::new(cap);
+    let str_packer = crate::StrPacker::new();
+    let tree = loader.load_streamed(pool, leaf_stream, &mut |entries, level| {
+        str_packer.order_level(entries, level, cap)
+    })?;
+
+    if let Some(err) = failure {
+        return Err(ExternalPackError::Sort(err));
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StrPacker;
+    use rand::{Rng, SeedableRng};
+    use storage::MemDisk;
+
+    fn items(n: usize, seed: u64) -> Vec<(Rect<2>, u64)> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let x: f64 = rng.gen_range(0.0..1.0);
+                let y: f64 = rng.gen_range(0.0..1.0);
+                let s: f64 = rng.gen_range(0.0..0.01);
+                (
+                    Rect::new([x, y], [(x + s).min(1.0), (y + s).min(1.0)]),
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 512))
+    }
+
+    #[test]
+    fn identical_to_in_memory_str() {
+        let data = items(12_345, 1);
+        let cap = NodeCapacity::new(64).unwrap();
+        let in_memory = StrPacker::new().pack(pool(), data.clone(), cap).unwrap();
+        // Budget far below the data size: many runs, real merging.
+        let scratch = Arc::new(MemDisk::default_size());
+        let external =
+            pack_str_external(pool(), scratch, data, cap, 500).unwrap();
+
+        assert_eq!(in_memory.len(), external.len());
+        assert_eq!(in_memory.height(), external.height());
+        assert_eq!(
+            in_memory.level_mbrs(0).unwrap(),
+            external.level_mbrs(0).unwrap(),
+            "leaf structure must be bit-identical"
+        );
+        assert_eq!(
+            in_memory.level_mbrs(1).unwrap(),
+            external.level_mbrs(1).unwrap(),
+            "upper structure must match too"
+        );
+        external.validate(false).unwrap();
+    }
+
+    #[test]
+    fn queries_match_brute_force() {
+        let data = items(5_000, 2);
+        let cap = NodeCapacity::new(50).unwrap();
+        let scratch = Arc::new(MemDisk::default_size());
+        let tree = pack_str_external(pool(), scratch, data.clone(), cap, 256).unwrap();
+        let q = Rect::new([0.3, 0.3], [0.55, 0.6]);
+        let mut expect: Vec<u64> = data
+            .iter()
+            .filter(|(r, _)| r.intersects(&q))
+            .map(|(_, id)| *id)
+            .collect();
+        let mut got: Vec<u64> = tree
+            .query_region(&q)
+            .unwrap()
+            .into_iter()
+            .map(|(_, id)| id)
+            .collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let scratch = Arc::new(MemDisk::default_size());
+        let err = pack_str_external::<2, _>(
+            pool(),
+            scratch,
+            std::iter::empty(),
+            NodeCapacity::new(10).unwrap(),
+            100,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ExternalPackError::Tree(rtree::RTreeError::EmptyLoad)
+        ));
+    }
+
+    #[test]
+    fn tiny_budget_still_correct() {
+        let data = items(1_000, 3);
+        let cap = NodeCapacity::new(20).unwrap();
+        let scratch = Arc::new(MemDisk::default_size());
+        let tree = pack_str_external(pool(), scratch, data.clone(), cap, 7).unwrap();
+        assert_eq!(tree.len(), 1_000);
+        tree.validate(false).unwrap();
+        let batch = StrPacker::new().pack(pool(), data, cap).unwrap();
+        assert_eq!(batch.level_mbrs(0).unwrap(), tree.level_mbrs(0).unwrap());
+    }
+
+    #[test]
+    fn three_dimensions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let data: Vec<(Rect<3>, u64)> = (0..3_000)
+            .map(|i| {
+                let p = [
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                ];
+                (Rect::new(p, p), i as u64)
+            })
+            .collect();
+        let cap = NodeCapacity::new(32).unwrap();
+        let scratch = Arc::new(MemDisk::default_size());
+        let tree = pack_str_external(pool(), scratch, data.clone(), cap, 200).unwrap();
+        tree.validate(false).unwrap();
+        let batch = StrPacker::new().pack(pool(), data, cap).unwrap();
+        assert_eq!(batch.level_mbrs(0).unwrap(), tree.level_mbrs(0).unwrap());
+    }
+}

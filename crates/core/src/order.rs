@@ -1,0 +1,150 @@
+//! The ordering abstraction the three packing algorithms plug into.
+
+use std::sync::Arc;
+
+use geom::Rect;
+use rtree::{Entry, NodeCapacity, RTree};
+use storage::BufferPool;
+
+/// An ordering applied to the entries of each level during bottom-up
+/// packing.
+///
+/// §2.2: "The three algorithms differ only in how the rectangles are
+/// ordered at each level." Implementations permute `entries`; the bulk
+/// loader then cuts consecutive runs of `cap.max()` into nodes.
+pub trait PackingOrder<const D: usize> {
+    /// Short display name ("STR", "HS", "NX", …) used by experiment
+    /// output.
+    fn name(&self) -> &'static str;
+
+    /// Permute `entries` into packing order for `level` (0 = leaf data,
+    /// higher = node MBRs).
+    fn order_level(&self, entries: &mut Vec<Entry<D>>, level: u32, cap: NodeCapacity);
+
+    /// Pack `(rect, id)` items into a fresh R-tree on `pool` — a
+    /// convenience over [`crate::pack`].
+    fn pack(
+        &self,
+        pool: Arc<BufferPool>,
+        items: Vec<(Rect<D>, u64)>,
+        cap: NodeCapacity,
+    ) -> rtree::Result<RTree<D>>
+    where
+        Self: Sized,
+    {
+        crate::pack(pool, items, cap, self)
+    }
+}
+
+/// A [`PackingOrder`] defined by a closure — for experimenting with new
+/// orderings against the same harness (the paper's conclusion calls the
+/// search for better packings an open challenge).
+pub struct CustomOrder<F> {
+    name: &'static str,
+    f: F,
+}
+
+impl<F> CustomOrder<F> {
+    /// Wrap `f` as a named packing order.
+    pub fn new(name: &'static str, f: F) -> Self {
+        Self { name, f }
+    }
+}
+
+impl<const D: usize, F> PackingOrder<D> for CustomOrder<F>
+where
+    F: Fn(&mut Vec<Entry<D>>, u32, NodeCapacity),
+{
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn order_level(&self, entries: &mut Vec<Entry<D>>, level: u32, cap: NodeCapacity) {
+        (self.f)(entries, level, cap)
+    }
+}
+
+/// The three packing algorithms of the paper, as a value — handy for
+/// iterating experiments over all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackerKind {
+    /// Sort-Tile-Recursive (the paper's contribution).
+    Str,
+    /// Hilbert Sort (Kamel & Faloutsos).
+    Hilbert,
+    /// Nearest-X (Roussopoulos & Leifker).
+    NearestX,
+}
+
+impl PackerKind {
+    /// All three, in the paper's column order (STR, HS, NX).
+    pub const ALL: [PackerKind; 3] = [PackerKind::Str, PackerKind::Hilbert, PackerKind::NearestX];
+
+    /// The name used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PackerKind::Str => "STR",
+            PackerKind::Hilbert => "HS",
+            PackerKind::NearestX => "NX",
+        }
+    }
+
+    /// Apply this packer's ordering to one level.
+    pub fn order_level<const D: usize>(
+        &self,
+        entries: &mut Vec<Entry<D>>,
+        level: u32,
+        cap: NodeCapacity,
+    ) {
+        match self {
+            PackerKind::Str => crate::StrPacker::new().order_level(entries, level, cap),
+            PackerKind::Hilbert => crate::HilbertPacker::new().order_level(entries, level, cap),
+            PackerKind::NearestX => crate::NearestXPacker::new().order_level(entries, level, cap),
+        }
+    }
+
+    /// Pack items into a fresh tree with this algorithm.
+    pub fn pack<const D: usize>(
+        &self,
+        pool: Arc<BufferPool>,
+        items: Vec<(Rect<D>, u64)>,
+        cap: NodeCapacity,
+    ) -> rtree::Result<RTree<D>> {
+        match self {
+            PackerKind::Str => crate::StrPacker::new().pack(pool, items, cap),
+            PackerKind::Hilbert => crate::HilbertPacker::new().pack(pool, items, cap),
+            PackerKind::NearestX => crate::NearestXPacker::new().pack(pool, items, cap),
+        }
+    }
+}
+
+impl std::fmt::Display for PackerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(PackerKind::Str.name(), "STR");
+        assert_eq!(PackerKind::Hilbert.to_string(), "HS");
+        assert_eq!(PackerKind::NearestX.to_string(), "NX");
+        assert_eq!(PackerKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn custom_order_runs_closure() {
+        let reverse = CustomOrder::new("REV", |es: &mut Vec<Entry<2>>, _, _| es.reverse());
+        let mut entries: Vec<Entry<2>> = (0..3)
+            .map(|i| Entry::data(Rect::new([i as f64, 0.0], [i as f64, 0.0]), i as u64))
+            .collect();
+        PackingOrder::order_level(&reverse, &mut entries, 0, NodeCapacity::new(2).unwrap());
+        let ids: Vec<u64> = entries.iter().map(|e| e.payload).collect();
+        assert_eq!(ids, vec![2, 1, 0]);
+        assert_eq!(PackingOrder::<2>::name(&reverse), "REV");
+    }
+}

@@ -1,0 +1,253 @@
+//! CFD-like mesh-node generator.
+//!
+//! Stand-in for the paper's computational fluid dynamics data: an
+//! unstructured mesh around "a cross section of a Boeing 737 wing with
+//! flaps out in landing configuration at MACH 0.2" (§3, item 3; meshes by
+//! Mavriplis's advancing-front Delaunay generator). The paper's Figure 5
+//! shows the node cloud: a dense black smudge around the wing near the
+//! domain center, thinning rapidly into a sparse far field; Figure 6 zooms
+//! into the center where the wing elements appear as blank ovals inside
+//! the point cloud.
+//!
+//! The generator reproduces exactly those properties:
+//!
+//! * a two-element airfoil (main element + deployed flap) centered near
+//!   (0.53, 0.5), sized so the §4.4 query window (0.48,0.48)–(0.6,0.6)
+//!   covers it;
+//! * node density decaying with distance from the element surfaces (the
+//!   advancing-front layers), via a heavy-tailed offset distribution;
+//! * blank element interiors (meshes have no nodes inside the body);
+//! * a sparse uniform far field over the rest of the unit square.
+
+use geom::{Point2, Rect2};
+use rand::{Rng, SeedableRng};
+
+use crate::{Dataset, DatasetKind};
+
+/// One airfoil element: a NACA-style thickness profile along a chord,
+/// positioned and rotated in the plane.
+struct Element {
+    origin: [f64; 2],
+    chord: f64,
+    thickness: f64,
+    angle: f64,
+}
+
+impl Element {
+    /// Half-thickness of the (symmetric) profile at chordwise t ∈ [0,1]
+    /// — the NACA 4-digit thickness polynomial.
+    fn half_thickness(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        5.0 * self.thickness
+            * (0.2969 * t.sqrt() - 0.1260 * t - 0.3516 * t * t + 0.2843 * t.powi(3)
+                - 0.1015 * t.powi(4))
+    }
+
+    /// Surface point at chordwise t on the upper (+1) or lower (−1)
+    /// surface, plus the outward unit normal (approximated as chord-
+    /// perpendicular; ample for point scattering).
+    fn surface(&self, t: f64, side: f64) -> (Point2, [f64; 2]) {
+        let y = side * self.half_thickness(t) * self.chord;
+        let x = t * self.chord;
+        let (sin, cos) = self.angle.sin_cos();
+        let px = self.origin[0] + x * cos - y * sin;
+        let py = self.origin[1] + x * sin + y * cos;
+        // Outward normal in chord coordinates is (0, side); rotate it.
+        let normal = [-side * sin, side * cos];
+        (Point2::new([px, py]), normal)
+    }
+
+    /// Whether `p` lies inside the element body.
+    fn contains(&self, p: &Point2) -> bool {
+        let (sin, cos) = self.angle.sin_cos();
+        let dx = p.coord(0) - self.origin[0];
+        let dy = p.coord(1) - self.origin[1];
+        // Rotate into chord coordinates.
+        let x = dx * cos + dy * sin;
+        let y = -dx * sin + dy * cos;
+        if x < 0.0 || x > self.chord {
+            return false;
+        }
+        y.abs() < self.half_thickness(x / self.chord) * self.chord
+    }
+}
+
+fn elements() -> Vec<Element> {
+    vec![
+        // Main element: chord ~7% of the domain, slight nose-down angle.
+        Element {
+            origin: [0.50, 0.505],
+            chord: 0.07,
+            thickness: 0.13,
+            angle: -0.10,
+        },
+        // Flap, deployed: shorter chord, strongly deflected, tucked
+        // behind and below the main element's trailing edge.
+        Element {
+            origin: [0.565, 0.492],
+            chord: 0.03,
+            thickness: 0.10,
+            angle: -0.45,
+        },
+    ]
+}
+
+/// Generate `n` mesh nodes (degenerate rectangles) in the unit square.
+pub fn cfd_like(n: usize, seed: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let unit = Rect2::unit();
+    let elems = elements();
+
+    let mut rects = Vec::with_capacity(n);
+    while rects.len() < n {
+        let p = if rng.gen_bool(0.92) {
+            // Near-field node: pick an element (main element carries most
+            // of the mesh), a surface point, and a wall distance from a
+            // heavy-tailed distribution — advancing-front meshes grow
+            // cell size geometrically away from the wall.
+            let e = if rng.gen_bool(0.72) { &elems[0] } else { &elems[1] };
+            let t: f64 = {
+                // Cluster chordwise samples toward leading/trailing edges
+                // where curvature (and hence mesh density) is highest.
+                let u: f64 = rng.gen_range(0.0..1.0);
+                (1.0 - (std::f64::consts::PI * u).cos()) / 2.0
+            };
+            let side = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let (sp, normal) = e.surface(t, side);
+            // Wall distance: log-uniform between the wall spacing and
+            // the domain scale. Advancing-front meshes grow cell size
+            // geometrically away from the wall, so each distance octave
+            // holds roughly the same number of nodes.
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let d = 1e-4 * (u * (0.6f64 / 1e-4).ln()).exp();
+            // Scatter tangentially as well so layers are not curves.
+            let jitter = [
+                (rng.gen_range(0.0..1.0) - 0.5) * d,
+                (rng.gen_range(0.0..1.0) - 0.5) * d,
+            ];
+            Point2::new([
+                sp.coord(0) + normal[0] * d + jitter[0],
+                sp.coord(1) + normal[1] * d + jitter[1],
+            ])
+        } else {
+            // Far field: sparse uniform background out to the domain
+            // boundary.
+            Point2::new([rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+        };
+
+        if !unit.contains_point(&p) {
+            continue;
+        }
+        // Blank interiors: no nodes inside a body.
+        if elems.iter().any(|e| e.contains(&p)) {
+            continue;
+        }
+        rects.push(Rect2::from_point(p));
+    }
+
+    Dataset {
+        name: format!("cfd-like(n={n})"),
+        kind: DatasetKind::Cfd,
+        rects,
+    }
+}
+
+/// The paper's experimental mesh size (52,510 nodes).
+pub fn boeing_mesh(seed: u64) -> Dataset {
+    cfd_like(crate::sizes::CFD, seed)
+}
+
+/// The paper's plotting mesh size (5,088 nodes, Figures 5–6).
+pub fn boeing_mesh_small(seed: u64) -> Dataset {
+    cfd_like(crate::sizes::CFD_PLOT, seed)
+}
+
+/// The §4.4 query window: "we restricted point and region queries to the
+/// area bounded by the box (0.48,0.48) (0.6,0.6)".
+pub fn query_window() -> Rect2 {
+    Rect2::new([0.48, 0.48], [0.6, 0.6])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_count_points_in_unit_square() {
+        let ds = cfd_like(5000, 11);
+        assert_eq!(ds.len(), 5000);
+        let unit = Rect2::unit();
+        for r in &ds.rects {
+            assert!(unit.contains_rect(r));
+            assert_eq!(r.area(), 0.0, "mesh nodes are points");
+        }
+    }
+
+    #[test]
+    fn density_concentrates_in_query_window() {
+        // The paper: "the black region in the middle of Figure 5 accounts
+        // for the majority of the data". The §4.4 window covers ~1.4% of
+        // the domain but must hold well over half the nodes.
+        let ds = cfd_like(20_000, 12);
+        let window = query_window();
+        let inside = ds
+            .rects
+            .iter()
+            .filter(|r| window.contains_rect(r))
+            .count();
+        assert!(
+            inside as f64 > 0.55 * ds.len() as f64,
+            "only {inside}/20000 nodes in the wing window"
+        );
+    }
+
+    #[test]
+    fn wing_interiors_are_blank() {
+        let ds = cfd_like(30_000, 13);
+        for e in elements() {
+            for r in &ds.rects {
+                assert!(
+                    !e.contains(&r.center()),
+                    "node inside the wing at {}",
+                    r.center()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn far_field_is_sparse_but_present() {
+        let ds = cfd_like(20_000, 14);
+        let far = ds
+            .rects
+            .iter()
+            .filter(|r| {
+                let c = r.center();
+                c.coord(0) < 0.25 || c.coord(0) > 0.85 || c.coord(1) < 0.25 || c.coord(1) > 0.85
+            })
+            .count();
+        assert!(far > 100, "far field empty ({far})");
+        assert!(
+            (far as f64) < 0.15 * ds.len() as f64,
+            "far field too dense ({far})"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(cfd_like(500, 3).rects, cfd_like(500, 3).rects);
+        assert_ne!(cfd_like(500, 3).rects, cfd_like(500, 5).rects);
+    }
+
+    #[test]
+    fn thickness_profile_shape() {
+        let e = &elements()[0];
+        assert_eq!(e.half_thickness(0.0), 0.0);
+        // Max thickness of a NACA profile sits near 30% chord.
+        let t30 = e.half_thickness(0.3);
+        assert!(t30 > e.half_thickness(0.05));
+        assert!(t30 > e.half_thickness(0.9));
+        // Trailing edge nearly closed.
+        assert!(e.half_thickness(1.0) < 0.01);
+    }
+}

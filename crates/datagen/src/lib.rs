@@ -1,0 +1,172 @@
+//! Data-set and query-workload generators for the STR evaluation.
+//!
+//! The paper evaluates on four families (§3):
+//!
+//! 1. **Synthetic** uniform squares parameterized by *density* (the sum of
+//!    all square areas): density 0 is point data — [`synthetic`].
+//! 2. **GIS**: the Long Beach TIGER file, 53,145 street segments, "mildly
+//!    skewed line segment data" — simulated by [`tiger`].
+//! 3. **VLSI**: a Bell Labs CIF chip, 453,994 rectangles, "highly skewed,
+//!    in terms of location and size" — simulated by [`vlsi`].
+//! 4. **CFD**: a Boeing 737 wing cross-section mesh, 52,510 nodes, point
+//!    data dense near the wing surfaces — simulated by [`cfd`].
+//!
+//! The real TIGER/CIF/mesh files are not distributable here, so 2–4 are
+//! *statistical stand-ins*: generators tuned to reproduce the properties
+//! the paper identifies as performance-relevant (skew in location and
+//! size, thin segment MBRs, mesh density gradients). DESIGN.md documents
+//! each substitution.
+//!
+//! Every generator takes a `u64` seed and is deterministic; all data is
+//! normalized to the unit square, as in the paper.
+
+pub mod cfd;
+pub mod queries;
+pub mod synthetic;
+pub mod tiger;
+pub mod vlsi;
+
+pub use queries::{point_queries, region_queries};
+
+use geom::Rect2;
+
+/// Which family a data set belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Uniform synthetic squares (density ≥ 0).
+    Synthetic,
+    /// TIGER-like street segments.
+    Tiger,
+    /// VLSI-like skewed rectangles.
+    Vlsi,
+    /// CFD-like mesh points.
+    Cfd,
+}
+
+/// A named collection of rectangles in the unit square.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name used in experiment output.
+    pub name: String,
+    /// The family.
+    pub kind: DatasetKind,
+    /// The rectangles (degenerate for point data).
+    pub rects: Vec<Rect2>,
+}
+
+impl Dataset {
+    /// Number of rectangles.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Whether the data set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// The rectangles paired with sequential ids, ready for packing.
+    pub fn items(&self) -> Vec<(Rect2, u64)> {
+        self.rects
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (*r, i as u64))
+            .collect()
+    }
+
+    /// Rescale so the data's bounding box exactly fills the unit square
+    /// (paper §3: "we normalize all data sets to the unit square").
+    /// Degenerate axes (all data on a line) are centered instead.
+    pub fn normalize_to_unit(&mut self) {
+        let bbox = Rect2::union_all(&self.rects);
+        if bbox.is_empty() {
+            return;
+        }
+        let mut scale = [1.0f64; 2];
+        let mut shift = [0.0f64; 2];
+        for axis in 0..2 {
+            let extent = bbox.extent(axis);
+            if extent > 0.0 {
+                scale[axis] = 1.0 / extent;
+                shift[axis] = -bbox.lo(axis) / extent;
+            } else {
+                scale[axis] = 0.0;
+                shift[axis] = 0.5;
+            }
+        }
+        for r in &mut self.rects {
+            let min = [
+                r.lo(0) * scale[0] + shift[0],
+                r.lo(1) * scale[1] + shift[1],
+            ];
+            let max = [
+                r.hi(0) * scale[0] + shift[0],
+                r.hi(1) * scale[1] + shift[1],
+            ];
+            *r = Rect2::new(min, max).clamp_to(&Rect2::unit());
+        }
+    }
+}
+
+/// The paper's data-set sizes, used by the experiment harness.
+pub mod sizes {
+    /// Long Beach TIGER: "contains 53,145 line segments".
+    pub const TIGER: usize = 53_145;
+    /// Bell Labs CIF: "453,994 rectangles".
+    pub const VLSI: usize = 453_994;
+    /// CFD experiments: "a data set with 52,510 nodes".
+    pub const CFD: usize = 52_510;
+    /// CFD plot (Figures 5–6): "a data set with 5088 nodes".
+    pub const CFD_PLOT: usize = 5_088;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_stretches_to_unit() {
+        let mut ds = Dataset {
+            name: "t".into(),
+            kind: DatasetKind::Synthetic,
+            rects: vec![
+                Rect2::new([2.0, 10.0], [3.0, 12.0]),
+                Rect2::new([4.0, 14.0], [6.0, 18.0]),
+            ],
+        };
+        ds.normalize_to_unit();
+        let bbox = Rect2::union_all(&ds.rects);
+        assert!((bbox.lo(0) - 0.0).abs() < 1e-12);
+        assert!((bbox.hi(0) - 1.0).abs() < 1e-12);
+        assert!((bbox.lo(1) - 0.0).abs() < 1e-12);
+        assert!((bbox.hi(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_handles_degenerate_axis() {
+        let mut ds = Dataset {
+            name: "line".into(),
+            kind: DatasetKind::Cfd,
+            rects: vec![
+                Rect2::new([0.0, 5.0], [1.0, 5.0]),
+                Rect2::new([2.0, 5.0], [3.0, 5.0]),
+            ],
+        };
+        ds.normalize_to_unit();
+        for r in &ds.rects {
+            assert!((r.lo(1) - 0.5).abs() < 1e-12, "flat axis centers at 0.5");
+        }
+    }
+
+    #[test]
+    fn items_are_sequentially_numbered() {
+        let ds = Dataset {
+            name: "t".into(),
+            kind: DatasetKind::Synthetic,
+            rects: vec![Rect2::unit(); 5],
+        };
+        let items = ds.items();
+        assert_eq!(items.len(), 5);
+        assert_eq!(items[3].1, 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Query workload generators (§3).
+//!
+//! > We then query the data set with 2,000 queries. […] Point queries
+//! > are uniformly distributed in the unit square. We consider region
+//! > queries whose region equals 1% and 9% of the unit square. The lower
+//! > left hand corner is uniformly distributed in the unit square. The
+//! > upper right hand corner is computed by adding e to the x- and
+//! > y-coordinates where e = 0.1 or 0.3 […]. If the x- or y-coordinate
+//! > is larger than 1.0 we set the coordinate to 1.0.
+//!
+//! §4.4 reuses the same scheme inside a reduced window for the CFD data,
+//! truncating at the window's upper corner.
+
+use geom::{Point2, Rect2};
+use rand::{Rng, SeedableRng};
+
+/// `count` point queries uniformly distributed in `bounds`.
+pub fn point_queries(count: usize, bounds: &Rect2, seed: u64) -> Vec<Point2> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            Point2::new([
+                rng.gen_range(bounds.lo(0)..=bounds.hi(0)),
+                rng.gen_range(bounds.lo(1)..=bounds.hi(1)),
+            ])
+        })
+        .collect()
+}
+
+/// `count` square region queries of side `e`: lower-left corner uniform
+/// in `bounds`, upper-right corner truncated at `bounds`' upper corner.
+pub fn region_queries(count: usize, bounds: &Rect2, e: f64, seed: u64) -> Vec<Rect2> {
+    assert!(e >= 0.0, "region side cannot be negative");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let x: f64 = rng.gen_range(bounds.lo(0)..=bounds.hi(0));
+            let y: f64 = rng.gen_range(bounds.lo(1)..=bounds.hi(1));
+            Rect2::new(
+                [x, y],
+                [(x + e).min(bounds.hi(0)), (y + e).min(bounds.hi(1))],
+            )
+        })
+        .collect()
+}
+
+/// Region side for a query covering `fraction` of the unit square: the
+/// paper's 1% ↔ e = 0.1 and 9% ↔ e = 0.3.
+pub fn side_for_fraction(fraction: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&fraction));
+    fraction.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sides() {
+        assert!((side_for_fraction(0.01) - 0.1).abs() < 1e-12);
+        assert!((side_for_fraction(0.09) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_queries_inside_bounds() {
+        let b = Rect2::new([0.48, 0.48], [0.6, 0.6]);
+        for p in point_queries(1000, &b, 1) {
+            assert!(b.contains_point(&p));
+        }
+    }
+
+    #[test]
+    fn region_queries_clip_at_bounds() {
+        let b = Rect2::unit();
+        let qs = region_queries(2000, &b, 0.3, 2);
+        for q in &qs {
+            assert!(b.contains_rect(q));
+            assert!(q.extent(0) <= 0.3 + 1e-12);
+            assert!(q.extent(1) <= 0.3 + 1e-12);
+        }
+        // Some queries are clipped (lower-left near the top-right corner),
+        // some are full size.
+        assert!(qs.iter().any(|q| q.extent(0) < 0.3 - 1e-9));
+        assert!(qs.iter().any(|q| (q.area() - 0.09).abs() < 1e-12));
+    }
+
+    #[test]
+    fn mean_region_coverage_on_uniform_data() {
+        // "For uniformly distributed data a region query of 9% will
+        // return roughly 9% of the data": check the average query area
+        // after clipping is a bit below 0.09 but in its vicinity.
+        let qs = region_queries(5000, &Rect2::unit(), 0.3, 3);
+        let mean: f64 = qs.iter().map(|q| q.area()).sum::<f64>() / qs.len() as f64;
+        assert!(mean > 0.05 && mean <= 0.09, "mean query area {mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let b = Rect2::unit();
+        assert_eq!(point_queries(10, &b, 7), point_queries(10, &b, 7));
+        assert_eq!(region_queries(10, &b, 0.1, 7), region_queries(10, &b, 0.1, 7));
+    }
+
+    #[test]
+    fn zero_side_regions_are_points() {
+        let qs = region_queries(10, &Rect2::unit(), 0.0, 4);
+        for q in qs {
+            assert_eq!(q.area(), 0.0);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Synthetic uniform squares — the paper's density model (§3, item 4).
+//!
+//! > For each square the lower left corner was uniformly distributed over
+//! > the unit square. The area of the square is uniformly distributed
+//! > between 0 and 2 times the average area. The value of the average
+//! > area of a square is determined by the *density* of the data set,
+//! > where density equals the sum of the areas of all the squares […]
+//! > The upper right corner is chosen to give the desired area unless it
+//! > exceeds the bounds of the unit square, in which case the
+//! > coordinate(s) that exceeds 1.0 is set to 1.0.
+
+use geom::Rect2;
+use rand::{Rng, SeedableRng};
+
+use crate::{Dataset, DatasetKind};
+
+/// Generate `r` squares of total expected area `density`.
+///
+/// `density == 0.0` produces point data (degenerate rectangles), matching
+/// the paper's "density 0 (point data)". The paper evaluates densities
+/// 0, 1.0, 2.5 and 5.0 and reports 0 and 5.0.
+pub fn synthetic_squares(r: usize, density: f64, seed: u64) -> Dataset {
+    assert!(density >= 0.0, "density cannot be negative");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let avg_area = if r == 0 { 0.0 } else { density / r as f64 };
+    let unit = Rect2::unit();
+    let rects = (0..r)
+        .map(|_| {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            let y: f64 = rng.gen_range(0.0..1.0);
+            if avg_area == 0.0 {
+                return Rect2::new([x, y], [x, y]);
+            }
+            let area = rng.gen_range(0.0..(2.0 * avg_area));
+            let side = area.sqrt();
+            Rect2::new([x, y], [x + side, y + side]).clamp_to(&unit)
+        })
+        .collect();
+    Dataset {
+        name: format!("synthetic(r={r}, d={density})"),
+        kind: DatasetKind::Synthetic,
+        rects,
+    }
+}
+
+/// Point data: density 0.
+pub fn synthetic_points(r: usize, seed: u64) -> Dataset {
+    synthetic_squares(r, 0.0, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_data_is_degenerate() {
+        let ds = synthetic_points(1000, 1);
+        assert_eq!(ds.len(), 1000);
+        for r in &ds.rects {
+            assert_eq!(r.area(), 0.0);
+            assert_eq!(r.extent(0), 0.0);
+        }
+    }
+
+    #[test]
+    fn everything_inside_unit_square() {
+        let ds = synthetic_squares(5000, 5.0, 2);
+        let unit = Rect2::unit();
+        for r in &ds.rects {
+            assert!(unit.contains_rect(r), "{r} escapes the unit square");
+        }
+    }
+
+    #[test]
+    fn density_is_approximately_total_area() {
+        // Clipping at the boundary loses some area, so the realized sum
+        // sits slightly below the nominal density.
+        for density in [1.0, 2.5, 5.0] {
+            let ds = synthetic_squares(20_000, density, 3);
+            let total: f64 = ds.rects.iter().map(|r| r.area()).sum();
+            assert!(
+                total > 0.75 * density && total < 1.05 * density,
+                "density {density}: realized {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn squares_before_clipping_are_square() {
+        let ds = synthetic_squares(2000, 0.5, 4);
+        let interior = ds
+            .rects
+            .iter()
+            .filter(|r| r.hi(0) < 1.0 && r.hi(1) < 1.0)
+            .collect::<Vec<_>>();
+        assert!(!interior.is_empty());
+        for r in interior {
+            assert!(
+                (r.extent(0) - r.extent(1)).abs() < 1e-12,
+                "unclipped rectangle must be square: {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = synthetic_squares(100, 2.0, 42);
+        let b = synthetic_squares(100, 2.0, 42);
+        let c = synthetic_squares(100, 2.0, 43);
+        assert_eq!(a.rects, b.rects);
+        assert_ne!(a.rects, c.rects);
+    }
+
+    #[test]
+    fn empty_request() {
+        let ds = synthetic_squares(0, 5.0, 1);
+        assert!(ds.is_empty());
+    }
+}

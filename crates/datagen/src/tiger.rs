@@ -1,0 +1,163 @@
+//! TIGER-like street-segment generator.
+//!
+//! Stand-in for the Long Beach County file of the U.S. Census TIGER
+//! system (53,145 line segments), which the paper characterizes as
+//! "mildly skewed line segment data". A county street map is, to first
+//! order, a union of axis-leaning street grids of varying density: dense
+//! downtown cores, moderate suburbs, sparse outskirts, plus a sprinkling
+//! of diagonal arterials. Segments are short relative to the county, so
+//! their MBRs are thin slivers.
+//!
+//! The generator reproduces those statistics: several Gaussian urban
+//! cores (mild location skew — much tamer than the VLSI/CFD sets), street
+//! segments mostly axis-aligned with short lengths, a diagonal minority,
+//! and a uniform rural background.
+
+use geom::Rect2;
+use rand::{Rng, SeedableRng};
+
+use crate::{Dataset, DatasetKind};
+
+/// Draw a standard normal via Box–Muller (rand 0.8 ships no
+/// distributions beyond uniform, and one transcendental pair per sample
+/// is cheap at this scale).
+fn normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Generate `n` street-segment MBRs in the unit square.
+pub fn tiger_like(n: usize, seed: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let unit = Rect2::unit();
+
+    // Urban cores: position, spread, sampling weight. Weights taper so
+    // the skew is mild (the largest core holds ~a quarter of the data).
+    let cores: Vec<([f64; 2], f64, f64)> = (0..8)
+        .map(|i| {
+            let center = [rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9)];
+            let spread = rng.gen_range(0.03..0.12);
+            let weight = 1.0 / (1.0 + i as f64 * 0.5);
+            (center, spread, weight)
+        })
+        .collect();
+    let weight_sum: f64 = cores.iter().map(|c| c.2).sum();
+
+    let mut rects = Vec::with_capacity(n);
+    while rects.len() < n {
+        // 75% of segments belong to a core grid, 25% to the rural
+        // background — mild, not extreme, location skew.
+        let (cx, cy, local_scale) = if rng.gen_bool(0.75) {
+            let mut pick = rng.gen_range(0.0..weight_sum);
+            let mut chosen = &cores[0];
+            for c in &cores {
+                if pick < c.2 {
+                    chosen = c;
+                    break;
+                }
+                pick -= c.2;
+            }
+            let (center, spread, _) = chosen;
+            (
+                center[0] + normal(&mut rng) * spread,
+                center[1] + normal(&mut rng) * spread,
+                1.0,
+            )
+        } else {
+            (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), 2.5)
+        };
+        if !(0.0..=1.0).contains(&cx) || !(0.0..=1.0).contains(&cy) {
+            continue;
+        }
+
+        // Street segments: one census block edge, ~0.1–1% of the county
+        // across; rural segments run longer.
+        let len = rng.gen_range(0.001..0.01) * local_scale;
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        let (dx, dy) = if roll < 0.45 {
+            (len, 0.0) // east-west street
+        } else if roll < 0.9 {
+            (0.0, len) // north-south street
+        } else {
+            // Diagonal arterial.
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            (len * theta.cos(), len * theta.sin())
+        };
+        let a = [cx, cy];
+        let b = [cx + dx, cy + dy];
+        let rect = Rect2::from_corners(a.into(), b.into()).clamp_to(&unit);
+        rects.push(rect);
+    }
+
+    let mut ds = Dataset {
+        name: format!("tiger-like(n={n})"),
+        kind: DatasetKind::Tiger,
+        rects,
+    };
+    ds.normalize_to_unit();
+    ds
+}
+
+/// The paper's Long Beach data set size.
+pub fn long_beach(seed: u64) -> Dataset {
+    tiger_like(crate::sizes::TIGER, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_count_and_bounds() {
+        let ds = tiger_like(5000, 7);
+        assert_eq!(ds.len(), 5000);
+        let unit = Rect2::unit();
+        for r in &ds.rects {
+            assert!(unit.contains_rect(r));
+        }
+    }
+
+    #[test]
+    fn segments_are_thin() {
+        // Line-segment MBRs: most have a degenerate or near-degenerate
+        // short side (axis-aligned streets have zero thickness).
+        let ds = tiger_like(10_000, 8);
+        let thin = ds
+            .rects
+            .iter()
+            .filter(|r| r.extent(0).min(r.extent(1)) < 1e-6)
+            .count();
+        assert!(
+            thin as f64 > 0.8 * ds.len() as f64,
+            "only {thin}/10000 segments are axis-aligned-thin"
+        );
+        // And all are short relative to the county.
+        for r in &ds.rects {
+            assert!(r.extent(0).max(r.extent(1)) < 0.05, "{r} too long");
+        }
+    }
+
+    #[test]
+    fn skew_is_mild() {
+        // Quadrant occupancy must be uneven (there *are* cores) but no
+        // quadrant should dominate outright — "mildly skewed".
+        let ds = tiger_like(20_000, 9);
+        let mut quad = [0usize; 4];
+        for r in &ds.rects {
+            let c = r.center();
+            let ix = usize::from(c.coord(0) >= 0.5) + 2 * usize::from(c.coord(1) >= 0.5);
+            quad[ix] += 1;
+        }
+        let max = *quad.iter().max().unwrap() as f64;
+        let min = *quad.iter().min().unwrap() as f64;
+        assert!(max / min > 1.05, "no skew at all: {quad:?}");
+        assert!(max < 0.8 * ds.len() as f64, "skew too extreme: {quad:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(tiger_like(500, 3).rects, tiger_like(500, 3).rects);
+        assert_ne!(tiger_like(500, 3).rects, tiger_like(500, 4).rects);
+    }
+}

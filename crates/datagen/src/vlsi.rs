@@ -1,0 +1,172 @@
+//! VLSI-like rectangle generator.
+//!
+//! Stand-in for the Bell Labs CIF chip data (453,994 rectangles) used in
+//! the paper, which it describes as "highly skewed, both in location and
+//! in size. For example, the largest rectangle is roughly 40,000 times
+//! larger than the smallest one. Similarly, there are regions of the chip
+//! covered by several thousand rectangles and some covered by no
+//! rectangles at all" (§3, item 2).
+//!
+//! A chip layout is a floorplan hierarchy: macro blocks subdivided into
+//! cells, separated by routing channels; standard cells are tiny, power
+//! rails and macro outlines are huge. The generator reproduces that:
+//!
+//! * a recursive guillotine floorplan partitions the die into cells;
+//! * cell occupancy follows a power law (a few cells hold thousands of
+//!   shapes, many hold none — location skew + empty regions);
+//! * shape *areas* are log-uniform over 4.6 decades (size skew ≥ 4×10⁴),
+//!   with a thin sliver bias (wires) for realism.
+
+use geom::Rect2;
+use rand::{Rng, SeedableRng};
+
+use crate::{Dataset, DatasetKind};
+
+/// A leaf cell of the floorplan.
+struct Cell {
+    rect: Rect2,
+    weight: f64,
+}
+
+/// Recursive guillotine cut of `rect` into `2^depth` cells.
+fn floorplan(rng: &mut impl Rng, rect: Rect2, depth: u32, out: &mut Vec<Cell>) {
+    if depth == 0 {
+        // Power-law occupancy: weight = u^-1.5 gives a few very hot
+        // cells; an 18% chance of an empty cell gives the paper's
+        // "regions covered by no rectangles at all".
+        let weight = if rng.gen_bool(0.18) {
+            0.0
+        } else {
+            let u: f64 = rng.gen_range(0.01..1.0);
+            u.powf(-1.5)
+        };
+        out.push(Cell { rect, weight });
+        return;
+    }
+    // Cut the longer axis at 30–70%.
+    let axis = usize::from(rect.extent(1) > rect.extent(0));
+    let frac: f64 = rng.gen_range(0.3..0.7);
+    let cut = rect.lo(axis) + frac * rect.extent(axis);
+    let (mut amax, mut bmin) = (*rect.max(), *rect.min());
+    amax[axis] = cut;
+    bmin[axis] = cut;
+    floorplan(rng, Rect2::new(*rect.min(), amax), depth - 1, out);
+    floorplan(rng, Rect2::new(bmin, *rect.max()), depth - 1, out);
+}
+
+/// Generate `n` chip shapes in the unit square.
+pub fn vlsi_like(n: usize, seed: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let unit = Rect2::unit();
+
+    let mut cells = Vec::new();
+    floorplan(&mut rng, unit, 9, &mut cells); // 512 cells
+    let total_weight: f64 = cells.iter().map(|c| c.weight).sum();
+
+    // Cumulative weights for cell sampling.
+    let mut cumulative = Vec::with_capacity(cells.len());
+    let mut acc = 0.0;
+    for c in &cells {
+        acc += c.weight;
+        cumulative.push(acc);
+    }
+
+    // Log-uniform areas across the paper's 40,000x ratio: linear sizes
+    // from ~2e-5 (a contact cut) to ~4e-3 (a macro outline), giving an
+    // area ratio of 4e4.
+    let s_min: f64 = 2e-5;
+    let s_max: f64 = s_min * 200.0; // area ratio = 200^2 = 4e4
+    let log_ratio = (s_max / s_min).ln();
+
+    let mut rects = Vec::with_capacity(n);
+    while rects.len() < n {
+        let pick = rng.gen_range(0.0..total_weight);
+        let idx = cumulative.partition_point(|&c| c <= pick);
+        let cell = &cells[idx.min(cells.len() - 1)];
+
+        let side = s_min * (rng.gen_range(0.0..1.0) * log_ratio).exp();
+        // Wires: half the shapes are slivers with aspect up to 50:1.
+        let aspect: f64 = if rng.gen_bool(0.5) {
+            rng.gen_range(1.0..50.0)
+        } else {
+            rng.gen_range(1.0..2.0)
+        };
+        let (w, h) = if rng.gen_bool(0.5) {
+            (side * aspect.sqrt(), side / aspect.sqrt())
+        } else {
+            (side / aspect.sqrt(), side * aspect.sqrt())
+        };
+        let x = cell.rect.lo(0) + rng.gen_range(0.0..1.0) * cell.rect.extent(0);
+        let y = cell.rect.lo(1) + rng.gen_range(0.0..1.0) * cell.rect.extent(1);
+        rects.push(Rect2::new([x, y], [x + w, y + h]).clamp_to(&unit));
+    }
+
+    let mut ds = Dataset {
+        name: format!("vlsi-like(n={n})"),
+        kind: DatasetKind::Vlsi,
+        rects,
+    };
+    ds.normalize_to_unit();
+    ds
+}
+
+/// The paper's CIF data-set size.
+pub fn bell_labs_cif(seed: u64) -> Dataset {
+    vlsi_like(crate::sizes::VLSI, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_count_and_bounds() {
+        let ds = vlsi_like(10_000, 5);
+        assert_eq!(ds.len(), 10_000);
+        let unit = Rect2::unit();
+        for r in &ds.rects {
+            assert!(unit.contains_rect(r));
+        }
+    }
+
+    #[test]
+    fn size_skew_spans_four_decades() {
+        let ds = vlsi_like(50_000, 6);
+        let areas: Vec<f64> = ds.rects.iter().map(|r| r.area()).filter(|&a| a > 0.0).collect();
+        let max = areas.iter().cloned().fold(f64::MIN, f64::max);
+        let min = areas.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min > 1e4,
+            "area ratio {:.1e} should exceed the paper's 4e4-ish skew",
+            max / min
+        );
+    }
+
+    #[test]
+    fn location_skew_is_heavy() {
+        // On a 16x16 occupancy grid, the hottest cells should hold orders
+        // of magnitude more than the median, and some cells should be
+        // empty — the paper's description of the chip.
+        let ds = vlsi_like(100_000, 7);
+        let mut grid = vec![0usize; 256];
+        for r in &ds.rects {
+            let c = r.center();
+            let gx = ((c.coord(0) * 16.0) as usize).min(15);
+            let gy = ((c.coord(1) * 16.0) as usize).min(15);
+            grid[gy * 16 + gx] += 1;
+        }
+        let max = *grid.iter().max().unwrap();
+        let empty = grid.iter().filter(|&&c| c < 10).count();
+        assert!(
+            max > 100_000 / 256 * 10,
+            "hottest cell {max} not skewed enough"
+        );
+        assert!(empty > 5, "no near-empty regions ({empty})");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(vlsi_like(1000, 1).rects, vlsi_like(1000, 1).rects);
+        assert_ne!(vlsi_like(1000, 1).rects, vlsi_like(1000, 2).rects);
+    }
+}

@@ -1,0 +1,167 @@
+//! One-dimensional closed intervals.
+//!
+//! A `D`-dimensional rectangle is the product of `D` intervals (paper §2.2:
+//! "A hyper-rectangle is defined by k intervals of the form [Ai, Bi]").
+
+use crate::GeomError;
+
+/// A closed interval `[lo, hi]` with `lo <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Create an interval, validating `lo <= hi` and rejecting NaN.
+    pub fn try_new(lo: f64, hi: f64) -> Result<Self, GeomError> {
+        if lo.is_nan() {
+            return Err(GeomError::NanCoordinate { axis: 0 });
+        }
+        if hi.is_nan() {
+            return Err(GeomError::NanCoordinate { axis: 0 });
+        }
+        if lo > hi {
+            return Err(GeomError::InvertedAxis { axis: 0 });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Create an interval from endpoints known to be ordered.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either endpoint is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Self::try_new(lo, hi).expect("invalid interval")
+    }
+
+    /// A degenerate interval containing a single value.
+    pub fn point(v: f64) -> Self {
+        Self::new(v, v)
+    }
+
+    /// Lower endpoint.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper endpoint.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Length (`hi - lo`).
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval is degenerate (zero length).
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Midpoint.
+    #[inline]
+    pub fn center(&self) -> f64 {
+        self.lo + (self.hi - self.lo) / 2.0
+    }
+
+    /// Whether `v` lies inside the closed interval.
+    #[inline]
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether two closed intervals intersect (shared endpoints count).
+    #[inline]
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Smallest interval covering both.
+    pub fn union(&self, other: &Self) -> Self {
+        Self {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Intersection, if non-empty.
+    pub fn intersection(&self, other: &Self) -> Option<Self> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Self { lo, hi })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let i = Interval::new(1.0, 3.0);
+        assert_eq!(i.lo(), 1.0);
+        assert_eq!(i.hi(), 3.0);
+        assert_eq!(i.len(), 2.0);
+        assert_eq!(i.center(), 2.0);
+        assert!(!i.is_degenerate());
+    }
+
+    #[test]
+    fn point_interval() {
+        let i = Interval::point(5.0);
+        assert!(i.is_degenerate());
+        assert_eq!(i.len(), 0.0);
+        assert!(i.contains(5.0));
+        assert!(!i.contains(5.0001));
+    }
+
+    #[test]
+    fn rejects_inverted() {
+        assert!(Interval::try_new(2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert!(Interval::try_new(f64::NAN, 1.0).is_err());
+        assert!(Interval::try_new(0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn closed_intersection_semantics() {
+        // Shared endpoint counts as intersection: the paper's query
+        // semantics retrieve "all rectangles that intersect the query
+        // region", and MBR boundaries routinely touch.
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(1.0, 2.0);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), Some(Interval::point(1.0)));
+    }
+
+    #[test]
+    fn disjoint() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(1.5, 2.0);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.intersection(&b), None);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Interval::new(0.0, 1.0);
+        let b = Interval::new(3.0, 4.0);
+        let u = a.union(&b);
+        assert_eq!(u, Interval::new(0.0, 4.0));
+    }
+
+    #[test]
+    fn center_of_huge_interval_does_not_overflow() {
+        let i = Interval::new(f64::MIN / 2.0, f64::MAX / 2.0);
+        assert!(i.center().is_finite());
+    }
+}

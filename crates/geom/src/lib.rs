@@ -1,0 +1,75 @@
+//! k-dimensional geometry substrate for R-tree packing.
+//!
+//! Everything in the STR paper operates on axis-aligned rectangles
+//! ("hyper-rectangles" for k > 2): the data objects are stored by their
+//! minimum bounding rectangle (MBR), internal R-tree nodes store the MBR of
+//! their subtree, and the paper's secondary comparison metric is the sum of
+//! MBR areas and perimeters (§3).
+//!
+//! The dimension is a const generic `D`, so the 2-D case used throughout the
+//! paper's evaluation and the general k-dimensional STR recursion (§2.2)
+//! share one implementation.
+//!
+//! Coordinates are `f64`. All constructors reject NaN: a NaN coordinate has
+//! no place in a total ordering and would silently corrupt every packing
+//! sort. Infinities are permitted only in the "empty" sentinel produced by
+//! [`Rect::empty`].
+
+mod interval;
+mod point;
+mod rect;
+
+pub use interval::Interval;
+pub use point::Point;
+pub use rect::Rect;
+
+/// A 2-D point, the case evaluated throughout the paper.
+pub type Point2 = Point<2>;
+/// A 2-D rectangle, the case evaluated throughout the paper.
+pub type Rect2 = Rect<2>;
+/// A 3-D point.
+pub type Point3 = Point<3>;
+/// A 3-D rectangle.
+pub type Rect3 = Rect<3>;
+
+/// Errors produced when constructing geometry from untrusted coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeomError {
+    /// A coordinate was NaN.
+    NanCoordinate {
+        /// Which axis held the NaN.
+        axis: usize,
+    },
+    /// `min[axis] > max[axis]` for some axis.
+    InvertedAxis {
+        /// The offending axis.
+        axis: usize,
+    },
+}
+
+impl std::fmt::Display for GeomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeomError::NanCoordinate { axis } => {
+                write!(f, "NaN coordinate on axis {axis}")
+            }
+            GeomError::InvertedAxis { axis } => {
+                write!(f, "min > max on axis {axis}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+/// Compare two floats that are known not to be NaN.
+///
+/// Packing algorithms sort by center coordinates; this is the comparator
+/// they all share. Panics in debug builds if either value is NaN (the
+/// constructors make that unreachable for values originating in this
+/// crate).
+#[inline]
+pub fn total_cmp_f64(a: f64, b: f64) -> std::cmp::Ordering {
+    debug_assert!(!a.is_nan() && !b.is_nan(), "NaN reached a spatial sort");
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}

@@ -1,0 +1,156 @@
+//! k-dimensional points.
+
+use crate::GeomError;
+
+/// A point in `D`-dimensional space.
+///
+/// Packing algorithms sort by the *center point* of each rectangle
+/// (paper §2.2: "Once again we assume coordinates are for the center points
+/// of the rectangles"), so points appear pervasively as sort keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point<const D: usize> {
+    coords: [f64; D],
+}
+
+impl<const D: usize> Point<D> {
+    /// Create a point, rejecting NaN coordinates.
+    pub fn try_new(coords: [f64; D]) -> Result<Self, GeomError> {
+        for (axis, c) in coords.iter().enumerate() {
+            if c.is_nan() {
+                return Err(GeomError::NanCoordinate { axis });
+            }
+        }
+        Ok(Self { coords })
+    }
+
+    /// Create a point from coordinates known to be finite.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is NaN.
+    pub fn new(coords: [f64; D]) -> Self {
+        Self::try_new(coords).expect("NaN coordinate")
+    }
+
+    /// The origin.
+    pub fn origin() -> Self {
+        Self { coords: [0.0; D] }
+    }
+
+    /// Coordinate along `axis`.
+    #[inline]
+    pub fn coord(&self, axis: usize) -> f64 {
+        self.coords[axis]
+    }
+
+    /// All coordinates.
+    #[inline]
+    pub fn coords(&self) -> &[f64; D] {
+        &self.coords
+    }
+
+    /// Squared Euclidean distance to another point.
+    pub fn dist2(&self, other: &Self) -> f64 {
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, other: &Self) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Component-wise minimum.
+    pub fn min_with(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.coords[i].min(other.coords[i]);
+        }
+        Self { coords: out }
+    }
+
+    /// Component-wise maximum.
+    pub fn max_with(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.coords[i].max(other.coords[i]);
+        }
+        Self { coords: out }
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    fn from(coords: [f64; D]) -> Self {
+        Self::new(coords)
+    }
+}
+
+impl<const D: usize> std::fmt::Display for Point<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_access() {
+        let p = Point::new([1.0, 2.0]);
+        assert_eq!(p.coord(0), 1.0);
+        assert_eq!(p.coord(1), 2.0);
+        assert_eq!(p.coords(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert_eq!(
+            Point::try_new([0.0, f64::NAN]),
+            Err(GeomError::NanCoordinate { axis: 1 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn new_panics_on_nan() {
+        let _ = Point::new([f64::NAN]);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([3.0, 4.0]);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn min_max_with() {
+        let a = Point::new([0.0, 5.0, -1.0]);
+        let b = Point::new([2.0, 3.0, -4.0]);
+        assert_eq!(a.min_with(&b), Point::new([0.0, 3.0, -4.0]));
+        assert_eq!(a.max_with(&b), Point::new([2.0, 5.0, -1.0]));
+    }
+
+    #[test]
+    fn origin_is_zero() {
+        let o = Point::<4>::origin();
+        assert!(o.coords().iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Point::new([1.0, 2.5]).to_string(), "(1, 2.5)");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for rectangle algebra.
+
+use geom::{Point, Rect};
+use proptest::prelude::*;
+
+/// Strategy: a valid 2-D rectangle inside [-100, 100]^2.
+fn rect2() -> impl Strategy<Value = Rect<2>> {
+    (
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        0.0f64..50.0,
+        0.0f64..50.0,
+    )
+        .prop_map(|(x, y, w, h)| Rect::new([x, y], [x + w, y + h]))
+}
+
+fn point2() -> impl Strategy<Value = Point<2>> {
+    (-150.0f64..150.0, -150.0f64..150.0).prop_map(|(x, y)| Point::new([x, y]))
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative(a in rect2(), b in rect2()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn union_is_associative(a in rect2(), b in rect2(), c in rect2()) {
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+    }
+
+    #[test]
+    fn union_contains_operands(a in rect2(), b in rect2()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+    }
+
+    #[test]
+    fn union_is_idempotent(a in rect2()) {
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn union_area_superadditive_on_operands(a in rect2(), b in rect2()) {
+        let u = a.union(&b);
+        prop_assert!(u.area() >= a.area());
+        prop_assert!(u.area() >= b.area());
+    }
+
+    #[test]
+    fn intersection_symmetric(a in rect2(), b in rect2()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn intersection_contained_in_both(a in rect2(), b in rect2()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.area() <= a.area().min(b.area()) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn intersects_iff_intersection_some(a in rect2(), b in rect2()) {
+        prop_assert_eq!(a.intersects(&b), a.intersection(&b).is_some());
+    }
+
+    #[test]
+    fn containment_implies_intersection(a in rect2(), b in rect2()) {
+        if a.contains_rect(&b) {
+            prop_assert!(a.intersects(&b));
+            prop_assert!(a.area() >= b.area());
+        }
+    }
+
+    #[test]
+    fn center_inside(a in rect2()) {
+        prop_assert!(a.contains_point(&a.center()));
+    }
+
+    #[test]
+    fn enlargement_non_negative(a in rect2(), b in rect2()) {
+        prop_assert!(a.enlargement(&b) >= 0.0);
+    }
+
+    #[test]
+    fn min_dist2_zero_iff_contains(a in rect2(), p in point2()) {
+        let d = a.min_dist2(&p);
+        prop_assert!(d >= 0.0);
+        prop_assert_eq!(d == 0.0, a.contains_point(&p));
+    }
+
+    #[test]
+    fn contains_point_respects_min_dist(a in rect2(), p in point2()) {
+        if !a.contains_point(&p) {
+            prop_assert!(a.min_dist2(&p) > 0.0);
+        }
+    }
+
+    #[test]
+    fn clamp_stays_inside(a in rect2()) {
+        let bounds = Rect::new([-10.0, -10.0], [10.0, 10.0]);
+        let c = a.clamp_to(&bounds);
+        prop_assert!(bounds.contains_rect(&c));
+    }
+
+    #[test]
+    fn perimeter_vs_margin_2d(a in rect2()) {
+        prop_assert!((a.perimeter() - 2.0 * a.margin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_corners_order_independent(p in point2(), q in point2()) {
+        prop_assert_eq!(Rect::from_corners(p, q), Rect::from_corners(q, p));
+    }
+
+    #[test]
+    fn union_all_matches_fold(rects in prop::collection::vec(rect2(), 0..20)) {
+        let all = Rect::union_all(&rects);
+        let fold = rects.iter().fold(Rect::empty(), |acc, r| acc.union(r));
+        prop_assert_eq!(all, fold);
+    }
+}

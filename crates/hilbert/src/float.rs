@@ -1,0 +1,105 @@
+//! Order-preserving `f64 → u64` keys.
+//!
+//! IEEE-754 doubles compare like sign-magnitude integers: for non-negative
+//! values the raw bit pattern is already monotone in the value, and for
+//! negative values it is monotone in the *opposite* direction. Flipping the
+//! sign bit of non-negatives and all bits of negatives therefore yields an
+//! unsigned integer whose natural `<` agrees with the float `<` for every
+//! pair of non-NaN doubles (including ±∞ and subnormals; `-0.0` orders
+//! immediately below `+0.0`).
+//!
+//! This is exactly the construction the paper gestures at in §2.2 when it
+//! says floats "could be represented using 2^sizeof(Exponent) +
+//! sizeof(Mantissa) bits" for Hilbert comparison: an order-preserving
+//! embedding of the floats into a fixed-width integer grid, computed
+//! lazily per coordinate rather than materialized.
+
+/// Map a non-NaN `f64` to a `u64` such that `a < b ⇔ key(a) < key(b)`.
+///
+/// # Panics
+/// Panics on NaN: NaN has no position on the Hilbert curve, and every
+/// caller in this workspace validates coordinates at construction time.
+#[inline]
+pub fn f64_order_key(x: f64) -> u64 {
+    assert!(!x.is_nan(), "NaN has no Hilbert order key");
+    let bits = x.to_bits();
+    if bits >> 63 == 0 {
+        // Non-negative: shift above all negatives by setting the top bit.
+        bits | (1u64 << 63)
+    } else {
+        // Negative: reverse the order by complementing everything.
+        !bits
+    }
+}
+
+/// Inverse of [`f64_order_key`].
+#[inline]
+pub fn f64_from_order_key(key: u64) -> f64 {
+    let bits = if key >> 63 == 1 {
+        key & !(1u64 << 63)
+    } else {
+        !key
+    };
+    f64::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_basic_values() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -1.0,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.0,
+            2.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(
+                f64_order_key(w[0]) <= f64_order_key(w[1]),
+                "{} should key <= {}",
+                w[0],
+                w[1]
+            );
+        }
+        // Strict for strictly ordered values.
+        assert!(f64_order_key(-1.0) < f64_order_key(1.0));
+        assert!(f64_order_key(0.0) < f64_order_key(f64::MIN_POSITIVE));
+    }
+
+    #[test]
+    fn negative_zero_below_positive_zero() {
+        assert!(f64_order_key(-0.0) < f64_order_key(0.0));
+    }
+
+    #[test]
+    fn round_trips() {
+        for &v in &[-1234.5678, -0.0, 0.0, 3.25, f64::INFINITY, f64::NEG_INFINITY] {
+            let back = f64_from_order_key(f64_order_key(v));
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = f64_order_key(f64::NAN);
+    }
+
+    #[test]
+    fn adjacent_floats_get_adjacent_keys() {
+        // The embedding is not just monotone but gap-free on each sign.
+        let a = 1.0f64;
+        let b = f64::from_bits(a.to_bits() + 1); // next representable
+        assert_eq!(f64_order_key(b) - f64_order_key(a), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the Hilbert curve and float keys.
+
+use hilbert::{axes_from_index, axes_to_index, f64_from_order_key, f64_order_key, hilbert_index_f64};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn float_key_preserves_order(a in proptest::num::f64::NORMAL | proptest::num::f64::ZERO,
+                                 b in proptest::num::f64::NORMAL | proptest::num::f64::ZERO) {
+        let (ka, kb) = (f64_order_key(a), f64_order_key(b));
+        if a < b {
+            prop_assert!(ka < kb, "{a} < {b} but keys {ka} >= {kb}");
+        } else if a > b {
+            prop_assert!(ka > kb);
+        }
+    }
+
+    #[test]
+    fn float_key_round_trips(a in proptest::num::f64::ANY.prop_filter("no NaN", |x| !x.is_nan())) {
+        let back = f64_from_order_key(f64_order_key(a));
+        prop_assert_eq!(back.to_bits(), a.to_bits());
+    }
+
+    #[test]
+    fn curve_round_trip_2d(x in 0u64..(1 << 16), y in 0u64..(1 << 16)) {
+        let h = axes_to_index(&[x, y], 16);
+        prop_assert_eq!(axes_from_index::<2>(h, 16), [x, y]);
+    }
+
+    #[test]
+    fn curve_round_trip_2d_full_width(x in any::<u64>(), y in any::<u64>()) {
+        let h = axes_to_index(&[x, y], 64);
+        prop_assert_eq!(axes_from_index::<2>(h, 64), [x, y]);
+    }
+
+    #[test]
+    fn curve_round_trip_4d(a in 0u64..256, b in 0u64..256, c in 0u64..256, d in 0u64..256) {
+        let h = axes_to_index(&[a, b, c, d], 8);
+        prop_assert_eq!(axes_from_index::<4>(h, 8), [a, b, c, d]);
+    }
+
+    #[test]
+    fn adjacent_indices_are_grid_neighbours_2d(h in 0u128..(1u128 << 20) - 1) {
+        let p = axes_from_index::<2>(h, 10);
+        let q = axes_from_index::<2>(h + 1, 10);
+        let dist = (p[0] as i64 - q[0] as i64).abs() + (p[1] as i64 - q[1] as i64).abs();
+        prop_assert_eq!(dist, 1);
+    }
+
+    #[test]
+    fn adjacent_indices_are_grid_neighbours_3d(h in 0u128..(1u128 << 15) - 1) {
+        let p = axes_from_index::<3>(h, 5);
+        let q = axes_from_index::<3>(h + 1, 5);
+        let dist: i64 = (0..3).map(|i| (p[i] as i64 - q[i] as i64).abs()).sum();
+        prop_assert_eq!(dist, 1);
+    }
+
+    #[test]
+    fn f64_index_distinct_for_distinct_points(
+        x1 in 0.0f64..1.0, y1 in 0.0f64..1.0,
+        x2 in 0.0f64..1.0, y2 in 0.0f64..1.0,
+    ) {
+        // With 64 bits per axis in 2-D the embedding is injective on the
+        // entire double grid, so distinct points get distinct indices.
+        let i1 = hilbert_index_f64(&[x1, y1]);
+        let i2 = hilbert_index_f64(&[x2, y2]);
+        prop_assert_eq!((x1, y1) == (x2, y2), i1 == i2);
+    }
+}
+
+/// Locality sanity check: points close on the curve are close in space.
+/// (Not a proptest because it needs an aggregate, not a per-case check.)
+#[test]
+fn hilbert_order_has_locality() {
+    // Sample a 64x64 grid in [0,1)^2, order by Hilbert index, and check
+    // the mean hop distance is ~1 grid cell, far below what a row-major
+    // scan gives at the row wrap (which drags its tail of long jumps).
+    let n = 64usize;
+    let mut pts: Vec<[f64; 2]> = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            pts.push([i as f64 / n as f64, j as f64 / n as f64]);
+        }
+    }
+    let mut by_hilbert = pts.clone();
+    by_hilbert.sort_by_key(hilbert_index_f64);
+
+    let mean_hop = |seq: &[[f64; 2]]| -> f64 {
+        seq.windows(2)
+            .map(|w| ((w[0][0] - w[1][0]).powi(2) + (w[0][1] - w[1][1]).powi(2)).sqrt())
+            .sum::<f64>()
+            / (seq.len() - 1) as f64
+    };
+
+    let cell = 1.0 / n as f64;
+    let hilbert_hop = mean_hop(&by_hilbert);
+    let rowmajor_hop = mean_hop(&pts);
+    assert!(
+        hilbert_hop < 1.5 * cell,
+        "hilbert mean hop {hilbert_hop} should be about one cell ({cell})"
+    );
+    assert!(hilbert_hop < rowmajor_hop);
+}

@@ -1,0 +1,160 @@
+//! Hilbert R-tree node: entries ordered by Hilbert value.
+
+use geom::{Point2, Rect2};
+use storage::PageId;
+
+/// One entry: an MBR, a payload, and the largest Hilbert value (LHV) of
+/// the entry — the Hilbert value of the data rectangle's center at the
+/// leaf level, the subtree maximum at internal levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HEntry {
+    /// MBR of the object (leaf) or subtree (internal).
+    pub rect: Rect2,
+    /// Data id (leaf) or child page (internal).
+    pub payload: u64,
+    /// Largest Hilbert value covered by this entry.
+    pub lhv: u128,
+}
+
+impl HEntry {
+    /// Leaf entry: the LHV is the Hilbert value of the rect's center.
+    pub fn data(rect: Rect2, id: u64) -> Self {
+        Self {
+            rect,
+            payload: id,
+            lhv: hilbert_value(&rect),
+        }
+    }
+
+    /// Internal entry for a child with known MBR and subtree LHV.
+    pub fn child(rect: Rect2, page: PageId, lhv: u128) -> Self {
+        Self {
+            rect,
+            payload: page.index(),
+            lhv,
+        }
+    }
+
+    /// Interpret the payload as a child page.
+    pub fn child_page(&self) -> PageId {
+        PageId(self.payload)
+    }
+}
+
+/// The Hilbert value of a rectangle: the 128-bit curve index of its
+/// center on the exact double-precision grid.
+pub fn hilbert_value(rect: &Rect2) -> u128 {
+    let c: Point2 = rect.center();
+    hilbert::hilbert_index_f64(c.coords())
+}
+
+/// A node: level tag plus entries kept in ascending LHV order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HNode {
+    /// Height above the leaves (0 = leaf).
+    pub level: u32,
+    /// Entries in ascending LHV order.
+    pub entries: Vec<HEntry>,
+}
+
+impl HNode {
+    /// Empty node at `level`.
+    pub fn new(level: u32) -> Self {
+        Self {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether this is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the node has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// MBR over all entries.
+    pub fn mbr(&self) -> Rect2 {
+        Rect2::union_all(self.entries.iter().map(|e| &e.rect))
+    }
+
+    /// Largest Hilbert value in the node (0 for an empty node).
+    pub fn lhv(&self) -> u128 {
+        self.entries.last().map_or(0, |e| e.lhv)
+    }
+
+    /// Insert `entry` preserving ascending LHV order (after any existing
+    /// equal values, keeping insertion order stable for duplicates).
+    pub fn insert_sorted(&mut self, entry: HEntry) {
+        let pos = self.entries.partition_point(|e| e.lhv <= entry.lhv);
+        self.entries.insert(pos, entry);
+    }
+
+    /// Whether the entries are in ascending LHV order.
+    pub fn is_sorted(&self) -> bool {
+        self.entries.windows(2).all(|w| w[0].lhv <= w[1].lhv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64, id: u64) -> HEntry {
+        HEntry::data(Rect2::new([x, y], [x, y]), id)
+    }
+
+    #[test]
+    fn data_entry_lhv_is_center_hilbert() {
+        let r = Rect2::new([0.2, 0.4], [0.4, 0.6]);
+        let e = HEntry::data(r, 7);
+        // Compare against the rect's own center: `0.2 + 0.2/2` differs
+        // from the literal `0.3` in the last ulp, and the exact curve
+        // distinguishes ulps.
+        assert_eq!(e.lhv, hilbert::hilbert_index_f64(r.center().coords()));
+    }
+
+    #[test]
+    fn insert_sorted_keeps_order() {
+        let mut n = HNode::new(0);
+        let entries = [
+            pt(0.9, 0.9, 0),
+            pt(0.1, 0.1, 1),
+            pt(0.5, 0.5, 2),
+            pt(0.3, 0.8, 3),
+        ];
+        for e in entries {
+            n.insert_sorted(e);
+        }
+        assert!(n.is_sorted());
+        assert_eq!(n.len(), 4);
+        assert_eq!(n.lhv(), n.entries.last().unwrap().lhv);
+    }
+
+    #[test]
+    fn node_mbr_and_lhv() {
+        let mut n = HNode::new(1);
+        n.insert_sorted(HEntry::child(
+            Rect2::new([0.0, 0.0], [0.5, 0.5]),
+            PageId(3),
+            100,
+        ));
+        n.insert_sorted(HEntry::child(
+            Rect2::new([0.5, 0.5], [1.0, 1.0]),
+            PageId(4),
+            200,
+        ));
+        assert_eq!(n.mbr(), Rect2::unit());
+        assert_eq!(n.lhv(), 200);
+        assert!(!n.is_leaf());
+        assert_eq!(n.entries[0].child_page(), PageId(3));
+    }
+}

@@ -1,0 +1,736 @@
+//! The Hilbert R-tree proper.
+
+use std::sync::Arc;
+
+use geom::{Point2, Rect2};
+use storage::{BufferPool, PageId};
+
+use crate::node::hilbert_value;
+use crate::{codec, HEntry, HNode, HrtError, Result};
+
+/// A paged Hilbert R-tree (2-D).
+///
+/// Entries are maintained in ascending Hilbert-value order throughout
+/// the tree; insertion descends by largest-Hilbert-value like a B⁺-tree
+/// and overflow is handled cooperatively (redistribute with a sibling,
+/// else 2-to-3 split), per Kamel & Faloutsos.
+///
+/// ```
+/// use std::sync::Arc;
+/// use hrtree::HilbertRTree;
+/// use storage::{BufferPool, MemDisk};
+/// use geom::Rect2;
+///
+/// let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 64));
+/// let mut tree = HilbertRTree::create(pool, 16).unwrap();
+/// for i in 0..200u64 {
+///     let x = (i % 20) as f64 / 20.0;
+///     let y = (i / 20) as f64 / 10.0;
+///     tree.insert(Rect2::new([x, y], [x, y]), i).unwrap();
+/// }
+/// assert_eq!(tree.len(), 200);
+/// tree.validate().unwrap();
+/// let hits = tree.query_region(&Rect2::new([0.0, 0.0], [0.2, 0.2])).unwrap();
+/// assert!(!hits.is_empty());
+/// ```
+pub struct HilbertRTree {
+    pool: Arc<BufferPool>,
+    max: usize,
+    min: usize,
+    root: PageId,
+    height: u32,
+    len: u64,
+    free: Vec<PageId>,
+}
+
+impl std::fmt::Debug for HilbertRTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HilbertRTree")
+            .field("root", &self.root)
+            .field("height", &self.height)
+            .field("len", &self.len)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HilbertRTree {
+    /// Create an empty tree with `max` entries per node on `pool`.
+    ///
+    /// The deletion threshold is `max / 3`, below the 2-to-3 split's
+    /// natural ~2/3 fill and small enough that merging two minimal nodes
+    /// always fits.
+    pub fn create(pool: Arc<BufferPool>, max: usize) -> Result<Self> {
+        let cap = codec::max_capacity(pool.page_size());
+        if max > cap {
+            return Err(HrtError::CapacityTooLarge {
+                requested: max,
+                max: cap,
+            });
+        }
+        if max < 3 {
+            return Err(HrtError::Invalid("capacity must be at least 3".into()));
+        }
+        if pool.disk().num_pages() == 0 {
+            pool.disk().allocate()?; // reserve page 0 (parity with rtree)
+        }
+        let root = pool.disk().allocate()?;
+        let tree = Self {
+            pool,
+            max,
+            min: (max / 3).max(1),
+            root,
+            height: 1,
+            len: 0,
+            free: Vec::new(),
+        };
+        tree.write_node(root, &HNode::new(0))?;
+        Ok(tree)
+    }
+
+    /// Number of data entries.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of levels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The buffer pool (for I/O accounting).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Maximum entries per node.
+    pub fn capacity(&self) -> usize {
+        self.max
+    }
+
+    fn read_node(&self, page: PageId) -> Result<HNode> {
+        self.pool.with_page(page, |bytes| codec::decode(bytes, page))?
+    }
+
+    fn write_node(&self, page: PageId, node: &HNode) -> Result<()> {
+        let mut buf = vec![0u8; self.pool.page_size()];
+        codec::encode(node, &mut buf);
+        self.pool.write_page(page, &buf)?;
+        Ok(())
+    }
+
+    fn alloc_page(&mut self) -> Result<PageId> {
+        if let Some(p) = self.free.pop() {
+            return Ok(p);
+        }
+        Ok(self.pool.disk().allocate()?)
+    }
+
+    // ---- queries -------------------------------------------------------
+
+    /// All `(rect, id)` pairs intersecting `query`.
+    pub fn query_region(&self, query: &Rect2) -> Result<Vec<(Rect2, u64)>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page)?;
+            for e in &node.entries {
+                if e.rect.intersects(query) {
+                    if node.is_leaf() {
+                        out.push((e.rect, e.payload));
+                    } else {
+                        stack.push(e.child_page());
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// All entries containing `point`.
+    pub fn query_point(&self, point: &Point2) -> Result<Vec<(Rect2, u64)>> {
+        self.query_region(&Rect2::from_point(*point))
+    }
+
+    /// MBRs of all leaf nodes.
+    pub fn leaf_mbrs(&self) -> Result<Vec<Rect2>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page)?;
+            if node.is_leaf() {
+                out.push(node.mbr());
+            } else {
+                for e in &node.entries {
+                    stack.push(e.child_page());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total nodes and entries — for utilization reporting.
+    pub fn node_count(&self) -> Result<(u64, u64)> {
+        let mut nodes = 0;
+        let mut entries = 0;
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page)?;
+            nodes += 1;
+            entries += node.len() as u64;
+            if !node.is_leaf() {
+                for e in &node.entries {
+                    stack.push(e.child_page());
+                }
+            }
+        }
+        Ok((nodes, entries))
+    }
+
+    /// Mean fill factor across all nodes.
+    pub fn utilization(&self) -> Result<f64> {
+        let (nodes, entries) = self.node_count()?;
+        Ok(entries as f64 / (nodes * self.max as u64) as f64)
+    }
+
+    // ---- insertion ------------------------------------------------------
+
+    /// Insert a data object.
+    pub fn insert(&mut self, rect: Rect2, id: u64) -> Result<()> {
+        let entry = HEntry::data(rect, id);
+        let h = entry.lhv;
+
+        // ChooseLeaf by Hilbert value: follow the first child whose LHV
+        // covers h (else the last child).
+        let mut path: Vec<PageId> = Vec::new();
+        let mut page = self.root;
+        let mut node = self.read_node(page)?;
+        while !node.is_leaf() {
+            path.push(page);
+            let idx = node
+                .entries
+                .partition_point(|e| e.lhv < h)
+                .min(node.len() - 1);
+            page = node.entries[idx].child_page();
+            node = self.read_node(page)?;
+        }
+
+        node.insert_sorted(entry);
+        self.resolve_overflow(path, page, node)?;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Write `node` (which may overflow) and repair upward.
+    fn resolve_overflow(&mut self, mut path: Vec<PageId>, page: PageId, node: HNode) -> Result<()> {
+        let mut page = page;
+        let mut node = node;
+        loop {
+            if node.len() <= self.max {
+                return self.write_and_propagate(path, page, node);
+            }
+            let Some(parent_page) = path.pop() else {
+                return self.split_root(page, node);
+            };
+            let mut parent = self.read_node(parent_page)?;
+            let idx = parent
+                .entries
+                .iter()
+                .position(|e| e.child_page() == page)
+                .ok_or_else(|| HrtError::Invalid("parent lost its child".into()))?;
+            // Cooperating sibling: the next child in LHV order, else the
+            // previous.
+            let sib_idx = if idx + 1 < parent.len() { idx + 1 } else { idx - 1 };
+            let sib_page = parent.entries[sib_idx].child_page();
+            let sibling = self.read_node(sib_page)?;
+
+            // Order the cooperating pair by LHV position.
+            let (first_page, second_page, combined) = if sib_idx > idx {
+                (page, sib_page, merge_sorted(node.entries, sibling.entries))
+            } else {
+                (sib_page, page, merge_sorted(sibling.entries, node.entries))
+            };
+            let level = node.level;
+
+            if combined.len() <= 2 * self.max {
+                // Redistribute across the two nodes evenly.
+                let half = combined.len() / 2;
+                let (a, b) = split_at(combined, half);
+                self.write_node(first_page, &HNode { level, entries: a.clone() })?;
+                self.write_node(second_page, &HNode { level, entries: b.clone() })?;
+                refresh_entry(&mut parent, first_page, &a);
+                refresh_entry(&mut parent, second_page, &b);
+            } else {
+                // 2-to-3 split.
+                let third = self.alloc_page()?;
+                let per = combined.len().div_ceil(3);
+                let mut chunks = combined.chunks(per);
+                let a: Vec<HEntry> = chunks.next().unwrap_or_default().to_vec();
+                let b: Vec<HEntry> = chunks.next().unwrap_or_default().to_vec();
+                let c: Vec<HEntry> = chunks.next().unwrap_or_default().to_vec();
+                debug_assert!(chunks.next().is_none());
+                self.write_node(first_page, &HNode { level, entries: a.clone() })?;
+                self.write_node(second_page, &HNode { level, entries: b.clone() })?;
+                self.write_node(third, &HNode { level, entries: c.clone() })?;
+                refresh_entry(&mut parent, first_page, &a);
+                refresh_entry(&mut parent, second_page, &b);
+                let mbr = Rect2::union_all(c.iter().map(|e| &e.rect));
+                let lhv = c.last().map_or(0, |e| e.lhv);
+                parent.insert_sorted(HEntry::child(mbr, third, lhv));
+            }
+            parent.entries.sort_by_key(|x| x.lhv);
+            page = parent_page;
+            node = parent;
+        }
+    }
+
+    /// Split an overflowing root into two and grow the tree.
+    fn split_root(&mut self, page: PageId, node: HNode) -> Result<()> {
+        let level = node.level;
+        let half = node.entries.len() / 2;
+        let (a, b) = split_at(node.entries, half);
+        let right = self.alloc_page()?;
+        self.write_node(page, &HNode { level, entries: a.clone() })?;
+        self.write_node(right, &HNode { level, entries: b.clone() })?;
+        let new_root = self.alloc_page()?;
+        let mut root = HNode::new(level + 1);
+        root.insert_sorted(HEntry::child(
+            Rect2::union_all(a.iter().map(|e| &e.rect)),
+            page,
+            a.last().map_or(0, |e| e.lhv),
+        ));
+        root.insert_sorted(HEntry::child(
+            Rect2::union_all(b.iter().map(|e| &e.rect)),
+            right,
+            b.last().map_or(0, |e| e.lhv),
+        ));
+        self.write_node(new_root, &root)?;
+        self.root = new_root;
+        self.height += 1;
+        Ok(())
+    }
+
+    /// Write `node` and refresh ancestor entries (MBR + LHV) up the
+    /// path.
+    fn write_and_propagate(&mut self, mut path: Vec<PageId>, page: PageId, node: HNode) -> Result<()> {
+        self.write_node(page, &node)?;
+        let mut child_page = page;
+        let mut child_mbr = node.mbr();
+        let mut child_lhv = node.lhv();
+        while let Some(ppage) = path.pop() {
+            let mut parent = self.read_node(ppage)?;
+            let idx = parent
+                .entries
+                .iter()
+                .position(|e| e.child_page() == child_page)
+                .ok_or_else(|| HrtError::Invalid("parent lost its child".into()))?;
+            parent.entries[idx].rect = child_mbr;
+            parent.entries[idx].lhv = child_lhv;
+            parent.entries.sort_by_key(|x| x.lhv);
+            self.write_node(ppage, &parent)?;
+            child_page = ppage;
+            child_mbr = parent.mbr();
+            child_lhv = parent.lhv();
+        }
+        Ok(())
+    }
+
+    // ---- deletion -------------------------------------------------------
+
+    /// Delete the entry with exactly this rectangle and id. Returns
+    /// whether it was found.
+    pub fn delete(&mut self, rect: &Rect2, id: u64) -> Result<bool> {
+        // FindLeaf by containment (robust against LHV ties straddling
+        // nodes).
+        let Some(path) = self.find_leaf(self.root, rect, id, Vec::new())? else {
+            return Ok(false);
+        };
+        let (leaf_page, upper): (PageId, Vec<PageId>) = {
+            let mut p = path;
+            let leaf = p.pop().expect("path includes the leaf");
+            (leaf, p)
+        };
+        let mut node = self.read_node(leaf_page)?;
+        let pos = node
+            .entries
+            .iter()
+            .position(|e| e.payload == id && e.rect == *rect)
+            .ok_or_else(|| HrtError::Invalid("find_leaf lied".into()))?;
+        node.entries.remove(pos);
+        self.len -= 1;
+        self.resolve_underflow(upper, leaf_page, node)?;
+
+        // Shrink the root while it is an internal node with one child.
+        loop {
+            let root = self.read_node(self.root)?;
+            if root.is_leaf() || root.len() != 1 {
+                break;
+            }
+            let child = root.entries[0].child_page();
+            self.free.push(self.root);
+            self.root = child;
+            self.height -= 1;
+        }
+        Ok(true)
+    }
+
+    /// DFS for the leaf holding the entry; returns the page path from
+    /// root to leaf inclusive.
+    fn find_leaf(
+        &self,
+        page: PageId,
+        rect: &Rect2,
+        id: u64,
+        mut path: Vec<PageId>,
+    ) -> Result<Option<Vec<PageId>>> {
+        path.push(page);
+        let node = self.read_node(page)?;
+        if node.is_leaf() {
+            if node.entries.iter().any(|e| e.payload == id && e.rect == *rect) {
+                return Ok(Some(path));
+            }
+            return Ok(None);
+        }
+        for e in &node.entries {
+            if e.rect.contains_rect(rect) {
+                if let Some(found) =
+                    self.find_leaf(e.child_page(), rect, id, path.clone())?
+                {
+                    return Ok(Some(found));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Write `node` (which may underflow) and repair upward by borrowing
+    /// from or merging with a sibling.
+    fn resolve_underflow(&mut self, mut path: Vec<PageId>, page: PageId, node: HNode) -> Result<()> {
+        let mut page = page;
+        let mut node = node;
+        loop {
+            let is_root = page == self.root;
+            if is_root || node.len() >= self.min {
+                return self.write_and_propagate(path, page, node);
+            }
+            let parent_page = *path.last().expect("non-root has a parent");
+            let mut parent = self.read_node(parent_page)?;
+            let idx = parent
+                .entries
+                .iter()
+                .position(|e| e.child_page() == page)
+                .ok_or_else(|| HrtError::Invalid("parent lost its child".into()))?;
+            if parent.len() == 1 {
+                // Only child: nothing to borrow or merge with; legal
+                // residue of root shrinking. Accept the thin node.
+                return self.write_and_propagate(path, page, node);
+            }
+            let sib_idx = if idx + 1 < parent.len() { idx + 1 } else { idx - 1 };
+            let sib_page = parent.entries[sib_idx].child_page();
+            let sibling = self.read_node(sib_page)?;
+            let level = node.level;
+
+            let (first_page, second_page, combined) = if sib_idx > idx {
+                (page, sib_page, merge_sorted(node.entries, sibling.entries))
+            } else {
+                (sib_page, page, merge_sorted(sibling.entries, node.entries))
+            };
+
+            path.pop();
+            if combined.len() > self.max {
+                // Borrow: redistribute evenly; parent count unchanged.
+                let half = combined.len() / 2;
+                let (a, b) = split_at(combined, half);
+                self.write_node(first_page, &HNode { level, entries: a.clone() })?;
+                self.write_node(second_page, &HNode { level, entries: b.clone() })?;
+                refresh_entry(&mut parent, first_page, &a);
+                refresh_entry(&mut parent, second_page, &b);
+            } else {
+                // Merge everything into the first page; drop the second.
+                self.write_node(first_page, &HNode { level, entries: combined.clone() })?;
+                refresh_entry(&mut parent, first_page, &combined);
+                let drop_idx = parent
+                    .entries
+                    .iter()
+                    .position(|e| e.child_page() == second_page)
+                    .expect("second child present");
+                parent.entries.remove(drop_idx);
+                self.free.push(second_page);
+            }
+            parent.entries.sort_by_key(|x| x.lhv);
+            page = parent_page;
+            node = parent;
+        }
+    }
+
+    // ---- validation -------------------------------------------------
+
+    /// Check the Hilbert R-tree invariants: LHV-sorted entries in every
+    /// node, parent LHV/MBR exactly the child's, levels consistent,
+    /// recorded length correct.
+    pub fn validate(&self) -> Result<()> {
+        let mut leaf_entries = 0u64;
+        let root = self.read_node(self.root)?;
+        if root.level + 1 != self.height {
+            return Err(HrtError::Invalid(format!(
+                "height {} vs root level {}",
+                self.height, root.level
+            )));
+        }
+        let mut stack: Vec<(PageId, Option<(Rect2, u128)>)> = vec![(self.root, None)];
+        while let Some((page, expect)) = stack.pop() {
+            let node = self.read_node(page)?;
+            if !node.is_sorted() {
+                return Err(HrtError::Invalid(format!("{page} not LHV-sorted")));
+            }
+            if node.len() > self.max {
+                return Err(HrtError::Invalid(format!("{page} over capacity")));
+            }
+            if let Some((mbr, lhv)) = expect {
+                if node.mbr() != mbr {
+                    return Err(HrtError::Invalid(format!("{page} MBR drifted")));
+                }
+                if node.lhv() != lhv {
+                    return Err(HrtError::Invalid(format!("{page} LHV drifted")));
+                }
+            }
+            if node.is_leaf() {
+                leaf_entries += node.len() as u64;
+                for e in &node.entries {
+                    if e.lhv != hilbert_value(&e.rect) {
+                        return Err(HrtError::Invalid(format!(
+                            "{page}: stored LHV does not match the rectangle"
+                        )));
+                    }
+                }
+            } else {
+                for e in &node.entries {
+                    stack.push((e.child_page(), Some((e.rect, e.lhv))));
+                }
+            }
+        }
+        if leaf_entries != self.len {
+            return Err(HrtError::Invalid(format!(
+                "recorded len {} but found {leaf_entries}",
+                self.len
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Merge two LHV-ascending runs that are adjacent in LHV order
+/// (`left` precedes `right` in the parent): concatenation preserves the
+/// global order except for ties straddling the boundary, so a merge pass
+/// keeps it exactly sorted.
+fn merge_sorted(left: Vec<HEntry>, right: Vec<HEntry>) -> Vec<HEntry> {
+    let mut out = left;
+    out.extend(right);
+    // Adjacent siblings can interleave near the boundary after MBR-based
+    // deletions; a stable sort by LHV restores the invariant cheaply.
+    out.sort_by_key(|a| a.lhv);
+    out
+}
+
+fn split_at(mut v: Vec<HEntry>, at: usize) -> (Vec<HEntry>, Vec<HEntry>) {
+    let b = v.split_off(at);
+    (v, b)
+}
+
+/// Update the parent entry for `child_page` from its new entry list.
+fn refresh_entry(parent: &mut HNode, child_page: PageId, entries: &[HEntry]) {
+    let idx = parent
+        .entries
+        .iter()
+        .position(|e| e.child_page() == child_page)
+        .expect("child present in parent");
+    parent.entries[idx].rect = Rect2::union_all(entries.iter().map(|e| &e.rect));
+    parent.entries[idx].lhv = entries.last().map_or(0, |e| e.lhv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use storage::MemDisk;
+
+    fn new_tree(max: usize) -> HilbertRTree {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 512));
+        HilbertRTree::create(pool, max).unwrap()
+    }
+
+    fn random_items(n: usize, seed: u64) -> Vec<(Rect2, u64)> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let x: f64 = rng.gen_range(0.0..0.95);
+                let y: f64 = rng.gen_range(0.0..0.95);
+                let s: f64 = rng.gen_range(0.0..0.03);
+                (Rect2::new([x, y], [x + s, y + s]), i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn create_and_empty_queries() {
+        let t = new_tree(8);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert!(t.query_region(&Rect2::unit()).unwrap().is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_tiny_capacity_and_oversize() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 8));
+        assert!(HilbertRTree::create(pool.clone(), 2).is_err());
+        assert!(HilbertRTree::create(pool, 1000).is_err());
+    }
+
+    #[test]
+    fn insert_and_query_thousands() {
+        let mut t = new_tree(16);
+        let items = random_items(3_000, 1);
+        for (r, id) in &items {
+            t.insert(*r, *id).unwrap();
+        }
+        assert_eq!(t.len(), 3_000);
+        t.validate().unwrap();
+
+        let q = Rect2::new([0.2, 0.3], [0.5, 0.6]);
+        let mut expect: Vec<u64> = items
+            .iter()
+            .filter(|(r, _)| r.intersects(&q))
+            .map(|(_, id)| *id)
+            .collect();
+        let mut got: Vec<u64> = t
+            .query_region(&q)
+            .unwrap()
+            .into_iter()
+            .map(|(_, id)| id)
+            .collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn cooperative_split_beats_guttman_utilization() {
+        // The Hilbert R-tree's pitch: 2-to-3 splitting keeps nodes
+        // ~66–75% full vs Guttman's ~55–65%.
+        let mut t = new_tree(24);
+        for (r, id) in random_items(5_000, 2) {
+            t.insert(r, id).unwrap();
+        }
+        let util = t.utilization().unwrap();
+        assert!(util > 0.6, "utilization {util} below the cooperative bar");
+    }
+
+    #[test]
+    fn delete_everything() {
+        let mut t = new_tree(8);
+        let items = random_items(800, 3);
+        for (r, id) in &items {
+            t.insert(*r, *id).unwrap();
+        }
+        for (r, id) in &items {
+            assert!(t.delete(r, *id).unwrap(), "lost {id}");
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_miss_returns_false() {
+        let mut t = new_tree(8);
+        t.insert(Rect2::new([0.1, 0.1], [0.2, 0.2]), 1).unwrap();
+        assert!(!t.delete(&Rect2::new([0.1, 0.1], [0.2, 0.2]), 2).unwrap());
+        assert!(!t.delete(&Rect2::new([0.3, 0.3], [0.4, 0.4]), 1).unwrap());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn churn_stays_valid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut t = new_tree(10);
+        let mut live: Vec<(Rect2, u64)> = Vec::new();
+        let mut next = 0u64;
+        for round in 0..1_500 {
+            if live.is_empty() || rng.gen_bool(0.6) {
+                let x = rng.gen_range(0.0..0.9);
+                let y = rng.gen_range(0.0..0.9);
+                let r = Rect2::new([x, y], [x + 0.02, y + 0.02]);
+                t.insert(r, next).unwrap();
+                live.push((r, next));
+                next += 1;
+            } else {
+                let i = rng.gen_range(0..live.len());
+                let (r, id) = live.swap_remove(i);
+                assert!(t.delete(&r, id).unwrap(), "round {round}: lost {id}");
+            }
+            if round % 300 == 299 {
+                t.validate().unwrap();
+            }
+        }
+        assert_eq!(t.len() as usize, live.len());
+        // Spot-check searchability.
+        for (r, id) in live.iter().take(50) {
+            let hits = t.query_point(&r.center()).unwrap();
+            assert!(hits.iter().any(|(_, i)| i == id));
+        }
+    }
+
+    #[test]
+    fn duplicates_coexist() {
+        let mut t = new_tree(6);
+        let r = Rect2::new([0.5, 0.5], [0.6, 0.6]);
+        for id in 0..40 {
+            t.insert(r, id).unwrap();
+        }
+        assert_eq!(t.len(), 40);
+        t.validate().unwrap();
+        assert_eq!(t.query_point(&r.center()).unwrap().len(), 40);
+        // Delete them all (same rect, distinct ids).
+        for id in 0..40 {
+            assert!(t.delete(&r, id).unwrap());
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn quality_close_to_hilbert_packing_order() {
+        // The dynamic Hilbert tree and HS packing share the ordering, so
+        // their leaf geometry should be in the same family (the packed
+        // tree is denser, hence somewhat tighter).
+        let items = random_items(4_000, 5);
+        let mut dynamic = new_tree(50);
+        for (r, id) in &items {
+            dynamic.insert(*r, *id).unwrap();
+        }
+        let dyn_perim: f64 = dynamic
+            .leaf_mbrs()
+            .unwrap()
+            .iter()
+            .map(|r| r.perimeter())
+            .sum();
+        // A fully packed Hilbert-order tree (via sorting) for reference.
+        let mut sorted = items.clone();
+        sorted.sort_by_key(|(r, _)| hilbert_value(r));
+        let packed_perim: f64 = sorted
+            .chunks(50)
+            .map(|chunk| {
+                Rect2::union_all(chunk.iter().map(|(r, _)| r)).perimeter()
+            })
+            .sum();
+        assert!(
+            dyn_perim < 2.5 * packed_perim,
+            "dynamic {dyn_perim} vs packed {packed_perim}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: the Hilbert R-tree against a shadow model under
+//! arbitrary insert/delete/query interleavings.
+
+use std::sync::Arc;
+
+use geom::Rect2;
+use hrtree::HilbertRTree;
+use proptest::prelude::*;
+use storage::{BufferPool, MemDisk};
+
+fn fresh_tree(max: usize) -> HilbertRTree {
+    let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 256));
+    HilbertRTree::create(pool, max).unwrap()
+}
+
+fn unit_rect() -> impl Strategy<Value = Rect2> {
+    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.15, 0.0f64..0.15).prop_map(|(x, y, w, h)| {
+        Rect2::new([x, y], [(x + w).min(1.0), (y + h).min(1.0)])
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Rect2),
+    DeleteNth(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => unit_rect().prop_map(Op::Insert),
+            1 => (0usize..512).prop_map(Op::DeleteNth),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn agrees_with_shadow_model(ops in ops(), cap in 4usize..20, q in unit_rect()) {
+        let mut tree = fresh_tree(cap);
+        let mut shadow: Vec<(Rect2, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert(r) => {
+                    tree.insert(r, next_id).unwrap();
+                    shadow.push((r, next_id));
+                    next_id += 1;
+                }
+                Op::DeleteNth(n) => {
+                    if shadow.is_empty() {
+                        continue;
+                    }
+                    let (r, id) = shadow.swap_remove(n % shadow.len());
+                    prop_assert!(tree.delete(&r, id).unwrap(), "live entry must delete");
+                }
+            }
+        }
+        tree.validate().unwrap();
+        prop_assert_eq!(tree.len() as usize, shadow.len());
+
+        let mut expect: Vec<u64> = shadow
+            .iter()
+            .filter(|(r, _)| r.intersects(&q))
+            .map(|(_, id)| *id)
+            .collect();
+        let mut got: Vec<u64> = tree
+            .query_region(&q)
+            .unwrap()
+            .into_iter()
+            .map(|(_, id)| id)
+            .collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn insert_only_matches_brute_force(rects in prop::collection::vec(unit_rect(), 1..300), q in unit_rect()) {
+        let mut tree = fresh_tree(8);
+        for (i, r) in rects.iter().enumerate() {
+            tree.insert(*r, i as u64).unwrap();
+        }
+        tree.validate().unwrap();
+        let mut expect: Vec<u64> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&q))
+            .map(|(i, _)| i as u64)
+            .collect();
+        let mut got: Vec<u64> = tree
+            .query_region(&q)
+            .unwrap()
+            .into_iter()
+            .map(|(_, id)| id)
+            .collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(expect, got);
+    }
+}

@@ -1,0 +1,185 @@
+//! CFD experiments: Tables 9–10, Figures 5–6 and 12.
+//!
+//! §4.4: a 52,510-node airfoil mesh (here the [`datagen::cfd`] stand-in).
+//! Queries are restricted to the wing window (0.48,0.48)–(0.6,0.6);
+//! region queries add 0.01 or 0.03 to the lower-left corner (areas 0.0001
+//! and 0.0009) and truncate at 0.6.
+
+use datagen::cfd::{boeing_mesh_small, query_window};
+use rtree::RTree;
+use str_core::{PackerKind, TreeMetrics};
+
+use crate::fmt::{f2, Table};
+use crate::Harness;
+
+/// Buffer sizes of Table 9 (paper lists them descending).
+pub const BUFFERS: &[usize] = &[250, 100, 50, 25, 20, 15, 10];
+
+fn dataset(h: &Harness) -> datagen::Dataset {
+    let n = h.scaled(datagen::sizes::CFD);
+    datagen::cfd::cfd_like(n, h.seed ^ 0xCFD)
+}
+
+fn build_trio(h: &Harness) -> [RTree<2>; 3] {
+    let ds = dataset(h);
+    [
+        h.build(ds.items(), PackerKind::Str),
+        h.build(ds.items(), PackerKind::Hilbert),
+        h.build(ds.items(), PackerKind::NearestX),
+    ]
+}
+
+/// Table 9: disk accesses over buffer sizes, queries restricted to the
+/// wing window.
+pub fn table9(h: &Harness) -> Vec<Table> {
+    let trio = build_trio(h);
+    let window = query_window();
+    let mut t = Table::new(
+        "Table 9: Number of Disk Accesses, CFD 52,510 Node Data, Buffer Size Varied for \
+         Point and Region Queries",
+        &["Query", "Buffer", "STR", "HS", "NX", "HS/STR", "NX/STR"],
+    );
+    let points = h.point_probe_set(&window);
+    let r1 = h.region_probe_set(&window, 0.01);
+    let r9 = h.region_probe_set(&window, 0.03);
+    for (qname, region) in [
+        ("Point Queries", None),
+        ("Region Area = 0.0001", Some(&r1)),
+        ("Region Area = 0.0009", Some(&r9)),
+    ] {
+        for &b in BUFFERS {
+            let acc: Vec<f64> = trio
+                .iter()
+                .map(|tree| match region {
+                    None => h.avg_point_accesses(tree, b, &points),
+                    Some(rs) => h.avg_region_accesses(tree, b, rs),
+                })
+                .collect();
+            t.push_row(vec![
+                qname.to_string(),
+                b.to_string(),
+                f2(acc[0]),
+                f2(acc[1]),
+                f2(acc[2]),
+                f2(acc[1] / acc[0]),
+                f2(acc[2] / acc[0]),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Table 10: areas and perimeters of the CFD trees.
+pub fn table10(h: &Harness) -> Vec<Table> {
+    let trio = build_trio(h);
+    let ms: Vec<TreeMetrics> = trio
+        .iter()
+        .map(|t| TreeMetrics::compute(t).unwrap())
+        .collect();
+    let mut t = Table::new(
+        "Table 10: CFD 52,510 Node Data Set, Areas and Perimeters",
+        &["Metric", "STR", "HS", "NX"],
+    );
+    type MetricRow = (&'static str, fn(&TreeMetrics) -> f64);
+    let rows: [MetricRow; 4] = [
+        ("leaf area", |m| m.leaf_area),
+        ("total area", |m| m.total_area),
+        ("leaf perimeter", |m| m.leaf_perimeter),
+        ("total perimeter", |m| m.total_perimeter),
+    ];
+    for (name, get) in rows {
+        t.push_row(vec![
+            name.to_string(),
+            f2(get(&ms[0])),
+            f2(get(&ms[1])),
+            f2(get(&ms[2])),
+        ]);
+    }
+    vec![t]
+}
+
+/// Figures 5–6: the 5,088-node plotting mesh — full cloud and the zoom
+/// window around the wing, as (x, y) CSVs.
+pub fn fig5_6(h: &Harness) -> Vec<Table> {
+    let ds = boeing_mesh_small(h.seed ^ 0xCFD);
+    let mut full = Table::new(
+        "Figure 5: Full Data for 5088 Node Data Set",
+        &["x", "y"],
+    );
+    let mut zoom = Table::new(
+        "Figure 6: Data Around Center for 5088 Node Data Set",
+        &["x", "y"],
+    );
+    // The paper's Figure 6 window.
+    let zwin = geom::Rect2::new([0.48, 0.48], [0.57, 0.52]);
+    for r in &ds.rects {
+        let c = r.center();
+        full.push_row(vec![format!("{:.6}", c.coord(0)), format!("{:.6}", c.coord(1))]);
+        if zwin.contains_point(&c) {
+            zoom.push_row(vec![format!("{:.6}", c.coord(0)), format!("{:.6}", c.coord(1))]);
+        }
+    }
+    vec![full, zoom]
+}
+
+/// Figure 12: disk accesses vs buffer size, point queries in the window.
+pub fn fig12(h: &Harness) -> Vec<Table> {
+    let ds = dataset(h);
+    let trees = [
+        h.build(ds.items(), PackerKind::Str),
+        h.build(ds.items(), PackerKind::Hilbert),
+    ];
+    let points = h.point_probe_set(&query_window());
+    let mut t = Table::new(
+        "Figure 12: Disk Accesses vs Buffer Size for Point Queries on CFD Data",
+        &["Buffer", "STR", "HS"],
+    );
+    for b in [10usize, 15, 20, 25, 30, 40, 50, 60, 70, 80, 90, 100] {
+        t.push_row(vec![
+            b.to_string(),
+            f2(h.avg_point_accesses(&trees[0], b, &points)),
+            f2(h.avg_point_accesses(&trees[1], b, &points)),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table9_shape_str_wins_points_at_small_buffers() {
+        let h = Harness {
+            num_queries: 300,
+            ..Harness::quick()
+        };
+        let t = &table9(&h)[0];
+        // Quick scale shrinks the tree to ~54 pages, which flattens the
+        // tree to two levels and erases the internal-node effects the
+        // paper's full-scale result rests on — so here we only assert the
+        // measurement is sane; the STR-vs-HS shape is checked by the
+        // full-scale run recorded in EXPERIMENTS.md.
+        let small = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "Point Queries" && r[1] == "10")
+            .unwrap();
+        let ratio: f64 = small[5].parse().unwrap();
+        assert!(ratio > 0.0 && ratio.is_finite(), "HS/STR at buffer 10 was {ratio}");
+        // Region queries: the two are comparable (paper: 0.96–1.07).
+        for row in t.rows.iter().filter(|r| r[0].contains("Region")) {
+            let ratio: f64 = row[5].parse().unwrap();
+            assert!((0.7..1.5).contains(&ratio), "region HS/STR {ratio}");
+        }
+    }
+
+    #[test]
+    fn fig5_6_zoom_is_subset() {
+        let h = Harness::quick();
+        let figs = fig5_6(&h);
+        assert_eq!(figs[0].rows.len(), datagen::sizes::CFD_PLOT);
+        assert!(!figs[1].rows.is_empty());
+        assert!(figs[1].rows.len() < figs[0].rows.len());
+    }
+}

@@ -1,0 +1,75 @@
+//! One module per paper artifact; [`run`] dispatches on experiment id.
+
+pub mod cfd;
+pub mod dynamic;
+pub mod model;
+pub mod variance;
+pub mod packers;
+pub mod scale;
+pub mod synthetic;
+pub mod table1;
+pub mod tiger;
+pub mod vlsi;
+
+use std::path::Path;
+
+use crate::fmt::Table;
+use crate::Harness;
+
+/// Every experiment id, in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+    "table10", "fig2-4", "fig5-6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "packers", "model", "variance", "dynamic", "scale",
+];
+
+/// Run one experiment; returns the console tables it produced (CSV files
+/// are written into `out_dir` as a side effect).
+pub fn run(id: &str, h: &Harness, out_dir: &Path) -> Result<Vec<Table>, String> {
+    let tables = match id {
+        "table1" => table1::run(h),
+        "table2" => synthetic::table2(h),
+        "table3" => synthetic::table3(h),
+        "table4" => synthetic::table4(h),
+        "table5" => tiger::table5(h),
+        "table6" => tiger::table6(h),
+        "table7" => vlsi::table7(h),
+        "table8" => vlsi::table8(h),
+        "table9" => cfd::table9(h),
+        "table10" => cfd::table10(h),
+        "fig2-4" => tiger::fig2_4(h),
+        "fig5-6" => cfd::fig5_6(h),
+        "fig7" => synthetic::fig7(h),
+        "fig8" => synthetic::fig8(h),
+        "fig9" => synthetic::fig9(h),
+        "fig10" => tiger::fig10(h),
+        "fig11" => vlsi::fig11(h),
+        "fig12" => cfd::fig12(h),
+        "packers" => packers::run(h),
+        "model" => model::run(h),
+        "variance" => variance::run(h),
+        "dynamic" => dynamic::run(h),
+        "scale" => scale::run(h),
+        other => return Err(format!("unknown experiment '{other}'")),
+    };
+    for t in &tables {
+        let name = format!(
+            "{id}_{}",
+            t.title
+                .split(':')
+                .next()
+                .unwrap_or("out")
+                .trim()
+                .to_lowercase()
+                .replace([' ', '/'], "_")
+        );
+        t.save_csv(out_dir, &name)
+            .map_err(|e| format!("writing {name}.csv: {e}"))?;
+        // Figures additionally render to SVG.
+        if id.starts_with("fig") {
+            let svg = crate::plot::render_table(t);
+            std::fs::write(out_dir.join(format!("{name}.svg")), svg)
+                .map_err(|e| format!("writing {name}.svg: {e}"))?;
+        }
+    }
+    Ok(tables)
+}

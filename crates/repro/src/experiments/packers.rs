@@ -1,0 +1,110 @@
+//! Extension experiment (beyond the paper): the paper's three packers
+//! plus TGS — the follow-up greedy algorithm its conclusion calls for —
+//! across all four data-set families.
+//!
+//! Columns: tree-quality metrics (Table 4/6/8/10-style) and measured
+//! disk accesses for the standard query mixes at a 50-page buffer.
+
+use geom::Rect2;
+use rtree::RTree;
+use str_core::{
+    HilbertPacker, NearestXPacker, PackingOrder, StrPacker, TgsPacker, TreeMetrics,
+};
+
+use crate::fmt::{f2, Table};
+use crate::Harness;
+
+fn packers() -> Vec<(&'static str, Box<dyn PackingOrder<2>>)> {
+    vec![
+        ("STR", Box::new(StrPacker::new())),
+        ("HS", Box::new(HilbertPacker::new())),
+        ("NX", Box::new(NearestXPacker::new())),
+        ("TGS", Box::new(TgsPacker::new().with_balance_tolerance(0.03))),
+    ]
+}
+
+fn datasets(h: &Harness) -> Vec<datagen::Dataset> {
+    vec![
+        datagen::synthetic::synthetic_points(h.scaled(50_000), h.seed ^ 1),
+        datagen::synthetic::synthetic_squares(h.scaled(50_000), 5.0, h.seed ^ 2),
+        datagen::tiger::tiger_like(h.scaled(datagen::sizes::TIGER), h.seed ^ 3),
+        datagen::vlsi::vlsi_like(h.scaled(100_000), h.seed ^ 4),
+        datagen::cfd::cfd_like(h.scaled(datagen::sizes::CFD), h.seed ^ 5),
+    ]
+}
+
+/// Run the four-packer sweep.
+pub fn run(h: &Harness) -> Vec<Table> {
+    let mut t = Table::new(
+        "Extension: Four Packing Algorithms Across All Data Families (buffer = 50)",
+        &[
+            "Dataset",
+            "Packer",
+            "LeafPerim",
+            "LeafArea",
+            "Point acc",
+            "1% acc",
+        ],
+    );
+    let unit = Rect2::unit();
+    for ds in datasets(h) {
+        // CFD queries use the paper's restricted window.
+        let is_cfd = matches!(ds.kind, datagen::DatasetKind::Cfd);
+        let bounds = if is_cfd { datagen::cfd::query_window() } else { unit };
+        let region_side = if is_cfd { 0.01 } else { 0.1 };
+        let points = h.point_probe_set(&bounds);
+        let regions = h.region_probe_set(&bounds, region_side);
+        for (name, packer) in packers() {
+            let tree: RTree<2> = {
+                let pool = std::sync::Arc::new(storage::BufferPool::new(
+                    std::sync::Arc::new(storage::MemDisk::default_size()),
+                    1024,
+                ));
+                str_core::pack(pool, ds.items(), h.capacity(), packer.as_ref())
+                    .expect("pack")
+            };
+            let m = TreeMetrics::compute(&tree).expect("metrics");
+            let pt = h.avg_point_accesses(&tree, 50, &points);
+            let rg = h.avg_region_accesses(&tree, 50, &regions);
+            t.push_row(vec![
+                ds.name.clone(),
+                name.to_string(),
+                f2(m.leaf_perimeter),
+                f2(m.leaf_area),
+                f2(pt),
+                f2(rg),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_packers_times_five_datasets() {
+        let h = Harness {
+            num_queries: 100,
+            ..Harness::quick()
+        };
+        let t = &run(&h)[0];
+        assert_eq!(t.rows.len(), 20);
+        // Every packer produced a live measurement.
+        for row in &t.rows {
+            let perim: f64 = row[2].parse().unwrap();
+            assert!(perim > 0.0, "{} {} perimeter", row[0], row[1]);
+        }
+        // TGS must beat NX on the uniform point family.
+        let perim = |packer: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0].starts_with("synthetic") && r[0].contains("d=0") && r[1] == packer)
+                .unwrap()[2]
+                .parse()
+                .unwrap()
+        };
+        assert!(perim("TGS") < 0.7 * perim("NX"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Extension experiment: scaling past the paper's 300k.
+//!
+//! §3: "Many of our data sets are larger than those used in previous
+//! studies, yet they are still smaller than data sets likely to be used
+//! by near term future applications." This sweep extends Figure 7's
+//! size axis to one million rectangles and adds the build-time and
+//! out-of-core dimensions: STR in memory, STR through the external
+//! sorter with a small budget (identical trees), and HS for the query
+//! comparison.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use datagen::synthetic::synthetic_points;
+use geom::Rect2;
+use storage::{BufferPool, Disk, MemDisk};
+use str_core::{pack_str_external, PackerKind};
+
+use crate::fmt::{f2, Table};
+use crate::Harness;
+
+/// Sizes in thousands.
+const SIZES_K: &[usize] = &[100, 300, 600, 1000];
+
+/// Run the scaling sweep.
+pub fn run(h: &Harness) -> Vec<Table> {
+    let mut t = Table::new(
+        "Extension: Scaling to 1M Rectangles (point data, point queries, buffer = 10)",
+        &[
+            "Size(k)",
+            "STR build ms",
+            "ext-STR build ms",
+            "Pages",
+            "STR acc",
+            "HS acc",
+            "HS/STR",
+        ],
+    );
+    let unit = Rect2::unit();
+    let probes = h.point_probe_set(&unit);
+    for &k in SIZES_K {
+        let n = h.scaled(k * 1000);
+        let ds = synthetic_points(n, h.seed ^ (k as u64) << 8);
+
+        let t0 = Instant::now();
+        let str_tree = h.build(ds.items(), PackerKind::Str);
+        let str_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Out-of-core build with a budget ~1% of the data.
+        let t0 = Instant::now();
+        let scratch = Arc::new(MemDisk::default_size()) as Arc<dyn Disk>;
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 1024));
+        let ext_tree = pack_str_external(
+            pool,
+            scratch,
+            ds.items(),
+            h.capacity(),
+            (n / 100).max(1_000),
+        )
+        .expect("external pack");
+        let ext_ms = t0.elapsed().as_secs_f64() * 1e3;
+        debug_assert_eq!(
+            ext_tree.len(),
+            str_tree.len(),
+            "external pack must agree with in-memory"
+        );
+
+        let hs_tree = h.build(ds.items(), PackerKind::Hilbert);
+
+        let str_acc = h.avg_point_accesses(&str_tree, 10, &probes);
+        let hs_acc = h.avg_point_accesses(&hs_tree, 10, &probes);
+        t.push_row(vec![
+            k.to_string(),
+            f2(str_ms),
+            f2(ext_ms),
+            str_tree.node_count().expect("count").to_string(),
+            f2(str_acc),
+            f2(hs_acc),
+            f2(hs_acc / str_acc),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_rows_are_monotone() {
+        let h = Harness {
+            num_queries: 200,
+            scale: 50, // 2k–20k at test speed
+            ..Harness::default()
+        };
+        let t = &run(&h)[0];
+        assert_eq!(t.rows.len(), SIZES_K.len());
+        // Page counts grow with size; STR stays ahead of HS at the top.
+        let pages: Vec<u64> = t.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        assert!(pages.windows(2).all(|w| w[0] <= w[1]), "{pages:?}");
+        let last = t.rows.last().unwrap();
+        let ratio: f64 = last[6].parse().unwrap();
+        assert!(ratio > 1.0, "HS/STR at the largest size was {ratio}");
+    }
+}

@@ -1,0 +1,297 @@
+//! Synthetic-data experiments: Tables 2–4 and Figures 7–9.
+//!
+//! §4.1: uniformly distributed squares at densities 0 (point data) and
+//! 5.0, sizes 10k–300k, buffers of 10 and 250 pages, with point queries
+//! and region queries of 1% and 9% of the space.
+
+use datagen::synthetic::synthetic_squares;
+use geom::Rect2;
+use rtree::RTree;
+use str_core::{PackerKind, TreeMetrics};
+
+use super::table1::SIZES_K;
+use crate::fmt::{f2, Table};
+use crate::{AccessRow, Harness};
+
+/// The two densities the paper reports (§3: "We present results for
+/// densities of 0 and 5.0").
+pub const DENSITIES: &[f64] = &[0.0, 5.0];
+
+/// Build STR/HS/NX trees over one synthetic data set.
+fn build_trio(h: &Harness, n: usize, density: f64) -> [RTree<2>; 3] {
+    let ds = synthetic_squares(n, density, h.seed ^ (n as u64) ^ (density as u64) << 32);
+    [
+        h.build(ds.items(), PackerKind::Str),
+        h.build(ds.items(), PackerKind::Hilbert),
+        h.build(ds.items(), PackerKind::NearestX),
+    ]
+}
+
+/// Measure one query mix over a trio of trees at one buffer size.
+fn measure(
+    h: &Harness,
+    trees: &[RTree<2>; 3],
+    buffer: usize,
+    query: &QueryMix,
+) -> AccessRow {
+    let mut acc = [0.0f64; 3];
+    for (i, tree) in trees.iter().enumerate() {
+        acc[i] = match query {
+            QueryMix::Point(ps) => h.avg_point_accesses(tree, buffer, ps),
+            QueryMix::Region(rs) => h.avg_region_accesses(tree, buffer, rs),
+        };
+    }
+    AccessRow {
+        str_acc: acc[0],
+        hs_acc: acc[1],
+        nx_acc: acc[2],
+    }
+}
+
+enum QueryMix {
+    Point(Vec<geom::Point2>),
+    Region(Vec<Rect2>),
+}
+
+/// The paper's three query workloads over the unit square.
+fn workloads(h: &Harness) -> Vec<(&'static str, QueryMix)> {
+    let unit = Rect2::unit();
+    vec![
+        ("Point Queries", QueryMix::Point(h.point_probe_set(&unit))),
+        (
+            "Region Queries, 1% of Data",
+            QueryMix::Region(h.region_probe_set(&unit, 0.1)),
+        ),
+        (
+            "Region Queries, 9% of Data",
+            QueryMix::Region(h.region_probe_set(&unit, 0.3)),
+        ),
+    ]
+}
+
+/// Shared engine for Tables 2 and 3.
+fn access_table(h: &Harness, buffer: usize, skip_smallest: bool) -> Table {
+    let headers = [
+        "Query",
+        "Size(k)",
+        "STR(pt)",
+        "HS(pt)",
+        "NX(pt)",
+        "HS/STR(pt)",
+        "NX/STR(pt)",
+        "STR(d5)",
+        "HS(d5)",
+        "NX(d5)",
+        "HS/STR(d5)",
+        "NX/STR(d5)",
+    ];
+    let mut t = Table::new(
+        format!(
+            "Table {}: Number of Disk Accesses, Synthetic Data, Buffersize = {buffer}",
+            if buffer <= 10 { 2 } else { 3 }
+        ),
+        &headers,
+    );
+    let sizes: Vec<usize> = SIZES_K
+        .iter()
+        .copied()
+        .filter(|&k| !(skip_smallest && k == 10))
+        .collect();
+    // Build per size and run all three workloads before dropping the
+    // trees (the expensive part is the NX region sweep, not the builds).
+    for &k in &sizes {
+        let n = h.scaled(k * 1000);
+        let trio_point = build_trio(h, n, 0.0);
+        let trio_d5 = build_trio(h, n, 5.0);
+        for (qname, mix) in workloads(h) {
+            let a = measure(h, &trio_point, buffer, &mix);
+            let b = measure(h, &trio_d5, buffer, &mix);
+            t.push_row(vec![
+                qname.to_string(),
+                k.to_string(),
+                f2(a.str_acc),
+                f2(a.hs_acc),
+                f2(a.nx_acc),
+                f2(a.hs_ratio()),
+                f2(a.nx_ratio()),
+                f2(b.str_acc),
+                f2(b.hs_acc),
+                f2(b.nx_acc),
+                f2(b.hs_ratio()),
+                f2(b.nx_ratio()),
+            ]);
+        }
+    }
+    // Order rows by query section then size, like the paper.
+    t.rows.sort_by_key(|r| {
+        let q = match r[0].as_str() {
+            "Point Queries" => 0,
+            s if s.contains("1%") => 1,
+            _ => 2,
+        };
+        (q, r[1].parse::<usize>().unwrap_or(0))
+    });
+    t
+}
+
+/// Table 2: disk accesses, synthetic data, buffer = 10.
+pub fn table2(h: &Harness) -> Vec<Table> {
+    vec![access_table(h, 10, false)]
+}
+
+/// Table 3: disk accesses, synthetic data, buffer = 250 (the 10k size is
+/// omitted, as in the paper, because the whole tree fits in the buffer).
+pub fn table3(h: &Harness) -> Vec<Table> {
+    vec![access_table(h, 250, true)]
+}
+
+/// Table 4: MBR area and perimeter sums for the 50k and 300k synthetic
+/// sets, leaf level and whole tree.
+pub fn table4(h: &Harness) -> Vec<Table> {
+    let mut t = Table::new(
+        "Table 4: Synthetic Data Areas and Perimeters",
+        &[
+            "Metric", "Density", "STR 50K", "HS 50K", "NX 50K", "STR 300K", "HS 300K", "NX 300K",
+        ],
+    );
+    for &density in DENSITIES {
+        let m50: Vec<TreeMetrics> = build_trio(h, h.scaled(50_000), density)
+            .iter()
+            .map(|tr| TreeMetrics::compute(tr).unwrap())
+            .collect();
+        let m300: Vec<TreeMetrics> = build_trio(h, h.scaled(300_000), density)
+            .iter()
+            .map(|tr| TreeMetrics::compute(tr).unwrap())
+            .collect();
+        let dname = if density == 0.0 { "point" } else { "5.0" };
+        type MetricRow = (&'static str, fn(&TreeMetrics) -> f64);
+        let rows: [MetricRow; 4] = [
+            ("leaf area", |m| m.leaf_area),
+            ("total area", |m| m.total_area),
+            ("leaf perimeter", |m| m.leaf_perimeter),
+            ("total perimeter", |m| m.total_perimeter),
+        ];
+        for (name, get) in rows {
+            t.push_row(vec![
+                name.to_string(),
+                dname.to_string(),
+                f2(get(&m50[0])),
+                f2(get(&m50[1])),
+                f2(get(&m50[2])),
+                f2(get(&m300[0])),
+                f2(get(&m300[1])),
+                f2(get(&m300[2])),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Shared engine for Figures 7–9: one series per (algorithm, density)
+/// across data sizes.
+fn size_sweep_figure(h: &Harness, title: &str, buffer: usize, query_side: Option<f64>) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "Size(k)",
+            "STR d=0",
+            "HS d=0",
+            "STR d=5",
+            "HS d=5",
+        ],
+    );
+    let unit = Rect2::unit();
+    for &k in SIZES_K {
+        let n = h.scaled(k * 1000);
+        let mut row = vec![k.to_string()];
+        for &density in DENSITIES {
+            let ds = synthetic_squares(n, density, h.seed ^ (n as u64) ^ (density as u64) << 32);
+            for packer in [PackerKind::Str, PackerKind::Hilbert] {
+                let tree = h.build(ds.items(), packer);
+                let acc = match query_side {
+                    None => h.avg_point_accesses(&tree, buffer, &h.point_probe_set(&unit)),
+                    Some(e) => {
+                        h.avg_region_accesses(&tree, buffer, &h.region_probe_set(&unit, e))
+                    }
+                };
+                row.push(f2(acc));
+            }
+        }
+        // Row currently: size, STR d0, HS d0, STR d5, HS d5 — matches
+        // headers.
+        t.push_row(row);
+    }
+    t
+}
+
+/// Figure 7: disk accesses vs data size, point queries, buffer 10.
+pub fn fig7(h: &Harness) -> Vec<Table> {
+    vec![size_sweep_figure(
+        h,
+        "Figure 7: Disk Accesses vs Data Size, Point Queries, Buffer 10",
+        10,
+        None,
+    )]
+}
+
+/// Figure 8: as Figure 7 with buffer 250.
+pub fn fig8(h: &Harness) -> Vec<Table> {
+    vec![size_sweep_figure(
+        h,
+        "Figure 8: Disk Accesses vs Data Size, Point Queries, Buffer 250",
+        250,
+        None,
+    )]
+}
+
+/// Figure 9: disk accesses vs data size, 1% region queries, buffer 10.
+pub fn fig9(h: &Harness) -> Vec<Table> {
+    vec![size_sweep_figure(
+        h,
+        "Figure 9: Disk Accesses vs Data Size, 1% Region Queries, Buffer 10",
+        10,
+        Some(0.1),
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_shape_holds_at_quick_scale() {
+        let h = Harness::quick();
+        let t = &table4(&h)[0];
+        assert_eq!(t.rows.len(), 8);
+        // Pull the leaf perimeter row for point data.
+        let row = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "leaf perimeter" && r[1] == "point")
+            .unwrap();
+        let (strp, hsp, nxp): (f64, f64, f64) = (
+            row[2].parse().unwrap(),
+            row[3].parse().unwrap(),
+            row[4].parse().unwrap(),
+        );
+        // Paper Table 4 shape: STR < HS << NX.
+        assert!(strp < hsp, "STR {strp} !< HS {hsp}");
+        assert!(nxp > 3.0 * strp, "NX {nxp} should dwarf STR {strp}");
+    }
+
+    #[test]
+    fn fig7_shape_str_beats_hs() {
+        let h = Harness {
+            num_queries: 300,
+            ..Harness::quick()
+        };
+        let t = &fig7(&h)[0];
+        // On the largest size, HS must need more accesses than STR for
+        // both densities (paper: 26–42% more).
+        let last = t.rows.last().unwrap();
+        let (str0, hs0): (f64, f64) = (last[1].parse().unwrap(), last[2].parse().unwrap());
+        let (str5, hs5): (f64, f64) = (last[3].parse().unwrap(), last[4].parse().unwrap());
+        assert!(hs0 > str0, "d=0: HS {hs0} !> STR {str0}");
+        assert!(hs5 > str5, "d=5: HS {hs5} !> STR {str5}");
+    }
+}

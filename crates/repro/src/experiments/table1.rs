@@ -1,0 +1,81 @@
+//! Table 1: "Percent of R-Tree Held By Buffer".
+//!
+//! For synthetic data sizes 10k–300k at 100 rectangles per node, the
+//! paper reports the total R-tree page count and the percentage a buffer
+//! of 10 / 250 pages holds: 101, 254, 506, 1011, 3031 pages. The page
+//! counts are pure packing arithmetic, so this table doubles as an
+//! end-to-end check of the bulk loader's structure.
+
+use datagen::synthetic::synthetic_points;
+use str_core::PackerKind;
+
+use crate::fmt::{int, pct, Table};
+use crate::Harness;
+
+/// Data sizes of the synthetic experiments (thousands of rectangles).
+pub const SIZES_K: &[usize] = &[10, 25, 50, 100, 300];
+
+/// Run the experiment.
+pub fn run(h: &Harness) -> Vec<Table> {
+    let mut t = Table::new(
+        "Table 1: Percent of R-Tree Held By Buffer",
+        &["Data Size", "R-Tree Pages", "Buffer = 10", "Buffer = 250"],
+    );
+    for &k in SIZES_K {
+        let n = h.scaled(k * 1000);
+        let ds = synthetic_points(n, h.seed ^ k as u64);
+        let tree = h.build(ds.items(), PackerKind::Str);
+        let pages = tree.node_count().expect("traversal");
+        t.push_row(vec![
+            int(n as u64),
+            int(pages),
+            pct((10.0 / pages as f64).min(1.0)),
+            pct((250.0 / pages as f64).min(1.0)),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_counts_match_packing_arithmetic() {
+        // At quick scale (sizes /10) STR packing still obeys
+        // pages = ceil(r/100) + ceil(leaves/100) + … + 1.
+        let h = Harness::quick();
+        let tables = run(&h);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), SIZES_K.len());
+        for row in &t.rows {
+            let n: u64 = row[0].parse().unwrap();
+            let pages: u64 = row[1].parse().unwrap();
+            let mut expect = 0u64;
+            let mut level = n.div_ceil(100);
+            loop {
+                expect += level;
+                if level == 1 {
+                    break;
+                }
+                level = level.div_ceil(100);
+            }
+            assert_eq!(pages, expect, "size {n}");
+        }
+    }
+
+    #[test]
+    fn full_scale_matches_paper_exactly() {
+        // The paper's page counts are determined by the arithmetic alone;
+        // verify the 10k row (cheap even at full scale): 100 leaves + 1
+        // root = 101 pages, buffer 10 = 9.90%.
+        let h = Harness {
+            num_queries: 1,
+            ..Harness::default()
+        };
+        let ds = synthetic_points(10_000, 1);
+        let tree = h.build(ds.items(), PackerKind::Str);
+        assert_eq!(tree.node_count().unwrap(), 101);
+    }
+}

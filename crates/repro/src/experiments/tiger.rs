@@ -1,0 +1,193 @@
+//! GIS (TIGER Long Beach) experiments: Tables 5–6, Figures 2–4 and 10.
+//!
+//! §4.2: the Long Beach street-segment data set (53,145 segments — here
+//! the [`datagen::tiger`] stand-in), disk accesses swept over buffer
+//! sizes, plus leaf-MBR plots of all three packings (Figures 2–4).
+
+use datagen::tiger::tiger_like;
+use geom::Rect2;
+use rtree::RTree;
+use str_core::{PackerKind, TreeMetrics};
+
+use crate::fmt::{f2, Table};
+use crate::Harness;
+
+/// Buffer sizes of Table 5.
+pub const BUFFERS: &[usize] = &[10, 25, 50, 100, 250];
+
+fn dataset(h: &Harness) -> datagen::Dataset {
+    tiger_like(h.scaled(datagen::sizes::TIGER), h.seed ^ 0x7164)
+}
+
+fn build_trio(h: &Harness) -> [RTree<2>; 3] {
+    let ds = dataset(h);
+    [
+        h.build(ds.items(), PackerKind::Str),
+        h.build(ds.items(), PackerKind::Hilbert),
+        h.build(ds.items(), PackerKind::NearestX),
+    ]
+}
+
+/// Table 5: disk accesses for point and region queries at several buffer
+/// sizes.
+pub fn table5(h: &Harness) -> Vec<Table> {
+    let trio = build_trio(h);
+    let unit = Rect2::unit();
+    let mut t = Table::new(
+        "Table 5: Number of Disk Accesses, Long Beach Data, Point and Region Queries and \
+         Different Buffer Sizes",
+        &["Query", "Buffer", "STR", "HS", "NX", "HS/STR", "NX/STR"],
+    );
+    let points = h.point_probe_set(&unit);
+    let r1 = h.region_probe_set(&unit, 0.1);
+    let r9 = h.region_probe_set(&unit, 0.3);
+    for (qname, region) in [
+        ("Point Queries", None),
+        ("Region 1% of Data", Some(&r1)),
+        ("Region 9% of Data", Some(&r9)),
+    ] {
+        for &b in BUFFERS {
+            let acc: Vec<f64> = trio
+                .iter()
+                .map(|tree| match region {
+                    None => h.avg_point_accesses(tree, b, &points),
+                    Some(rs) => h.avg_region_accesses(tree, b, rs),
+                })
+                .collect();
+            t.push_row(vec![
+                qname.to_string(),
+                b.to_string(),
+                f2(acc[0]),
+                f2(acc[1]),
+                f2(acc[2]),
+                f2(acc[1] / acc[0]),
+                f2(acc[2] / acc[0]),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Table 6: areas and perimeters of the Long Beach trees.
+pub fn table6(h: &Harness) -> Vec<Table> {
+    let trio = build_trio(h);
+    let ms: Vec<TreeMetrics> = trio
+        .iter()
+        .map(|t| TreeMetrics::compute(t).unwrap())
+        .collect();
+    let mut t = Table::new(
+        "Table 6: Tiger Long Beach Data, Areas and Perimeters",
+        &["Metric", "STR", "HS", "NX"],
+    );
+    type MetricRow = (&'static str, fn(&TreeMetrics) -> f64);
+    let rows: [MetricRow; 4] = [
+        ("leaf area", |m| m.leaf_area),
+        ("total area", |m| m.total_area),
+        ("leaf perimeter", |m| m.leaf_perimeter),
+        ("total perimeter", |m| m.total_perimeter),
+    ];
+    for (name, get) in rows {
+        t.push_row(vec![
+            name.to_string(),
+            f2(get(&ms[0])),
+            f2(get(&ms[1])),
+            f2(get(&ms[2])),
+        ]);
+    }
+    vec![t]
+}
+
+/// Figures 2–4: leaf bounding rectangles of the Long Beach data under
+/// NX, HS and STR — one CSV of (xmin, ymin, xmax, ymax) per algorithm,
+/// ready for gnuplot/matplotlib.
+pub fn fig2_4(h: &Harness) -> Vec<Table> {
+    let ds = dataset(h);
+    let mut out = Vec::new();
+    for (fig, packer) in [
+        (2, PackerKind::NearestX),
+        (3, PackerKind::Hilbert),
+        (4, PackerKind::Str),
+    ] {
+        let tree = h.build(ds.items(), packer);
+        let leaves = tree.level_mbrs(0).expect("traversal");
+        let mut t = Table::new(
+            format!(
+                "Figure {fig}: Leaf Bounding Rectangles for Long Beach Data using {}",
+                packer.name()
+            ),
+            &["xmin", "ymin", "xmax", "ymax"],
+        );
+        for mbr in leaves {
+            t.push_row(vec![
+                format!("{:.6}", mbr.lo(0)),
+                format!("{:.6}", mbr.lo(1)),
+                format!("{:.6}", mbr.hi(0)),
+                format!("{:.6}", mbr.hi(1)),
+            ]);
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Figure 10: disk accesses vs buffer size for point queries.
+pub fn fig10(h: &Harness) -> Vec<Table> {
+    let ds = dataset(h);
+    let trees = [
+        h.build(ds.items(), PackerKind::Str),
+        h.build(ds.items(), PackerKind::Hilbert),
+    ];
+    let points = h.point_probe_set(&Rect2::unit());
+    let mut t = Table::new(
+        "Figure 10: Disk Accesses vs Buffer Size for Point Queries on Long Beach Tiger Data",
+        &["Buffer", "STR", "HS"],
+    );
+    for b in [10usize, 25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500] {
+        let s = h.avg_point_accesses(&trees[0], b, &points);
+        let hs = h.avg_point_accesses(&trees[1], b, &points);
+        t.push_row(vec![b.to_string(), f2(s), f2(hs)]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_shape_str_wins_points() {
+        let h = Harness {
+            num_queries: 300,
+            ..Harness::quick()
+        };
+        let t = &table5(&h)[0];
+        // Point-query rows: HS/STR > 1 (paper: 1.2–1.5), NX/STR large.
+        let point_rows: Vec<_> = t.rows.iter().filter(|r| r[0] == "Point Queries").collect();
+        assert_eq!(point_rows.len(), BUFFERS.len());
+        for row in point_rows {
+            let hs_ratio: f64 = row[5].parse().unwrap();
+            assert!(hs_ratio > 0.95, "buffer {}: HS/STR {hs_ratio}", row[1]);
+        }
+        // 9% region rows: HS ≈ STR (paper: 1.02).
+        let r9: Vec<_> = t.rows.iter().filter(|r| r[0].contains("9%")).collect();
+        for row in r9 {
+            let hs_ratio: f64 = row[5].parse().unwrap();
+            assert!(
+                (0.9..1.3).contains(&hs_ratio),
+                "9% region HS/STR {hs_ratio} out of family"
+            );
+        }
+    }
+
+    #[test]
+    fn fig2_4_emits_all_leaves() {
+        let h = Harness::quick();
+        let figs = fig2_4(&h);
+        assert_eq!(figs.len(), 3);
+        let n = h.scaled(datagen::sizes::TIGER);
+        let expect_leaves = n.div_ceil(100);
+        for f in &figs {
+            assert_eq!(f.rows.len(), expect_leaves, "{}", f.title);
+        }
+    }
+}

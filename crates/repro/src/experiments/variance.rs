@@ -1,0 +1,113 @@
+//! Extension experiment: per-query access variance.
+//!
+//! §4.4 justifies restricting the CFD queries to the wing window:
+//! "When allowed to range over the entire data set there was a large
+//! variance in the number of nodes accessed as the remaining area is
+//! extremely sparse." The paper reports only means; this experiment
+//! records the full per-query distribution (mean, median, p95, max,
+//! coefficient of variation) for both query placements and shows the
+//! variance collapse the restriction buys.
+
+use datagen::cfd::{cfd_like, query_window};
+use geom::Rect2;
+use rtree::RTree;
+use str_core::PackerKind;
+
+use crate::fmt::{f2, Table};
+use crate::Harness;
+
+/// Distribution of per-query disk accesses.
+struct Distribution {
+    mean: f64,
+    p50: f64,
+    p95: f64,
+    max: f64,
+    cv: f64,
+}
+
+fn distribution(h: &Harness, tree: &RTree<2>, bounds: &Rect2, buffer: usize) -> Distribution {
+    let probes = h.point_probe_set(bounds);
+    let pool = tree.pool();
+    pool.set_capacity(buffer).expect("resize");
+    pool.reset_stats();
+    let mut per_query = Vec::with_capacity(probes.len());
+    let mut last = 0u64;
+    for p in &probes {
+        tree.query_point(p).expect("query");
+        let misses = pool.stats().misses;
+        per_query.push((misses - last) as f64);
+        last = misses;
+    }
+    per_query.sort_by(|a, b| geom::total_cmp_f64(*a, *b));
+    let n = per_query.len() as f64;
+    let mean = per_query.iter().sum::<f64>() / n;
+    let var = per_query.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    Distribution {
+        mean,
+        p50: per_query[per_query.len() / 2],
+        p95: per_query[(per_query.len() as f64 * 0.95) as usize],
+        max: *per_query.last().expect("non-empty"),
+        cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+    }
+}
+
+/// Run the variance sweep.
+pub fn run(h: &Harness) -> Vec<Table> {
+    let ds = cfd_like(h.scaled(datagen::sizes::CFD), h.seed ^ 0xCFD);
+    let mut t = Table::new(
+        "Extension: Per-Query Access Distribution, CFD Point Queries (buffer = 25)",
+        &["Placement", "Packer", "Mean", "P50", "P95", "Max", "CV"],
+    );
+    for kind in [PackerKind::Str, PackerKind::Hilbert] {
+        let tree = h.build(ds.items(), kind);
+        for (name, bounds) in [
+            ("whole space", Rect2::unit()),
+            ("wing window", query_window()),
+        ] {
+            let d = distribution(h, &tree, &bounds, 25);
+            t.push_row(vec![
+                name.to_string(),
+                kind.name().to_string(),
+                f2(d.mean),
+                f2(d.p50),
+                f2(d.p95),
+                f2(d.max),
+                f2(d.cv),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_space_queries_have_higher_relative_variance() {
+        let h = Harness {
+            num_queries: 500,
+            ..Harness::quick()
+        };
+        let t = &run(&h)[0];
+        assert_eq!(t.rows.len(), 4);
+        for kind in ["STR", "HS"] {
+            let cv = |place: &str| -> f64 {
+                t.rows
+                    .iter()
+                    .find(|r| r[0] == place && r[1] == kind)
+                    .unwrap()[6]
+                    .parse()
+                    .unwrap()
+            };
+            // The paper's observation: whole-space placement has larger
+            // relative spread than the dense-window placement.
+            assert!(
+                cv("whole space") > cv("wing window") * 0.8,
+                "{kind}: whole {} vs window {}",
+                cv("whole space"),
+                cv("wing window")
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Console table rendering and CSV output.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A rectangular table with a title, column headers and string cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table caption (e.g. "Table 2: Number of Disk Accesses, …").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                // Right-align numbers-ish cells, left-align the first.
+                if i == 0 {
+                    s.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                } else {
+                    s.push_str(&format!("{:>width$}", cell, width = widths[i]));
+                }
+            }
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV form (headers + rows, comma-separated, quotes around cells
+    /// containing commas).
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV into `dir/name.csv` (creating `dir`).
+    pub fn save_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+}
+
+/// Format a float the way the paper's tables do (two decimals).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Integer with thousands kept plain (the paper prints raw).
+pub fn int(v: u64) -> String {
+    v.to_string()
+}
+
+/// A percentage with two decimals.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Table T: demo", &["size", "STR", "HS"]);
+        t.push_row(vec!["10".into(), f2(1.234), f2(5.0)]);
+        t.push_row(vec!["300".into(), f2(2.0), f2(2.5)]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned() {
+        let s = sample().render();
+        assert!(s.contains("Table T: demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + rule + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        // Right-aligned numeric columns line up at the end.
+        assert!(lines[3].ends_with("5.00"));
+        assert!(lines[4].ends_with("2.50"));
+    }
+
+    #[test]
+    fn csv_round_trip_basics() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("size,STR,HS\n"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("t", &["a"]);
+        t.push_row(vec!["x,y".into()]);
+        assert!(t.to_csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn save_csv_writes_file() {
+        let dir = std::env::temp_dir().join(format!("repro-fmt-{}", std::process::id()));
+        sample().save_csv(&dir, "demo").unwrap();
+        let content = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert!(content.contains("size,STR,HS"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.005), "1.00"); // bankers-ish rounding is fine
+        assert_eq!(int(300), "300");
+        assert_eq!(pct(0.0186), "1.86%");
+    }
+}

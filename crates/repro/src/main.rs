@@ -1,0 +1,113 @@
+//! `repro` — regenerate the STR paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment>... [--out DIR] [--quick] [--queries N] [--seed S]
+//! repro all [--out DIR] [--quick]
+//! repro list
+//! ```
+//!
+//! Experiments: table1–table10, fig2-4, fig5-6, fig7–fig12, or `all`.
+//! Each experiment prints its table(s) and writes CSVs under `--out`
+//! (default `results/`). `--quick` runs at 1/10 data scale with 200
+//! queries — for smoke-testing the harness, not for comparing numbers.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use repro::experiments;
+use repro::Harness;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <experiment>... [--out DIR] [--quick] [--queries N] [--seed S]\n\
+         experiments: {} | all | list",
+        experiments::ALL_IDS.join(" | ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+
+    let mut targets: Vec<String> = Vec::new();
+    let mut out_dir = PathBuf::from("results");
+    let mut h = Harness::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(args.get(i).unwrap_or_else(|| usage()));
+            }
+            "--quick" => {
+                let quick = Harness::quick();
+                h.scale = quick.scale;
+                h.num_queries = quick.num_queries;
+            }
+            "--queries" => {
+                i += 1;
+                h.num_queries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                h.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "list" => {
+                for id in experiments::ALL_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => targets.extend(experiments::ALL_IDS.iter().map(|s| s.to_string())),
+            flag if flag.starts_with("--") => usage(),
+            exp => targets.push(exp.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        usage();
+    }
+
+    println!(
+        "# STR reproduction: capacity={} queries={} seed={:#x} scale=1/{}",
+        h.node_capacity, h.num_queries, h.seed, h.scale
+    );
+    let mut failures = 0;
+    for id in &targets {
+        let start = Instant::now();
+        match experiments::run(id, &h, &out_dir) {
+            Ok(tables) => {
+                for t in &tables {
+                    // Figure point clouds are too large for the console;
+                    // summarize them instead.
+                    if t.rows.len() > 120 {
+                        println!(
+                            "{} — {} rows written to CSV\n",
+                            t.title,
+                            t.rows.len()
+                        );
+                    } else {
+                        println!("{}", t.render());
+                    }
+                }
+                println!("# {id} done in {:.1}s\n", start.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error: {id}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

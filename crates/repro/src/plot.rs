@@ -1,0 +1,374 @@
+//! Minimal SVG renderers for the paper's figures.
+//!
+//! No plotting dependency: the three figure shapes the paper uses — line
+//! charts (Figures 7–12), leaf-MBR outlines (Figures 2–4) and point
+//! scatters (Figures 5–6) — are a few hundred lines of hand-rolled SVG.
+//! The `repro` binary writes one `.svg` next to each figure's `.csv`.
+
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+/// Series colours (paper-ish: solid STR, dashed HS, etc. are encoded as
+/// colour here).
+const COLORS: &[&str] = &[
+    "#1b6ca8", "#c0392b", "#27ae60", "#8e44ad", "#e67e22", "#16a085", "#7f8c8d",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn svg_header(title: &str) -> String {
+    format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">
+<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>
+<text x="{x}" y="22" text-anchor="middle" font-size="14">{t}</text>
+"#,
+        x = WIDTH / 2.0,
+        t = esc(title)
+    )
+}
+
+/// Round a raw tick step to 1/2/5 × 10^k.
+fn nice_step(raw: f64) -> f64 {
+    if raw <= 0.0 || !raw.is_finite() {
+        return 1.0;
+    }
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let n = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    n * mag
+}
+
+/// A line chart: `series` maps a name to (x, y) points.
+pub fn line_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[(String, Vec<(f64, f64)>)],
+) -> String {
+    let mut out = svg_header(title);
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    if all.is_empty() {
+        out.push_str("</svg>\n");
+        return out;
+    }
+    let (mut x0, mut x1, mut y1) = (f64::MAX, f64::MIN, f64::MIN);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y1 = y1.max(y);
+    }
+    let y0 = 0.0; // disk-access plots are anchored at zero, like the paper's
+    if x1 == x0 {
+        x1 = x0 + 1.0;
+    }
+    if y1 <= y0 {
+        y1 = y0 + 1.0;
+    }
+    y1 *= 1.05;
+
+    let sx = |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * plot_w;
+    let sy = |y: f64| MARGIN_T + plot_h - (y - y0) / (y1 - y0) * plot_h;
+
+    // Axes.
+    let _ = writeln!(
+        out,
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+    );
+    // Ticks.
+    let xstep = nice_step((x1 - x0) / 6.0);
+    let mut tx = (x0 / xstep).ceil() * xstep;
+    while tx <= x1 + 1e-9 {
+        let px = sx(tx);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{px}" y1="{b}" x2="{px}" y2="{b2}" stroke="#333"/><text x="{px}" y="{ty}" text-anchor="middle" font-size="11">{v}</text>"##,
+            b = MARGIN_T + plot_h,
+            b2 = MARGIN_T + plot_h + 5.0,
+            ty = MARGIN_T + plot_h + 18.0,
+            v = format_tick(tx)
+        );
+        tx += xstep;
+    }
+    let ystep = nice_step((y1 - y0) / 6.0);
+    let mut ty = (y0 / ystep).ceil() * ystep;
+    while ty <= y1 + 1e-9 {
+        let py = sy(ty);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{l2}" y1="{py}" x2="{l}" y2="{py}" stroke="#333"/><text x="{tx2}" y="{tyy}" text-anchor="end" font-size="11">{v}</text>"##,
+            l = MARGIN_L,
+            l2 = MARGIN_L - 5.0,
+            tx2 = MARGIN_L - 8.0,
+            tyy = py + 4.0,
+            v = format_tick(ty)
+        );
+        ty += ystep;
+    }
+    // Axis labels.
+    let _ = writeln!(
+        out,
+        r#"<text x="{cx}" y="{by}" text-anchor="middle" font-size="12">{xl}</text>"#,
+        cx = MARGIN_L + plot_w / 2.0,
+        by = HEIGHT - 12.0,
+        xl = esc(x_label)
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="16" y="{cy}" text-anchor="middle" font-size="12" transform="rotate(-90 16 {cy})">{yl}</text>"#,
+        cy = MARGIN_T + plot_h / 2.0,
+        yl = esc(y_label)
+    );
+
+    // Series.
+    for (i, (name, pts)) in series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let path: String = pts
+            .iter()
+            .enumerate()
+            .map(|(j, &(x, y))| {
+                format!("{}{:.1},{:.1}", if j == 0 { "M" } else { "L" }, sx(x), sy(y))
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            out,
+            r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="1.8"/>"#
+        );
+        for &(x, y) in pts {
+            let _ = writeln!(
+                out,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2.6" fill="{color}"/>"#,
+                sx(x),
+                sy(y)
+            );
+        }
+        // Legend.
+        let lx = MARGIN_L + plot_w - 110.0;
+        let ly = MARGIN_T + 16.0 + i as f64 * 16.0;
+        let _ = writeln!(
+            out,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{}" y="{}" font-size="11">{}</text>"#,
+            lx + 22.0,
+            lx + 28.0,
+            ly + 4.0,
+            esc(name)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    if v.abs() >= 1.0 && (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else if v.abs() >= 0.01 {
+        format!("{v:.2}").trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        format!("{v:e}")
+    }
+}
+
+/// Rectangle-outline plot on the unit square (the paper's Figures 2–4).
+pub fn rect_plot(title: &str, rects: &[(f64, f64, f64, f64)]) -> String {
+    let mut out = svg_header(title);
+    let size = (HEIGHT - MARGIN_T - MARGIN_B).min(WIDTH - MARGIN_L - MARGIN_R);
+    let ox = MARGIN_L;
+    let oy = MARGIN_T;
+    let _ = writeln!(
+        out,
+        r##"<rect x="{ox}" y="{oy}" width="{size}" height="{size}" fill="none" stroke="#333"/>"##
+    );
+    for &(x0, y0, x1, y1) in rects {
+        let _ = writeln!(
+            out,
+            r##"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="none" stroke="#1b6ca8" stroke-width="0.7"/>"##,
+            ox + x0 * size,
+            oy + (1.0 - y1) * size,
+            (x1 - x0) * size,
+            (y1 - y0) * size,
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Point scatter on an arbitrary window (the paper's Figures 5–6).
+pub fn scatter(title: &str, points: &[(f64, f64)], window: (f64, f64, f64, f64)) -> String {
+    let mut out = svg_header(title);
+    let (wx0, wy0, wx1, wy1) = window;
+    let size = (HEIGHT - MARGIN_T - MARGIN_B).min(WIDTH - MARGIN_L - MARGIN_R);
+    let ox = MARGIN_L;
+    let oy = MARGIN_T;
+    let _ = writeln!(
+        out,
+        r##"<rect x="{ox}" y="{oy}" width="{size}" height="{size}" fill="none" stroke="#333"/>"##
+    );
+    let spanx = (wx1 - wx0).max(1e-12);
+    let spany = (wy1 - wy0).max(1e-12);
+    for &(x, y) in points {
+        if x < wx0 || x > wx1 || y < wy0 || y > wy1 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            r##"<circle cx="{:.2}" cy="{:.2}" r="0.9" fill="#1b6ca8"/>"##,
+            ox + (x - wx0) / spanx * size,
+            oy + (1.0 - (y - wy0) / spany) * size,
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Render a figure [`Table`](crate::fmt::Table) to SVG, dispatching on
+/// its header shape:
+/// * `xmin,ymin,xmax,ymax` → rectangle outlines,
+/// * `x,y` → scatter,
+/// * anything else → line chart with column 1 as x and one series per
+///   remaining column.
+pub fn render_table(table: &crate::fmt::Table) -> String {
+    let headers: Vec<&str> = table.headers.iter().map(|s| s.as_str()).collect();
+    if headers == ["xmin", "ymin", "xmax", "ymax"] {
+        let rects: Vec<(f64, f64, f64, f64)> = table
+            .rows
+            .iter()
+            .filter_map(|r| {
+                Some((
+                    r[0].parse().ok()?,
+                    r[1].parse().ok()?,
+                    r[2].parse().ok()?,
+                    r[3].parse().ok()?,
+                ))
+            })
+            .collect();
+        return rect_plot(&table.title, &rects);
+    }
+    if headers == ["x", "y"] {
+        let pts: Vec<(f64, f64)> = table
+            .rows
+            .iter()
+            .filter_map(|r| Some((r[0].parse().ok()?, r[1].parse().ok()?)))
+            .collect();
+        // Zoomed windows auto-fit; the full cloud uses the unit square.
+        let window = if table.title.contains("Around Center") {
+            (0.48, 0.48, 0.57, 0.52)
+        } else {
+            (0.0, 0.0, 1.0, 1.0)
+        };
+        return scatter(&table.title, &pts, window);
+    }
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = headers[1..]
+        .iter()
+        .map(|h| (h.to_string(), Vec::new()))
+        .collect();
+    for row in &table.rows {
+        let Ok(x) = row[0].parse::<f64>() else { continue };
+        for (i, cell) in row[1..].iter().enumerate() {
+            if let Ok(y) = cell.parse::<f64>() {
+                series[i].1.push((x, y));
+            }
+        }
+    }
+    line_chart(&table.title, &table.headers[0], "disk accesses / query", &series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmt::Table;
+
+    #[test]
+    fn line_chart_contains_series_and_axes() {
+        let svg = line_chart(
+            "t",
+            "buffer",
+            "accesses",
+            &[
+                ("STR".into(), vec![(10.0, 2.0), (50.0, 1.0)]),
+                ("HS".into(), vec![(10.0, 3.0), (50.0, 1.2)]),
+            ],
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains(">STR<"));
+        assert!(svg.contains(">HS<"));
+        assert!(svg.contains("buffer"));
+    }
+
+    #[test]
+    fn empty_series_is_fine() {
+        let svg = line_chart("t", "x", "y", &[]);
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn rect_plot_draws_every_rect() {
+        let svg = rect_plot("leaves", &[(0.0, 0.0, 0.5, 0.5), (0.5, 0.5, 1.0, 1.0)]);
+        // 1 frame + 2 data rects + 1 background.
+        assert_eq!(svg.matches("<rect").count(), 4);
+    }
+
+    #[test]
+    fn scatter_clips_to_window() {
+        let svg = scatter("pts", &[(0.5, 0.5), (2.0, 2.0)], (0.0, 0.0, 1.0, 1.0));
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn render_dispatches_on_headers() {
+        let mut t = Table::new("Figure X: rects", &["xmin", "ymin", "xmax", "ymax"]);
+        t.push_row(vec!["0".into(), "0".into(), "1".into(), "1".into()]);
+        assert!(render_table(&t).contains("<rect"));
+
+        let mut t = Table::new("Figure Y: cloud", &["x", "y"]);
+        t.push_row(vec!["0.5".into(), "0.5".into()]);
+        assert!(render_table(&t).contains("<circle"));
+
+        let mut t = Table::new("Figure Z: lines", &["Buffer", "STR", "HS"]);
+        t.push_row(vec!["10".into(), "1.0".into(), "2.0".into()]);
+        t.push_row(vec!["50".into(), "0.5".into(), "0.8".into()]);
+        assert!(render_table(&t).contains("<path"));
+    }
+
+    #[test]
+    fn nice_steps() {
+        assert_eq!(nice_step(0.9), 1.0);
+        assert_eq!(nice_step(1.4), 2.0);
+        assert_eq!(nice_step(3.0), 5.0);
+        assert_eq!(nice_step(7.0), 10.0);
+        assert_eq!(nice_step(45.0), 50.0);
+        assert_eq!(nice_step(0.0), 1.0);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(300.0), "300");
+        assert_eq!(format_tick(0.25), "0.25");
+        assert_eq!(format_tick(0.5), "0.5");
+    }
+}

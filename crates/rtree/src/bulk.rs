@@ -1,0 +1,398 @@
+//! Bottom-up bulk loading — the "General Algorithm" of paper §2.2.
+//!
+//! > 1. Preprocess the data file so that the r rectangles are ordered in
+//! >    ⌈r/n⌉ consecutive groups of n rectangles […]
+//! > 2. Load the ⌈r/n⌉ groups of rectangles into pages and output the
+//! >    (MBR, page-number) for each leaf level page into a temporary
+//! >    file. The page-numbers are used as the child pointers in the
+//! >    nodes of the next higher level.
+//! > 3. Recursively pack these MBRs into nodes at the next level,
+//! >    proceeding upwards, until the root node is created.
+//!
+//! "The three algorithms differ only in how the rectangles are ordered at
+//! each level" — so the loader takes the ordering as a callback, invoked
+//! once per level, and the packing crates supply NX / HS / STR orderings.
+
+use std::sync::Arc;
+
+use geom::Rect;
+use storage::{BufferPool, PageId};
+
+use crate::{Entry, Node, NodeCapacity, Result, RTree, RTreeError};
+
+/// Bottom-up loader producing a packed [`RTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct BulkLoader {
+    cap: NodeCapacity,
+}
+
+impl BulkLoader {
+    /// Loader for trees with the given node capacity.
+    pub fn new(cap: NodeCapacity) -> Self {
+        Self { cap }
+    }
+
+    /// Node capacity used for every level.
+    pub fn capacity(&self) -> NodeCapacity {
+        self.cap
+    }
+
+    /// Build a packed tree from `entries` on `pool`.
+    ///
+    /// `order` is called once per level, lowest first, with the entries
+    /// that will populate that level (data entries for level 0, child
+    /// MBR entries above); it must permute the slice into packing order.
+    /// Consecutive runs of `capacity.max()` entries then become nodes —
+    /// every node full except possibly the last, which is the near-100%
+    /// space utilization that motivates packing.
+    ///
+    /// The pool's disk must be fresh (page 0 is reserved for tree
+    /// metadata) or already contain a reserved meta page.
+    pub fn load<const D: usize>(
+        &self,
+        pool: Arc<BufferPool>,
+        entries: Vec<Entry<D>>,
+        order: &mut dyn FnMut(&mut Vec<Entry<D>>, u32),
+    ) -> Result<RTree<D>> {
+        if entries.is_empty() {
+            return Err(RTreeError::EmptyLoad);
+        }
+        let max = crate::codec::max_capacity::<D>(pool.page_size());
+        if self.cap.max() > max {
+            return Err(RTreeError::CapacityTooLarge {
+                requested: self.cap.max(),
+                max,
+            });
+        }
+        if pool.disk().num_pages() == 0 {
+            let meta = pool.disk().allocate()?;
+            debug_assert_eq!(meta, PageId(0));
+        }
+
+        let n = self.cap.max();
+        let total = entries.len() as u64;
+        let mut level: u32 = 0;
+        let mut current = entries;
+        loop {
+            order(&mut current, level);
+            let mut next: Vec<Entry<D>> = Vec::with_capacity(current.len() / n + 1);
+            for group in current.chunks(n) {
+                let node = Node {
+                    level,
+                    entries: group.to_vec(),
+                };
+                let page = pool.disk().allocate()?;
+                write_node(&pool, page, &node)?;
+                next.push(Entry::child(
+                    Rect::union_all(group.iter().map(|e| &e.rect)),
+                    page,
+                ));
+            }
+            if next.len() == 1 {
+                let root = next[0].child_page();
+                let tree = RTree::from_parts(pool, self.cap, root, level + 1, total);
+                tree.persist()?;
+                return Ok(tree);
+            }
+            current = next;
+            level += 1;
+        }
+    }
+}
+
+impl BulkLoader {
+    /// Streaming variant of [`load`](Self::load): leaf entries arrive
+    /// from an iterator **already in packing order** (e.g. the output of
+    /// an external sort), so the leaf level never needs to fit in
+    /// memory. Upper levels are 1/capacity the size of the data and are
+    /// packed in memory with `order_upper`, which sees levels ≥ 1 only.
+    pub fn load_streamed<const D: usize, I>(
+        &self,
+        pool: Arc<BufferPool>,
+        leaf_entries: I,
+        order_upper: &mut dyn FnMut(&mut Vec<Entry<D>>, u32),
+    ) -> Result<RTree<D>>
+    where
+        I: IntoIterator<Item = Entry<D>>,
+    {
+        let max = crate::codec::max_capacity::<D>(pool.page_size());
+        if self.cap.max() > max {
+            return Err(RTreeError::CapacityTooLarge {
+                requested: self.cap.max(),
+                max,
+            });
+        }
+        if pool.disk().num_pages() == 0 {
+            let meta = pool.disk().allocate()?;
+            debug_assert_eq!(meta, PageId(0));
+        }
+
+        let n = self.cap.max();
+        let mut total: u64 = 0;
+        let mut group: Vec<Entry<D>> = Vec::with_capacity(n);
+        let mut next: Vec<Entry<D>> = Vec::new();
+        for entry in leaf_entries {
+            total += 1;
+            group.push(entry);
+            if group.len() == n {
+                next.push(flush_leaf(&pool, &mut group)?);
+            }
+        }
+        if !group.is_empty() {
+            next.push(flush_leaf(&pool, &mut group)?);
+        }
+        if next.is_empty() {
+            return Err(RTreeError::EmptyLoad);
+        }
+
+        // Upper levels: tiny (total / n^level entries), packed in memory.
+        let mut level: u32 = 1;
+        let mut current = next;
+        loop {
+            if current.len() == 1 {
+                let root = current[0].child_page();
+                let tree = RTree::from_parts(pool, self.cap, root, level, total);
+                tree.persist()?;
+                return Ok(tree);
+            }
+            order_upper(&mut current, level);
+            let mut next = Vec::with_capacity(current.len() / n + 1);
+            for chunk in current.chunks(n) {
+                let node = Node {
+                    level,
+                    entries: chunk.to_vec(),
+                };
+                let page = pool.disk().allocate()?;
+                write_node(&pool, page, &node)?;
+                next.push(Entry::child(
+                    Rect::union_all(chunk.iter().map(|e| &e.rect)),
+                    page,
+                ));
+            }
+            current = next;
+            level += 1;
+        }
+    }
+}
+
+/// Write one full leaf from `group` (draining it) and return its parent
+/// entry.
+fn flush_leaf<const D: usize>(
+    pool: &BufferPool,
+    group: &mut Vec<Entry<D>>,
+) -> Result<Entry<D>> {
+    let mbr = Rect::union_all(group.iter().map(|e| &e.rect));
+    let node = Node {
+        level: 0,
+        entries: std::mem::take(group),
+    };
+    let page = pool.disk().allocate()?;
+    write_node(pool, page, &node)?;
+    Ok(Entry::child(mbr, page))
+}
+
+fn write_node<const D: usize>(pool: &BufferPool, page: PageId, node: &Node<D>) -> Result<()> {
+    let mut buf = vec![0u8; pool.page_size()];
+    crate::codec::encode(node, &mut buf);
+    pool.write_page(page, &buf)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Point;
+    use std::sync::Arc;
+    use storage::MemDisk;
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 256))
+    }
+
+    /// The simplest ordering: leave entries as given at every level.
+    fn identity(_: &mut Vec<Entry<2>>, _: u32) {}
+
+    fn grid_entries(n: usize) -> Vec<Entry<2>> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 100) as f64 / 100.0;
+                let y = (i / 100) as f64 / 100.0;
+                Entry::data(Rect::new([x, y], [x + 0.005, y + 0.005]), i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let loader = BulkLoader::new(NodeCapacity::new(4).unwrap());
+        let err = loader
+            .load::<2>(pool(), Vec::new(), &mut identity)
+            .unwrap_err();
+        assert!(matches!(err, RTreeError::EmptyLoad));
+    }
+
+    #[test]
+    fn single_entry_tree() {
+        let loader = BulkLoader::new(NodeCapacity::new(4).unwrap());
+        let t = loader
+            .load(pool(), grid_entries(1), &mut identity)
+            .unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        t.validate(false).unwrap();
+    }
+
+    #[test]
+    fn exactly_one_full_node() {
+        let loader = BulkLoader::new(NodeCapacity::new(4).unwrap());
+        let t = loader
+            .load(pool(), grid_entries(4), &mut identity)
+            .unwrap();
+        assert_eq!(t.height(), 1);
+        t.validate(false).unwrap();
+    }
+
+    #[test]
+    fn one_more_than_a_node_makes_two_levels() {
+        let loader = BulkLoader::new(NodeCapacity::new(4).unwrap());
+        let t = loader
+            .load(pool(), grid_entries(5), &mut identity)
+            .unwrap();
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.len(), 5);
+        t.validate(false).unwrap();
+    }
+
+    #[test]
+    fn page_count_matches_packing_arithmetic() {
+        // 1000 entries at capacity 10: 100 leaves, 10 internal, 1 root.
+        let loader = BulkLoader::new(NodeCapacity::new(10).unwrap());
+        let t = loader
+            .load(pool(), grid_entries(1000), &mut identity)
+            .unwrap();
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.node_count().unwrap(), 111);
+        t.validate(false).unwrap();
+    }
+
+    #[test]
+    fn utilization_is_nearly_full() {
+        // 1003 entries at capacity 10: all leaves full except the last.
+        let loader = BulkLoader::new(NodeCapacity::new(10).unwrap());
+        let t = loader
+            .load(pool(), grid_entries(1003), &mut identity)
+            .unwrap();
+        let leaves = t.level_mbrs(0).unwrap();
+        assert_eq!(leaves.len(), 101);
+        t.validate(false).unwrap();
+    }
+
+    #[test]
+    fn loaded_tree_answers_queries() {
+        let loader = BulkLoader::new(NodeCapacity::new(16).unwrap());
+        let entries = grid_entries(2000);
+        let t = loader.load(pool(), entries.clone(), &mut identity).unwrap();
+        let q = Rect::new([0.25, 0.05], [0.35, 0.12]);
+        let mut expect: Vec<u64> = entries
+            .iter()
+            .filter(|e| e.rect.intersects(&q))
+            .map(|e| e.payload)
+            .collect();
+        let mut got: Vec<u64> = t
+            .query_region(&q)
+            .unwrap()
+            .iter()
+            .map(|(_, id)| *id)
+            .collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn order_callback_sees_every_level() {
+        let loader = BulkLoader::new(NodeCapacity::new(10).unwrap());
+        let mut levels = Vec::new();
+        let mut order = |entries: &mut Vec<Entry<2>>, level: u32| {
+            levels.push((level, entries.len()));
+        };
+        let t = loader.load(pool(), grid_entries(1000), &mut order).unwrap();
+        assert_eq!(levels, vec![(0, 1000), (1, 100), (2, 10)]);
+        drop(t);
+    }
+
+    #[test]
+    fn ordering_is_respected() {
+        // Sort by x at the leaf level; the first leaf must then hold the
+        // 4 left-most rectangles.
+        let loader = BulkLoader::new(NodeCapacity::new(4).unwrap());
+        let mut entries = grid_entries(16);
+        entries.reverse();
+        let mut order = |es: &mut Vec<Entry<2>>, level: u32| {
+            if level == 0 {
+                es.sort_by(|a, b| a.rect.cmp_center(&b.rect, 0));
+            }
+        };
+        let t = loader.load(pool(), entries, &mut order).unwrap();
+        let first_leaf_hits = t
+            .query_region(&Rect::new([0.0, 0.0], [0.031, 0.01]))
+            .unwrap();
+        assert_eq!(first_leaf_hits.len(), 4);
+        t.validate(false).unwrap();
+    }
+
+    #[test]
+    fn streamed_load_matches_batch_load() {
+        let loader = BulkLoader::new(NodeCapacity::new(10).unwrap());
+        let entries = grid_entries(1234);
+        let batch = loader.load(pool(), entries.clone(), &mut identity).unwrap();
+        let streamed = loader
+            .load_streamed(pool(), entries, &mut |_, _| {})
+            .unwrap();
+        assert_eq!(batch.len(), streamed.len());
+        assert_eq!(batch.height(), streamed.height());
+        assert_eq!(
+            batch.level_mbrs(0).unwrap(),
+            streamed.level_mbrs(0).unwrap(),
+            "same leaf structure"
+        );
+        streamed.validate(false).unwrap();
+    }
+
+    #[test]
+    fn streamed_load_rejects_empty() {
+        let loader = BulkLoader::new(NodeCapacity::new(4).unwrap());
+        let err = loader
+            .load_streamed::<2, _>(pool(), std::iter::empty(), &mut |_, _| {})
+            .unwrap_err();
+        assert!(matches!(err, RTreeError::EmptyLoad));
+    }
+
+    #[test]
+    fn streamed_load_single_leaf() {
+        let loader = BulkLoader::new(NodeCapacity::new(10).unwrap());
+        let t = loader
+            .load_streamed(pool(), grid_entries(7), &mut |_, _| {})
+            .unwrap();
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.len(), 7);
+        t.validate(false).unwrap();
+    }
+
+    #[test]
+    fn bulk_loaded_tree_is_dynamically_extendable() {
+        // Packing then inserting/deleting must keep a consistent tree —
+        // the paper's future work contemplates dynamic R-trees seeded by
+        // STR packing.
+        let loader = BulkLoader::new(NodeCapacity::new(8).unwrap());
+        let mut t = loader.load(pool(), grid_entries(500), &mut identity).unwrap();
+        for i in 0..100u64 {
+            let x = (i % 10) as f64 / 10.0;
+            t.insert(Rect::new([x, 0.9], [x + 0.01, 0.95]), 10_000 + i).unwrap();
+        }
+        assert_eq!(t.len(), 600);
+        t.validate(false).unwrap();
+        let hits = t.query_point(&Point::new([0.105, 0.92])).unwrap();
+        assert!(hits.iter().any(|(_, id)| *id >= 10_000));
+    }
+}

@@ -1,0 +1,214 @@
+//! Bulk insertion into an existing tree — packing meets dynamics.
+//!
+//! The paper's future work contemplates "dynamic R-tree variants based
+//! on the STR packing algorithm". The standard realization is
+//! small-tree-in-large-tree (STLT-style) bulk insertion: pack the new
+//! batch into a subtree with the bulk loader, then graft that subtree's
+//! root into the existing tree at the appropriate height with one
+//! ordinary insertion — orders of magnitude cheaper than one-at-a-time
+//! inserts, while keeping the batch itself perfectly packed.
+
+use geom::Rect;
+
+use crate::{Entry, Node, Result, RTree};
+
+impl<const D: usize> RTree<D> {
+    /// Insert a batch of items by packing them into a subtree (using
+    /// `order` for the packing order at each level, as in
+    /// [`BulkLoader::load`](crate::BulkLoader::load)) and grafting it
+    /// into this tree.
+    ///
+    /// Falls back to ordinary insertion when the batch is small (fewer
+    /// than one node's worth) or taller than the current tree.
+    pub fn bulk_insert(
+        &mut self,
+        items: Vec<(Rect<D>, u64)>,
+        order: &mut dyn FnMut(&mut Vec<Entry<D>>, u32),
+    ) -> Result<()> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let n = self.capacity().max();
+        if items.len() < n {
+            for (rect, id) in items {
+                self.insert(rect, id)?;
+            }
+            return Ok(());
+        }
+
+        // Build the packed subtree with the same page allocator.
+        let count = items.len() as u64;
+        let mut entries: Vec<Entry<D>> = items
+            .into_iter()
+            .map(|(rect, id)| Entry::data(rect, id))
+            .collect();
+        let mut level: u32 = 0;
+        loop {
+            order(&mut entries, level);
+            let mut next: Vec<Entry<D>> = Vec::with_capacity(entries.len() / n + 1);
+            for group in entries.chunks(n) {
+                let page = self.alloc_page()?;
+                self.write_node(
+                    page,
+                    &Node {
+                        level,
+                        entries: group.to_vec(),
+                    },
+                )?;
+                next.push(Entry::child(
+                    Rect::union_all(group.iter().map(|e| &e.rect)),
+                    page,
+                ));
+            }
+            if next.len() == 1 {
+                break self.graft(next.remove(0), level + 1, count);
+            }
+            entries = next;
+            level += 1;
+        }
+    }
+
+    /// Graft a packed subtree (root entry at `subtree_height`) into this
+    /// tree: insert the entry at the level where it fits, or grow this
+    /// tree from the subtree if the subtree is the taller one.
+    fn graft(&mut self, subtree: Entry<D>, subtree_height: u32, count: u64) -> Result<()> {
+        if subtree_height < self.height {
+            // Normal case: insert the subtree's root entry at its level.
+            self.insert_entry_at(subtree, subtree_height)?;
+        } else if self.is_empty() {
+            // Replace the empty tree entirely.
+            self.free_page(self.root);
+            self.root = subtree.child_page();
+            self.height = subtree_height;
+        } else {
+            // The batch out-grew the tree: dissolve the subtree's top
+            // levels until its entries fit below this tree's root.
+            let mut pending = vec![(subtree_height, subtree)];
+            while let Some((h, e)) = pending.pop() {
+                if h < self.height {
+                    self.insert_entry_at(e, h)?;
+                } else {
+                    let node = self.read_node(e.child_page())?;
+                    self.free_page(e.child_page());
+                    for child in node.entries {
+                        pending.push((node.level, child));
+                    }
+                }
+            }
+        }
+        self.len += count;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeCapacity;
+    use std::sync::Arc;
+    use storage::{BufferPool, MemDisk};
+
+    fn new_tree(cap: usize) -> RTree<2> {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 512));
+        RTree::create(pool, NodeCapacity::new(cap).unwrap()).unwrap()
+    }
+
+    fn grid(n: usize, offset: f64) -> Vec<(Rect<2>, u64)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 50) as f64 / 50.0 * 0.4 + offset;
+                let y = (i / 50) as f64 / 50.0 * 0.4 + offset;
+                (Rect::new([x, y], [x, y]), (offset * 1e6) as u64 + i as u64)
+            })
+            .collect()
+    }
+
+    #[allow(clippy::ptr_arg)] // must match the &mut Vec callback signature
+    fn sort_x(entries: &mut Vec<Entry<2>>, _level: u32) {
+        entries.sort_by(|a, b| a.rect.cmp_center(&b.rect, 0));
+    }
+
+    #[test]
+    fn bulk_insert_into_populated_tree() {
+        let mut t = new_tree(10);
+        for (r, id) in grid(500, 0.0) {
+            t.insert(r, id).unwrap();
+        }
+        let batch = grid(1_000, 0.5);
+        t.bulk_insert(batch.clone(), &mut sort_x).unwrap();
+        assert_eq!(t.len(), 1_500);
+        t.validate(false).unwrap();
+        // Batch is queryable.
+        let hits = t
+            .query_region(&Rect::new([0.5, 0.5], [0.95, 0.95]))
+            .unwrap();
+        assert!(hits.len() >= batch.len());
+    }
+
+    #[test]
+    fn bulk_insert_into_empty_tree() {
+        let mut t = new_tree(10);
+        t.bulk_insert(grid(700, 0.1), &mut sort_x).unwrap();
+        assert_eq!(t.len(), 700);
+        t.validate(false).unwrap();
+    }
+
+    #[test]
+    fn small_batch_falls_back_to_inserts() {
+        let mut t = new_tree(10);
+        t.bulk_insert(grid(5, 0.2), &mut sort_x).unwrap();
+        assert_eq!(t.len(), 5);
+        t.validate(true).unwrap();
+    }
+
+    #[test]
+    fn batch_taller_than_tree_dissolves() {
+        // A tree with a handful of items receives a batch whose packed
+        // subtree is taller than the tree itself.
+        let mut t = new_tree(4);
+        for (r, id) in grid(3, 0.0) {
+            t.insert(r, id).unwrap();
+        }
+        assert_eq!(t.height(), 1);
+        t.bulk_insert(grid(300, 0.5), &mut sort_x).unwrap();
+        assert_eq!(t.len(), 303);
+        t.validate(false).unwrap();
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut t = new_tree(8);
+        t.bulk_insert(Vec::new(), &mut sort_x).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn repeated_batches_agree_with_brute_force() {
+        let mut t = new_tree(16);
+        let mut all: Vec<(Rect<2>, u64)> = Vec::new();
+        for (i, off) in [0.0, 0.25, 0.5].iter().enumerate() {
+            let batch: Vec<(Rect<2>, u64)> = grid(400, *off)
+                .into_iter()
+                .map(|(r, id)| (r, id + i as u64 * 1_000_000))
+                .collect();
+            all.extend(batch.clone());
+            t.bulk_insert(batch, &mut sort_x).unwrap();
+        }
+        t.validate(false).unwrap();
+        let q = Rect::new([0.2, 0.2], [0.6, 0.6]);
+        let mut expect: Vec<u64> = all
+            .iter()
+            .filter(|(r, _)| r.intersects(&q))
+            .map(|(_, id)| *id)
+            .collect();
+        let mut got: Vec<u64> = t
+            .query_region(&q)
+            .unwrap()
+            .into_iter()
+            .map(|(_, id)| id)
+            .collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(expect, got);
+    }
+}

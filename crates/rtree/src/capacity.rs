@@ -1,0 +1,96 @@
+//! Node fan-out configuration.
+
+/// Maximum and minimum number of entries per node.
+///
+/// The paper runs every experiment with 100 rectangles per node and notes
+/// "most R-trees have a fan out of 25 to 100" (§3). The minimum applies
+/// only to the dynamic (Guttman) algorithms: packed trees fill every node
+/// to `max` except the last node of each level, which is exactly the
+/// near-100% space utilization packing is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeCapacity {
+    max: usize,
+    min: usize,
+}
+
+impl NodeCapacity {
+    /// Capacity with Guttman's common choice of minimum fill, 40% of the
+    /// maximum. Returns `None` for `max < 2` (a node must be splittable
+    /// into two non-empty halves).
+    pub fn new(max: usize) -> Option<Self> {
+        if max < 2 {
+            return None;
+        }
+        // 40% of max, but at least 1 and at most max/2 (Guttman requires
+        // m <= M/2 so a split can always produce two legal nodes).
+        let min = (max * 2 / 5).clamp(1, max / 2);
+        Some(Self { max, min })
+    }
+
+    /// Capacity with an explicit minimum. Requires `2 <= max` and
+    /// `1 <= min <= max / 2`.
+    pub fn with_min(max: usize, min: usize) -> Option<Self> {
+        if max < 2 || min < 1 || min > max / 2 {
+            return None;
+        }
+        Some(Self { max, min })
+    }
+
+    /// Maximum entries per node (the paper's `n`).
+    #[inline]
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    /// Minimum entries per non-root node under dynamic maintenance
+    /// (Guttman's `m`).
+    #[inline]
+    pub fn min(&self) -> usize {
+        self.min
+    }
+}
+
+impl Default for NodeCapacity {
+    /// The paper's configuration: 100 rectangles per node.
+    fn default() -> Self {
+        Self::new(100).expect("100 is a valid capacity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default() {
+        let c = NodeCapacity::default();
+        assert_eq!(c.max(), 100);
+        assert_eq!(c.min(), 40);
+    }
+
+    #[test]
+    fn minimum_is_clamped() {
+        // Small capacities keep min <= max/2 so splits stay legal.
+        let c = NodeCapacity::new(3).unwrap();
+        assert_eq!(c.min(), 1);
+        let c = NodeCapacity::new(5).unwrap();
+        assert!(c.min() >= 1 && c.min() <= 2);
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(NodeCapacity::new(0).is_none());
+        assert!(NodeCapacity::new(1).is_none());
+        assert!(NodeCapacity::with_min(10, 0).is_none());
+        assert!(NodeCapacity::with_min(10, 6).is_none());
+        assert!(NodeCapacity::with_min(1, 1).is_none());
+    }
+
+    #[test]
+    fn with_min_accepts_boundary() {
+        let c = NodeCapacity::with_min(10, 5).unwrap();
+        assert_eq!(c.min(), 5);
+        let c = NodeCapacity::with_min(2, 1).unwrap();
+        assert_eq!((c.max(), c.min()), (2, 1));
+    }
+}

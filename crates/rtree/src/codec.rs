@@ -1,0 +1,273 @@
+//! Node ⇄ page serialization.
+//!
+//! Layout of a node page (little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "RTN1"
+//! 4       4     level  (u32; 0 = leaf)
+//! 8       4     count  (u32; number of entries)
+//! 12      4     dims   (u32; must match the tree's D)
+//! 16      8     checksum (FNV-1a of bytes 24..end-of-entries)
+//! 24      —     entries: count × (D min f64s, D max f64s, u64 payload)
+//! ```
+//!
+//! One node per page, as the paper assumes throughout. The checksum exists
+//! because the storage layer simulates a raw partition: there is no
+//! filesystem beneath us to notice a torn or misdirected write.
+
+use bytes::{Buf, BufMut};
+use geom::Rect;
+use storage::PageId;
+
+use crate::{Entry, Node, Result, RTreeError};
+
+const MAGIC: u32 = u32::from_le_bytes(*b"RTN1");
+const HEADER_LEN: usize = 24;
+
+/// Bytes per entry at dimension `D`.
+pub const fn entry_size<const D: usize>() -> usize {
+    D * 2 * 8 + 8
+}
+
+/// Largest node capacity a page of `page_size` bytes can hold at
+/// dimension `D`.
+pub const fn max_capacity<const D: usize>(page_size: usize) -> usize {
+    (page_size - HEADER_LEN) / entry_size::<D>()
+}
+
+/// FNV-1a, 64-bit, streaming.
+fn fnv1a_update(mut h: u64, data: &[u8]) -> u64 {
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Checksum over everything that matters: the header prefix (magic,
+/// level, count, dims — bytes 0..16) and the entry region. A flipped
+/// bit anywhere meaningful is detected.
+fn page_checksum(page: &[u8], body_end: usize) -> u64 {
+    let h = fnv1a_update(FNV_SEED, &page[..16]);
+    fnv1a_update(h, &page[HEADER_LEN..body_end])
+}
+
+/// Serialize `node` into `page` (which must be zeroed or reused whole).
+///
+/// # Panics
+/// Panics if the node does not fit — callers size nodes against
+/// [`max_capacity`] via [`crate::NodeCapacity`], so overflow here is a
+/// logic error, not an input error.
+pub fn encode<const D: usize>(node: &Node<D>, page: &mut [u8]) {
+    let need = HEADER_LEN + node.len() * entry_size::<D>();
+    assert!(
+        need <= page.len(),
+        "node with {} entries needs {need} bytes, page has {}",
+        node.len(),
+        page.len()
+    );
+
+    // Entries first (into the region after the header), then the header
+    // with the checksum over that region.
+    {
+        let mut body = &mut page[HEADER_LEN..need];
+        for e in &node.entries {
+            for i in 0..D {
+                body.put_f64_le(e.rect.lo(i));
+            }
+            for i in 0..D {
+                body.put_f64_le(e.rect.hi(i));
+            }
+            body.put_u64_le(e.payload);
+        }
+    }
+    {
+        let mut header = &mut page[..16];
+        header.put_u32_le(MAGIC);
+        header.put_u32_le(node.level);
+        header.put_u32_le(node.len() as u32);
+        header.put_u32_le(D as u32);
+    }
+    let checksum = page_checksum(page, need);
+    let mut cks = &mut page[16..HEADER_LEN];
+    cks.put_u64_le(checksum);
+    // Anything after `need` is stale bytes from a previous occupant of the
+    // frame; the count field makes them unreachable.
+}
+
+/// Deserialize a node from `page`.
+///
+/// `page_id` is only for error messages.
+pub fn decode<const D: usize>(page: &[u8], page_id: PageId) -> Result<Node<D>> {
+    if page.len() < HEADER_LEN {
+        return Err(corrupt(page_id, "page shorter than header"));
+    }
+    let mut header = &page[..HEADER_LEN];
+    let magic = header.get_u32_le();
+    if magic != MAGIC {
+        return Err(corrupt(page_id, "bad magic (not an R-tree node)"));
+    }
+    let level = header.get_u32_le();
+    let count = header.get_u32_le() as usize;
+    let dims = header.get_u32_le() as usize;
+    if dims != D {
+        return Err(corrupt(
+            page_id,
+            &format!("dimension mismatch: page has {dims}, tree is {D}"),
+        ));
+    }
+    let checksum = header.get_u64_le();
+
+    let need = HEADER_LEN + count * entry_size::<D>();
+    if need > page.len() {
+        return Err(corrupt(page_id, "entry count exceeds page size"));
+    }
+    if page_checksum(page, need) != checksum {
+        return Err(corrupt(page_id, "checksum mismatch (torn write?)"));
+    }
+
+    let mut body = &page[HEADER_LEN..need];
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut min = [0.0f64; D];
+        let mut max = [0.0f64; D];
+        for m in min.iter_mut() {
+            *m = body.get_f64_le();
+        }
+        for m in max.iter_mut() {
+            *m = body.get_f64_le();
+        }
+        let payload = body.get_u64_le();
+        let rect = Rect::try_new(min, max)
+            .map_err(|e| corrupt(page_id, &format!("bad rectangle: {e}")))?;
+        entries.push(Entry { rect, payload });
+    }
+    Ok(Node { level, entries })
+}
+
+fn corrupt(page: PageId, reason: &str) -> RTreeError {
+    RTreeError::Corrupt {
+        page,
+        reason: reason.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_node() -> Node<2> {
+        Node {
+            level: 2,
+            entries: (0..10)
+                .map(|i| Entry {
+                    rect: Rect::new([i as f64, 0.0], [i as f64 + 0.5, 1.0]),
+                    payload: 1000 + i,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let node = sample_node();
+        let mut page = vec![0u8; 4096];
+        encode(&node, &mut page);
+        let back: Node<2> = decode(&page, PageId(0)).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn round_trip_empty_node() {
+        let node = Node::<2>::new(0);
+        let mut page = vec![0u8; 4096];
+        encode(&node, &mut page);
+        let back: Node<2> = decode(&page, PageId(0)).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn round_trip_3d() {
+        let node = Node {
+            level: 1,
+            entries: vec![Entry {
+                rect: Rect::new([0.0, 1.0, 2.0], [3.0, 4.0, 5.0]),
+                payload: 42,
+            }],
+        };
+        let mut page = vec![0u8; 4096];
+        encode(&node, &mut page);
+        let back: Node<3> = decode(&page, PageId(0)).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn stale_bytes_are_harmless() {
+        // Re-encoding a smaller node over a frame that held a bigger one
+        // must not resurrect old entries.
+        let mut page = vec![0u8; 4096];
+        encode(&sample_node(), &mut page);
+        let small = Node::<2>::leaf(vec![Entry::data(Rect::new([0.0, 0.0], [1.0, 1.0]), 7)]);
+        encode(&small, &mut page);
+        let back: Node<2> = decode(&page, PageId(0)).unwrap();
+        assert_eq!(back, small);
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let page = vec![0u8; 4096];
+        assert!(matches!(
+            decode::<2>(&page, PageId(3)),
+            Err(RTreeError::Corrupt { page: PageId(3), .. })
+        ));
+    }
+
+    #[test]
+    fn detects_flipped_bit() {
+        let mut page = vec![0u8; 4096];
+        encode(&sample_node(), &mut page);
+        page[100] ^= 0x01;
+        let err = decode::<2>(&page, PageId(0)).unwrap_err();
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn detects_dimension_mismatch() {
+        let mut page = vec![0u8; 4096];
+        encode(&sample_node(), &mut page);
+        let err = decode::<3>(&page, PageId(0)).unwrap_err();
+        assert!(err.to_string().contains("dimension"));
+    }
+
+    #[test]
+    fn detects_overlong_count() {
+        let mut page = vec![0u8; 128];
+        encode(&Node::<2>::new(0), &mut page);
+        // Forge a count that cannot fit in 128 bytes.
+        page[8..12].copy_from_slice(&1000u32.to_le_bytes());
+        let err = decode::<2>(&page, PageId(0)).unwrap_err();
+        assert!(err.to_string().contains("count"));
+    }
+
+    #[test]
+    fn capacity_math() {
+        // 2-D: (4096 - 24) / 40 = 101 entries; the paper's 100 fits.
+        assert_eq!(entry_size::<2>(), 40);
+        assert_eq!(max_capacity::<2>(4096), 101);
+        assert!(max_capacity::<2>(4096) >= 100);
+        // 3-D entries are 56 bytes.
+        assert_eq!(entry_size::<3>(), 56);
+        assert_eq!(max_capacity::<3>(4096), 72);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn encode_panics_when_node_too_big() {
+        let node = sample_node(); // 10 entries * 40 + 24 = 424 bytes
+        let mut page = vec![0u8; 128];
+        encode(&node, &mut page);
+    }
+}

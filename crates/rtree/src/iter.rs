@@ -1,0 +1,170 @@
+//! Streaming region queries.
+//!
+//! [`RTree::iter_region`] yields matches lazily, one at a time, instead
+//! of materializing a `Vec` — the right shape when a query's result set
+//! is large (a 9% region query on the paper's 300k set returns ~27,000
+//! rectangles) or when the consumer may stop early.
+
+use geom::Rect;
+use storage::PageId;
+
+use crate::{Node, Result, RTree};
+
+/// Lazy iterator over `(rect, data-id)` pairs intersecting a query
+/// region. Node pages are fetched through the buffer pool exactly when
+/// the traversal reaches them, so early termination also saves I/O.
+pub struct RegionIter<'a, const D: usize> {
+    tree: &'a RTree<D>,
+    query: Rect<D>,
+    /// Internal pages still to visit.
+    stack: Vec<PageId>,
+    /// Leaf currently being drained.
+    leaf: Option<(Node<D>, usize)>,
+    /// Set once an I/O error has been yielded; the iterator then fuses.
+    failed: bool,
+}
+
+impl<'a, const D: usize> RegionIter<'a, D> {
+    pub(crate) fn new(tree: &'a RTree<D>, query: Rect<D>) -> Self {
+        Self {
+            tree,
+            query,
+            stack: vec![tree.root_page()],
+            leaf: None,
+            failed: false,
+        }
+    }
+}
+
+impl<const D: usize> Iterator for RegionIter<'_, D> {
+    type Item = Result<(Rect<D>, u64)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            // Drain the current leaf first.
+            if let Some((node, idx)) = &mut self.leaf {
+                while *idx < node.entries.len() {
+                    let e = node.entries[*idx];
+                    *idx += 1;
+                    if e.rect.intersects(&self.query) {
+                        return Some(Ok((e.rect, e.payload)));
+                    }
+                }
+                self.leaf = None;
+            }
+            // Descend to the next matching leaf.
+            let page = self.stack.pop()?;
+            let node = match self.tree.read_node(page) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            };
+            if node.is_leaf() {
+                self.leaf = Some((node, 0));
+            } else {
+                for e in node.matching(&self.query) {
+                    self.stack.push(e.child_page());
+                }
+            }
+        }
+    }
+}
+
+impl<const D: usize> std::iter::FusedIterator for RegionIter<'_, D> {}
+
+impl<const D: usize> RTree<D> {
+    /// Stream the entries intersecting `query` without materializing the
+    /// result set.
+    pub fn iter_region(&self, query: &Rect<D>) -> RegionIter<'_, D> {
+        RegionIter::new(self, *query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BulkLoader, Entry, NodeCapacity};
+    use std::sync::Arc;
+    use storage::{BufferPool, MemDisk};
+
+    fn sample_tree(n: usize) -> RTree<2> {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 256));
+        let entries: Vec<Entry<2>> = (0..n)
+            .map(|i| {
+                let x = ((i * 193) % 997) as f64 / 997.0;
+                let y = ((i * 389) % 991) as f64 / 991.0;
+                Entry::data(Rect::new([x, y], [x, y]), i as u64)
+            })
+            .collect();
+        BulkLoader::new(NodeCapacity::new(16).unwrap())
+            .load(pool, entries, &mut |es: &mut Vec<Entry<2>>, _| {
+                es.sort_by(|a, b| a.rect.cmp_center(&b.rect, 0))
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn streams_same_results_as_materialized() {
+        let tree = sample_tree(2000);
+        let q = Rect::new([0.2, 0.2], [0.6, 0.5]);
+        let mut streamed: Vec<u64> = tree
+            .iter_region(&q)
+            .map(|r| r.unwrap().1)
+            .collect();
+        let mut materialized: Vec<u64> = tree
+            .query_region(&q)
+            .unwrap()
+            .into_iter()
+            .map(|(_, id)| id)
+            .collect();
+        streamed.sort_unstable();
+        materialized.sort_unstable();
+        assert_eq!(streamed, materialized);
+        assert!(!streamed.is_empty());
+    }
+
+    #[test]
+    fn early_termination_reads_fewer_pages() {
+        let tree = sample_tree(5000);
+        let q = Rect::unit();
+        let pool = tree.pool();
+
+        pool.set_capacity(1).unwrap();
+        pool.reset_stats();
+        let first_five: Vec<_> = tree.iter_region(&q).take(5).collect();
+        assert_eq!(first_five.len(), 5);
+        let early = pool.stats().misses;
+
+        pool.set_capacity(1).unwrap();
+        pool.reset_stats();
+        let all: Vec<_> = tree.iter_region(&q).collect();
+        assert_eq!(all.len(), 5000);
+        let full = pool.stats().misses;
+
+        assert!(
+            early < full / 10,
+            "early stop should read far fewer pages ({early} vs {full})"
+        );
+    }
+
+    #[test]
+    fn empty_query_yields_nothing() {
+        let tree = sample_tree(100);
+        let q = Rect::new([2.0, 2.0], [3.0, 3.0]);
+        assert_eq!(tree.iter_region(&q).count(), 0);
+    }
+
+    #[test]
+    fn iterator_is_fused() {
+        let tree = sample_tree(50);
+        let mut it = tree.iter_region(&Rect::unit());
+        while it.next().is_some() {}
+        assert!(it.next().is_none());
+        assert!(it.next().is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! In-memory node representation.
+
+use geom::Rect;
+use storage::PageId;
+
+/// One `(rectangle, pointer)` pair — the paper's §2.1 entry: "Each entry
+/// consists of a rectangle R and a pointer P."
+///
+/// At the leaf level the payload is an opaque data-object identifier; at
+/// internal levels it is the child's page number (the bulk loader's
+/// "(MBR, page-number)" pairs). Both are 64-bit, so one layout serves both
+/// levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry<const D: usize> {
+    /// MBR of the data object (leaf) or of the entire child subtree
+    /// (internal).
+    pub rect: Rect<D>,
+    /// Data id (leaf) or child page number (internal).
+    pub payload: u64,
+}
+
+impl<const D: usize> Entry<D> {
+    /// Leaf entry for a data object.
+    pub fn data(rect: Rect<D>, id: u64) -> Self {
+        Self { rect, payload: id }
+    }
+
+    /// Internal entry pointing at a child page.
+    pub fn child(rect: Rect<D>, page: PageId) -> Self {
+        Self {
+            rect,
+            payload: page.index(),
+        }
+    }
+
+    /// Interpret the payload as a child page (valid on internal nodes).
+    pub fn child_page(&self) -> PageId {
+        PageId(self.payload)
+    }
+}
+
+/// An R-tree node: a level tag and up to `capacity.max()` entries.
+///
+/// Level 0 is the leaf level; the root carries the largest level. (The
+/// paper's Figure 1 numbers levels downward from the root instead — only
+/// the direction differs, and counting up from the leaves keeps levels
+/// stable as the tree grows.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node<const D: usize> {
+    /// Height above the leaf level (leaves are 0).
+    pub level: u32,
+    /// The stored entries.
+    pub entries: Vec<Entry<D>>,
+}
+
+impl<const D: usize> Node<D> {
+    /// An empty node at `level`.
+    pub fn new(level: u32) -> Self {
+        Self {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// A leaf node with the given entries.
+    pub fn leaf(entries: Vec<Entry<D>>) -> Self {
+        Self { level: 0, entries }
+    }
+
+    /// Whether this node is at the leaf level.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the node holds no entries (legal only for an empty tree's
+    /// root).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Minimum bounding rectangle of all entries.
+    pub fn mbr(&self) -> Rect<D> {
+        Rect::union_all(self.entries.iter().map(|e| &e.rect))
+    }
+
+    /// Entries whose rectangle intersects `query` (the per-node step of
+    /// the paper's recursive search procedure).
+    pub fn matching<'a>(&'a self, query: &'a Rect<D>) -> impl Iterator<Item = &'a Entry<D>> + 'a {
+        self.entries.iter().filter(move |e| e.rect.intersects(query))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(min: [f64; 2], max: [f64; 2]) -> Rect<2> {
+        Rect::new(min, max)
+    }
+
+    #[test]
+    fn entry_payload_views() {
+        let e = Entry::child(r([0.0, 0.0], [1.0, 1.0]), PageId(7));
+        assert_eq!(e.child_page(), PageId(7));
+        let d = Entry::data(r([0.0, 0.0], [1.0, 1.0]), 99);
+        assert_eq!(d.payload, 99);
+    }
+
+    #[test]
+    fn node_mbr_is_union() {
+        let mut n = Node::new(0);
+        assert!(n.is_leaf());
+        assert!(n.mbr().is_empty());
+        n.entries.push(Entry::data(r([0.0, 0.0], [1.0, 1.0]), 0));
+        n.entries.push(Entry::data(r([2.0, 2.0], [3.0, 4.0]), 1));
+        assert_eq!(n.mbr(), r([0.0, 0.0], [3.0, 4.0]));
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn matching_filters_by_intersection() {
+        let n = Node::leaf(vec![
+            Entry::data(r([0.0, 0.0], [1.0, 1.0]), 0),
+            Entry::data(r([5.0, 5.0], [6.0, 6.0]), 1),
+            Entry::data(r([0.5, 0.5], [5.5, 5.5]), 2),
+        ]);
+        let q = r([0.9, 0.9], [1.1, 1.1]);
+        let hits: Vec<u64> = n.matching(&q).map(|e| e.payload).collect();
+        assert_eq!(hits, vec![0, 2]);
+    }
+
+    #[test]
+    fn levels() {
+        let n = Node::<2>::new(3);
+        assert!(!n.is_leaf());
+        assert_eq!(n.level, 3);
+    }
+}

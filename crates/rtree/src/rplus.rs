@@ -1,0 +1,677 @@
+//! The R⁺-tree (Sellis, Roussopoulos, Faloutsos; VLDB 1987) — the STR
+//! paper's reference \[13\], the second of the "other dynamic algorithms
+//! \[1, 13\]" its introduction credits with improving R-tree quality.
+//!
+//! The R⁺-tree trades duplication for disjointness: sibling partitions
+//! never overlap, and a data rectangle crossing a partition boundary is
+//! stored in **every** leaf whose partition it intersects. The payoff is
+//! the structure's signature property: a point query follows exactly one
+//! root-to-leaf path (tested below by counting node fetches).
+//!
+//! Internal entries therefore carry *partition rectangles* (a disjoint
+//! decomposition of the parent's partition), not tight MBRs — the same
+//! on-page layout as the plain R-tree, different semantics. Splitting is
+//! by hyperplane cut, and an internal cut propagates **downward**,
+//! splitting every child subtree that straddles it.
+//!
+//! Faithful to the original, this implementation inherits its known
+//! limitation: data whose rectangles all mutually overlap can make every
+//! candidate cut non-reducing, in which case insertion reports
+//! [`RTreeError::Invalid`] rather than looping (the original paper never
+//! resolved this case either).
+
+use geom::{Point, Rect};
+use storage::{BufferPool, PageId};
+
+use crate::{codec, Entry, Node, NodeCapacity, Result, RTreeError};
+use std::sync::Arc;
+
+/// A paged R⁺-tree.
+///
+/// Partitions **tile the whole coordinate universe**: the root's
+/// partition is a huge fixed box and every split divides a partition
+/// exactly, so "dead space" — the original design's awkward case where
+/// an insert lands outside every child partition — cannot arise. A data
+/// rectangle is stored in every leaf whose (closed) partition it
+/// intersects; leaf cuts duplicate entries that touch the cut, which
+/// keeps single-path point queries exact even for boundary points.
+pub struct RPlusTree<const D: usize> {
+    pool: Arc<BufferPool>,
+    cap: NodeCapacity,
+    root: PageId,
+    height: u32,
+    len: u64,
+}
+
+/// Coordinate bound of the universe partition. Any realistic coordinate
+/// fits comfortably inside ±10³⁰⁰.
+const UNIVERSE: f64 = 1e300;
+
+fn universe<const D: usize>() -> Rect<D> {
+    Rect::new([-UNIVERSE; D], [UNIVERSE; D])
+}
+
+impl<const D: usize> std::fmt::Debug for RPlusTree<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RPlusTree")
+            .field("root", &self.root)
+            .field("height", &self.height)
+            .field("len", &self.len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<const D: usize> RPlusTree<D> {
+    /// Create an empty tree.
+    pub fn create(pool: Arc<BufferPool>, cap: NodeCapacity) -> Result<Self> {
+        let max = codec::max_capacity::<D>(pool.page_size());
+        // Splits can transiently duplicate one entry into both halves, so
+        // keep one slot of slack against the physical page capacity.
+        if cap.max() + 1 > max {
+            return Err(RTreeError::CapacityTooLarge {
+                requested: cap.max(),
+                max: max - 1,
+            });
+        }
+        if pool.disk().num_pages() == 0 {
+            pool.disk().allocate()?;
+        }
+        let root = pool.disk().allocate()?;
+        let tree = Self {
+            pool,
+            cap,
+            root,
+            height: 1,
+            len: 0,
+        };
+        tree.write_node(root, &Node::new(0))?;
+        Ok(tree)
+    }
+
+    /// Number of distinct data objects (duplicated clips count once).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of levels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The buffer pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    fn read_node(&self, page: PageId) -> Result<Node<D>> {
+        self.pool.with_page(page, |bytes| codec::decode::<D>(bytes, page))?
+    }
+
+    fn write_node(&self, page: PageId, node: &Node<D>) -> Result<()> {
+        let mut buf = vec![0u8; self.pool.page_size()];
+        codec::encode(node, &mut buf);
+        self.pool.write_page(page, &buf)?;
+        Ok(())
+    }
+
+    fn alloc_page(&self) -> Result<PageId> {
+        Ok(self.pool.disk().allocate()?)
+    }
+
+    // ---- queries -----------------------------------------------------
+
+    /// All distinct `(rect, id)` pairs intersecting `query`
+    /// (clip-duplicates are merged by id).
+    pub fn query_region(&self, query: &Rect<D>) -> Result<Vec<(Rect<D>, u64)>> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page)?;
+            for e in &node.entries {
+                if e.rect.intersects(query) {
+                    if node.is_leaf() {
+                        if seen.insert(e.payload) {
+                            out.push((e.rect, e.payload));
+                        }
+                    } else {
+                        stack.push(e.child_page());
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// All entries containing `point`. Follows a **single** path: sibling
+    /// partitions are disjoint, so at most one child's partition contains
+    /// the point (boundary ties resolved to the first).
+    pub fn query_point(&self, point: &Point<D>) -> Result<Vec<(Rect<D>, u64)>> {
+        let mut out = Vec::new();
+        let mut page = self.root;
+        loop {
+            let node = self.read_node(page)?;
+            if node.is_leaf() {
+                for e in &node.entries {
+                    if e.rect.contains_point(point) {
+                        out.push((e.rect, e.payload));
+                    }
+                }
+                return Ok(out);
+            }
+            let Some(child) = node
+                .entries
+                .iter()
+                .find(|e| e.rect.contains_point(point))
+            else {
+                // Unreachable with tiling partitions; kept as a graceful
+                // fallback rather than a panic.
+                return Ok(out);
+            };
+            page = child.child_page();
+        }
+    }
+
+    // ---- insertion ---------------------------------------------------
+
+    /// Insert a data object; its rectangle is clipped into every leaf
+    /// partition it intersects.
+    pub fn insert(&mut self, rect: Rect<D>, id: u64) -> Result<()> {
+        assert!(
+            universe::<D>().contains_rect(&rect),
+            "coordinates beyond ±1e300 are not supported"
+        );
+        let entry = Entry::data(rect, id);
+        let root = self.root;
+        let root_partition = universe::<D>();
+        if let Some((left, right)) = self.insert_rec(root, &root_partition, entry)? {
+            // Root split: new root with the two partitions.
+            let new_root_page = self.alloc_page()?;
+            let new_root = Node {
+                level: self.height,
+                entries: vec![left, right],
+            };
+            self.write_node(new_root_page, &new_root)?;
+            self.root = new_root_page;
+            self.height += 1;
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Insert into the subtree at `page` (whose partition is
+    /// `partition`); returns the two replacement entries if it split.
+    fn insert_rec(
+        &mut self,
+        page: PageId,
+        partition: &Rect<D>,
+        entry: Entry<D>,
+    ) -> Result<Option<(Entry<D>, Entry<D>)>> {
+        let mut node = self.read_node(page)?;
+        if node.is_leaf() {
+            node.entries.push(entry);
+            if node.len() <= self.cap.max() {
+                self.write_node(page, &node)?;
+                return Ok(None);
+            }
+            return self.split_node(page, partition, node).map(Some);
+        }
+
+        // Route into every child whose (closed) partition intersects
+        // the data rect; children tile this partition, so at least one
+        // matches. Children that split get replaced in place.
+        let mut i = 0;
+        while i < node.entries.len() {
+            let child = node.entries[i];
+            if child.rect.intersects(&entry.rect) {
+                let child_partition = child.rect;
+                if let Some((l, r)) =
+                    self.insert_rec(child.child_page(), &child_partition, entry)?
+                {
+                    node.entries[i] = l;
+                    node.entries.insert(i + 1, r);
+                    i += 1;
+                }
+            }
+            i += 1;
+        }
+
+        if node.len() <= self.cap.max() {
+            self.write_node(page, &node)?;
+            return Ok(None);
+        }
+        self.split_node(page, partition, node).map(Some)
+    }
+
+    /// Split an overflowing node by a hyperplane cut inside `partition`.
+    fn split_node(
+        &mut self,
+        page: PageId,
+        partition: &Rect<D>,
+        node: Node<D>,
+    ) -> Result<(Entry<D>, Entry<D>)> {
+        let (axis, cut) = choose_cut(&node, partition, self.cap.max()).ok_or_else(|| {
+            RTreeError::Invalid(
+                "R+ split degenerate: every candidate cut leaves a side overfull \
+                 (mutually overlapping data, the original design's unresolved case)"
+                    .into(),
+            )
+        })?;
+        let (left_page, right_page) = self.cut_subtree(page, node, axis, cut)?;
+        let (lp, rp) = split_rect(partition, axis, cut);
+        Ok((
+            Entry::child(lp, left_page),
+            Entry::child(rp, right_page),
+        ))
+    }
+
+    /// Cut the subtree rooted in `node` (stored at `page`) at
+    /// `axis = cut`, reusing `page` for the left part. Recursively cuts
+    /// straddling children.
+    fn cut_subtree(
+        &mut self,
+        page: PageId,
+        node: Node<D>,
+        axis: usize,
+        cut: f64,
+    ) -> Result<(PageId, PageId)> {
+        let level = node.level;
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for e in node.entries {
+            if level == 0 {
+                // Leaf: a data rect goes to every side it (closed-)
+                // intersects — touching the cut duplicates, which is what
+                // keeps single-path point queries exact at boundaries.
+                if e.rect.lo(axis) < cut || e.rect.hi(axis) <= cut {
+                    left.push(e);
+                }
+                if e.rect.hi(axis) > cut || e.rect.lo(axis) >= cut {
+                    right.push(e);
+                }
+            } else if e.rect.hi(axis) <= cut {
+                left.push(e);
+            } else if e.rect.lo(axis) >= cut {
+                right.push(e);
+            } else {
+                // Child partition straddles: split the child downward.
+                let child_node = self.read_node(e.child_page())?;
+                let (cl, cr) = self.cut_subtree(e.child_page(), child_node, axis, cut)?;
+                let (lp, rp) = split_rect(&e.rect, axis, cut);
+                left.push(Entry::child(lp, cl));
+                right.push(Entry::child(rp, cr));
+            }
+        }
+        let right_page = self.alloc_page()?;
+        self.write_node(page, &Node { level, entries: left })?;
+        self.write_node(right_page, &Node { level, entries: right })?;
+        Ok((page, right_page))
+    }
+
+    // ---- deletion ------------------------------------------------------
+
+    /// Delete all clips of the object with this rectangle and id.
+    /// Returns whether anything was removed. Underfull nodes are left in
+    /// place (the original design has no merge step); empty leaves are
+    /// pruned from their parent.
+    pub fn delete(&mut self, rect: &Rect<D>, id: u64) -> Result<bool> {
+        let root = self.root;
+        let removed = self.delete_rec(root, rect, id)?;
+        if removed {
+            self.len -= 1;
+        }
+        Ok(removed)
+    }
+
+    fn delete_rec(&mut self, page: PageId, rect: &Rect<D>, id: u64) -> Result<bool> {
+        let mut node = self.read_node(page)?;
+        let mut removed = false;
+        if node.is_leaf() {
+            let before = node.len();
+            node.entries.retain(|e| !(e.payload == id && e.rect == *rect));
+            if node.len() != before {
+                removed = true;
+                self.write_node(page, &node)?;
+            }
+            return Ok(removed);
+        }
+        let mut changed = false;
+        let mut i = 0;
+        while i < node.entries.len() {
+            let child = node.entries[i];
+            if child.rect.intersects(rect) && self.delete_rec(child.child_page(), rect, id)? {
+                removed = true;
+                // Prune a now-empty leaf child.
+                let child_node = self.read_node(child.child_page())?;
+                if child_node.is_empty() && node.len() > 1 {
+                    node.entries.remove(i);
+                    changed = true;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        if changed {
+            self.write_node(page, &node)?;
+        }
+        Ok(removed)
+    }
+
+    // ---- validation ----------------------------------------------------
+
+    /// Check the R⁺ invariants: sibling partitions pairwise interior-
+    /// disjoint; children contained in the parent partition; every leaf
+    /// clip's rectangle intersects its leaf's partition.
+    pub fn validate(&self) -> Result<()> {
+        let mut stack = vec![(self.root, universe::<D>())];
+        while let Some((page, partition)) = stack.pop() {
+            let node = self.read_node(page)?;
+            if node.is_leaf() {
+                for e in &node.entries {
+                    if !e.rect.intersects(&partition) {
+                        return Err(RTreeError::Invalid(format!(
+                            "{page}: clip {} outside its partition {partition}",
+                            e.rect
+                        )));
+                    }
+                }
+                continue;
+            }
+            for (i, a) in node.entries.iter().enumerate() {
+                if !partition.contains_rect(&a.rect) {
+                    return Err(RTreeError::Invalid(format!(
+                        "{page}: child partition {} escapes parent {partition}",
+                        a.rect
+                    )));
+                }
+                for b in node.entries.iter().skip(i + 1) {
+                    if overlaps_interior(&a.rect, &b.rect) {
+                        return Err(RTreeError::Invalid(format!(
+                            "{page}: sibling partitions overlap: {} vs {}",
+                            a.rect, b.rect
+                        )));
+                    }
+                }
+                stack.push((a.child_page(), a.rect));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// −1 entirely below the cut, +1 entirely above, 0 straddling.
+fn node_side<const D: usize>(rect: &Rect<D>, axis: usize, cut: f64) -> i32 {
+    if rect.hi(axis) <= cut {
+        -1
+    } else if rect.lo(axis) >= cut {
+        1
+    } else {
+        0
+    }
+}
+
+/// Split `partition` at `axis = cut` into two disjoint partition rects.
+fn split_rect<const D: usize>(partition: &Rect<D>, axis: usize, cut: f64) -> (Rect<D>, Rect<D>) {
+    let mut lmax = *partition.max();
+    lmax[axis] = cut;
+    let mut rmin = *partition.min();
+    rmin[axis] = cut;
+    (
+        Rect::new(*partition.min(), lmax),
+        Rect::new(rmin, *partition.max()),
+    )
+}
+
+/// Interior overlap: touching boundaries do NOT count (disjoint
+/// partitions legitimately share edges).
+fn overlaps_interior<const D: usize>(a: &Rect<D>, b: &Rect<D>) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return false;
+    }
+    (0..D).all(|i| a.lo(i) < b.hi(i) && b.lo(i) < a.hi(i))
+}
+
+/// Choose a cut (axis, position) for an overflowing node: candidates are
+/// the entry boundaries strictly inside the partition; pick the one that
+/// best balances the two sides while keeping both strictly smaller than
+/// the overflowing node. `None` if no candidate reduces the node.
+fn choose_cut<const D: usize>(
+    node: &Node<D>,
+    partition: &Rect<D>,
+    _max: usize,
+) -> Option<(usize, f64)> {
+    let total = node.len();
+    let mut best: Option<(usize, usize, f64)> = None; // (worst_side, axis, cut)
+    for axis in 0..D {
+        let mut candidates: Vec<f64> = node
+            .entries
+            .iter()
+            .flat_map(|e| [e.rect.lo(axis), e.rect.hi(axis)])
+            .filter(|&c| c > partition.lo(axis) && c < partition.hi(axis))
+            .collect();
+        candidates.sort_by(|a, b| geom::total_cmp_f64(*a, *b));
+        candidates.dedup();
+        for &cut in &candidates {
+            let mut l = 0usize;
+            let mut r = 0usize;
+            for e in &node.entries {
+                match node_side(&e.rect, axis, cut) {
+                    -1 => l += 1,
+                    1 => r += 1,
+                    _ => {
+                        l += 1;
+                        r += 1;
+                    }
+                }
+            }
+            if l == 0 || r == 0 || l >= total || r >= total {
+                continue; // does not reduce
+            }
+            let worst = l.max(r);
+            if best.is_none_or(|(w, _, _)| worst < w) {
+                best = Some((worst, axis, cut));
+            }
+        }
+    }
+    best.map(|(_, axis, cut)| (axis, cut))
+}
+
+/// Convenience: build an R⁺-tree by inserting every item of an existing
+/// collection (no bulk loader exists for R⁺ in the literature of the
+/// paper's era).
+pub fn rplus_from_items<const D: usize>(
+    pool: Arc<BufferPool>,
+    items: &[(Rect<D>, u64)],
+    cap: NodeCapacity,
+) -> Result<RPlusTree<D>> {
+    let mut tree = RPlusTree::create(pool, cap)?;
+    for (rect, id) in items {
+        tree.insert(*rect, *id)?;
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use storage::MemDisk;
+
+    fn new_tree(cap: usize) -> RPlusTree<2> {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 512));
+        RPlusTree::create(pool, NodeCapacity::new(cap).unwrap()).unwrap()
+    }
+
+    fn random_items(n: usize, seed: u64, size: f64) -> Vec<(Rect<2>, u64)> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let x: f64 = rng.gen_range(0.0..0.95);
+                let y: f64 = rng.gen_range(0.0..0.95);
+                let s: f64 = rng.gen_range(0.0..size);
+                (Rect::new([x, y], [x + s, y + s]), i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_and_region_query_match_brute_force() {
+        let items = random_items(2_000, 1, 0.02);
+        let mut t = new_tree(16);
+        for (r, id) in &items {
+            t.insert(*r, *id).unwrap();
+        }
+        assert_eq!(t.len(), 2_000);
+        t.validate().unwrap();
+        for q in [
+            Rect::new([0.2, 0.2], [0.5, 0.6]),
+            Rect::new([0.0, 0.0], [1.0, 1.0]),
+            Rect::new([0.9, 0.9], [0.95, 0.95]),
+        ] {
+            let mut expect: Vec<u64> = items
+                .iter()
+                .filter(|(r, _)| r.intersects(&q))
+                .map(|(_, id)| *id)
+                .collect();
+            let mut got: Vec<u64> = t
+                .query_region(&q)
+                .unwrap()
+                .into_iter()
+                .map(|(_, id)| id)
+                .collect();
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(expect, got, "query {q}");
+        }
+    }
+
+    #[test]
+    fn point_queries_follow_a_single_path() {
+        // The R+ signature: one node fetch per level for a point query.
+        let items = random_items(3_000, 2, 0.01);
+        let mut t = new_tree(32);
+        for (r, id) in &items {
+            t.insert(*r, *id).unwrap();
+        }
+        t.validate().unwrap();
+        let pool = t.pool();
+        let probes = datagen_probes(500);
+        pool.set_capacity(1).unwrap(); // force every fetch to count
+        pool.reset_stats();
+        for p in &probes {
+            t.query_point(&Point::new(*p)).unwrap();
+        }
+        let per_query =
+            (pool.stats().hits + pool.stats().misses) as f64 / probes.len() as f64;
+        assert!(
+            per_query <= t.height() as f64 + 1e-9,
+            "point query touched {per_query} nodes, height {}",
+            t.height()
+        );
+    }
+
+    fn datagen_probes(n: usize) -> Vec<[f64; 2]> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        (0..n)
+            .map(|_| [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect()
+    }
+
+    #[test]
+    fn point_query_matches_brute_force() {
+        let items = random_items(1_500, 3, 0.05);
+        let mut t = new_tree(16);
+        for (r, id) in &items {
+            t.insert(*r, *id).unwrap();
+        }
+        t.validate().unwrap();
+        for p in datagen_probes(300) {
+            let pt = Point::new(p);
+            let mut expect: Vec<u64> = items
+                .iter()
+                .filter(|(r, _)| r.contains_point(&pt))
+                .map(|(_, id)| *id)
+                .collect();
+            let mut got: Vec<u64> = t
+                .query_point(&pt)
+                .unwrap()
+                .into_iter()
+                .map(|(_, id)| id)
+                .collect();
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(expect, got, "point {pt}");
+        }
+    }
+
+    #[test]
+    fn delete_removes_all_clips() {
+        let items = random_items(800, 4, 0.08); // big rects → many clips
+        let mut t = new_tree(8);
+        for (r, id) in &items {
+            t.insert(*r, *id).unwrap();
+        }
+        for (r, id) in items.iter().step_by(2) {
+            assert!(t.delete(r, *id).unwrap());
+        }
+        assert_eq!(t.len(), 400);
+        t.validate().unwrap();
+        // Deleted items gone from every partition.
+        for (r, id) in items.iter().step_by(2) {
+            let hits = t.query_region(r).unwrap();
+            assert!(!hits.iter().any(|(_, i)| i == id), "clip of {id} survived");
+        }
+        // Survivors intact.
+        for (r, id) in items.iter().skip(1).step_by(2).take(50) {
+            let hits = t.query_region(r).unwrap();
+            assert!(hits.iter().any(|(_, i)| i == id), "{id} lost");
+        }
+    }
+
+    #[test]
+    fn partitions_stay_disjoint_under_churn() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut t = new_tree(8);
+        let mut live: Vec<(Rect<2>, u64)> = Vec::new();
+        let mut id = 0u64;
+        for _ in 0..800 {
+            if live.is_empty() || rng.gen_bool(0.7) {
+                let x = rng.gen_range(0.0..0.9);
+                let y = rng.gen_range(0.0..0.9);
+                let s = rng.gen_range(0.0..0.05);
+                let r = Rect::new([x, y], [x + s, y + s]);
+                t.insert(r, id).unwrap();
+                live.push((r, id));
+                id += 1;
+            } else {
+                let i = rng.gen_range(0..live.len());
+                let (r, vid) = live.swap_remove(i);
+                assert!(t.delete(&r, vid).unwrap());
+            }
+        }
+        t.validate().unwrap();
+        assert_eq!(t.len() as usize, live.len());
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = new_tree(8);
+        assert!(t.query_region(&Rect::unit()).unwrap().is_empty());
+        assert!(t.query_point(&Point::new([0.5, 0.5])).unwrap().is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn convenience_builder() {
+        let items = random_items(500, 6, 0.01);
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 256));
+        let t = rplus_from_items(pool, &items, NodeCapacity::new(10).unwrap()).unwrap();
+        assert_eq!(t.len(), 500);
+        t.validate().unwrap();
+    }
+}

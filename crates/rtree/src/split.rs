@@ -1,0 +1,430 @@
+//! Node split algorithms for dynamic insertion.
+//!
+//! Guttman's paper gives exhaustive, quadratic and linear splits; the STR
+//! paper's motivation (§1) is that trees built this way are poorly
+//! structured compared to packed ones. We implement the linear and
+//! quadratic splits (the exhaustive one is intractable at fan-out 100) plus
+//! the R*-tree's axis split [Beckmann et al. 1990], which the paper cites
+//! as one of the improved dynamic algorithms.
+
+use geom::Rect;
+
+use crate::{Entry, NodeCapacity};
+
+/// Which algorithm redistributes entries when a node overflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitPolicy {
+    /// Guttman's linear-cost split.
+    Linear,
+    /// Guttman's quadratic-cost split (his recommended default).
+    #[default]
+    Quadratic,
+    /// R*-tree topological split: choose the axis minimizing total margin,
+    /// then the distribution minimizing overlap.
+    RStarAxis,
+}
+
+impl SplitPolicy {
+    /// Stable on-disk tag.
+    pub fn tag(&self) -> u32 {
+        match self {
+            SplitPolicy::Linear => 0,
+            SplitPolicy::Quadratic => 1,
+            SplitPolicy::RStarAxis => 2,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag); unknown tags fall back to the
+    /// default policy (the tag only affects future inserts, not stored
+    /// data).
+    pub fn from_tag(tag: u32) -> Self {
+        match tag {
+            0 => SplitPolicy::Linear,
+            2 => SplitPolicy::RStarAxis,
+            _ => SplitPolicy::Quadratic,
+        }
+    }
+
+    /// Split an overflowing entry set (`cap.max() + 1` entries) into two
+    /// groups, each with at least `cap.min()` entries.
+    pub fn split<const D: usize>(
+        &self,
+        entries: Vec<Entry<D>>,
+        cap: NodeCapacity,
+    ) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+        debug_assert!(entries.len() >= 2, "cannot split fewer than 2 entries");
+        debug_assert!(
+            entries.len() <= cap.max() + 1,
+            "split input larger than one overflow"
+        );
+        match self {
+            SplitPolicy::Linear => linear_split(entries, cap),
+            SplitPolicy::Quadratic => quadratic_split(entries, cap),
+            SplitPolicy::RStarAxis => rstar_axis_split(entries, cap),
+        }
+    }
+}
+
+/// Guttman's LinearPickSeeds: on each axis find the entry with the highest
+/// low side and the one with the lowest high side; normalize their
+/// separation by the axis width; the axis with the greatest normalized
+/// separation yields the two seeds.
+fn linear_pick_seeds<const D: usize>(entries: &[Entry<D>]) -> (usize, usize) {
+    let mut best_axis_sep = f64::NEG_INFINITY;
+    let mut seeds = (0, 1);
+    for axis in 0..D {
+        let mut highest_lo = 0usize;
+        let mut lowest_hi = 0usize;
+        let mut min_lo = f64::INFINITY;
+        let mut max_hi = f64::NEG_INFINITY;
+        for (i, e) in entries.iter().enumerate() {
+            if e.rect.lo(axis) > entries[highest_lo].rect.lo(axis) {
+                highest_lo = i;
+            }
+            if e.rect.hi(axis) < entries[lowest_hi].rect.hi(axis) {
+                lowest_hi = i;
+            }
+            min_lo = min_lo.min(e.rect.lo(axis));
+            max_hi = max_hi.max(e.rect.hi(axis));
+        }
+        let width = (max_hi - min_lo).max(f64::MIN_POSITIVE);
+        let sep = (entries[highest_lo].rect.lo(axis) - entries[lowest_hi].rect.hi(axis)) / width;
+        if sep > best_axis_sep && highest_lo != lowest_hi {
+            best_axis_sep = sep;
+            seeds = (lowest_hi, highest_lo);
+        }
+    }
+    if seeds.0 == seeds.1 {
+        // Degenerate data (e.g. all rectangles identical): any pair works.
+        seeds = (0, 1);
+    }
+    seeds
+}
+
+/// Guttman's QuadraticPickSeeds: the pair wasting the most area if grouped
+/// together.
+fn quadratic_pick_seeds<const D: usize>(entries: &[Entry<D>]) -> (usize, usize) {
+    let mut worst = f64::NEG_INFINITY;
+    let mut seeds = (0, 1);
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let d = entries[i].rect.union(&entries[j].rect).area()
+                - entries[i].rect.area()
+                - entries[j].rect.area();
+            if d > worst {
+                worst = d;
+                seeds = (i, j);
+            }
+        }
+    }
+    seeds
+}
+
+struct Group<const D: usize> {
+    entries: Vec<Entry<D>>,
+    mbr: Rect<D>,
+}
+
+impl<const D: usize> Group<D> {
+    fn new(seed: Entry<D>) -> Self {
+        Self {
+            mbr: seed.rect,
+            entries: vec![seed],
+        }
+    }
+
+    fn add(&mut self, e: Entry<D>) {
+        self.mbr.union_in_place(&e.rect);
+        self.entries.push(e);
+    }
+}
+
+/// Distribute `rest` over two seeded groups. `pick` chooses the next entry
+/// index and preferred group given the remaining slice and both groups;
+/// the min-fill rule preempts it when one group must take everything left.
+fn distribute<const D: usize>(
+    mut rest: Vec<Entry<D>>,
+    mut g1: Group<D>,
+    mut g2: Group<D>,
+    cap: NodeCapacity,
+    mut pick: impl FnMut(&[Entry<D>], &Group<D>, &Group<D>) -> (usize, bool),
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+    while !rest.is_empty() {
+        // If one group needs every remaining entry to reach min fill,
+        // assign the remainder wholesale (Guttman's stopping rule).
+        if g1.entries.len() + rest.len() == cap.min() {
+            for e in rest.drain(..) {
+                g1.add(e);
+            }
+            break;
+        }
+        if g2.entries.len() + rest.len() == cap.min() {
+            for e in rest.drain(..) {
+                g2.add(e);
+            }
+            break;
+        }
+        let (idx, to_first) = pick(&rest, &g1, &g2);
+        let e = rest.swap_remove(idx);
+        if to_first {
+            g1.add(e);
+        } else {
+            g2.add(e);
+        }
+    }
+    (g1.entries, g2.entries)
+}
+
+/// Tie-broken group choice for one entry: least enlargement, then smaller
+/// area, then fewer entries.
+fn choose_group<const D: usize>(e: &Entry<D>, g1: &Group<D>, g2: &Group<D>) -> bool {
+    let e1 = g1.mbr.enlargement(&e.rect);
+    let e2 = g2.mbr.enlargement(&e.rect);
+    if e1 != e2 {
+        return e1 < e2;
+    }
+    let a1 = g1.mbr.area();
+    let a2 = g2.mbr.area();
+    if a1 != a2 {
+        return a1 < a2;
+    }
+    g1.entries.len() <= g2.entries.len()
+}
+
+fn linear_split<const D: usize>(
+    mut entries: Vec<Entry<D>>,
+    cap: NodeCapacity,
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+    let (s1, s2) = linear_pick_seeds(&entries);
+    // Remove the higher index first so the lower index stays valid.
+    let (hi, lo) = if s1 > s2 { (s1, s2) } else { (s2, s1) };
+    let seed_hi = entries.swap_remove(hi);
+    let seed_lo = entries.swap_remove(lo);
+    let g1 = Group::new(seed_lo);
+    let g2 = Group::new(seed_hi);
+    // Linear split assigns remaining entries in arbitrary order, each to
+    // the group whose MBR grows least.
+    distribute(entries, g1, g2, cap, |rest, g1, g2| {
+        (rest.len() - 1, choose_group(&rest[rest.len() - 1], g1, g2))
+    })
+}
+
+fn quadratic_split<const D: usize>(
+    mut entries: Vec<Entry<D>>,
+    cap: NodeCapacity,
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+    let (s1, s2) = quadratic_pick_seeds(&entries);
+    let (hi, lo) = if s1 > s2 { (s1, s2) } else { (s2, s1) };
+    let seed_hi = entries.swap_remove(hi);
+    let seed_lo = entries.swap_remove(lo);
+    let g1 = Group::new(seed_lo);
+    let g2 = Group::new(seed_hi);
+    // PickNext: the entry with the greatest preference for one group.
+    distribute(entries, g1, g2, cap, |rest, g1, g2| {
+        let mut best_idx = 0;
+        let mut best_diff = f64::NEG_INFINITY;
+        for (i, e) in rest.iter().enumerate() {
+            let d1 = g1.mbr.enlargement(&e.rect);
+            let d2 = g2.mbr.enlargement(&e.rect);
+            let diff = (d1 - d2).abs();
+            if diff > best_diff {
+                best_diff = diff;
+                best_idx = i;
+            }
+        }
+        (best_idx, choose_group(&rest[best_idx], g1, g2))
+    })
+}
+
+/// R*-tree split: for each axis sort by (lo, hi); across all legal split
+/// positions compute the margin sum; pick the axis with the least total
+/// margin, then the position with least overlap (ties: least total area).
+fn rstar_axis_split<const D: usize>(
+    entries: Vec<Entry<D>>,
+    cap: NodeCapacity,
+) -> (Vec<Entry<D>>, Vec<Entry<D>>) {
+    let m = cap.min().max(1);
+    let total = entries.len();
+    debug_assert!(total >= 2 * m, "R* split needs at least 2*min entries");
+
+    let mut best: Option<(f64, f64, usize, Vec<Entry<D>>)> = None; // (overlap, area, split_at, sorted)
+    let mut best_axis_margin = f64::INFINITY;
+
+    for axis in 0..D {
+        let mut sorted = entries.clone();
+        sorted.sort_by(|a, b| {
+            geom::total_cmp_f64(a.rect.lo(axis), b.rect.lo(axis))
+                .then(geom::total_cmp_f64(a.rect.hi(axis), b.rect.hi(axis)))
+        });
+
+        // Prefix/suffix MBRs for O(n) distribution evaluation.
+        let mut prefix = vec![Rect::<D>::empty(); total + 1];
+        for i in 0..total {
+            prefix[i + 1] = prefix[i].union(&sorted[i].rect);
+        }
+        let mut suffix = vec![Rect::<D>::empty(); total + 1];
+        for i in (0..total).rev() {
+            suffix[i] = suffix[i + 1].union(&sorted[i].rect);
+        }
+
+        let mut margin_sum = 0.0;
+        let mut axis_best: Option<(f64, f64, usize)> = None;
+        for k in m..=(total - m) {
+            let left = prefix[k];
+            let right = suffix[k];
+            margin_sum += left.margin() + right.margin();
+            let overlap = left.intersection(&right).map_or(0.0, |r| r.area());
+            let area = left.area() + right.area();
+            let better = match axis_best {
+                None => true,
+                Some((o, a, _)) => overlap < o || (overlap == o && area < a),
+            };
+            if better {
+                axis_best = Some((overlap, area, k));
+            }
+        }
+        if margin_sum < best_axis_margin {
+            best_axis_margin = margin_sum;
+            let (o, a, k) = axis_best.expect("at least one distribution");
+            best = Some((o, a, k, sorted));
+        }
+    }
+
+    let (_, _, k, sorted) = best.expect("at least one axis");
+    let mut left = sorted;
+    let right = left.split_off(k);
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries_grid(n: usize) -> Vec<Entry<2>> {
+        // n^2 unit squares on an n x n grid.
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                out.push(Entry::data(
+                    Rect::new(
+                        [i as f64 * 2.0, j as f64 * 2.0],
+                        [i as f64 * 2.0 + 1.0, j as f64 * 2.0 + 1.0],
+                    ),
+                    (i * n + j) as u64,
+                ));
+            }
+        }
+        out
+    }
+
+    fn two_clusters() -> Vec<Entry<2>> {
+        let mut v = Vec::new();
+        for i in 0..5 {
+            let f = i as f64 * 0.1;
+            v.push(Entry::data(Rect::new([f, f], [f + 0.05, f + 0.05]), i));
+            v.push(Entry::data(
+                Rect::new([100.0 + f, 100.0 + f], [100.0 + f + 0.05, 100.0 + f + 0.05]),
+                100 + i,
+            ));
+        }
+        v
+    }
+
+    fn check_split(policy: SplitPolicy, entries: Vec<Entry<2>>, cap: NodeCapacity) {
+        let n = entries.len();
+        let ids: std::collections::HashSet<u64> = entries.iter().map(|e| e.payload).collect();
+        let (a, b) = policy.split(entries, cap);
+        assert_eq!(a.len() + b.len(), n, "no entries lost");
+        assert!(a.len() >= cap.min(), "{policy:?}: left below min fill");
+        assert!(b.len() >= cap.min(), "{policy:?}: right below min fill");
+        assert!(a.len() <= cap.max() && b.len() <= cap.max());
+        let out_ids: std::collections::HashSet<u64> =
+            a.iter().chain(b.iter()).map(|e| e.payload).collect();
+        assert_eq!(ids, out_ids, "{policy:?}: payloads preserved");
+    }
+
+    #[test]
+    fn all_policies_preserve_entries() {
+        for policy in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::RStarAxis] {
+            let cap = NodeCapacity::new(9).unwrap();
+            check_split(policy, entries_grid(3), cap); // 9 entries? grid(3)=9; overflow shape 9<=10 fine
+            let cap = NodeCapacity::new(15).unwrap();
+            check_split(policy, entries_grid(4), cap); // 16 = 15+1 overflow
+        }
+    }
+
+    #[test]
+    fn clusters_are_separated() {
+        // Two far-apart clusters must end up in different groups under
+        // every policy: any mixed assignment has a catastrophically larger
+        // MBR.
+        for policy in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::RStarAxis] {
+            let cap = NodeCapacity::new(9).unwrap();
+            let (a, b) = policy.split(two_clusters(), cap);
+            let a_low = a.iter().all(|e| e.payload < 100);
+            let a_high = a.iter().all(|e| e.payload >= 100);
+            assert!(
+                a_low || a_high,
+                "{policy:?} mixed the clusters: {:?} / {:?}",
+                a.iter().map(|e| e.payload).collect::<Vec<_>>(),
+                b.iter().map(|e| e.payload).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn identical_rectangles_split_legally() {
+        // Degenerate input: every rectangle the same. Split must still
+        // produce two legal groups.
+        for policy in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::RStarAxis] {
+            let entries: Vec<Entry<2>> = (0..6)
+                .map(|i| Entry::data(Rect::new([0.0, 0.0], [1.0, 1.0]), i))
+                .collect();
+            let cap = NodeCapacity::new(5).unwrap();
+            let (a, b) = policy.split(entries, cap);
+            assert_eq!(a.len() + b.len(), 6);
+            assert!(a.len() >= cap.min() && b.len() >= cap.min());
+        }
+    }
+
+    #[test]
+    fn points_split_legally() {
+        // Degenerate rectangles (points) exercise zero-area math.
+        for policy in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::RStarAxis] {
+            let entries: Vec<Entry<2>> = (0..11)
+                .map(|i| {
+                    let f = i as f64 / 10.0;
+                    Entry::data(Rect::new([f, f * f], [f, f * f]), i)
+                })
+                .collect();
+            let cap = NodeCapacity::new(10).unwrap();
+            check_split(policy, entries, cap);
+        }
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for p in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::RStarAxis] {
+            assert_eq!(SplitPolicy::from_tag(p.tag()), p);
+        }
+        assert_eq!(SplitPolicy::from_tag(99), SplitPolicy::Quadratic);
+    }
+
+    #[test]
+    fn rstar_prefers_low_overlap() {
+        // 4 squares in a row: the best 2/2 split along x has zero overlap.
+        let entries: Vec<Entry<2>> = (0..4)
+            .map(|i| {
+                Entry::data(
+                    Rect::new([i as f64, 0.0], [i as f64 + 0.9, 1.0]),
+                    i as u64,
+                )
+            })
+            .collect();
+        let cap = NodeCapacity::with_min(3, 1).unwrap();
+        let (a, b) = SplitPolicy::RStarAxis.split(entries, cap);
+        let mbr_a = Rect::union_all(a.iter().map(|e| &e.rect));
+        let mbr_b = Rect::union_all(b.iter().map(|e| &e.rect));
+        assert!(mbr_a.intersection(&mbr_b).map_or(0.0, |r| r.area()) == 0.0);
+    }
+}

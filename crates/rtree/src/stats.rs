@@ -1,0 +1,242 @@
+//! Per-level tree statistics: the paper's secondary comparison metric.
+//!
+//! §3: "Our secondary comparison metric is the sum of the area and
+//! perimeter of the MBRs of the R-tree nodes. […] we present area and
+//! perimeter metrics for both the whole tree (summed over all nodes at
+//! all levels) and also only for the leaf level."
+
+use crate::{Result, RTree};
+
+/// Aggregates for one tree level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelSummary {
+    /// Height above the leaves (0 = leaf level).
+    pub level: u32,
+    /// Number of nodes at this level.
+    pub nodes: u64,
+    /// Total entries stored across the level's nodes.
+    pub entries: u64,
+    /// Sum of node-MBR areas.
+    pub area_sum: f64,
+    /// Sum of node-MBR perimeters.
+    pub perimeter_sum: f64,
+}
+
+/// Whole-tree statistics, one [`LevelSummary`] per level plus totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeSummary {
+    /// Per-level aggregates, leaf level first.
+    pub levels: Vec<LevelSummary>,
+}
+
+impl TreeSummary {
+    /// Sum of leaf-node MBR areas (the paper's "leaf area").
+    pub fn leaf_area(&self) -> f64 {
+        self.levels.first().map_or(0.0, |l| l.area_sum)
+    }
+
+    /// Sum of MBR areas over all nodes at all levels ("total area").
+    pub fn total_area(&self) -> f64 {
+        self.levels.iter().map(|l| l.area_sum).sum()
+    }
+
+    /// Sum of leaf-node MBR perimeters ("leaf perimeter").
+    pub fn leaf_perimeter(&self) -> f64 {
+        self.levels.first().map_or(0.0, |l| l.perimeter_sum)
+    }
+
+    /// Sum of MBR perimeters over all nodes ("total perimeter").
+    pub fn total_perimeter(&self) -> f64 {
+        self.levels.iter().map(|l| l.perimeter_sum).sum()
+    }
+
+    /// Total node pages, the quantity buffered by the pool. Table 1 of
+    /// the paper reports buffer size as a percentage of this.
+    pub fn total_nodes(&self) -> u64 {
+        self.levels.iter().map(|l| l.nodes).sum()
+    }
+
+    /// Mean fill factor over all nodes, as a fraction of `capacity`.
+    /// Packed trees sit near 1.0; Guttman-built trees near 0.55–0.7.
+    pub fn utilization(&self, capacity: usize) -> f64 {
+        let entries: u64 = self.levels.iter().map(|l| l.entries).sum();
+        let slots = self.total_nodes() * capacity as u64;
+        if slots == 0 {
+            0.0
+        } else {
+            entries as f64 / slots as f64
+        }
+    }
+}
+
+impl<const D: usize> RTree<D> {
+    /// Sum of pairwise MBR-intersection areas among the nodes of one
+    /// level — the *overlap* metric of the R*-tree line of work. Zero
+    /// for a perfect tiling (which STR approaches on uniform data);
+    /// every unit of overlap is space where a query must descend into
+    /// more than one subtree. O(m²) in the node count of the level.
+    pub fn level_overlap(&self, level: u32) -> Result<f64> {
+        let mbrs = self.level_mbrs(level)?;
+        let mut total = 0.0;
+        for i in 0..mbrs.len() {
+            for j in (i + 1)..mbrs.len() {
+                if let Some(x) = mbrs[i].intersection(&mbrs[j]) {
+                    total += x.area();
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Compute per-level node counts and area/perimeter sums.
+    pub fn summary(&self) -> Result<TreeSummary> {
+        let mut levels: Vec<LevelSummary> = (0..self.height())
+            .map(|level| LevelSummary {
+                level,
+                nodes: 0,
+                entries: 0,
+                area_sum: 0.0,
+                perimeter_sum: 0.0,
+            })
+            .collect();
+        self.visit_nodes(&mut |_, node| {
+            let l = &mut levels[node.level as usize];
+            l.nodes += 1;
+            l.entries += node.len() as u64;
+            let mbr = node.mbr();
+            l.area_sum += mbr.area();
+            l.perimeter_sum += mbr.perimeter();
+        })?;
+        Ok(TreeSummary { levels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BulkLoader, Entry, NodeCapacity};
+    use geom::Rect;
+    use std::sync::Arc;
+    use storage::{BufferPool, MemDisk};
+
+    fn packed_grid(n: usize, cap: usize) -> RTree<2> {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 256));
+        let side = (n as f64).sqrt().ceil() as usize;
+        let entries: Vec<Entry<2>> = (0..n)
+            .map(|i| {
+                let x = (i % side) as f64 / side as f64;
+                let y = (i / side) as f64 / side as f64;
+                Entry::data(Rect::new([x, y], [x, y]), i as u64)
+            })
+            .collect();
+        BulkLoader::new(NodeCapacity::new(cap).unwrap())
+            .load(pool, entries, &mut |es: &mut Vec<Entry<2>>, _| {
+                es.sort_by(|a, b| {
+                    a.rect
+                        .cmp_center(&b.rect, 0)
+                        .then(a.rect.cmp_center(&b.rect, 1))
+                })
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn summary_counts_levels() {
+        let t = packed_grid(1000, 10);
+        let s = t.summary().unwrap();
+        assert_eq!(s.levels.len(), 3);
+        assert_eq!(s.levels[0].nodes, 100);
+        assert_eq!(s.levels[0].entries, 1000);
+        assert_eq!(s.levels[1].nodes, 10);
+        assert_eq!(s.levels[2].nodes, 1);
+        assert_eq!(s.total_nodes(), 111);
+    }
+
+    #[test]
+    fn packed_utilization_is_full() {
+        let t = packed_grid(1000, 10);
+        let s = t.summary().unwrap();
+        assert!((s.utilization(10) - 1.0).abs() < 1e-9);
+        // With a non-divisible count the utilization dips slightly.
+        let t = packed_grid(1005, 10);
+        let s = t.summary().unwrap();
+        let u = s.utilization(10);
+        assert!(u > 0.95 && u < 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn overlap_separates_tilers_from_sorters() {
+        // STR's tiling has near-zero leaf overlap on scattered points;
+        // an arbitrary-order packing overlaps heavily.
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 256));
+        let entries: Vec<Entry<2>> = (0..2_000)
+            .map(|i| {
+                let x = ((i * 193) % 997) as f64 / 997.0;
+                let y = ((i * 389) % 991) as f64 / 991.0;
+                Entry::data(Rect::new([x, y], [x, y]), i as u64)
+            })
+            .collect();
+        let tiled = BulkLoader::new(NodeCapacity::new(20).unwrap())
+            .load(pool, entries.clone(), &mut |es: &mut Vec<Entry<2>>, _| {
+                // Row-major-ish tiling: coarse y band then x.
+                es.sort_by(|a, b| {
+                    let ba = (a.rect.lo(1) * 10.0) as i64;
+                    let bb = (b.rect.lo(1) * 10.0) as i64;
+                    ba.cmp(&bb).then(a.rect.cmp_center(&b.rect, 0))
+                })
+            })
+            .unwrap();
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 256));
+        let unordered = BulkLoader::new(NodeCapacity::new(20).unwrap())
+            .load(pool, entries, &mut |_, _| {})
+            .unwrap();
+        let tiled_overlap = tiled.level_overlap(0).unwrap();
+        let unordered_overlap = unordered.level_overlap(0).unwrap();
+        assert!(
+            tiled_overlap < 0.2 * unordered_overlap,
+            "tiled {tiled_overlap} vs unordered {unordered_overlap}"
+        );
+    }
+
+    #[test]
+    fn leaf_metrics_are_prefix_of_totals() {
+        let t = packed_grid(500, 10);
+        let s = t.summary().unwrap();
+        assert!(s.leaf_area() <= s.total_area());
+        assert!(s.leaf_perimeter() <= s.total_perimeter());
+        assert!(s.leaf_area() > 0.0);
+    }
+
+    #[test]
+    fn point_data_leaf_area_covers_space_once() {
+        // Uniformly scattered points packed by x-sort produce vertical
+        // slices that together cover ~the unit square once, so the leaf
+        // area sum is close to 1 (cf. Table 4's 0.97 for point data).
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 256));
+        let mut state = 0x2545F491_4F6CDD1Du64;
+        let mut next = move || {
+            // xorshift64*: plenty for scattering test points.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let entries: Vec<Entry<2>> = (0..10_000)
+            .map(|i| {
+                let (x, y) = (next(), next());
+                Entry::data(Rect::new([x, y], [x, y]), i as u64)
+            })
+            .collect();
+        let t = BulkLoader::new(NodeCapacity::new(100).unwrap())
+            .load(pool, entries, &mut |es: &mut Vec<Entry<2>>, _| {
+                es.sort_by(|a, b| a.rect.cmp_center(&b.rect, 0))
+            })
+            .unwrap();
+        let s = t.summary().unwrap();
+        assert!(
+            s.leaf_area() > 0.8 && s.leaf_area() < 1.2,
+            "leaf area {} should be near 1",
+            s.leaf_area()
+        );
+    }
+}

@@ -1,0 +1,638 @@
+//! The tree object: metadata, node I/O, queries, traversal, validation.
+
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut};
+use geom::{Point, Rect};
+use storage::{BufferPool, PageId};
+
+use crate::{codec, Node, NodeCapacity, Result, RTreeError, SplitPolicy};
+
+const META_MAGIC: u32 = u32::from_le_bytes(*b"RTM1");
+
+/// A paged R-tree of dimension `D`.
+///
+/// All node reads and writes go through the LRU buffer pool, so buffer
+/// misses during a query are exactly the paper's "disk accesses". Tree
+/// metadata lives on page 0, written *directly* to disk (bypassing the
+/// pool) so it never competes with nodes for buffer frames — mirroring the
+/// paper's setup where the buffer holds R-tree nodes only.
+///
+/// ```
+/// use std::sync::Arc;
+/// use rtree::{NodeCapacity, RTree};
+/// use storage::{BufferPool, MemDisk};
+/// use geom::Rect;
+///
+/// let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 64));
+/// let mut tree = RTree::<2>::create(pool, NodeCapacity::new(16).unwrap()).unwrap();
+/// for i in 0..100u64 {
+///     let x = (i % 10) as f64 / 10.0;
+///     let y = (i / 10) as f64 / 10.0;
+///     tree.insert(Rect::new([x, y], [x + 0.05, y + 0.05]), i).unwrap();
+/// }
+/// let hits = tree.query_region(&Rect::new([0.0, 0.0], [0.31, 0.11])).unwrap();
+/// assert_eq!(hits.len(), 8);
+/// tree.validate(true).unwrap();
+/// ```
+pub struct RTree<const D: usize> {
+    pool: Arc<BufferPool>,
+    cap: NodeCapacity,
+    policy: SplitPolicy,
+    pub(crate) root: PageId,
+    /// Number of levels (1 = the root is a leaf).
+    pub(crate) height: u32,
+    pub(crate) len: u64,
+    /// Pages freed by deletions, reused before allocating fresh ones.
+    pub(crate) free: Vec<PageId>,
+}
+
+impl<const D: usize> std::fmt::Debug for RTree<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RTree")
+            .field("dims", &D)
+            .field("root", &self.root)
+            .field("height", &self.height)
+            .field("len", &self.len)
+            .field("capacity", &self.cap)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<const D: usize> RTree<D> {
+    /// Create an empty tree on `pool`. Allocates the meta page (page 0)
+    /// and an empty root leaf.
+    pub fn create(pool: Arc<BufferPool>, cap: NodeCapacity) -> Result<Self> {
+        Self::check_capacity(&pool, cap)?;
+        let meta_page = pool.disk().allocate()?;
+        debug_assert_eq!(meta_page, PageId(0), "meta page must be page 0");
+        let root = pool.disk().allocate()?;
+        let tree = Self {
+            pool,
+            cap,
+            policy: SplitPolicy::default(),
+            root,
+            height: 1,
+            len: 0,
+            free: Vec::new(),
+        };
+        tree.write_node(root, &Node::new(0))?;
+        tree.persist()?;
+        Ok(tree)
+    }
+
+    /// Assemble a tree around an already-built root (used by the bulk
+    /// loader).
+    pub(crate) fn from_parts(
+        pool: Arc<BufferPool>,
+        cap: NodeCapacity,
+        root: PageId,
+        height: u32,
+        len: u64,
+    ) -> Self {
+        Self {
+            pool,
+            cap,
+            policy: SplitPolicy::default(),
+            root,
+            height,
+            len,
+            free: Vec::new(),
+        }
+    }
+
+    /// Reopen a tree persisted on `pool`'s disk.
+    pub fn open(pool: Arc<BufferPool>) -> Result<Self> {
+        let ps = pool.page_size();
+        let mut page = vec![0u8; ps];
+        pool.disk().read_page(PageId(0), &mut page)?;
+        let mut buf = &page[..];
+        if buf.get_u32_le() != META_MAGIC {
+            return Err(RTreeError::Corrupt {
+                page: PageId(0),
+                reason: "bad meta magic".into(),
+            });
+        }
+        let dims = buf.get_u32_le() as usize;
+        if dims != D {
+            return Err(RTreeError::Corrupt {
+                page: PageId(0),
+                reason: format!("tree on disk is {dims}-dimensional, opened as {D}"),
+            });
+        }
+        let root = PageId(buf.get_u64_le());
+        let height = buf.get_u32_le();
+        let cap_max = buf.get_u32_le() as usize;
+        let cap_min = buf.get_u32_le() as usize;
+        let policy = SplitPolicy::from_tag(buf.get_u32_le());
+        let len = buf.get_u64_le();
+        let cap = NodeCapacity::with_min(cap_max, cap_min).ok_or_else(|| RTreeError::Corrupt {
+            page: PageId(0),
+            reason: format!("invalid capacity {cap_max}/{cap_min}"),
+        })?;
+        Self::check_capacity(&pool, cap)?;
+        Ok(Self {
+            pool,
+            cap,
+            policy,
+            root,
+            height,
+            len,
+            free: Vec::new(),
+        })
+    }
+
+    /// Write metadata to page 0 (directly to disk, bypassing the buffer)
+    /// and flush dirty node pages. After `persist`, [`RTree::open`] on the
+    /// same disk reconstructs the tree.
+    ///
+    /// The in-memory free list (pages released by deletions) is not
+    /// persisted: a reopened tree simply allocates fresh pages instead
+    /// of reusing those slots. This wastes at most the freed pages'
+    /// space on disk and never affects correctness.
+    pub fn persist(&self) -> Result<()> {
+        let ps = self.pool.page_size();
+        let mut page = vec![0u8; ps];
+        {
+            let mut buf = &mut page[..];
+            buf.put_u32_le(META_MAGIC);
+            buf.put_u32_le(D as u32);
+            buf.put_u64_le(self.root.index());
+            buf.put_u32_le(self.height);
+            buf.put_u32_le(self.cap.max() as u32);
+            buf.put_u32_le(self.cap.min() as u32);
+            buf.put_u32_le(self.policy.tag());
+            buf.put_u64_le(self.len);
+        }
+        self.pool.flush()?;
+        self.pool.disk().write_page(PageId(0), &page)?;
+        self.pool.disk().sync()?;
+        Ok(())
+    }
+
+    fn check_capacity(pool: &BufferPool, cap: NodeCapacity) -> Result<()> {
+        let max = codec::max_capacity::<D>(pool.page_size());
+        if cap.max() > max {
+            return Err(RTreeError::CapacityTooLarge {
+                requested: cap.max(),
+                max,
+            });
+        }
+        Ok(())
+    }
+
+    /// The buffer pool (for I/O statistics: a query's disk accesses are
+    /// the pool's miss-count delta across the query).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Node capacity.
+    pub fn capacity(&self) -> NodeCapacity {
+        self.cap
+    }
+
+    /// Split policy used by dynamic insertion.
+    pub fn split_policy(&self) -> SplitPolicy {
+        self.policy
+    }
+
+    /// Set the split policy for subsequent insertions.
+    pub fn set_split_policy(&mut self, policy: SplitPolicy) {
+        self.policy = policy;
+    }
+
+    /// Number of data objects.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of levels (1 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Root page id.
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// MBR of the whole tree (empty rect for an empty tree).
+    pub fn root_mbr(&self) -> Result<Rect<D>> {
+        Ok(self.read_node(self.root)?.mbr())
+    }
+
+    // ---- node I/O ----------------------------------------------------
+
+    /// Read and decode the node on `page` through the buffer pool.
+    pub(crate) fn read_node(&self, page: PageId) -> Result<Node<D>> {
+        self.pool.with_page(page, |bytes| codec::decode::<D>(bytes, page))?
+    }
+
+    /// Encode and write `node` to `page` through the buffer pool.
+    pub(crate) fn write_node(&self, page: PageId, node: &Node<D>) -> Result<()> {
+        let ps = self.pool.page_size();
+        let mut buf = vec![0u8; ps];
+        codec::encode(node, &mut buf);
+        self.pool.write_page(page, &buf)?;
+        Ok(())
+    }
+
+    /// Get a page for a new node: reuse a freed page or allocate.
+    pub(crate) fn alloc_page(&mut self) -> Result<PageId> {
+        if let Some(p) = self.free.pop() {
+            return Ok(p);
+        }
+        Ok(self.pool.disk().allocate()?)
+    }
+
+    /// Return a page to the free list.
+    pub(crate) fn free_page(&mut self, page: PageId) {
+        self.free.push(page);
+    }
+
+    // ---- queries ------------------------------------------------------
+
+    /// All `(rect, data-id)` pairs whose rectangle intersects `query`.
+    ///
+    /// This is the recursive procedure of §2.1: starting at the root,
+    /// retrieve the rectangles at each node that intersect the query;
+    /// recurse into the corresponding subtrees of internal nodes; report
+    /// matching leaf entries.
+    pub fn query_region(&self, query: &Rect<D>) -> Result<Vec<(Rect<D>, u64)>> {
+        let mut out = Vec::new();
+        self.query_region_visit(query, &mut |rect, id| out.push((rect, id)))?;
+        Ok(out)
+    }
+
+    /// Visitor-form region query (no result allocation).
+    pub fn query_region_visit(
+        &self,
+        query: &Rect<D>,
+        visit: &mut impl FnMut(Rect<D>, u64),
+    ) -> Result<()> {
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page)?;
+            if node.is_leaf() {
+                for e in node.matching(query) {
+                    visit(e.rect, e.payload);
+                }
+            } else {
+                for e in node.matching(query) {
+                    stack.push(e.child_page());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All `(rect, data-id)` pairs whose rectangle contains `point`.
+    pub fn query_point(&self, point: &Point<D>) -> Result<Vec<(Rect<D>, u64)>> {
+        self.query_region(&Rect::from_point(*point))
+    }
+
+    /// Count of intersecting entries, without materializing them.
+    pub fn count_region(&self, query: &Rect<D>) -> Result<u64> {
+        let mut n = 0u64;
+        self.query_region_visit(query, &mut |_, _| n += 1)?;
+        Ok(n)
+    }
+
+    /// All entries whose rectangle lies entirely **inside** `query`
+    /// (containment query). Subtrees whose MBR is fully inside the query
+    /// are reported without further filtering; subtrees that merely
+    /// intersect are descended.
+    pub fn query_contained(&self, query: &Rect<D>) -> Result<Vec<(Rect<D>, u64)>> {
+        let mut out = Vec::new();
+        // (page, known_contained): once an ancestor MBR is inside the
+        // query, every entry below is too.
+        let mut stack = vec![(self.root, false)];
+        while let Some((page, contained)) = stack.pop() {
+            let node = self.read_node(page)?;
+            if node.is_leaf() {
+                for e in &node.entries {
+                    if contained || query.contains_rect(&e.rect) {
+                        out.push((e.rect, e.payload));
+                    }
+                }
+            } else {
+                for e in &node.entries {
+                    if contained || query.contains_rect(&e.rect) {
+                        stack.push((e.child_page(), true));
+                    } else if e.rect.intersects(query) {
+                        stack.push((e.child_page(), false));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// All entries whose rectangle fully **encloses** `query` (enclosure
+    /// query: "which zoning polygons cover this parcel?"). Only subtrees
+    /// whose MBR contains the whole query can hold an enclosing entry.
+    pub fn query_enclosing(&self, query: &Rect<D>) -> Result<Vec<(Rect<D>, u64)>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page)?;
+            for e in &node.entries {
+                if e.rect.contains_rect(query) {
+                    if node.is_leaf() {
+                        out.push((e.rect, e.payload));
+                    } else {
+                        stack.push(e.child_page());
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `k` data entries nearest to `point` (by MBR distance),
+    /// nearest first. Best-first (Hjaltason–Samet) traversal — an
+    /// extension beyond the paper's intersection queries.
+    pub fn nearest(&self, point: &Point<D>, k: usize) -> Result<Vec<(Rect<D>, u64, f64)>> {
+        #[derive(PartialEq)]
+        enum Item<const D: usize> {
+            Node(PageId),
+            Data(Rect<D>, u64),
+        }
+        struct Queued<const D: usize>(f64, Item<D>);
+        impl<const D: usize> PartialEq for Queued<D> {
+            fn eq(&self, o: &Self) -> bool {
+                self.0 == o.0
+            }
+        }
+        impl<const D: usize> Eq for Queued<D> {}
+        impl<const D: usize> PartialOrd for Queued<D> {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl<const D: usize> Ord for Queued<D> {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                // Reverse: BinaryHeap is a max-heap, we want nearest first.
+                geom::total_cmp_f64(o.0, self.0)
+            }
+        }
+
+        let mut out = Vec::with_capacity(k);
+        if k == 0 || self.is_empty() {
+            return Ok(out);
+        }
+        let mut heap: BinaryHeap<Queued<D>> = BinaryHeap::new();
+        heap.push(Queued(0.0, Item::Node(self.root)));
+        while let Some(Queued(dist, item)) = heap.pop() {
+            match item {
+                Item::Data(rect, id) => {
+                    out.push((rect, id, dist.sqrt()));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Item::Node(page) => {
+                    let node = self.read_node(page)?;
+                    for e in &node.entries {
+                        let d = e.rect.min_dist2(point);
+                        let item = if node.is_leaf() {
+                            Item::Data(e.rect, e.payload)
+                        } else {
+                            Item::Node(e.child_page())
+                        };
+                        heap.push(Queued(d, item));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ---- traversal ----------------------------------------------------
+
+    /// Visit every node, parents before children. The callback receives
+    /// `(page, node)`.
+    pub fn visit_nodes(&self, visit: &mut impl FnMut(PageId, &Node<D>)) -> Result<()> {
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page)?;
+            if !node.is_leaf() {
+                for e in &node.entries {
+                    stack.push(e.child_page());
+                }
+            }
+            visit(page, &node);
+        }
+        Ok(())
+    }
+
+    /// MBRs of all nodes at `level` (0 = leaves). Used for the paper's
+    /// Figures 2–4 (leaf MBR plots) and the area/perimeter tables.
+    pub fn level_mbrs(&self, level: u32) -> Result<Vec<Rect<D>>> {
+        let mut out = Vec::new();
+        self.visit_nodes(&mut |_, node| {
+            if node.level == level {
+                out.push(node.mbr());
+            }
+        })?;
+        Ok(out)
+    }
+
+    /// Every leaf data entry in the tree.
+    pub fn all_entries(&self) -> Result<Vec<(Rect<D>, u64)>> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        self.visit_nodes(&mut |_, node| {
+            if node.is_leaf() {
+                out.extend(node.entries.iter().map(|e| (e.rect, e.payload)));
+            }
+        })?;
+        Ok(out)
+    }
+
+    /// Total number of node pages (all levels).
+    pub fn node_count(&self) -> Result<u64> {
+        let mut n = 0;
+        self.visit_nodes(&mut |_, _| n += 1)?;
+        Ok(n)
+    }
+
+    /// Pin the top `levels` levels of the tree (1 = the root only) into
+    /// the buffer pool, returning the pinned pages. The §3 alternative
+    /// buffering policy: "pin the root and some number of the first few
+    /// R-tree levels and then use an LRU scheme for the remaining nodes."
+    ///
+    /// The caller must [`unpin_pages`](Self::unpin_pages) before clearing
+    /// or resizing the pool. Fails with `AllFramesPinned` if the pinned
+    /// set would not leave a free frame.
+    pub fn pin_levels(&self, levels: u32) -> Result<Vec<PageId>> {
+        let cutoff = self.height.saturating_sub(levels);
+        let mut pinned = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = self.read_node(page)?;
+            if node.level < cutoff {
+                continue;
+            }
+            self.pool.pin(page)?;
+            pinned.push(page);
+            if !node.is_leaf() && node.level > cutoff {
+                for e in &node.entries {
+                    stack.push(e.child_page());
+                }
+            }
+        }
+        Ok(pinned)
+    }
+
+    /// Release pins taken by [`pin_levels`](Self::pin_levels).
+    pub fn unpin_pages(&self, pages: &[PageId]) {
+        for &p in pages {
+            self.pool.unpin(p);
+        }
+    }
+
+    // ---- validation ---------------------------------------------------
+
+    /// Check the structural invariants:
+    ///
+    /// 1. every child of a level-`l` node is at level `l − 1`;
+    /// 2. every internal entry's rectangle is exactly the MBR of its
+    ///    child's entries (tightness);
+    /// 3. no node exceeds the capacity maximum, and (when
+    ///    `enforce_min_fill`) every non-root node has at least the
+    ///    capacity minimum — packed trees legitimately violate the
+    ///    minimum in their final node per level, so it is optional;
+    /// 4. the recorded length equals the number of leaf entries;
+    /// 5. the recorded height equals the root's level + 1;
+    /// 6. no page is reachable twice (the "tree" is a tree).
+    pub fn validate(&self, enforce_min_fill: bool) -> Result<()> {
+        let mut seen = std::collections::HashSet::new();
+        let mut leaf_entries = 0u64;
+        let root_node = self.read_node(self.root)?;
+        if root_node.level + 1 != self.height {
+            return Err(RTreeError::Invalid(format!(
+                "height {} but root level {}",
+                self.height, root_node.level
+            )));
+        }
+        let mut stack: Vec<(PageId, Option<Rect<D>>)> = vec![(self.root, None)];
+        while let Some((page, expected_mbr)) = stack.pop() {
+            if !seen.insert(page) {
+                return Err(RTreeError::Invalid(format!("{page} reachable twice")));
+            }
+            let node = self.read_node(page)?;
+            if node.len() > self.cap.max() {
+                return Err(RTreeError::Invalid(format!(
+                    "{page} holds {} entries, max {}",
+                    node.len(),
+                    self.cap.max()
+                )));
+            }
+            let is_root = page == self.root;
+            if enforce_min_fill && !is_root && node.len() < self.cap.min() {
+                return Err(RTreeError::Invalid(format!(
+                    "{page} holds {} entries, min {}",
+                    node.len(),
+                    self.cap.min()
+                )));
+            }
+            if is_root && !node.is_leaf() && node.len() < 2 {
+                return Err(RTreeError::Invalid(
+                    "internal root with fewer than 2 children".into(),
+                ));
+            }
+            if let Some(expected) = expected_mbr {
+                let actual = node.mbr();
+                if actual != expected {
+                    return Err(RTreeError::Invalid(format!(
+                        "{page}: parent records MBR {expected}, node is {actual}"
+                    )));
+                }
+            }
+            if node.is_leaf() {
+                leaf_entries += node.len() as u64;
+            } else {
+                for e in &node.entries {
+                    let child = e.child_page();
+                    let child_node = self.read_node(child)?;
+                    if child_node.level + 1 != node.level {
+                        return Err(RTreeError::Invalid(format!(
+                            "{page} (level {}) points at {child} (level {})",
+                            node.level, child_node.level
+                        )));
+                    }
+                    stack.push((child, Some(e.rect)));
+                }
+            }
+        }
+        if leaf_entries != self.len {
+            return Err(RTreeError::Invalid(format!(
+                "recorded len {} but found {leaf_entries} leaf entries",
+                self.len
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use storage::MemDisk;
+
+    fn new_tree(cap: usize) -> RTree<2> {
+        let disk = Arc::new(MemDisk::default_size());
+        let pool = Arc::new(BufferPool::new(disk, 64));
+        RTree::create(pool, NodeCapacity::new(cap).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = new_tree(4);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert!(t.root_mbr().unwrap().is_empty());
+        assert!(t.query_region(&Rect::unit()).unwrap().is_empty());
+        assert!(t.nearest(&Point::new([0.5, 0.5]), 3).unwrap().is_empty());
+        t.validate(true).unwrap();
+    }
+
+    #[test]
+    fn capacity_exceeding_page_rejected() {
+        let disk = Arc::new(MemDisk::new(256));
+        let pool = Arc::new(BufferPool::new(disk, 4));
+        // 256-byte pages hold (256-24)/40 = 5 two-dimensional entries.
+        let err = RTree::<2>::create(pool, NodeCapacity::new(100).unwrap()).unwrap_err();
+        assert!(matches!(err, RTreeError::CapacityTooLarge { max: 5, .. }));
+    }
+
+    #[test]
+    fn persist_and_reopen_empty() {
+        let disk = Arc::new(MemDisk::default_size());
+        let pool = Arc::new(BufferPool::new(disk.clone() as Arc<dyn storage::Disk>, 16));
+        let t = RTree::<2>::create(pool, NodeCapacity::new(10).unwrap()).unwrap();
+        t.persist().unwrap();
+        let pool2 = Arc::new(BufferPool::new(disk as Arc<dyn storage::Disk>, 16));
+        let t2 = RTree::<2>::open(pool2).unwrap();
+        assert_eq!(t2.len(), 0);
+        assert_eq!(t2.height(), 1);
+        assert_eq!(t2.capacity().max(), 10);
+    }
+
+    #[test]
+    fn open_wrong_dimension_fails() {
+        let disk = Arc::new(MemDisk::default_size());
+        let pool = Arc::new(BufferPool::new(disk.clone() as Arc<dyn storage::Disk>, 16));
+        let t = RTree::<2>::create(pool, NodeCapacity::new(10).unwrap()).unwrap();
+        t.persist().unwrap();
+        let pool2 = Arc::new(BufferPool::new(disk as Arc<dyn storage::Disk>, 16));
+        assert!(RTree::<3>::open(pool2).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the node page codec.
+
+use geom::Rect;
+use proptest::prelude::*;
+use rtree::codec;
+use rtree::{Entry, Node};
+use storage::PageId;
+
+fn entry2() -> impl Strategy<Value = Entry<2>> {
+    (
+        -1e6f64..1e6,
+        -1e6f64..1e6,
+        0.0f64..1e3,
+        0.0f64..1e3,
+        any::<u64>(),
+    )
+        .prop_map(|(x, y, w, h, id)| Entry::data(Rect::new([x, y], [x + w, y + h]), id))
+}
+
+fn node2() -> impl Strategy<Value = Node<2>> {
+    (0u32..8, prop::collection::vec(entry2(), 0..100))
+        .prop_map(|(level, entries)| Node { level, entries })
+}
+
+proptest! {
+    #[test]
+    fn round_trip_any_node(node in node2()) {
+        let mut page = vec![0u8; 4096];
+        codec::encode(&node, &mut page);
+        let back: Node<2> = codec::decode(&page, PageId(0)).unwrap();
+        prop_assert_eq!(back, node);
+    }
+
+    #[test]
+    fn double_encode_is_idempotent(a in node2(), b in node2()) {
+        // Encoding b over a frame that held a must look exactly like
+        // encoding b onto a fresh page.
+        let mut page1 = vec![0u8; 4096];
+        codec::encode(&a, &mut page1);
+        codec::encode(&b, &mut page1);
+        let back: Node<2> = codec::decode(&page1, PageId(0)).unwrap();
+        prop_assert_eq!(back, b);
+    }
+
+    #[test]
+    fn decode_never_panics_on_noise(bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        // Arbitrary bytes either decode to some valid node (astronomically
+        // unlikely) or produce an error — never a panic.
+        let _ = codec::decode::<2>(&bytes, PageId(9));
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected(node in node2(), bit in 0usize..(4096 * 8)) {
+        // Prop: any single-bit corruption inside the meaningful region is
+        // caught by magic, header validation or checksum.
+        prop_assume!(!node.entries.is_empty());
+        let mut page = vec![0u8; 4096];
+        codec::encode(&node, &mut page);
+        let used = 24 + node.entries.len() * codec::entry_size::<2>();
+        let byte = (bit / 8) % used;
+        page[byte] ^= 1 << (bit % 8);
+        match codec::decode::<2>(&page, PageId(0)) {
+            Err(_) => {} // detected
+            Ok(back) => {
+                // The flip landed somewhere ignored by comparison only if
+                // the decoded node still equals the original — which a
+                // flip inside the used region cannot do silently, so any
+                // Ok must differ and is a missed detection.
+                prop_assert_eq!(back, node, "silent corruption");
+            }
+        }
+    }
+}

@@ -1,0 +1,618 @@
+//! LRU buffer pool.
+//!
+//! The paper's buffer manager (§3): a fixed number of page frames managed
+//! with a least-recently-used policy, applied uniformly to every level of
+//! the R-tree ("We use LRU for all the nodes (regardless of their level) to
+//! simplify the parameter space"). A page evicted while dirty is written
+//! back to disk immediately.
+//!
+//! A *disk access* in every table of the paper is a miss in this pool.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{Disk, PageId, Result, StorageError};
+
+/// Snapshot of buffer-pool counters. All counters are cumulative; diff two
+/// snapshots to attribute activity to a phase (e.g. one query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BufferStats {
+    /// Requests satisfied without touching the disk.
+    pub hits: u64,
+    /// Requests that had to read the page from disk — the paper's
+    /// "disk accesses".
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Dirty evictions that forced a write-back.
+    pub writebacks: u64,
+}
+
+impl BufferStats {
+    /// Counter-wise difference (`self` must be the later snapshot).
+    pub fn since(&self, earlier: &BufferStats) -> BufferStats {
+        BufferStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            writebacks: self.writebacks - earlier.writebacks,
+        }
+    }
+
+    /// Hit rate in [0, 1]; 0 for an untouched pool.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Frame {
+    page: PageId,
+    data: Box<[u8]>,
+    dirty: bool,
+    pins: u32,
+    // Intrusive LRU list: head = most recently used.
+    prev: usize,
+    next: usize,
+}
+
+struct Inner {
+    capacity: usize,
+    frames: Vec<Frame>,
+    map: HashMap<PageId, usize>,
+    head: usize,
+    tail: usize,
+    free: Vec<usize>,
+    stats: BufferStats,
+}
+
+impl Inner {
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.frames[idx].prev, self.frames[idx].next);
+        if prev != NIL {
+            self.frames[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.frames[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.frames[idx].prev = NIL;
+        self.frames[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.frames[idx].prev = NIL;
+        self.frames[idx].next = self.head;
+        if self.head != NIL {
+            self.frames[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.detach(idx);
+        self.push_front(idx);
+    }
+
+    /// Pick a victim frame: least recently used among unpinned frames.
+    fn victim(&self) -> Option<usize> {
+        let mut idx = self.tail;
+        while idx != NIL {
+            if self.frames[idx].pins == 0 {
+                return Some(idx);
+            }
+            idx = self.frames[idx].prev;
+        }
+        None
+    }
+}
+
+/// An LRU buffer pool over a [`Disk`].
+///
+/// Thread-safe via a single internal mutex: the experiments are
+/// sequential (matching the paper's single query stream), so contention is
+/// not a concern; correctness under concurrent use still holds.
+///
+/// ```
+/// use std::sync::Arc;
+/// use storage::{BufferPool, Disk, MemDisk, PageId};
+///
+/// let disk = Arc::new(MemDisk::new(512));
+/// let page = disk.allocate().unwrap();
+/// let pool = BufferPool::new(disk, 4);
+/// pool.with_page_mut(page, |bytes| bytes[0] = 42).unwrap();
+/// pool.with_page(page, |bytes| assert_eq!(bytes[0], 42)).unwrap();
+/// // One miss (the first fetch), one hit.
+/// assert_eq!(pool.stats().misses, 1);
+/// assert_eq!(pool.stats().hits, 1);
+/// ```
+pub struct BufferPool {
+    disk: Arc<dyn Disk>,
+    page_size: usize,
+    inner: Mutex<Inner>,
+}
+
+impl BufferPool {
+    /// Create a pool of `capacity` frames over `disk`.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(disk: Arc<dyn Disk>, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        let page_size = disk.page_size();
+        Self {
+            disk,
+            page_size,
+            inner: Mutex::new(Inner {
+                capacity,
+                frames: Vec::new(),
+                map: HashMap::new(),
+                head: NIL,
+                tail: NIL,
+                free: Vec::new(),
+                stats: BufferStats::default(),
+            }),
+        }
+    }
+
+    /// The disk underneath.
+    pub fn disk(&self) -> &Arc<dyn Disk> {
+        &self.disk
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> BufferStats {
+        self.inner.lock().stats
+    }
+
+    /// Reset counters to zero (the resident set is left alone). Used
+    /// between the build phase and the measured query phase.
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = BufferStats::default();
+    }
+
+    /// Ensure `id` is resident and pass its bytes to `f`.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.pin_frame(&mut inner, id, true)?;
+        let out = f(&inner.frames[idx].data);
+        inner.frames[idx].pins -= 1;
+        Ok(out)
+    }
+
+    /// Ensure `id` is resident, pass its bytes mutably to `f`, and mark the
+    /// frame dirty.
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.pin_frame(&mut inner, id, true)?;
+        inner.frames[idx].dirty = true;
+        let out = f(&mut inner.frames[idx].data);
+        inner.frames[idx].pins -= 1;
+        Ok(out)
+    }
+
+    /// Overwrite page `id` entirely with `bytes` without reading the old
+    /// contents from disk first (the frame is dirtied; write-back happens
+    /// on eviction or [`flush`](Self::flush)).
+    pub fn write_page(&self, id: PageId, bytes: &[u8]) -> Result<()> {
+        if bytes.len() != self.page_size {
+            return Err(StorageError::PageSizeMismatch {
+                expected: self.page_size,
+                got: bytes.len(),
+            });
+        }
+        let mut inner = self.inner.lock();
+        let idx = self.pin_frame(&mut inner, id, false)?;
+        inner.frames[idx].dirty = true;
+        inner.frames[idx].data.copy_from_slice(bytes);
+        inner.frames[idx].pins -= 1;
+        Ok(())
+    }
+
+    /// Copy page `id` into `out`.
+    pub fn read_into(&self, id: PageId, out: &mut [u8]) -> Result<()> {
+        if out.len() != self.page_size {
+            return Err(StorageError::PageSizeMismatch {
+                expected: self.page_size,
+                got: out.len(),
+            });
+        }
+        self.with_page(id, |data| out.copy_from_slice(data))
+    }
+
+    /// Write every dirty frame back to disk (frames stay resident).
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let dirty: Vec<usize> = (0..inner.frames.len())
+            .filter(|&i| inner.frames[i].page.is_valid() && inner.frames[i].dirty)
+            .collect();
+        for idx in dirty {
+            let page = inner.frames[idx].page;
+            self.disk.write_page(page, &inner.frames[idx].data)?;
+            inner.frames[idx].dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Flush and drop every resident page; the pool becomes cold.
+    pub fn clear(&self) -> Result<()> {
+        self.flush()?;
+        let mut inner = self.inner.lock();
+        if inner.frames.iter().any(|f| f.pins > 0) {
+            return Err(StorageError::AllFramesPinned);
+        }
+        inner.frames.clear();
+        inner.map.clear();
+        inner.head = NIL;
+        inner.tail = NIL;
+        inner.free.clear();
+        Ok(())
+    }
+
+    /// Change the frame capacity. The pool is flushed and emptied first so
+    /// experiments at different buffer sizes start from the same cold
+    /// state.
+    pub fn set_capacity(&self, capacity: usize) -> Result<()> {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        self.clear()?;
+        self.inner.lock().capacity = capacity;
+        Ok(())
+    }
+
+    /// Whether page `id` is currently resident (does not touch LRU order
+    /// or counters).
+    pub fn is_resident(&self, id: PageId) -> bool {
+        self.inner.lock().map.contains_key(&id)
+    }
+
+    /// Fetch `id` and leave it pinned: the frame can never be evicted
+    /// until [`unpin`](Self::unpin).
+    ///
+    /// This is the alternative buffering policy §3 of the STR paper
+    /// discusses — "pin the root and some number of the first few R-tree
+    /// levels and then use an LRU scheme for the remaining nodes" — and
+    /// rejects for its experiments, citing Leutenegger & Lopez's finding
+    /// that pinning rarely helps. Exposing it makes that claim testable
+    /// here (see the `pinning_ablation` test and the buffer benches).
+    ///
+    /// Counts as a normal request for hit/miss statistics. Pins nest:
+    /// pin twice, unpin twice.
+    pub fn pin(&self, id: PageId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        // Keep the pin count from pin_frame — the caller owns it now.
+        self.pin_frame(&mut inner, id, true)?;
+        Ok(())
+    }
+
+    /// Release one pin on `id` taken via [`pin`](Self::pin).
+    ///
+    /// Unpinning a page that is not resident or not pinned is a no-op:
+    /// the pool may legitimately have been cleared or resized in between.
+    pub fn unpin(&self, id: PageId) {
+        let mut inner = self.inner.lock();
+        if let Some(&idx) = inner.map.get(&id) {
+            if inner.frames[idx].pins > 0 {
+                inner.frames[idx].pins -= 1;
+            }
+        }
+    }
+
+    /// Number of distinct pinned frames (for assertions and debugging).
+    pub fn pinned_count(&self) -> usize {
+        self.inner
+            .lock()
+            .frames
+            .iter()
+            .filter(|f| f.page.is_valid() && f.pins > 0)
+            .count()
+    }
+
+    /// Make `id` resident and pinned (pin count +1), returning its frame
+    /// index. `read_from_disk` controls whether a missing page's contents
+    /// are fetched (false when the caller will overwrite the whole page).
+    fn pin_frame(&self, inner: &mut Inner, id: PageId, read_from_disk: bool) -> Result<usize> {
+        if let Some(&idx) = inner.map.get(&id) {
+            inner.stats.hits += 1;
+            inner.touch(idx);
+            inner.frames[idx].pins += 1;
+            return Ok(idx);
+        }
+
+        inner.stats.misses += 1;
+
+        // Find a frame: free list, then grow up to capacity, then evict.
+        let idx = if let Some(idx) = inner.free.pop() {
+            idx
+        } else if inner.frames.len() < inner.capacity {
+            inner.frames.push(Frame {
+                page: PageId::INVALID,
+                data: vec![0u8; self.page_size].into_boxed_slice(),
+                dirty: false,
+                pins: 0,
+                prev: NIL,
+                next: NIL,
+            });
+            inner.frames.len() - 1
+        } else {
+            let victim = inner.victim().ok_or(StorageError::AllFramesPinned)?;
+            let old = inner.frames[victim].page;
+            inner.stats.evictions += 1;
+            if inner.frames[victim].dirty {
+                // "When a node is pushed out of the buffer the node is
+                // immediately written to disk" (§3).
+                inner.stats.writebacks += 1;
+                self.disk.write_page(old, &inner.frames[victim].data)?;
+                inner.frames[victim].dirty = false;
+            }
+            inner.map.remove(&old);
+            inner.detach(victim);
+            victim
+        };
+
+        if read_from_disk {
+            self.disk.read_page(id, &mut inner.frames[idx].data)?;
+        } else {
+            inner.frames[idx].data.fill(0);
+        }
+        inner.frames[idx].page = id;
+        inner.frames[idx].dirty = false;
+        inner.frames[idx].pins = 1;
+        inner.map.insert(id, idx);
+        inner.push_front(idx);
+        Ok(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDisk;
+
+    fn setup(capacity: usize, pages: usize) -> (Arc<MemDisk>, BufferPool) {
+        let disk = Arc::new(MemDisk::new(64));
+        for _ in 0..pages {
+            disk.allocate().unwrap();
+        }
+        let pool = BufferPool::new(disk.clone() as Arc<dyn Disk>, capacity);
+        (disk, pool)
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let (_d, pool) = setup(4, 2);
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let (disk, pool) = setup(2, 3);
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        pool.with_page(PageId(1), |_| {}).unwrap();
+        // Touch 0 so 1 becomes LRU.
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        // 2 evicts 1.
+        pool.with_page(PageId(2), |_| {}).unwrap();
+        assert!(pool.is_resident(PageId(0)));
+        assert!(!pool.is_resident(PageId(1)));
+        assert!(pool.is_resident(PageId(2)));
+        assert_eq!(pool.stats().evictions, 1);
+        // Clean eviction: no writeback.
+        assert_eq!(disk.stats().writes(), 0);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let (disk, pool) = setup(1, 2);
+        pool.with_page_mut(PageId(0), |data| data[0] = 42).unwrap();
+        pool.with_page(PageId(1), |_| {}).unwrap(); // evicts dirty 0
+        assert_eq!(pool.stats().writebacks, 1);
+        assert_eq!(disk.stats().writes(), 1);
+        let mut buf = vec![0u8; 64];
+        disk.read_page(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 42);
+    }
+
+    #[test]
+    fn write_page_skips_disk_read() {
+        let (disk, pool) = setup(2, 1);
+        let bytes = vec![9u8; 64];
+        pool.write_page(PageId(0), &bytes).unwrap();
+        // No disk read happened: the page was fully overwritten.
+        assert_eq!(disk.stats().reads(), 0);
+        pool.with_page(PageId(0), |data| assert_eq!(data[10], 9))
+            .unwrap();
+        pool.flush().unwrap();
+        let mut buf = vec![0u8; 64];
+        disk.read_page(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf, bytes);
+    }
+
+    #[test]
+    fn flush_clears_dirty_once() {
+        let (disk, pool) = setup(4, 2);
+        pool.with_page_mut(PageId(0), |d| d[0] = 1).unwrap();
+        pool.with_page_mut(PageId(1), |d| d[0] = 2).unwrap();
+        pool.flush().unwrap();
+        pool.flush().unwrap(); // second flush writes nothing
+        assert_eq!(disk.stats().writes(), 2);
+    }
+
+    #[test]
+    fn clear_makes_pool_cold() {
+        let (_d, pool) = setup(4, 2);
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        pool.clear().unwrap();
+        assert_eq!(pool.resident(), 0);
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        assert_eq!(pool.stats().misses, 2);
+    }
+
+    #[test]
+    fn set_capacity_resets_resident_set() {
+        let (_d, pool) = setup(2, 4);
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        pool.set_capacity(3).unwrap();
+        assert_eq!(pool.capacity(), 3);
+        assert_eq!(pool.resident(), 0);
+        for i in 0..3 {
+            pool.with_page(PageId(i), |_| {}).unwrap();
+        }
+        assert_eq!(pool.stats().evictions, 0);
+        pool.with_page(PageId(3), |_| {}).unwrap();
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn stats_since() {
+        let (_d, pool) = setup(2, 2);
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        let before = pool.stats();
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        pool.with_page(PageId(1), |_| {}).unwrap();
+        let delta = pool.stats().since(&before);
+        assert_eq!(delta, BufferStats { hits: 1, misses: 1, evictions: 0, writebacks: 0 });
+    }
+
+    #[test]
+    fn reset_stats_keeps_resident_pages() {
+        let (_d, pool) = setup(2, 1);
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        pool.reset_stats();
+        assert_eq!(pool.stats(), BufferStats::default());
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        // Still resident: a hit, not a miss.
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().misses, 0);
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let (_d, pool) = setup(1, 3);
+        for round in 0..3u8 {
+            for i in 0..3 {
+                pool.with_page_mut(PageId(i), |d| d[0] = round).unwrap();
+            }
+        }
+        // Every access misses: working set (3) exceeds capacity (1).
+        assert_eq!(pool.stats().misses, 9);
+        assert_eq!(pool.stats().hits, 0);
+    }
+
+    #[test]
+    fn mutation_survives_eviction_cycle() {
+        let (_d, pool) = setup(1, 2);
+        pool.with_page_mut(PageId(0), |d| d[5] = 123).unwrap();
+        pool.with_page(PageId(1), |_| {}).unwrap(); // evict 0 (dirty)
+        pool.with_page(PageId(0), |d| assert_eq!(d[5], 123)).unwrap();
+    }
+
+    #[test]
+    fn pinned_page_survives_pressure() {
+        let (_d, pool) = setup(2, 4);
+        pool.pin(PageId(0)).unwrap();
+        assert_eq!(pool.pinned_count(), 1);
+        // Stream enough other pages to evict anything evictable.
+        for i in 1..4 {
+            pool.with_page(PageId(i), |_| {}).unwrap();
+        }
+        assert!(pool.is_resident(PageId(0)), "pinned page evicted");
+        pool.unpin(PageId(0));
+        assert_eq!(pool.pinned_count(), 0);
+        // Now it can go.
+        pool.with_page(PageId(1), |_| {}).unwrap();
+        pool.with_page(PageId(2), |_| {}).unwrap();
+        assert!(!pool.is_resident(PageId(0)));
+    }
+
+    #[test]
+    fn pins_nest() {
+        let (_d, pool) = setup(1, 2);
+        pool.pin(PageId(0)).unwrap();
+        pool.pin(PageId(0)).unwrap();
+        pool.unpin(PageId(0));
+        // Still pinned once: the only frame is unavailable.
+        assert!(matches!(
+            pool.with_page(PageId(1), |_| {}),
+            Err(StorageError::AllFramesPinned)
+        ));
+        pool.unpin(PageId(0));
+        pool.with_page(PageId(1), |_| {}).unwrap();
+    }
+
+    #[test]
+    fn unpin_of_absent_page_is_noop() {
+        let (_d, pool) = setup(2, 2);
+        pool.unpin(PageId(0)); // never resident
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        pool.unpin(PageId(0)); // resident but unpinned
+        assert_eq!(pool.pinned_count(), 0);
+    }
+
+    #[test]
+    fn all_pinned_fails_cleanly() {
+        let (_d, pool) = setup(2, 3);
+        pool.pin(PageId(0)).unwrap();
+        pool.pin(PageId(1)).unwrap();
+        assert!(matches!(
+            pool.with_page(PageId(2), |_| {}),
+            Err(StorageError::AllFramesPinned)
+        ));
+        // clear() must also refuse while pins are held.
+        assert!(pool.clear().is_err());
+        pool.unpin(PageId(0));
+        pool.with_page(PageId(2), |_| {}).unwrap();
+        pool.unpin(PageId(1));
+        pool.clear().unwrap();
+    }
+
+    #[test]
+    fn page_size_mismatch_rejected() {
+        let (_d, pool) = setup(1, 1);
+        assert!(matches!(
+            pool.write_page(PageId(0), &[0u8; 63]),
+            Err(StorageError::PageSizeMismatch { .. })
+        ));
+        let mut small = [0u8; 10];
+        assert!(matches!(
+            pool.read_into(PageId(0), &mut small),
+            Err(StorageError::PageSizeMismatch { .. })
+        ));
+    }
+}

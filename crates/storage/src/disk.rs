@@ -1,0 +1,366 @@
+//! Simulated and real disks.
+//!
+//! The experiments need a storage device whose accesses can be counted
+//! exactly and that the OS cannot transparently cache — the paper used a
+//! raw disk partition for this. [`MemDisk`] plays that role in simulation;
+//! [`FileDisk`] is provided for runs that want real file I/O.
+
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::{PageId, Result, StorageError};
+
+/// Cumulative I/O counters for a disk. All counters are monotonically
+/// increasing; snapshot before/after a phase and subtract.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl IoStats {
+    /// Pages read from the device so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Pages written to the device so far.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A block device addressed in fixed-size pages.
+pub trait Disk: Send + Sync {
+    /// Page size in bytes. Constant for the lifetime of the disk.
+    fn page_size(&self) -> usize;
+
+    /// Number of allocated pages.
+    fn num_pages(&self) -> u64;
+
+    /// Allocate a fresh zeroed page at the end of the device.
+    fn allocate(&self) -> Result<PageId>;
+
+    /// Read page `id` into `buf` (`buf.len() == page_size`).
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()>;
+
+    /// Write `buf` to page `id` (`buf.len() == page_size`).
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()>;
+
+    /// I/O counters.
+    fn stats(&self) -> &IoStats;
+
+    /// Flush to durable media where applicable.
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+fn check_len(page_size: usize, len: usize) -> Result<()> {
+    if len != page_size {
+        return Err(StorageError::PageSizeMismatch {
+            expected: page_size,
+            got: len,
+        });
+    }
+    Ok(())
+}
+
+fn check_bounds(id: PageId, allocated: u64) -> Result<()> {
+    if !id.is_valid() || id.index() >= allocated {
+        return Err(StorageError::PageOutOfBounds {
+            page: id,
+            allocated,
+        });
+    }
+    Ok(())
+}
+
+/// An in-memory "raw partition": byte-accurate page store with exact
+/// access counters and no hidden caching.
+pub struct MemDisk {
+    page_size: usize,
+    pages: Mutex<Vec<Box<[u8]>>>,
+    stats: IoStats,
+}
+
+impl MemDisk {
+    /// Create an empty disk with the given page size.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        Self {
+            page_size,
+            pages: Mutex::new(Vec::new()),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Create with the default 4 KiB page size.
+    pub fn default_size() -> Self {
+        Self::new(crate::DEFAULT_PAGE_SIZE)
+    }
+}
+
+impl Disk for MemDisk {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        let mut pages = self.pages.lock();
+        let id = PageId(pages.len() as u64);
+        pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        Ok(id)
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        check_len(self.page_size, buf.len())?;
+        let pages = self.pages.lock();
+        check_bounds(id, pages.len() as u64)?;
+        buf.copy_from_slice(&pages[id.index() as usize]);
+        self.stats.record_read();
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        check_len(self.page_size, buf.len())?;
+        let mut pages = self.pages.lock();
+        check_bounds(id, pages.len() as u64)?;
+        pages[id.index() as usize].copy_from_slice(buf);
+        self.stats.record_write();
+        Ok(())
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+/// A file-backed disk using positioned reads/writes. Unlike the raw
+/// partition of the paper, the OS page cache sits underneath this — use it
+/// for persistence, not for access counting (the counters still count our
+/// requests exactly).
+pub struct FileDisk {
+    page_size: usize,
+    file: File,
+    num_pages: AtomicU64,
+    stats: IoStats,
+    grow_lock: Mutex<()>,
+}
+
+impl FileDisk {
+    /// Create (truncating) a file-backed disk at `path`.
+    pub fn create<P: AsRef<Path>>(path: P, page_size: usize) -> Result<Self> {
+        assert!(page_size > 0, "page size must be positive");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            page_size,
+            file,
+            num_pages: AtomicU64::new(0),
+            stats: IoStats::default(),
+            grow_lock: Mutex::new(()),
+        })
+    }
+
+    /// Open an existing disk file; its length must be a whole number of
+    /// pages.
+    pub fn open<P: AsRef<Path>>(path: P, page_size: usize) -> Result<Self> {
+        assert!(page_size > 0, "page size must be positive");
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % page_size as u64 != 0 {
+            return Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("file length {len} is not a multiple of page size {page_size}"),
+            )));
+        }
+        Ok(Self {
+            page_size,
+            file,
+            num_pages: AtomicU64::new(len / page_size as u64),
+            stats: IoStats::default(),
+            grow_lock: Mutex::new(()),
+        })
+    }
+}
+
+impl Disk for FileDisk {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.num_pages.load(Ordering::Acquire)
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        use std::os::unix::fs::FileExt;
+        let _g = self.grow_lock.lock();
+        let id = PageId(self.num_pages.load(Ordering::Acquire));
+        let zeros = vec![0u8; self.page_size];
+        self.file
+            .write_all_at(&zeros, id.index() * self.page_size as u64)?;
+        self.num_pages.fetch_add(1, Ordering::Release);
+        Ok(id)
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        check_len(self.page_size, buf.len())?;
+        check_bounds(id, self.num_pages())?;
+        self.file
+            .read_exact_at(buf, id.index() * self.page_size as u64)?;
+        self.stats.record_read();
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        check_len(self.page_size, buf.len())?;
+        check_bounds(id, self.num_pages())?;
+        self.file
+            .write_all_at(buf, id.index() * self.page_size as u64)?;
+        self.stats.record_write();
+        Ok(())
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(disk: &dyn Disk) {
+        let ps = disk.page_size();
+        let a = disk.allocate().unwrap();
+        let b = disk.allocate().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(disk.num_pages(), 2);
+
+        let mut data = vec![0u8; ps];
+        for (i, byte) in data.iter_mut().enumerate() {
+            *byte = (i % 251) as u8;
+        }
+        disk.write_page(b, &data).unwrap();
+
+        let mut out = vec![0xFFu8; ps];
+        disk.read_page(b, &mut out).unwrap();
+        assert_eq!(out, data);
+
+        // Fresh pages read as zeros.
+        disk.read_page(a, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn memdisk_roundtrip() {
+        let d = MemDisk::new(512);
+        roundtrip(&d);
+        assert_eq!(d.stats().reads(), 2);
+        assert_eq!(d.stats().writes(), 1);
+    }
+
+    #[test]
+    fn filedisk_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("strdisk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.db");
+        let d = FileDisk::create(&path, 512).unwrap();
+        roundtrip(&d);
+        d.sync().unwrap();
+
+        // Reopen and observe the same contents.
+        drop(d);
+        let d2 = FileDisk::open(&path, 512).unwrap();
+        assert_eq!(d2.num_pages(), 2);
+        let mut buf = vec![0u8; 512];
+        d2.read_page(PageId(1), &mut buf).unwrap();
+        assert_eq!(buf[1], 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let d = MemDisk::new(64);
+        let mut buf = vec![0u8; 64];
+        assert!(matches!(
+            d.read_page(PageId(0), &mut buf),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
+        d.allocate().unwrap();
+        assert!(d.read_page(PageId(0), &mut buf).is_ok());
+        assert!(matches!(
+            d.write_page(PageId(1), &buf),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            d.read_page(PageId::INVALID, &mut buf),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_buffer_size_rejected() {
+        let d = MemDisk::new(64);
+        d.allocate().unwrap();
+        let mut small = vec![0u8; 63];
+        assert!(matches!(
+            d.read_page(PageId(0), &mut small),
+            Err(StorageError::PageSizeMismatch { expected: 64, got: 63 })
+        ));
+    }
+
+    #[test]
+    fn counters_are_exact() {
+        let d = MemDisk::new(32);
+        let p = d.allocate().unwrap();
+        let buf = vec![7u8; 32];
+        let mut out = vec![0u8; 32];
+        for _ in 0..5 {
+            d.write_page(p, &buf).unwrap();
+        }
+        for _ in 0..3 {
+            d.read_page(p, &mut out).unwrap();
+        }
+        assert_eq!(d.stats().writes(), 5);
+        assert_eq!(d.stats().reads(), 3);
+    }
+
+    #[test]
+    fn open_rejects_torn_file() {
+        let dir = std::env::temp_dir().join(format!("strdisk-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.db");
+        std::fs::write(&path, vec![0u8; 100]).unwrap();
+        assert!(FileDisk::open(&path, 64).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

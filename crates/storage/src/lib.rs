@@ -1,0 +1,81 @@
+//! Paged storage substrate for the STR reproduction.
+//!
+//! The paper (§3) measures query cost in *disk accesses* and goes out of its
+//! way to defeat OS caching: "we implement our buffer manager using a raw
+//! disk partition … the node is immediately written to disk and not
+//! 'false-buffered' by the operating system's virtual memory manager."
+//!
+//! We reproduce the same measurement discipline in simulation:
+//!
+//! * [`disk::MemDisk`] is a byte-accurate page store with exact read/write
+//!   counters — the "raw partition". [`disk::FileDisk`] is a real
+//!   file-backed variant for experiments that want actual I/O.
+//! * [`buffer::BufferPool`] is the LRU buffer manager from the paper; a
+//!   *disk access* is precisely a buffer-pool miss, and the pool exposes
+//!   per-epoch miss counts so an experiment can attribute misses to
+//!   individual queries while the pool stays warm across the whole
+//!   2,000-query stream.
+
+pub mod buffer;
+pub mod disk;
+pub mod page;
+
+pub use buffer::{BufferPool, BufferStats};
+pub use disk::{Disk, FileDisk, IoStats, MemDisk};
+pub use page::{PageId, DEFAULT_PAGE_SIZE};
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure (file-backed disk only).
+    Io(std::io::Error),
+    /// A page id past the end of the allocated region.
+    PageOutOfBounds {
+        /// The page requested.
+        page: PageId,
+        /// Number of allocated pages.
+        allocated: u64,
+    },
+    /// Every frame in the buffer pool is pinned; nothing can be evicted.
+    AllFramesPinned,
+    /// A buffer whose length does not match the disk's page size.
+    PageSizeMismatch {
+        /// Expected page size in bytes.
+        expected: usize,
+        /// Buffer length supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::PageOutOfBounds { page, allocated } => {
+                write!(f, "page {page} out of bounds ({allocated} allocated)")
+            }
+            StorageError::AllFramesPinned => write!(f, "all buffer frames pinned"),
+            StorageError::PageSizeMismatch { expected, got } => {
+                write!(f, "page size mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

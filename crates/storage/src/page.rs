@@ -1,0 +1,71 @@
+//! Page identifiers and sizing.
+
+/// Identifier of a fixed-size page on the simulated disk.
+///
+/// The paper assumes "exactly one node fits per disk page" (§2.1), so a
+/// `PageId` doubles as the child pointer stored in internal R-tree entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel for "no page"; used in node headers before a parent link
+    /// exists.
+    pub const INVALID: PageId = PageId(u64::MAX);
+
+    /// Whether this is the sentinel.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        *self != Self::INVALID
+    }
+
+    /// The raw index.
+    #[inline]
+    pub fn index(&self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_valid() {
+            write!(f, "p{}", self.0)
+        } else {
+            write!(f, "p<invalid>")
+        }
+    }
+}
+
+impl From<u64> for PageId {
+    fn from(v: u64) -> Self {
+        PageId(v)
+    }
+}
+
+/// Default page size: 4 KiB, a common database block size. A 2-D R-tree
+/// entry is 40 bytes (4 coordinates + child pointer), so >100 entries fit —
+/// the experiments then cap fan-out at the paper's 100 explicitly.
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_sentinel() {
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(0).is_valid());
+        assert!(PageId(u64::MAX - 1).is_valid());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PageId(7).to_string(), "p7");
+        assert_eq!(PageId::INVALID.to_string(), "p<invalid>");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(PageId(1) < PageId(2));
+        assert_eq!(PageId::from(3u64).index(), 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Model-based property tests: the buffer pool against a flat in-memory
+//! model. Whatever sequence of reads, writes, flushes, clears and
+//! resizes runs, reading a page must always return the bytes most
+//! recently written to it.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use storage::{BufferPool, Disk, MemDisk, PageId};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write one byte at a fixed offset of a page (via with_page_mut).
+    Mutate { page: u8, value: u8 },
+    /// Overwrite a full page (via write_page).
+    Overwrite { page: u8, value: u8 },
+    /// Read and check a page.
+    Check { page: u8 },
+    /// Flush dirty frames.
+    Flush,
+    /// Drop the resident set.
+    Clear,
+    /// Resize the pool.
+    Resize { capacity: u8 },
+}
+
+fn op_strategy(pages: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..pages, any::<u8>()).prop_map(|(page, value)| Op::Mutate { page, value }),
+        (0..pages, any::<u8>()).prop_map(|(page, value)| Op::Overwrite { page, value }),
+        (0..pages).prop_map(|page| Op::Check { page }),
+        Just(Op::Flush),
+        Just(Op::Clear),
+        (1..12u8).prop_map(|capacity| Op::Resize { capacity }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pool_agrees_with_flat_model(
+        ops in prop::collection::vec(op_strategy(6), 1..120),
+        capacity in 1..8usize,
+    ) {
+        const PAGE: usize = 64;
+        let disk = Arc::new(MemDisk::new(PAGE));
+        for _ in 0..6 {
+            disk.allocate().unwrap();
+        }
+        let pool = BufferPool::new(disk, capacity);
+        let mut model = vec![vec![0u8; PAGE]; 6];
+
+        for op in ops {
+            match op {
+                Op::Mutate { page, value } => {
+                    pool.with_page_mut(PageId(page as u64), |d| d[7] = value).unwrap();
+                    model[page as usize][7] = value;
+                }
+                Op::Overwrite { page, value } => {
+                    let bytes = vec![value; PAGE];
+                    pool.write_page(PageId(page as u64), &bytes).unwrap();
+                    model[page as usize] = bytes;
+                }
+                Op::Check { page } => {
+                    let expect = model[page as usize].clone();
+                    pool.with_page(PageId(page as u64), |d| {
+                        prop_assert_eq!(d, &expect[..]);
+                        Ok(())
+                    }).unwrap()?;
+                }
+                Op::Flush => pool.flush().unwrap(),
+                Op::Clear => pool.clear().unwrap(),
+                Op::Resize { capacity } => pool.set_capacity(capacity as usize).unwrap(),
+            }
+        }
+
+        // Final sync: after a flush, the raw disk must equal the model.
+        pool.flush().unwrap();
+        let mut buf = vec![0u8; PAGE];
+        for (i, expect) in model.iter().enumerate() {
+            pool.disk().read_page(PageId(i as u64), &mut buf).unwrap();
+            prop_assert_eq!(&buf, expect, "page {} diverged on disk", i);
+        }
+    }
+
+    #[test]
+    fn stats_identities_hold(
+        pages in prop::collection::vec(0..10u64, 1..200),
+        capacity in 1..6usize,
+    ) {
+        let disk = Arc::new(MemDisk::new(32));
+        for _ in 0..10 {
+            disk.allocate().unwrap();
+        }
+        let pool = BufferPool::new(disk.clone() as Arc<dyn Disk>, capacity);
+        for &p in &pages {
+            pool.with_page(PageId(p), |_| {}).unwrap();
+        }
+        let s = pool.stats();
+        // Every request is either a hit or a miss.
+        prop_assert_eq!(s.hits + s.misses, pages.len() as u64);
+        // Every miss is a disk read; no writes happened (all clean).
+        prop_assert_eq!(disk.stats().reads(), s.misses);
+        prop_assert_eq!(disk.stats().writes(), 0);
+        // Residency never exceeds capacity.
+        prop_assert!(pool.resident() <= capacity);
+        // Evictions are exactly the misses that exceeded capacity.
+        prop_assert_eq!(s.evictions, s.misses - pool.resident() as u64);
+    }
+}

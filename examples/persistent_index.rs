@@ -1,0 +1,59 @@
+//! Persistence: build a packed index on a real file, reopen it, query it.
+//!
+//! Everything else in this repository runs on the simulated raw disk; the
+//! same page format works on a real file through [`FileDisk`]. This is
+//! the "fairly static data, available a priori" deployment the paper
+//! says packing is for: build once, serve queries forever.
+//!
+//! ```sh
+//! cargo run --release --example persistent_index
+//! ```
+
+use std::sync::Arc;
+
+use str_rtree::prelude::*;
+
+fn main() {
+    let dir = std::env::temp_dir().join("str-rtree-example");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("vlsi.rtree");
+
+    // Build phase: pack a VLSI-like data set onto the file.
+    {
+        let disk = Arc::new(FileDisk::create(&path, storage::DEFAULT_PAGE_SIZE).expect("create"));
+        let pool = Arc::new(BufferPool::new(disk, 256));
+        let ds = datagen::vlsi::vlsi_like(100_000, 7);
+        let tree = StrPacker::new()
+            .pack(pool, ds.items(), NodeCapacity::new(100).expect("cap"))
+            .expect("pack");
+        tree.persist().expect("flush to disk");
+        println!(
+            "built {} → {} rectangles, {} levels, {} bytes on disk",
+            path.display(),
+            tree.len(),
+            tree.height(),
+            std::fs::metadata(&path).expect("stat").len()
+        );
+    } // tree and pool dropped; only the file remains
+
+    // Serve phase: reopen with a small buffer and query.
+    {
+        let disk = Arc::new(FileDisk::open(&path, storage::DEFAULT_PAGE_SIZE).expect("open"));
+        let pool = Arc::new(BufferPool::new(disk, 32));
+        let tree = RTree::<2>::open(pool).expect("reopen");
+        tree.validate(false).expect("structure intact");
+        println!("reopened: {} rectangles, {} levels", tree.len(), tree.height());
+
+        let q = geom::Rect2::new([0.25, 0.25], [0.27, 0.27]);
+        let before = tree.pool().stats();
+        let hits = tree.query_region(&q).expect("query");
+        let io = tree.pool().stats().since(&before);
+        println!(
+            "query {q}: {} hits with {} page reads from a cold 32-page buffer",
+            hits.len(),
+            io.misses
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,66 @@
+//! Quickstart: pack rectangles with STR, query them, inspect the tree.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use str_rtree::prelude::*;
+
+fn main() {
+    // 10,000 small rectangles scattered over the unit square.
+    let items: Vec<(Rect<2>, u64)> = (0..10_000u64)
+        .map(|i| {
+            // A cheap deterministic scatter (no RNG needed for a demo).
+            let x = ((i.wrapping_mul(2654435761)) % 100_000) as f64 / 100_000.0;
+            let y = ((i.wrapping_mul(40503)) % 99_991) as f64 / 99_991.0;
+            let r = Rect::new([x, y], [(x + 0.003).min(1.0), (y + 0.003).min(1.0)]);
+            (r, i)
+        })
+        .collect();
+
+    // Storage: a simulated raw disk behind a 64-page LRU buffer. Every
+    // R-tree node lives on one 4 KiB page; a "disk access" is a buffer
+    // miss, exactly the metric the STR paper reports.
+    let disk = Arc::new(MemDisk::default_size());
+    let pool = Arc::new(BufferPool::new(disk, 64));
+
+    // Pack with Sort-Tile-Recursive at the paper's fan-out of 100.
+    let cap = NodeCapacity::new(100).expect("valid capacity");
+    let tree = StrPacker::new()
+        .pack(pool, items, cap)
+        .expect("packing an in-memory tree cannot fail");
+
+    println!("packed {} rectangles", tree.len());
+    println!("height      : {} levels", tree.height());
+    let metrics = TreeMetrics::compute(&tree).expect("traversal");
+    println!("nodes       : {}", metrics.nodes);
+    println!("utilization : {:.1}%", metrics.utilization * 100.0);
+    println!("leaf area   : {:.3}", metrics.leaf_area);
+    println!("leaf perim  : {:.2}", metrics.leaf_perimeter);
+
+    // A region query, with its I/O cost.
+    let query = Rect::new([0.40, 0.40], [0.50, 0.50]);
+    let before = tree.pool().stats();
+    let hits = tree.query_region(&query).expect("query");
+    let io = tree.pool().stats().since(&before);
+    println!(
+        "\nregion {query}: {} hits, {} disk accesses ({} buffer hits)",
+        hits.len(),
+        io.misses,
+        io.hits
+    );
+
+    // A point query.
+    let p = geom::Point::new([0.25, 0.75]);
+    let at_point = tree.query_point(&p).expect("query");
+    println!("point {p}: {} rectangles cover it", at_point.len());
+
+    // Nearest neighbours (an extension beyond the paper's query set).
+    let nn = tree.nearest(&p, 3).expect("query");
+    println!("3 nearest to {p}:");
+    for (rect, id, dist) in nn {
+        println!("  #{id} at distance {dist:.4} ({rect})");
+    }
+}

@@ -1,0 +1,79 @@
+//! # str-rtree — STR R-tree packing, reproduced
+//!
+//! A from-scratch Rust implementation of the system in:
+//!
+//! > Scott T. Leutenegger, Jeffrey M. Edgington, Mario A. Lopez.
+//! > *STR: A Simple and Efficient Algorithm for R-Tree Packing.*
+//! > ICDE 1997 (ICASE Report 97-14).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`geom`] — k-dimensional points and rectangles (MBRs).
+//! * [`storage`] — simulated raw disk + LRU buffer pool; a *disk access*
+//!   in every experiment is a buffer-pool miss, exactly as in the paper.
+//! * [`hilbert`] — d-dimensional Hilbert curve with the paper's
+//!   order-preserving float keys.
+//! * [`rtree`] — the paged R-tree substrate: Guttman dynamic insertion,
+//!   deletion, point/region queries, and the bottom-up bulk-load
+//!   framework shared by all packing algorithms.
+//! * [`str_core`] — the three packing algorithms of the paper (STR,
+//!   Hilbert Sort, Nearest-X) behind one [`str_core::PackingOrder`] trait,
+//!   plus tree-quality metrics (area/perimeter sums).
+//! * [`datagen`] — the evaluation's four data-set families (synthetic
+//!   uniform, TIGER-like streets, VLSI-like skewed rectangles, CFD-like
+//!   airfoil meshes) and query workloads.
+//! * [`hrtree`] — the dynamic Hilbert R-tree of Kamel & Faloutsos
+//!   (the paper's reference \[7\]), with cooperative 2-to-3 splitting.
+//! * [`extsort`] — external merge sort, powering out-of-core STR
+//!   packing ([`str_core::pack_str_external`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use str_rtree::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A few rectangles to index.
+//! let rects: Vec<Rect<2>> = (0..1000)
+//!     .map(|i| {
+//!         let x = (i % 32) as f64 / 32.0;
+//!         let y = (i / 32) as f64 / 32.0;
+//!         Rect::new([x, y], [x + 0.01, y + 0.01])
+//!     })
+//!     .collect();
+//!
+//! // Pack them with STR into an R-tree backed by a simulated disk.
+//! let disk = Arc::new(MemDisk::default_size());
+//! let pool = Arc::new(BufferPool::new(disk, 128));
+//! let items: Vec<(Rect<2>, u64)> =
+//!     rects.iter().enumerate().map(|(i, r)| (*r, i as u64)).collect();
+//! let tree = StrPacker::default()
+//!     .pack(pool, items, NodeCapacity::new(100).unwrap())
+//!     .unwrap();
+//!
+//! // Query it.
+//! let hits = tree.query_region(&Rect::new([0.0, 0.0], [0.1, 0.1])).unwrap();
+//! assert!(!hits.is_empty());
+//! ```
+
+pub use datagen;
+pub use extsort;
+pub use geom;
+pub use hilbert;
+pub use hrtree;
+pub use rtree;
+pub use storage;
+pub use str_core;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use datagen::{Dataset, DatasetKind};
+    pub use geom::{Point, Point2, Rect, Rect2};
+    pub use rtree::{NodeCapacity, RPlusTree, RTree};
+    pub use storage::{BufferPool, Disk, FileDisk, MemDisk, PageId};
+    pub use hrtree::HilbertRTree;
+    pub use str_core::{
+        pack, pack_str_external, HilbertPacker, NearestXPacker, PackerKind, PackingOrder,
+        StrPacker, TgsPacker, TreeMetrics,
+    };
+}

