@@ -34,7 +34,9 @@ fn build_variants(items: &[(Rect2, u64)]) -> Vec<(&'static str, RTree<2>)> {
 
     out.push((
         "str_full",
-        StrPacker::new().pack(fresh_pool(), items.to_vec(), cap).unwrap(),
+        StrPacker::new()
+            .pack(fresh_pool(), items.to_vec(), cap)
+            .unwrap(),
     ));
     out.push((
         "str_leaf_only",

@@ -62,20 +62,13 @@ fn bench_node_codec(c: &mut Criterion) {
     let node = Node {
         level: 0,
         entries: (0..100)
-            .map(|i| {
-                Entry::data(
-                    Rect::new([i as f64, 0.0], [i as f64 + 0.5, 1.0]),
-                    i as u64,
-                )
-            })
+            .map(|i| Entry::data(Rect::new([i as f64, 0.0], [i as f64 + 0.5, 1.0]), i as u64))
             .collect::<Vec<Entry<2>>>(),
     };
     let mut page = vec![0u8; 4096];
     let mut g = c.benchmark_group("codec");
     g.throughput(Throughput::Elements(100));
-    g.bench_function("encode_100", |b| {
-        b.iter(|| codec::encode(&node, &mut page))
-    });
+    g.bench_function("encode_100", |b| b.iter(|| codec::encode(&node, &mut page)));
     codec::encode(&node, &mut page);
     g.bench_function("decode_100", |b| {
         b.iter(|| codec::decode::<2>(&page, PageId(0)).unwrap())

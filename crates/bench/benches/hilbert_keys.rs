@@ -39,10 +39,7 @@ fn bench_orderings(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("order_100k");
     let items = uniform_items(100_000, 7);
-    let entries: Vec<Entry<2>> = items
-        .iter()
-        .map(|(r, id)| Entry::data(*r, *id))
-        .collect();
+    let entries: Vec<Entry<2>> = items.iter().map(|(r, id)| Entry::data(*r, *id)).collect();
     let cap = NodeCapacity::new(100).unwrap();
     g.throughput(Throughput::Elements(entries.len() as u64));
     g.sample_size(20);

@@ -15,16 +15,12 @@ fn bench_packers(c: &mut Criterion) {
         let items = uniform_items(n, 1);
         g.throughput(Throughput::Elements(n as u64));
         for kind in PackerKind::ALL {
-            g.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &items,
-                |b, items| {
-                    b.iter(|| {
-                        kind.pack(fresh_pool(), items.clone(), NodeCapacity::new(100).unwrap())
-                            .unwrap()
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(kind.name(), n), &items, |b, items| {
+                b.iter(|| {
+                    kind.pack(fresh_pool(), items.clone(), NodeCapacity::new(100).unwrap())
+                        .unwrap()
+                })
+            });
         }
     }
     g.finish();
@@ -111,9 +107,31 @@ fn bench_dynamic_structures(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_build_throughput(c: &mut Criterion) {
+    // The allocation-free write path end to end: 100k entries through
+    // sort, borrowed-slice encode, and the sequential page writer.
+    // Reported as entries/sec — the number the streaming bulk-load
+    // change is accountable to.
+    let mut g = c.benchmark_group("build_throughput");
+    g.sample_size(10);
+    let n = 100_000usize;
+    let items = uniform_items(n, 3);
+    g.throughput(Throughput::Elements(n as u64));
+    for kind in PackerKind::ALL {
+        g.bench_with_input(BenchmarkId::new(kind.name(), n), &items, |b, items| {
+            b.iter(|| {
+                kind.pack(fresh_pool(), items.clone(), NodeCapacity::new(100).unwrap())
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_packers,
+    bench_build_throughput,
     bench_guttman_baseline,
     bench_parallel_str,
     bench_dynamic_structures

@@ -1,0 +1,112 @@
+//! Decoded vs zero-copy traversal on a 100k-entry STR tree, plus build
+//! throughput — the two sides of this optimization round in one binary.
+//!
+//! Unlike the other benches this one has a custom `main`: after running,
+//! it serializes every sample to `BENCH_pack_query.json` so the numbers
+//! land in a machine-readable artifact next to the human-readable table
+//! (the shim's `samples()` accessor exists for exactly this).
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use geom::Rect2;
+use rtree::{NodeCapacity, RTree};
+use str_bench::{fresh_pool, uniform_items};
+use str_core::PackerKind;
+
+const N: usize = 100_000;
+
+fn bench_build(c: &mut Criterion) {
+    // Full build: sort + encode + streamed sequential write.
+    let items = uniform_items(N, 7);
+    let mut g = c.benchmark_group("pack_100k");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_with_input(BenchmarkId::from_parameter("STR"), &items, |b, items| {
+        b.iter(|| {
+            PackerKind::Str
+                .pack(fresh_pool(), items.clone(), NodeCapacity::new(100).unwrap())
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let tree: RTree<2> = PackerKind::Str
+        .pack(
+            fresh_pool(),
+            uniform_items(N, 7),
+            NodeCapacity::new(100).unwrap(),
+        )
+        .unwrap();
+    let regions = datagen::region_queries(64, &Rect2::unit(), 0.3, 11);
+    // Warm the pool so both paths measure CPU, not first-touch faults.
+    for q in &regions {
+        tree.count_region(q).unwrap();
+    }
+
+    let mut g = c.benchmark_group("region_query_100k");
+    g.sample_size(20);
+    let mut i = 0usize;
+    g.bench_function(BenchmarkId::from_parameter("decoded"), |b| {
+        b.iter(|| {
+            i = (i + 1) % regions.len();
+            let mut n = 0u64;
+            tree.query_region_visit_decoded(&regions[i], &mut |_, _| n += 1)
+                .unwrap();
+            n
+        })
+    });
+    let mut i = 0usize;
+    g.bench_function(BenchmarkId::from_parameter("zero_copy"), |b| {
+        b.iter(|| {
+            i = (i + 1) % regions.len();
+            let mut n = 0u64;
+            tree.query_region_visit(&regions[i], &mut |_, _| n += 1)
+                .unwrap();
+            n
+        })
+    });
+    let mut i = 0usize;
+    g.bench_function(BenchmarkId::from_parameter("zero_copy_iter"), |b| {
+        b.iter(|| {
+            i = (i + 1) % regions.len();
+            tree.iter_region(&regions[i]).count()
+        })
+    });
+    g.finish();
+}
+
+/// Minimal JSON writer — the shim has no serde, and the schema is flat.
+fn write_summary(c: &Criterion, path: &str) -> std::io::Result<()> {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, s) in c.samples().iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"max_ns\": {:.1}, \"throughput_per_sec\": {}}}{}\n",
+            esc(&s.label),
+            s.median_ns,
+            s.min_ns,
+            s.max_ns,
+            s.throughput_per_sec
+                .map_or("null".to_string(), |t| format!("{t:.1}")),
+            if i + 1 == c.samples().len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench_build(&mut c);
+    bench_traversal(&mut c);
+    c.final_summary();
+    let path = "BENCH_pack_query.json";
+    match write_summary(&c, path) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -89,7 +89,11 @@ pub fn generate(dataset: &str, n: usize, seed: u64, output: &Path) -> CliResult<
         }
     };
     csvio::write_items(output, &ds.items())?;
-    Ok(format!("wrote {} rectangles to {}", ds.len(), output.display()))
+    Ok(format!(
+        "wrote {} rectangles to {}",
+        ds.len(),
+        output.display()
+    ))
 }
 
 /// `query`: region query with I/O accounting.
@@ -100,7 +104,13 @@ pub fn query_region(index: &Path, region: geom::Rect2, buffer: usize) -> CliResu
     let io = tree.pool().stats().since(&before);
     let mut out = String::new();
     for (r, id) in &hits {
-        out.push_str(&format!("{},{},{},{},{id}\n", r.lo(0), r.lo(1), r.hi(0), r.hi(1)));
+        out.push_str(&format!(
+            "{},{},{},{},{id}\n",
+            r.lo(0),
+            r.lo(1),
+            r.hi(0),
+            r.hi(1)
+        ));
     }
     out.push_str(&format!(
         "# {} hits, {} disk accesses, {} buffer hits\n",
@@ -192,8 +202,7 @@ pub fn compare(input: &Path, capacity: usize, buffer: usize) -> CliResult<String
     if items.is_empty() {
         return Err(format!("{}: no rectangles", input.display()));
     }
-    let cap = NodeCapacity::new(capacity)
-        .ok_or_else(|| format!("invalid capacity {capacity}"))?;
+    let cap = NodeCapacity::new(capacity).ok_or_else(|| format!("invalid capacity {capacity}"))?;
     // Paper-style probes over the data's bounding box.
     let bbox = geom::Rect2::union_all(items.iter().map(|(r, _)| r));
     let side = 0.1 * bbox.extent(0).max(bbox.extent(1));
@@ -208,20 +217,23 @@ pub fn compare(input: &Path, capacity: usize, buffer: usize) -> CliResult<String
         let packer = parse_packer(name)?;
         let disk = StdArc::new(storage::MemDisk::default_size());
         let pool = StdArc::new(BufferPool::new(disk, 1024));
-        let tree = str_core::pack(pool, items.clone(), cap, packer.as_ref())
-            .map_err(|e| e.to_string())?;
+        let tree =
+            str_core::pack(pool, items.clone(), cap, packer.as_ref()).map_err(|e| e.to_string())?;
         let m = TreeMetrics::compute(&tree).map_err(|e| e.to_string())?;
         let pool = tree.pool();
-        pool.set_capacity(buffer.max(1)).map_err(|e| e.to_string())?;
+        pool.set_capacity(buffer.max(1))
+            .map_err(|e| e.to_string())?;
         pool.reset_stats();
         for p in &points {
             tree.query_point(p).map_err(|e| e.to_string())?;
         }
         let pt_acc = pool.stats().misses as f64 / points.len() as f64;
-        pool.set_capacity(buffer.max(1)).map_err(|e| e.to_string())?;
+        pool.set_capacity(buffer.max(1))
+            .map_err(|e| e.to_string())?;
         pool.reset_stats();
         for q in &regions {
-            tree.query_region_visit(q, &mut |_, _| {}).map_err(|e| e.to_string())?;
+            tree.query_region_visit(q, &mut |_, _| {})
+                .map_err(|e| e.to_string())?;
         }
         let rg_acc = pool.stats().misses as f64 / regions.len() as f64;
         out.push_str(&format!(
@@ -294,12 +306,7 @@ mod tests {
         let msg = validate(&index).unwrap();
         assert!(msg.contains("OK"));
 
-        let out = query_region(
-            &index,
-            geom::Rect2::new([0.0, 0.0], [0.25, 0.25]),
-            32,
-        )
-        .unwrap();
+        let out = query_region(&index, geom::Rect2::new([0.0, 0.0], [0.25, 0.25]), 32).unwrap();
         assert!(out.contains("disk accesses"));
 
         let out = knn(&index, geom::Point2::new([0.5, 0.5]), 3, 32).unwrap();

@@ -38,9 +38,9 @@ pub fn read_items(path: &Path) -> CliResult<Vec<(Rect2, u64)>> {
         }
         let mut v = [0.0f64; 4];
         for (i, f) in fields[..4].iter().enumerate() {
-            v[i] = f.parse().map_err(|e| {
-                format!("{}:{}: field {}: {e}", path.display(), lineno + 1, i + 1)
-            })?;
+            v[i] = f
+                .parse()
+                .map_err(|e| format!("{}:{}: field {}: {e}", path.display(), lineno + 1, i + 1))?;
         }
         let rect = Rect2::try_new([v[0], v[1]], [v[2], v[3]])
             .map_err(|e| format!("{}:{}: {e}", path.display(), lineno + 1))?;
@@ -62,19 +62,11 @@ pub fn read_items(path: &Path) -> CliResult<Vec<(Rect2, u64)>> {
 
 /// Write `(rect, id)` items as CSV.
 pub fn write_items(path: &Path, items: &[(Rect2, u64)]) -> CliResult<()> {
-    let mut file =
-        std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut file = std::fs::File::create(path).map_err(|e| format!("{}: {e}", path.display()))?;
     writeln!(file, "xmin,ymin,xmax,ymax,id").map_err(|e| e.to_string())?;
     for (r, id) in items {
-        writeln!(
-            file,
-            "{},{},{},{},{id}",
-            r.lo(0),
-            r.lo(1),
-            r.hi(0),
-            r.hi(1)
-        )
-        .map_err(|e| e.to_string())?;
+        writeln!(file, "{},{},{},{},{id}", r.lo(0), r.lo(1), r.hi(0), r.hi(1))
+            .map_err(|e| e.to_string())?;
     }
     Ok(())
 }

@@ -27,7 +27,10 @@ pub fn parse_rect(s: &str) -> CliResult<geom::Rect2> {
     }
     let mut v = [0.0f64; 4];
     for (i, p) in parts.iter().enumerate() {
-        v[i] = p.trim().parse().map_err(|e| format!("bad coordinate {i}: {e}"))?;
+        v[i] = p
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad coordinate {i}: {e}"))?;
     }
     geom::Rect2::try_new([v[0], v[1]], [v[2], v[3]]).map_err(|e| e.to_string())
 }
@@ -38,7 +41,10 @@ mod tests {
 
     #[test]
     fn parses_points_and_rects() {
-        assert_eq!(parse_point("0.5, 0.25").unwrap(), geom::Point2::new([0.5, 0.25]));
+        assert_eq!(
+            parse_point("0.5, 0.25").unwrap(),
+            geom::Point2::new([0.5, 0.25])
+        );
         assert!(parse_point("1").is_err());
         assert!(parse_point("a,b").is_err());
         let r = parse_rect("0,0,1,0.5").unwrap();

@@ -54,7 +54,10 @@ impl Flags {
     }
 
     fn opt(&self, key: &str, default: &str) -> String {
-        self.0.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.0
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> CliResult<T>

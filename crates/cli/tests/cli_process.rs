@@ -19,11 +19,24 @@ fn gen_build_query_pipeline() {
     let index = tmp("pipe.rtree");
 
     let out = bin()
-        .args(["gen", "--dataset", "tiger", "--n", "3000", "--seed", "2", "--output"])
+        .args([
+            "gen",
+            "--dataset",
+            "tiger",
+            "--n",
+            "3000",
+            "--seed",
+            "2",
+            "--output",
+        ])
         .arg(&data)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = bin()
         .args(["build", "--packer", "str", "--capacity", "64", "--input"])
@@ -32,7 +45,11 @@ fn gen_build_query_pipeline() {
         .arg(&index)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("packed 3000"));
 
     let out = bin()
@@ -71,7 +88,13 @@ fn bad_usage_exits_nonzero() {
     assert!(!out.status.success());
 
     let out = bin()
-        .args(["query", "--index", "/nonexistent.rtree", "--region", "0,0,1,1"])
+        .args([
+            "query",
+            "--index",
+            "/nonexistent.rtree",
+            "--region",
+            "0,0,1,1",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -102,7 +125,10 @@ fn knn_outputs_k_lines() {
         .output()
         .unwrap();
     assert!(out.status.success());
-    assert_eq!(String::from_utf8_lossy(&out.stdout).trim().lines().count(), 7);
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim().lines().count(),
+        7
+    );
     std::fs::remove_file(&data).ok();
     std::fs::remove_file(&index).ok();
 }

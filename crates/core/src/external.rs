@@ -183,8 +183,7 @@ mod tests {
         let in_memory = StrPacker::new().pack(pool(), data.clone(), cap).unwrap();
         // Budget far below the data size: many runs, real merging.
         let scratch = Arc::new(MemDisk::default_size());
-        let external =
-            pack_str_external(pool(), scratch, data, cap, 500).unwrap();
+        let external = pack_str_external(pool(), scratch, data, cap, 500).unwrap();
 
         assert_eq!(in_memory.len(), external.len());
         assert_eq!(in_memory.height(), external.height());

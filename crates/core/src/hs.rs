@@ -79,8 +79,7 @@ mod tests {
             let dx = (a.lo(0) - b.lo(0)).abs();
             let dy = (a.lo(1) - b.lo(1)).abs();
             assert!(
-                (dx - 0.5).abs() < 1e-12 && dy < 1e-12
-                    || dx < 1e-12 && (dy - 0.5).abs() < 1e-12,
+                (dx - 0.5).abs() < 1e-12 && dy < 1e-12 || dx < 1e-12 && (dy - 0.5).abs() < 1e-12,
                 "non-adjacent quadrants consecutive on the curve"
             );
         }
@@ -89,7 +88,13 @@ mod tests {
     #[test]
     fn preserves_multiset() {
         let mut entries: Vec<Entry<2>> = (0..500)
-            .map(|i| point_entry(((i * 13) % 97) as f64 / 97.0, ((i * 29) % 89) as f64 / 89.0, i))
+            .map(|i| {
+                point_entry(
+                    ((i * 13) % 97) as f64 / 97.0,
+                    ((i * 29) % 89) as f64 / 89.0,
+                    i,
+                )
+            })
             .collect();
         let before: std::collections::HashSet<u64> = entries.iter().map(|e| e.payload).collect();
         PackingOrder::order_level(

@@ -32,7 +32,7 @@ pub use hs::HilbertPacker;
 pub use metrics::TreeMetrics;
 pub use model::{expected_accesses, expected_accesses_rect, expected_leaf_accesses};
 pub use nx::NearestXPacker;
-pub use order::{CustomOrder, PackerKind, PackingOrder};
+pub use order::{sort_by_center, CustomOrder, PackerKind, PackingOrder};
 pub use str_pack::StrPacker;
 pub use tgs::{SplitCost, TgsPacker};
 
@@ -92,7 +92,8 @@ mod tests {
         // Degrade with churn.
         for i in 0..500u64 {
             let f = (i % 100) as f64 / 100.0;
-            tree.insert(Rect::new([f, 0.98], [f, 0.99]), 100_000 + i).unwrap();
+            tree.insert(Rect::new([f, 0.98], [f, 0.99]), 100_000 + i)
+                .unwrap();
         }
         let degraded = TreeMetrics::compute(&tree).unwrap();
         let rebuilt = repack(&tree, fresh_pool(), &StrPacker::new()).unwrap();
@@ -118,6 +119,81 @@ mod tests {
     }
 
     #[test]
+    fn cached_key_sorts_leave_table4_metrics_unchanged() {
+        // NX and STR now sort on cached center keys (sort_by_center)
+        // instead of recomputing the midpoint in every comparison. The
+        // optimization must be invisible: on the Table-4 configuration
+        // (uniform points, capacity 100) the packed trees — and hence
+        // their leaf MBR metrics — must match uncached stable-sort
+        // references entry for entry.
+        let items = uniform_points(10_000, 42);
+        let cap = NodeCapacity::new(100).unwrap();
+
+        // Uncached STR reference: same recursion as str_pack::str_order,
+        // but with the original `sort_by(cmp_center)` at every site.
+        fn str_reference(entries: &mut [Entry<2>], axis: usize, n: usize) {
+            if axis == 1 {
+                entries.sort_by(|a, b| a.rect.cmp_center(&b.rect, axis));
+                return;
+            }
+            let pages = entries.len().div_ceil(n);
+            if pages <= 1 {
+                return;
+            }
+            let slab_size = n * str_pack::slab_pages(pages, 2);
+            entries.sort_by(|a, b| a.rect.cmp_center(&b.rect, axis));
+            for slab in entries.chunks_mut(slab_size) {
+                str_reference(slab, axis + 1, n);
+            }
+        }
+
+        type Ref = CustomOrder<Box<dyn Fn(&mut Vec<Entry<2>>, u32, NodeCapacity)>>;
+        let references: [(PackerKind, Ref); 2] = [
+            (
+                PackerKind::NearestX,
+                CustomOrder::new(
+                    "NX-ref",
+                    Box::new(|es: &mut Vec<Entry<2>>, _, _| {
+                        es.sort_by(|a, b| a.rect.cmp_center(&b.rect, 0));
+                    }),
+                ),
+            ),
+            (
+                PackerKind::Str,
+                CustomOrder::new(
+                    "STR-ref",
+                    Box::new(|es: &mut Vec<Entry<2>>, _, cap: NodeCapacity| {
+                        str_reference(es, 0, cap.max());
+                    }),
+                ),
+            ),
+        ];
+        for (kind, reference) in references {
+            let cached = kind.pack(fresh_pool(), items.clone(), cap).unwrap();
+            let uncached = reference.pack(fresh_pool(), items.clone(), cap).unwrap();
+            assert_eq!(
+                cached.all_entries().unwrap(),
+                uncached.all_entries().unwrap(),
+                "{kind}: cached-key ordering diverged from stable reference"
+            );
+            let cs = cached.summary().unwrap();
+            let us = uncached.summary().unwrap();
+            assert_eq!(cs.leaf_area(), us.leaf_area(), "{kind} leaf area");
+            assert_eq!(
+                cs.leaf_perimeter(),
+                us.leaf_perimeter(),
+                "{kind} leaf perimeter"
+            );
+            assert_eq!(cs.total_area(), us.total_area(), "{kind} total area");
+            assert_eq!(
+                cs.total_perimeter(),
+                us.total_perimeter(),
+                "{kind} total perimeter"
+            );
+        }
+    }
+
+    #[test]
     fn all_packers_preserve_items_and_answer_queries() {
         let items = uniform_points(3000, 1);
         let q = Rect::new([0.2, 0.2], [0.4, 0.5]);
@@ -133,7 +209,8 @@ mod tests {
                 .pack(fresh_pool(), items.clone(), NodeCapacity::new(100).unwrap())
                 .unwrap();
             assert_eq!(tree.len(), 3000, "{kind:?}");
-            tree.validate(false).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            tree.validate(false)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             let mut got: Vec<u64> = tree
                 .query_region(&q)
                 .unwrap()
@@ -172,15 +249,21 @@ mod tests {
         let items = uniform_points(10_000, 3);
         let cap = NodeCapacity::new(100).unwrap();
         let m_str = TreeMetrics::compute(
-            &StrPacker::new().pack(fresh_pool(), items.clone(), cap).unwrap(),
+            &StrPacker::new()
+                .pack(fresh_pool(), items.clone(), cap)
+                .unwrap(),
         )
         .unwrap();
         let m_hs = TreeMetrics::compute(
-            &HilbertPacker::new().pack(fresh_pool(), items.clone(), cap).unwrap(),
+            &HilbertPacker::new()
+                .pack(fresh_pool(), items.clone(), cap)
+                .unwrap(),
         )
         .unwrap();
         let m_nx = TreeMetrics::compute(
-            &NearestXPacker::new().pack(fresh_pool(), items, cap).unwrap(),
+            &NearestXPacker::new()
+                .pack(fresh_pool(), items, cap)
+                .unwrap(),
         )
         .unwrap();
 
@@ -230,11 +313,27 @@ mod tests {
         expect.sort_unstable();
 
         for (name, tree) in [
-            ("STR", StrPacker::new().pack(fresh_pool(), items.clone(), cap).unwrap()),
-            ("HS", HilbertPacker::new().pack(fresh_pool(), items.clone(), cap).unwrap()),
-            ("NX", NearestXPacker::new().pack(fresh_pool(), items.clone(), cap).unwrap()),
+            (
+                "STR",
+                StrPacker::new()
+                    .pack(fresh_pool(), items.clone(), cap)
+                    .unwrap(),
+            ),
+            (
+                "HS",
+                HilbertPacker::new()
+                    .pack(fresh_pool(), items.clone(), cap)
+                    .unwrap(),
+            ),
+            (
+                "NX",
+                NearestXPacker::new()
+                    .pack(fresh_pool(), items.clone(), cap)
+                    .unwrap(),
+            ),
         ] {
-            tree.validate(false).unwrap_or_else(|e| panic!("{name}: {e}"));
+            tree.validate(false)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
             let mut got: Vec<u64> = tree
                 .query_region(&q)
                 .unwrap()

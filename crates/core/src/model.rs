@@ -20,7 +20,7 @@
 //! this model against measured node visits.
 
 use geom::Rect;
-use rtree::{Result, RTree};
+use rtree::{RTree, Result};
 
 /// Expected node accesses for a square query of side `q` with its
 /// position uniform over the unit space, summed over **all** tree
@@ -91,7 +91,9 @@ mod tests {
         pool.reset_stats();
         let mut total_seed = 0x1234u64;
         for i in 0..count {
-            total_seed = total_seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+            total_seed = total_seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64);
             let x = ((total_seed >> 16) & 0xFFFF) as f64 / 65536.0 * (1.0 - q).max(1e-9);
             let y = ((total_seed >> 32) & 0xFFFF) as f64 / 65536.0 * (1.0 - q).max(1e-9);
             let query = Rect::new([x, y], [x + q, y + q]);

@@ -29,7 +29,7 @@ impl<const D: usize> PackingOrder<D> for NearestXPacker {
     }
 
     fn order_level(&self, entries: &mut Vec<Entry<D>>, _level: u32, _cap: NodeCapacity) {
-        entries.sort_by(|a, b| a.rect.cmp_center(&b.rect, 0));
+        crate::order::sort_by_center(entries, 0);
     }
 }
 

@@ -36,6 +36,42 @@ pub trait PackingOrder<const D: usize> {
     }
 }
 
+/// An `f64` ordered by [`geom::total_cmp_f64`], so it can be a sort key.
+#[derive(Clone, Copy)]
+struct CenterKey(f64);
+
+impl PartialEq for CenterKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other).is_eq()
+    }
+}
+impl Eq for CenterKey {}
+impl PartialOrd for CenterKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CenterKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        geom::total_cmp_f64(self.0, other.0)
+    }
+}
+
+/// Sort `entries` by center coordinate along `axis`, computing each
+/// center exactly once.
+///
+/// Every packing sort in this crate compares rectangles with
+/// [`Rect::cmp_center`]; a comparison sort evaluates that ~`n log n`
+/// times, recomputing the midpoint each call. `sort_by_cached_key`
+/// extracts the key once per entry, sorts compact `(key, index)` pairs
+/// (16 bytes instead of the 40-byte entries), and applies the final
+/// permutation in place — the same cached-key trick [`crate::hs`] uses
+/// for its 128-bit Hilbert keys. The sort is stable, so the result is
+/// bit-identical to the previous `sort_by(cmp_center)`.
+pub fn sort_by_center<const D: usize>(entries: &mut [Entry<D>], axis: usize) {
+    entries.sort_by_cached_key(|e| CenterKey(e.rect.center_coord(axis)));
+}
+
 /// A [`PackingOrder`] defined by a closure — for experimenting with new
 /// orderings against the same harness (the paper's conclusion calls the
 /// search for better packings an open challenge).

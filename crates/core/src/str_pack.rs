@@ -89,7 +89,7 @@ impl<const D: usize> PackingOrder<D> for StrPacker {
 /// boundaries.
 fn str_order_parallel<const D: usize>(entries: &mut [Entry<D>], n: usize, threads: usize) {
     if D == 1 {
-        entries.sort_by(|a, b| a.rect.cmp_center(&b.rect, 0));
+        crate::order::sort_by_center(entries, 0);
         return;
     }
     let pages = entries.len().div_ceil(n);
@@ -97,7 +97,7 @@ fn str_order_parallel<const D: usize>(entries: &mut [Entry<D>], n: usize, thread
         return;
     }
     let slab_size = n * slab_pages(pages, D as u32);
-    entries.sort_by(|a, b| a.rect.cmp_center(&b.rect, 0));
+    crate::order::sort_by_center(entries, 0);
 
     let slabs: Vec<&mut [Entry<D>]> = entries.chunks_mut(slab_size).collect();
     // Round-robin slabs over workers inside a scope: no allocation of
@@ -135,7 +135,7 @@ fn str_order<const D: usize>(entries: &mut [Entry<D>], axis: usize, n: usize) {
     if remaining_dims == 1 {
         // Base case: final coordinate, plain sort; the loader cuts runs
         // of n into nodes.
-        entries.sort_by(|a, b| a.rect.cmp_center(&b.rect, axis));
+        crate::order::sort_by_center(entries, axis);
         return;
     }
     let pages = entries.len().div_ceil(n);
@@ -146,7 +146,7 @@ fn str_order<const D: usize>(entries: &mut [Entry<D>], axis: usize, n: usize) {
     // Slabs of n·⌈P^((k−1)/k)⌉ rectangles each; chunking then yields the
     // paper's S = ⌈P^(1/k)⌉ (or fewer) slabs.
     let slab_size = n * slab_pages(pages, remaining_dims as u32);
-    entries.sort_by(|a, b| a.rect.cmp_center(&b.rect, axis));
+    crate::order::sort_by_center(entries, axis);
     for slab in entries.chunks_mut(slab_size) {
         str_order::<D>(slab, axis + 1, n);
     }
@@ -226,7 +226,11 @@ mod tests {
         let mut entries = Vec::new();
         for i in 0..4 {
             for j in 0..4 {
-                entries.push(point_entry(i as f64 / 4.0, j as f64 / 4.0, (i * 4 + j) as u64));
+                entries.push(point_entry(
+                    i as f64 / 4.0,
+                    j as f64 / 4.0,
+                    (i * 4 + j) as u64,
+                ));
             }
         }
         entries.reverse();
@@ -243,7 +247,10 @@ mod tests {
         );
         // Within the slice, y must be non-decreasing.
         let ys: Vec<f64> = entries[..8].iter().map(|e| e.rect.lo(1)).collect();
-        assert!(ys.windows(2).all(|w| w[0] <= w[1]), "slice not y-sorted: {ys:?}");
+        assert!(
+            ys.windows(2).all(|w| w[0] <= w[1]),
+            "slice not y-sorted: {ys:?}"
+        );
     }
 
     #[test]
@@ -294,7 +301,12 @@ mod tests {
             .map(|i| point_entry(((i * 7) % 101) as f64, ((i * 11) % 103) as f64, i))
             .collect();
         let before: std::collections::HashSet<u64> = e2.iter().map(|e| e.payload).collect();
-        PackingOrder::order_level(&StrPacker::new(), &mut e2, 0, NodeCapacity::new(10).unwrap());
+        PackingOrder::order_level(
+            &StrPacker::new(),
+            &mut e2,
+            0,
+            NodeCapacity::new(10).unwrap(),
+        );
         assert_eq!(before, e2.iter().map(|e| e.payload).collect());
 
         let mut e3: Vec<Entry<3>> = (0..1000)
@@ -308,7 +320,12 @@ mod tests {
             })
             .collect();
         let before: std::collections::HashSet<u64> = e3.iter().map(|e| e.payload).collect();
-        PackingOrder::order_level(&StrPacker::new(), &mut e3, 0, NodeCapacity::new(10).unwrap());
+        PackingOrder::order_level(
+            &StrPacker::new(),
+            &mut e3,
+            0,
+            NodeCapacity::new(10).unwrap(),
+        );
         assert_eq!(before, e3.iter().map(|e| e.payload).collect());
     }
 

@@ -244,12 +244,8 @@ mod tests {
     #[test]
     fn preserves_multiset() {
         let items = scattered(1234);
-        let mut entries: Vec<Entry<2>> = items
-            .iter()
-            .map(|(r, id)| Entry::data(*r, *id))
-            .collect();
-        let before: std::collections::HashSet<u64> =
-            entries.iter().map(|e| e.payload).collect();
+        let mut entries: Vec<Entry<2>> = items.iter().map(|(r, id)| Entry::data(*r, *id)).collect();
+        let before: std::collections::HashSet<u64> = entries.iter().map(|e| e.payload).collect();
         PackingOrder::order_level(
             &TgsPacker::new(),
             &mut entries,
@@ -304,10 +300,9 @@ mod tests {
             &crate::pack(fresh_pool(), items.clone(), cap, &StrPacker::new()).unwrap(),
         )
         .unwrap();
-        let m_nx = TreeMetrics::compute(
-            &PackerKind::NearestX.pack(fresh_pool(), items, cap).unwrap(),
-        )
-        .unwrap();
+        let m_nx =
+            TreeMetrics::compute(&PackerKind::NearestX.pack(fresh_pool(), items, cap).unwrap())
+                .unwrap();
         assert!(
             m_tgs.leaf_perimeter < 5.0 * m_str.leaf_perimeter,
             "TGS {} vs STR {}",
@@ -347,9 +342,13 @@ mod tests {
         let items = scattered(2000);
         let cap = NodeCapacity::new(20).unwrap();
         for cost in [SplitCost::Area, SplitCost::Perimeter, SplitCost::Overlap] {
-            let tree =
-                crate::pack(fresh_pool(), items.clone(), cap, &TgsPacker::with_cost(cost))
-                    .unwrap();
+            let tree = crate::pack(
+                fresh_pool(),
+                items.clone(),
+                cap,
+                &TgsPacker::with_cost(cost),
+            )
+            .unwrap();
             tree.validate(false)
                 .unwrap_or_else(|e| panic!("{cost:?}: {e}"));
             assert_eq!(tree.len(), 2000, "{cost:?}");
@@ -418,7 +417,8 @@ mod tests {
             let items = scattered(n);
             let cap = NodeCapacity::new(10).unwrap();
             let tree = crate::pack(fresh_pool(), items, cap, &TgsPacker::new()).unwrap();
-            tree.validate(false).unwrap_or_else(|e| panic!("n={n}: {e}"));
+            tree.validate(false)
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
             assert_eq!(tree.len() as usize, n);
         }
     }

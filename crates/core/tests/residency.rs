@@ -1,0 +1,81 @@
+//! Bulk builds must not disturb the buffer pool.
+//!
+//! The bulk loader streams freshly packed pages straight to disk through
+//! `SequentialPageWriter`, bypassing the LRU pool entirely. The
+//! observable consequence tested here: pages that were hot before a
+//! large build are still resident after it — re-touching them costs zero
+//! pool misses, no matter how many pages the build wrote.
+
+use std::sync::Arc;
+
+use geom::Rect;
+use rtree::{NodeCapacity, RTree};
+use storage::{BufferPool, MemDisk};
+use str_core::PackerKind;
+
+fn uniform_items(n: usize, mult: u64) -> Vec<(Rect<2>, u64)> {
+    let mut state = 0x0123_4567_89AB_CDEFu64 ^ mult;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| {
+            let p = [next(), next()];
+            (Rect::new(p, p), i as u64)
+        })
+        .collect()
+}
+
+#[test]
+fn bulk_load_leaves_hot_pages_resident() {
+    let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 128));
+
+    // A small "hot" tree, fully touched so all its pages are pooled.
+    let hot: RTree<2> = PackerKind::Str
+        .pack(
+            pool.clone(),
+            uniform_items(2_000, 1),
+            NodeCapacity::new(64).unwrap(),
+        )
+        .unwrap();
+    let everything = Rect::new([0.0, 0.0], [1.0, 1.0]);
+    assert_eq!(hot.query_region(&everything).unwrap().len(), 2_000);
+    let warm = pool.stats();
+    assert!(warm.misses > 0, "warming the tree should fault pages in");
+
+    // A 100k-entry build on the same pool: > 1000 leaf pages, an order
+    // of magnitude more than the pool holds. Before the streaming write
+    // path this evicted every hot frame.
+    let big: RTree<2> = PackerKind::Str
+        .pack(
+            pool.clone(),
+            uniform_items(100_000, 2),
+            NodeCapacity::new(100).unwrap(),
+        )
+        .unwrap();
+    let after_build = pool.stats();
+    assert_eq!(
+        after_build.misses, warm.misses,
+        "building must not fault pages through the pool"
+    );
+    assert_eq!(
+        after_build.evictions, warm.evictions,
+        "building must not evict hot frames"
+    );
+
+    // Re-touching the hot tree hits the pool every time: zero new misses.
+    assert_eq!(hot.query_region(&everything).unwrap().len(), 2_000);
+    let retouched = pool.stats();
+    assert_eq!(
+        retouched.misses, after_build.misses,
+        "hot pages were evicted by the bulk build"
+    );
+
+    // And the freshly built tree is fully queryable through that pool.
+    assert_eq!(big.len(), 100_000);
+    assert_eq!(big.query_region(&everything).unwrap().len(), 100_000);
+    big.validate(false).unwrap();
+}

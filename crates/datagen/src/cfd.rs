@@ -105,7 +105,11 @@ pub fn cfd_like(n: usize, seed: u64) -> Dataset {
             // of the mesh), a surface point, and a wall distance from a
             // heavy-tailed distribution — advancing-front meshes grow
             // cell size geometrically away from the wall.
-            let e = if rng.gen_bool(0.72) { &elems[0] } else { &elems[1] };
+            let e = if rng.gen_bool(0.72) {
+                &elems[0]
+            } else {
+                &elems[1]
+            };
             let t: f64 = {
                 // Cluster chordwise samples toward leading/trailing edges
                 // where curvature (and hence mesh density) is highest.
@@ -190,11 +194,7 @@ mod tests {
         // the domain but must hold well over half the nodes.
         let ds = cfd_like(20_000, 12);
         let window = query_window();
-        let inside = ds
-            .rects
-            .iter()
-            .filter(|r| window.contains_rect(r))
-            .count();
+        let inside = ds.rects.iter().filter(|r| window.contains_rect(r)).count();
         assert!(
             inside as f64 > 0.55 * ds.len() as f64,
             "only {inside}/20000 nodes in the wing window"

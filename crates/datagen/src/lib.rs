@@ -95,14 +95,8 @@ impl Dataset {
             }
         }
         for r in &mut self.rects {
-            let min = [
-                r.lo(0) * scale[0] + shift[0],
-                r.lo(1) * scale[1] + shift[1],
-            ];
-            let max = [
-                r.hi(0) * scale[0] + shift[0],
-                r.hi(1) * scale[1] + shift[1],
-            ];
+            let min = [r.lo(0) * scale[0] + shift[0], r.lo(1) * scale[1] + shift[1]];
+            let max = [r.hi(0) * scale[0] + shift[0], r.hi(1) * scale[1] + shift[1]];
             *r = Rect2::new(min, max).clamp_to(&Rect2::unit());
         }
     }

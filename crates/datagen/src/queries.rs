@@ -98,7 +98,10 @@ mod tests {
     fn deterministic() {
         let b = Rect2::unit();
         assert_eq!(point_queries(10, &b, 7), point_queries(10, &b, 7));
-        assert_eq!(region_queries(10, &b, 0.1, 7), region_queries(10, &b, 0.1, 7));
+        assert_eq!(
+            region_queries(10, &b, 0.1, 7),
+            region_queries(10, &b, 0.1, 7)
+        );
     }
 
     #[test]

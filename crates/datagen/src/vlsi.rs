@@ -132,7 +132,12 @@ mod tests {
     #[test]
     fn size_skew_spans_four_decades() {
         let ds = vlsi_like(50_000, 6);
-        let areas: Vec<f64> = ds.rects.iter().map(|r| r.area()).filter(|&a| a > 0.0).collect();
+        let areas: Vec<f64> = ds
+            .rects
+            .iter()
+            .map(|r| r.area())
+            .filter(|&a| a > 0.0)
+            .collect();
         let max = areas.iter().cloned().fold(f64::MIN, f64::max);
         let min = areas.iter().cloned().fold(f64::MAX, f64::min);
         assert!(

@@ -158,7 +158,8 @@ impl<T: FixedRecord> RunCursor<T> {
             return Ok(None);
         }
         if self.in_page == 0 {
-            self.disk.read_page(self.pages[self.page_idx], &mut self.buf)?;
+            self.disk
+                .read_page(self.pages[self.page_idx], &mut self.buf)?;
             self.page_idx += 1;
             self.offset = 0;
             self.in_page = self.per_page;
@@ -409,8 +410,7 @@ mod tests {
         for e in &entries {
             sorter.push(*e).unwrap();
         }
-        let sorted: Vec<rtree::Entry<2>> =
-            sorter.finish().unwrap().map(|r| r.unwrap()).collect();
+        let sorted: Vec<rtree::Entry<2>> = sorter.finish().unwrap().map(|r| r.unwrap()).collect();
         assert_eq!(sorted.len(), entries.len());
         // Order by x-center, all payloads preserved.
         assert!(sorted

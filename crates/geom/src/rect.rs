@@ -392,7 +392,10 @@ mod tests {
         assert_eq!(b.min_dist2(&Point::new([1.5, 1.5])), 0.0);
         assert_eq!(b.min_dist2(&Point::new([0.0, 1.5])), 1.0);
         assert_eq!(b.min_dist2(&Point::new([0.0, 0.0])), 2.0);
-        assert_eq!(Rect::<2>::empty().min_dist2(&Point::new([0.0, 0.0])), f64::INFINITY);
+        assert_eq!(
+            Rect::<2>::empty().min_dist2(&Point::new([0.0, 0.0])),
+            f64::INFINITY
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub fn axes_to_index<const D: usize>(axes: &[u64; D], bits: u32) -> u128 {
 
     // --- AxesToTranspose (Skilling) ---
     // Inverse undo.
-    let mut q = if bits == 64 { 1u64 << 63 } else { 1u64 << (bits - 1) };
+    let mut q = if bits == 64 {
+        1u64 << 63
+    } else {
+        1u64 << (bits - 1)
+    };
     while q > 1 {
         let p = q - 1;
         for i in 0..D {
@@ -47,7 +51,11 @@ pub fn axes_to_index<const D: usize>(axes: &[u64; D], bits: u32) -> u128 {
         x[i] ^= x[i - 1];
     }
     let mut t = 0u64;
-    q = if bits == 64 { 1u64 << 63 } else { 1u64 << (bits - 1) };
+    q = if bits == 64 {
+        1u64 << 63
+    } else {
+        1u64 << (bits - 1)
+    };
     while q > 1 {
         if x[D - 1] & q != 0 {
             t ^= q - 1;
@@ -71,7 +79,11 @@ pub fn axes_from_index<const D: usize>(index: u128, bits: u32) -> [u64; D] {
     let mut x = deinterleave::<D>(index, bits);
 
     // --- TransposeToAxes (Skilling) ---
-    let n = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let n = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     // Gray decode by H ^ (H/2).
     let mut t = x[D - 1] >> 1;
     for i in (1..D).rev() {
@@ -211,9 +223,7 @@ mod tests {
         for h in 0..n {
             let p = axes_from_index::<3>(h, bits);
             if let Some(q) = prev {
-                let d: i64 = (0..3)
-                    .map(|i| (p[i] as i64 - q[i] as i64).abs())
-                    .sum();
+                let d: i64 = (0..3).map(|i| (p[i] as i64 - q[i] as i64).abs()).sum();
                 assert_eq!(d, 1, "discontinuity at {h}");
             }
             prev = Some(p);

@@ -83,7 +83,14 @@ mod tests {
 
     #[test]
     fn round_trips() {
-        for &v in &[-1234.5678, -0.0, 0.0, 3.25, f64::INFINITY, f64::NEG_INFINITY] {
+        for &v in &[
+            -1234.5678,
+            -0.0,
+            0.0,
+            3.25,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
             let back = f64_from_order_key(f64_order_key(v));
             assert_eq!(back.to_bits(), v.to_bits());
         }

@@ -1,6 +1,8 @@
 //! Property-based tests for the Hilbert curve and float keys.
 
-use hilbert::{axes_from_index, axes_to_index, f64_from_order_key, f64_order_key, hilbert_index_f64};
+use hilbert::{
+    axes_from_index, axes_to_index, f64_from_order_key, f64_order_key, hilbert_index_f64,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -114,7 +114,8 @@ impl HilbertRTree {
     }
 
     fn read_node(&self, page: PageId) -> Result<HNode> {
-        self.pool.with_page(page, |bytes| codec::decode(bytes, page))?
+        self.pool
+            .with_page(page, |bytes| codec::decode(bytes, page))?
     }
 
     fn write_node(&self, page: PageId, node: &HNode) -> Result<()> {
@@ -245,7 +246,11 @@ impl HilbertRTree {
                 .ok_or_else(|| HrtError::Invalid("parent lost its child".into()))?;
             // Cooperating sibling: the next child in LHV order, else the
             // previous.
-            let sib_idx = if idx + 1 < parent.len() { idx + 1 } else { idx - 1 };
+            let sib_idx = if idx + 1 < parent.len() {
+                idx + 1
+            } else {
+                idx - 1
+            };
             let sib_page = parent.entries[sib_idx].child_page();
             let sibling = self.read_node(sib_page)?;
 
@@ -261,8 +266,20 @@ impl HilbertRTree {
                 // Redistribute across the two nodes evenly.
                 let half = combined.len() / 2;
                 let (a, b) = split_at(combined, half);
-                self.write_node(first_page, &HNode { level, entries: a.clone() })?;
-                self.write_node(second_page, &HNode { level, entries: b.clone() })?;
+                self.write_node(
+                    first_page,
+                    &HNode {
+                        level,
+                        entries: a.clone(),
+                    },
+                )?;
+                self.write_node(
+                    second_page,
+                    &HNode {
+                        level,
+                        entries: b.clone(),
+                    },
+                )?;
                 refresh_entry(&mut parent, first_page, &a);
                 refresh_entry(&mut parent, second_page, &b);
             } else {
@@ -274,9 +291,27 @@ impl HilbertRTree {
                 let b: Vec<HEntry> = chunks.next().unwrap_or_default().to_vec();
                 let c: Vec<HEntry> = chunks.next().unwrap_or_default().to_vec();
                 debug_assert!(chunks.next().is_none());
-                self.write_node(first_page, &HNode { level, entries: a.clone() })?;
-                self.write_node(second_page, &HNode { level, entries: b.clone() })?;
-                self.write_node(third, &HNode { level, entries: c.clone() })?;
+                self.write_node(
+                    first_page,
+                    &HNode {
+                        level,
+                        entries: a.clone(),
+                    },
+                )?;
+                self.write_node(
+                    second_page,
+                    &HNode {
+                        level,
+                        entries: b.clone(),
+                    },
+                )?;
+                self.write_node(
+                    third,
+                    &HNode {
+                        level,
+                        entries: c.clone(),
+                    },
+                )?;
                 refresh_entry(&mut parent, first_page, &a);
                 refresh_entry(&mut parent, second_page, &b);
                 let mbr = Rect2::union_all(c.iter().map(|e| &e.rect));
@@ -295,8 +330,20 @@ impl HilbertRTree {
         let half = node.entries.len() / 2;
         let (a, b) = split_at(node.entries, half);
         let right = self.alloc_page()?;
-        self.write_node(page, &HNode { level, entries: a.clone() })?;
-        self.write_node(right, &HNode { level, entries: b.clone() })?;
+        self.write_node(
+            page,
+            &HNode {
+                level,
+                entries: a.clone(),
+            },
+        )?;
+        self.write_node(
+            right,
+            &HNode {
+                level,
+                entries: b.clone(),
+            },
+        )?;
         let new_root = self.alloc_page()?;
         let mut root = HNode::new(level + 1);
         root.insert_sorted(HEntry::child(
@@ -317,7 +364,12 @@ impl HilbertRTree {
 
     /// Write `node` and refresh ancestor entries (MBR + LHV) up the
     /// path.
-    fn write_and_propagate(&mut self, mut path: Vec<PageId>, page: PageId, node: HNode) -> Result<()> {
+    fn write_and_propagate(
+        &mut self,
+        mut path: Vec<PageId>,
+        page: PageId,
+        node: HNode,
+    ) -> Result<()> {
         self.write_node(page, &node)?;
         let mut child_page = page;
         let mut child_mbr = node.mbr();
@@ -391,16 +443,18 @@ impl HilbertRTree {
         path.push(page);
         let node = self.read_node(page)?;
         if node.is_leaf() {
-            if node.entries.iter().any(|e| e.payload == id && e.rect == *rect) {
+            if node
+                .entries
+                .iter()
+                .any(|e| e.payload == id && e.rect == *rect)
+            {
                 return Ok(Some(path));
             }
             return Ok(None);
         }
         for e in &node.entries {
             if e.rect.contains_rect(rect) {
-                if let Some(found) =
-                    self.find_leaf(e.child_page(), rect, id, path.clone())?
-                {
+                if let Some(found) = self.find_leaf(e.child_page(), rect, id, path.clone())? {
                     return Ok(Some(found));
                 }
             }
@@ -410,7 +464,12 @@ impl HilbertRTree {
 
     /// Write `node` (which may underflow) and repair upward by borrowing
     /// from or merging with a sibling.
-    fn resolve_underflow(&mut self, mut path: Vec<PageId>, page: PageId, node: HNode) -> Result<()> {
+    fn resolve_underflow(
+        &mut self,
+        mut path: Vec<PageId>,
+        page: PageId,
+        node: HNode,
+    ) -> Result<()> {
         let mut page = page;
         let mut node = node;
         loop {
@@ -430,7 +489,11 @@ impl HilbertRTree {
                 // residue of root shrinking. Accept the thin node.
                 return self.write_and_propagate(path, page, node);
             }
-            let sib_idx = if idx + 1 < parent.len() { idx + 1 } else { idx - 1 };
+            let sib_idx = if idx + 1 < parent.len() {
+                idx + 1
+            } else {
+                idx - 1
+            };
             let sib_page = parent.entries[sib_idx].child_page();
             let sibling = self.read_node(sib_page)?;
             let level = node.level;
@@ -446,13 +509,31 @@ impl HilbertRTree {
                 // Borrow: redistribute evenly; parent count unchanged.
                 let half = combined.len() / 2;
                 let (a, b) = split_at(combined, half);
-                self.write_node(first_page, &HNode { level, entries: a.clone() })?;
-                self.write_node(second_page, &HNode { level, entries: b.clone() })?;
+                self.write_node(
+                    first_page,
+                    &HNode {
+                        level,
+                        entries: a.clone(),
+                    },
+                )?;
+                self.write_node(
+                    second_page,
+                    &HNode {
+                        level,
+                        entries: b.clone(),
+                    },
+                )?;
                 refresh_entry(&mut parent, first_page, &a);
                 refresh_entry(&mut parent, second_page, &b);
             } else {
                 // Merge everything into the first page; drop the second.
-                self.write_node(first_page, &HNode { level, entries: combined.clone() })?;
+                self.write_node(
+                    first_page,
+                    &HNode {
+                        level,
+                        entries: combined.clone(),
+                    },
+                )?;
                 refresh_entry(&mut parent, first_page, &combined);
                 let drop_idx = parent
                     .entries
@@ -724,9 +805,7 @@ mod tests {
         sorted.sort_by_key(|(r, _)| hilbert_value(r));
         let packed_perim: f64 = sorted
             .chunks(50)
-            .map(|chunk| {
-                Rect2::union_all(chunk.iter().map(|(r, _)| r)).perimeter()
-            })
+            .map(|chunk| Rect2::union_all(chunk.iter().map(|(r, _)| r)).perimeter())
             .sum();
         assert!(
             dyn_perim < 2.5 * packed_perim,

@@ -14,9 +14,8 @@ fn fresh_tree(max: usize) -> HilbertRTree {
 }
 
 fn unit_rect() -> impl Strategy<Value = Rect2> {
-    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.15, 0.0f64..0.15).prop_map(|(x, y, w, h)| {
-        Rect2::new([x, y], [(x + w).min(1.0), (y + h).min(1.0)])
-    })
+    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.15, 0.0f64..0.15)
+        .prop_map(|(x, y, w, h)| Rect2::new([x, y], [(x + w).min(1.0), (y + h).min(1.0)]))
 }
 
 #[derive(Debug, Clone)]

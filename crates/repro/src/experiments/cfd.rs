@@ -102,10 +102,7 @@ pub fn table10(h: &Harness) -> Vec<Table> {
 /// window around the wing, as (x, y) CSVs.
 pub fn fig5_6(h: &Harness) -> Vec<Table> {
     let ds = boeing_mesh_small(h.seed ^ 0xCFD);
-    let mut full = Table::new(
-        "Figure 5: Full Data for 5088 Node Data Set",
-        &["x", "y"],
-    );
+    let mut full = Table::new("Figure 5: Full Data for 5088 Node Data Set", &["x", "y"]);
     let mut zoom = Table::new(
         "Figure 6: Data Around Center for 5088 Node Data Set",
         &["x", "y"],
@@ -114,9 +111,15 @@ pub fn fig5_6(h: &Harness) -> Vec<Table> {
     let zwin = geom::Rect2::new([0.48, 0.48], [0.57, 0.52]);
     for r in &ds.rects {
         let c = r.center();
-        full.push_row(vec![format!("{:.6}", c.coord(0)), format!("{:.6}", c.coord(1))]);
+        full.push_row(vec![
+            format!("{:.6}", c.coord(0)),
+            format!("{:.6}", c.coord(1)),
+        ]);
         if zwin.contains_point(&c) {
-            zoom.push_row(vec![format!("{:.6}", c.coord(0)), format!("{:.6}", c.coord(1))]);
+            zoom.push_row(vec![
+                format!("{:.6}", c.coord(0)),
+                format!("{:.6}", c.coord(1)),
+            ]);
         }
     }
     vec![full, zoom]
@@ -166,7 +169,10 @@ mod tests {
             .find(|r| r[0] == "Point Queries" && r[1] == "10")
             .unwrap();
         let ratio: f64 = small[5].parse().unwrap();
-        assert!(ratio > 0.0 && ratio.is_finite(), "HS/STR at buffer 10 was {ratio}");
+        assert!(
+            ratio > 0.0 && ratio.is_finite(),
+            "HS/STR at buffer 10 was {ratio}"
+        );
         // Region queries: the two are comparable (paper: 0.96–1.07).
         for row in t.rows.iter().filter(|r| r[0].contains("Region")) {
             let ratio: f64 = row[5].parse().unwrap();

@@ -31,11 +31,7 @@ fn fresh_pool() -> Arc<BufferPool> {
 
 /// Mean disk accesses for 1%-region queries at a 50-page buffer, paper
 /// protocol, for any structure exposing the pool + a visitor query.
-fn region_cost(
-    pool: &BufferPool,
-    regions: &[Rect2],
-    mut run_query: impl FnMut(&Rect2),
-) -> f64 {
+fn region_cost(pool: &BufferPool, regions: &[Rect2], mut run_query: impl FnMut(&Rect2)) -> f64 {
     pool.set_capacity(50).expect("resize");
     pool.reset_stats();
     for q in regions {
@@ -59,7 +55,9 @@ pub fn run(h: &Harness) -> Vec<Table> {
     // STR packing.
     {
         let t0 = Instant::now();
-        let tree = StrPacker::new().pack(fresh_pool(), ds.items(), cap).expect("pack");
+        let tree = StrPacker::new()
+            .pack(fresh_pool(), ds.items(), cap)
+            .expect("pack");
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         let m = str_core::TreeMetrics::compute(&tree).expect("metrics");
         let acc = region_cost(tree.pool(), &regions, |q| {
@@ -135,7 +133,9 @@ pub fn run(h: &Harness) -> Vec<Table> {
     // Dynamic Hilbert R-tree (capacity capped by its 56-byte entries).
     {
         let t0 = Instant::now();
-        let hmax = h.node_capacity.min(hrtree::codec::max_capacity(storage::DEFAULT_PAGE_SIZE));
+        let hmax = h
+            .node_capacity
+            .min(hrtree::codec::max_capacity(storage::DEFAULT_PAGE_SIZE));
         let mut tree = hrtree::HilbertRTree::create(fresh_pool(), hmax).expect("create");
         for (rect, id) in ds.items() {
             tree.insert(rect, id).expect("insert");
@@ -180,13 +180,23 @@ mod tests {
         };
         // (b) utilization: packed ~100%, dynamics in the 55–80% band.
         assert!(get("STR packed", 3) > 95.0);
-        for m in ["Guttman linear", "Guttman quadratic", "R* insertion", "Hilbert R-tree"] {
+        for m in [
+            "Guttman linear",
+            "Guttman quadratic",
+            "R* insertion",
+            "Hilbert R-tree",
+        ] {
             let u = get(m, 3);
             assert!((40.0..95.0).contains(&u), "{m} utilization {u}");
         }
         // (c) structure: packed needs the fewest accesses.
         let packed = get("STR packed", 4);
-        for m in ["Guttman linear", "Guttman quadratic", "R* insertion", "Hilbert R-tree"] {
+        for m in [
+            "Guttman linear",
+            "Guttman quadratic",
+            "R* insertion",
+            "Hilbert R-tree",
+        ] {
             assert!(
                 get(m, 4) > packed,
                 "{m} should not beat packing ({} vs {packed})",

@@ -3,12 +3,12 @@
 pub mod cfd;
 pub mod dynamic;
 pub mod model;
-pub mod variance;
 pub mod packers;
 pub mod scale;
 pub mod synthetic;
 pub mod table1;
 pub mod tiger;
+pub mod variance;
 pub mod vlsi;
 
 use std::path::Path;
@@ -19,7 +19,8 @@ use crate::Harness;
 /// Every experiment id, in paper order.
 pub const ALL_IDS: &[&str] = &[
     "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-    "table10", "fig2-4", "fig5-6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "packers", "model", "variance", "dynamic", "scale",
+    "table10", "fig2-4", "fig5-6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "packers",
+    "model", "variance", "dynamic", "scale",
 ];
 
 /// Run one experiment; returns the console tables it produced (CSV files

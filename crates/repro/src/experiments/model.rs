@@ -35,7 +35,12 @@ pub fn run(h: &Harness) -> Vec<Table> {
     let mut t = Table::new(
         "Extension: Analytical Cost Model vs Measured Node Visits (synthetic 50k)",
         &[
-            "Density", "Query", "Packer", "Predicted", "Measured", "Pred/Meas",
+            "Density",
+            "Query",
+            "Packer",
+            "Predicted",
+            "Measured",
+            "Pred/Meas",
         ],
     );
     let unit = Rect2::unit();

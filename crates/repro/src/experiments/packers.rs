@@ -7,9 +7,7 @@
 
 use geom::Rect2;
 use rtree::RTree;
-use str_core::{
-    HilbertPacker, NearestXPacker, PackingOrder, StrPacker, TgsPacker, TreeMetrics,
-};
+use str_core::{HilbertPacker, NearestXPacker, PackingOrder, StrPacker, TgsPacker, TreeMetrics};
 
 use crate::fmt::{f2, Table};
 use crate::Harness;
@@ -19,7 +17,10 @@ fn packers() -> Vec<(&'static str, Box<dyn PackingOrder<2>>)> {
         ("STR", Box::new(StrPacker::new())),
         ("HS", Box::new(HilbertPacker::new())),
         ("NX", Box::new(NearestXPacker::new())),
-        ("TGS", Box::new(TgsPacker::new().with_balance_tolerance(0.03))),
+        (
+            "TGS",
+            Box::new(TgsPacker::new().with_balance_tolerance(0.03)),
+        ),
     ]
 }
 
@@ -50,7 +51,11 @@ pub fn run(h: &Harness) -> Vec<Table> {
     for ds in datasets(h) {
         // CFD queries use the paper's restricted window.
         let is_cfd = matches!(ds.kind, datagen::DatasetKind::Cfd);
-        let bounds = if is_cfd { datagen::cfd::query_window() } else { unit };
+        let bounds = if is_cfd {
+            datagen::cfd::query_window()
+        } else {
+            unit
+        };
         let region_side = if is_cfd { 0.01 } else { 0.1 };
         let points = h.point_probe_set(&bounds);
         let regions = h.region_probe_set(&bounds, region_side);
@@ -60,8 +65,7 @@ pub fn run(h: &Harness) -> Vec<Table> {
                     std::sync::Arc::new(storage::MemDisk::default_size()),
                     1024,
                 ));
-                str_core::pack(pool, ds.items(), h.capacity(), packer.as_ref())
-                    .expect("pack")
+                str_core::pack(pool, ds.items(), h.capacity(), packer.as_ref()).expect("pack")
             };
             let m = TreeMetrics::compute(&tree).expect("metrics");
             let pt = h.avg_point_accesses(&tree, 50, &points);

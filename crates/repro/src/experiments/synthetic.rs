@@ -28,12 +28,7 @@ fn build_trio(h: &Harness, n: usize, density: f64) -> [RTree<2>; 3] {
 }
 
 /// Measure one query mix over a trio of trees at one buffer size.
-fn measure(
-    h: &Harness,
-    trees: &[RTree<2>; 3],
-    buffer: usize,
-    query: &QueryMix,
-) -> AccessRow {
+fn measure(h: &Harness, trees: &[RTree<2>; 3], buffer: usize, query: &QueryMix) -> AccessRow {
     let mut acc = [0.0f64; 3];
     for (i, tree) in trees.iter().enumerate() {
         acc[i] = match query {
@@ -192,13 +187,7 @@ pub fn table4(h: &Harness) -> Vec<Table> {
 fn size_sweep_figure(h: &Harness, title: &str, buffer: usize, query_side: Option<f64>) -> Table {
     let mut t = Table::new(
         title,
-        &[
-            "Size(k)",
-            "STR d=0",
-            "HS d=0",
-            "STR d=5",
-            "HS d=5",
-        ],
+        &["Size(k)", "STR d=0", "HS d=0", "STR d=5", "HS d=5"],
     );
     let unit = Rect2::unit();
     for &k in SIZES_K {
@@ -210,9 +199,7 @@ fn size_sweep_figure(h: &Harness, title: &str, buffer: usize, query_side: Option
                 let tree = h.build(ds.items(), packer);
                 let acc = match query_side {
                     None => h.avg_point_accesses(&tree, buffer, &h.point_probe_set(&unit)),
-                    Some(e) => {
-                        h.avg_region_accesses(&tree, buffer, &h.region_probe_set(&unit, e))
-                    }
+                    Some(e) => h.avg_region_accesses(&tree, buffer, &h.region_probe_set(&unit, e)),
                 };
                 row.push(f2(acc));
             }

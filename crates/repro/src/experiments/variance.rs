@@ -41,7 +41,11 @@ fn distribution(h: &Harness, tree: &RTree<2>, bounds: &Rect2, buffer: usize) -> 
     per_query.sort_by(|a, b| geom::total_cmp_f64(*a, *b));
     let n = per_query.len() as f64;
     let mean = per_query.iter().sum::<f64>() / n;
-    let var = per_query.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let var = per_query
+        .iter()
+        .map(|x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / n;
     Distribution {
         mean,
         p50: per_query[per_query.len() / 2],

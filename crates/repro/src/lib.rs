@@ -88,7 +88,12 @@ impl Harness {
     /// Mean disk accesses (buffer misses) per point query, measured per
     /// the paper: buffer resized to `buffer_pages` (cold), then the whole
     /// query stream runs with the buffer persisting between queries.
-    pub fn avg_point_accesses(&self, tree: &RTree<2>, buffer_pages: usize, probes: &[Point2]) -> f64 {
+    pub fn avg_point_accesses(
+        &self,
+        tree: &RTree<2>,
+        buffer_pages: usize,
+        probes: &[Point2],
+    ) -> f64 {
         let pool = tree.pool();
         pool.set_capacity(buffer_pages).expect("resize");
         pool.reset_stats();
@@ -99,7 +104,12 @@ impl Harness {
     }
 
     /// Mean disk accesses per region query (same protocol).
-    pub fn avg_region_accesses(&self, tree: &RTree<2>, buffer_pages: usize, regions: &[Rect2]) -> f64 {
+    pub fn avg_region_accesses(
+        &self,
+        tree: &RTree<2>,
+        buffer_pages: usize,
+        regions: &[Rect2],
+    ) -> f64 {
         let pool = tree.pool();
         pool.set_capacity(buffer_pages).expect("resize");
         pool.reset_stats();

@@ -90,11 +90,7 @@ fn main() {
                     // Figure point clouds are too large for the console;
                     // summarize them instead.
                     if t.rows.len() > 120 {
-                        println!(
-                            "{} — {} rows written to CSV\n",
-                            t.title,
-                            t.rows.len()
-                        );
+                        println!("{} — {} rows written to CSV\n", t.title, t.rows.len());
                     } else {
                         println!("{}", t.render());
                     }

@@ -21,7 +21,9 @@ const COLORS: &[&str] = &[
 ];
 
 fn esc(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn svg_header(title: &str) -> String {
@@ -65,7 +67,10 @@ pub fn line_chart(
     let plot_w = WIDTH - MARGIN_L - MARGIN_R;
     let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
 
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
     if all.is_empty() {
         out.push_str("</svg>\n");
         return out;
@@ -145,7 +150,12 @@ pub fn line_chart(
             .iter()
             .enumerate()
             .map(|(j, &(x, y))| {
-                format!("{}{:.1},{:.1}", if j == 0 { "M" } else { "L" }, sx(x), sy(y))
+                format!(
+                    "{}{:.1},{:.1}",
+                    if j == 0 { "M" } else { "L" },
+                    sx(x),
+                    sy(y)
+                )
             })
             .collect::<Vec<_>>()
             .join(" ");
@@ -184,7 +194,10 @@ fn format_tick(v: f64) -> String {
     if v.abs() >= 1.0 && (v - v.round()).abs() < 1e-9 {
         format!("{}", v.round() as i64)
     } else if v.abs() >= 0.01 {
-        format!("{v:.2}").trim_end_matches('0').trim_end_matches('.').to_string()
+        format!("{v:.2}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
     } else {
         format!("{v:e}")
     }
@@ -284,14 +297,21 @@ pub fn render_table(table: &crate::fmt::Table) -> String {
         .map(|h| (h.to_string(), Vec::new()))
         .collect();
     for row in &table.rows {
-        let Ok(x) = row[0].parse::<f64>() else { continue };
+        let Ok(x) = row[0].parse::<f64>() else {
+            continue;
+        };
         for (i, cell) in row[1..].iter().enumerate() {
             if let Ok(y) = cell.parse::<f64>() {
                 series[i].1.push((x, y));
             }
         }
     }
-    line_chart(&table.title, &table.headers[0], "disk accesses / query", &series)
+    line_chart(
+        &table.title,
+        &table.headers[0],
+        "disk accesses / query",
+        &series,
+    )
 }
 
 #[cfg(test)]

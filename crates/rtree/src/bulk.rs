@@ -16,9 +16,9 @@
 use std::sync::Arc;
 
 use geom::Rect;
-use storage::{BufferPool, PageId};
+use storage::{BufferPool, PageId, SequentialPageWriter};
 
-use crate::{Entry, Node, NodeCapacity, Result, RTree, RTreeError};
+use crate::{Entry, NodeCapacity, RTree, RTreeError, Result};
 
 /// Bottom-up loader producing a packed [`RTree`].
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +46,15 @@ impl BulkLoader {
     /// every node full except possibly the last, which is the near-100%
     /// space utilization that motivates packing.
     ///
+    /// Freshly packed pages stream straight to disk in sequential
+    /// batches ([`SequentialPageWriter`]), bypassing the buffer pool:
+    /// a build writes every page exactly once and re-reads none, so
+    /// routing it through the LRU pool would only evict whatever was hot
+    /// before the build. Disk write counters still advance one per page,
+    /// so build I/O remains fully accounted. Each node is encoded
+    /// directly from its slice of the ordered run — no per-node `Node`
+    /// or entry copy is materialized.
+    ///
     /// The pool's disk must be fresh (page 0 is reserved for tree
     /// metadata) or already contain a reserved meta page.
     pub fn load<const D: usize>(
@@ -69,6 +78,8 @@ impl BulkLoader {
             debug_assert_eq!(meta, PageId(0));
         }
 
+        let disk = pool.disk().clone();
+        let mut writer = SequentialPageWriter::new(disk.as_ref());
         let n = self.cap.max();
         let total = entries.len() as u64;
         let mut level: u32 = 0;
@@ -77,18 +88,15 @@ impl BulkLoader {
             order(&mut current, level);
             let mut next: Vec<Entry<D>> = Vec::with_capacity(current.len() / n + 1);
             for group in current.chunks(n) {
-                let node = Node {
-                    level,
-                    entries: group.to_vec(),
-                };
-                let page = pool.disk().allocate()?;
-                write_node(&pool, page, &node)?;
+                let (page, ()) =
+                    writer.append(|buf| crate::codec::encode_entries(level, group, buf))?;
                 next.push(Entry::child(
                     Rect::union_all(group.iter().map(|e| &e.rect)),
                     page,
                 ));
             }
             if next.len() == 1 {
+                writer.flush()?;
                 let root = next[0].child_page();
                 let tree = RTree::from_parts(pool, self.cap, root, level + 1, total);
                 tree.persist()?;
@@ -127,6 +135,8 @@ impl BulkLoader {
             debug_assert_eq!(meta, PageId(0));
         }
 
+        let disk = pool.disk().clone();
+        let mut writer = SequentialPageWriter::new(disk.as_ref());
         let n = self.cap.max();
         let mut total: u64 = 0;
         let mut group: Vec<Entry<D>> = Vec::with_capacity(n);
@@ -135,11 +145,11 @@ impl BulkLoader {
             total += 1;
             group.push(entry);
             if group.len() == n {
-                next.push(flush_leaf(&pool, &mut group)?);
+                next.push(flush_leaf(&mut writer, &mut group)?);
             }
         }
         if !group.is_empty() {
-            next.push(flush_leaf(&pool, &mut group)?);
+            next.push(flush_leaf(&mut writer, &mut group)?);
         }
         if next.is_empty() {
             return Err(RTreeError::EmptyLoad);
@@ -150,6 +160,7 @@ impl BulkLoader {
         let mut current = next;
         loop {
             if current.len() == 1 {
+                writer.flush()?;
                 let root = current[0].child_page();
                 let tree = RTree::from_parts(pool, self.cap, root, level, total);
                 tree.persist()?;
@@ -158,12 +169,8 @@ impl BulkLoader {
             order_upper(&mut current, level);
             let mut next = Vec::with_capacity(current.len() / n + 1);
             for chunk in current.chunks(n) {
-                let node = Node {
-                    level,
-                    entries: chunk.to_vec(),
-                };
-                let page = pool.disk().allocate()?;
-                write_node(&pool, page, &node)?;
+                let (page, ()) =
+                    writer.append(|buf| crate::codec::encode_entries(level, chunk, buf))?;
                 next.push(Entry::child(
                     Rect::union_all(chunk.iter().map(|e| &e.rect)),
                     page,
@@ -175,27 +182,17 @@ impl BulkLoader {
     }
 }
 
-/// Write one full leaf from `group` (draining it) and return its parent
-/// entry.
+/// Stage one full leaf from `group` and return its parent entry. The
+/// group buffer is cleared for reuse, not dropped — the streaming loader
+/// allocates nothing per leaf.
 fn flush_leaf<const D: usize>(
-    pool: &BufferPool,
+    writer: &mut SequentialPageWriter<'_>,
     group: &mut Vec<Entry<D>>,
 ) -> Result<Entry<D>> {
     let mbr = Rect::union_all(group.iter().map(|e| &e.rect));
-    let node = Node {
-        level: 0,
-        entries: std::mem::take(group),
-    };
-    let page = pool.disk().allocate()?;
-    write_node(pool, page, &node)?;
+    let (page, ()) = writer.append(|buf| crate::codec::encode_entries(0, group, buf))?;
+    group.clear();
     Ok(Entry::child(mbr, page))
-}
-
-fn write_node<const D: usize>(pool: &BufferPool, page: PageId, node: &Node<D>) -> Result<()> {
-    let mut buf = vec![0u8; pool.page_size()];
-    crate::codec::encode(node, &mut buf);
-    pool.write_page(page, &buf)?;
-    Ok(())
 }
 
 #[cfg(test)]
@@ -234,9 +231,7 @@ mod tests {
     #[test]
     fn single_entry_tree() {
         let loader = BulkLoader::new(NodeCapacity::new(4).unwrap());
-        let t = loader
-            .load(pool(), grid_entries(1), &mut identity)
-            .unwrap();
+        let t = loader.load(pool(), grid_entries(1), &mut identity).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.height(), 1);
         t.validate(false).unwrap();
@@ -245,9 +240,7 @@ mod tests {
     #[test]
     fn exactly_one_full_node() {
         let loader = BulkLoader::new(NodeCapacity::new(4).unwrap());
-        let t = loader
-            .load(pool(), grid_entries(4), &mut identity)
-            .unwrap();
+        let t = loader.load(pool(), grid_entries(4), &mut identity).unwrap();
         assert_eq!(t.height(), 1);
         t.validate(false).unwrap();
     }
@@ -255,9 +248,7 @@ mod tests {
     #[test]
     fn one_more_than_a_node_makes_two_levels() {
         let loader = BulkLoader::new(NodeCapacity::new(4).unwrap());
-        let t = loader
-            .load(pool(), grid_entries(5), &mut identity)
-            .unwrap();
+        let t = loader.load(pool(), grid_entries(5), &mut identity).unwrap();
         assert_eq!(t.height(), 2);
         assert_eq!(t.len(), 5);
         t.validate(false).unwrap();
@@ -385,10 +376,13 @@ mod tests {
         // the paper's future work contemplates dynamic R-trees seeded by
         // STR packing.
         let loader = BulkLoader::new(NodeCapacity::new(8).unwrap());
-        let mut t = loader.load(pool(), grid_entries(500), &mut identity).unwrap();
+        let mut t = loader
+            .load(pool(), grid_entries(500), &mut identity)
+            .unwrap();
         for i in 0..100u64 {
             let x = (i % 10) as f64 / 10.0;
-            t.insert(Rect::new([x, 0.9], [x + 0.01, 0.95]), 10_000 + i).unwrap();
+            t.insert(Rect::new([x, 0.9], [x + 0.01, 0.95]), 10_000 + i)
+                .unwrap();
         }
         assert_eq!(t.len(), 600);
         t.validate(false).unwrap();

@@ -10,7 +10,7 @@
 
 use geom::Rect;
 
-use crate::{Entry, Node, Result, RTree};
+use crate::{Entry, Node, RTree, Result};
 
 impl<const D: usize> RTree<D> {
     /// Insert a batch of items by packing them into a subtree (using

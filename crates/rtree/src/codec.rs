@@ -20,7 +20,7 @@ use bytes::{Buf, BufMut};
 use geom::Rect;
 use storage::PageId;
 
-use crate::{Entry, Node, Result, RTreeError};
+use crate::{Entry, Node, RTreeError, Result};
 
 const MAGIC: u32 = u32::from_le_bytes(*b"RTN1");
 const HEADER_LEN: usize = 24;
@@ -62,11 +62,22 @@ fn page_checksum(page: &[u8], body_end: usize) -> u64 {
 /// [`max_capacity`] via [`crate::NodeCapacity`], so overflow here is a
 /// logic error, not an input error.
 pub fn encode<const D: usize>(node: &Node<D>, page: &mut [u8]) {
-    let need = HEADER_LEN + node.len() * entry_size::<D>();
+    encode_entries(node.level, &node.entries, page);
+}
+
+/// Serialize a node directly from a borrowed entry slice — the
+/// allocation-free write path. [`encode`] is a thin wrapper; bulk
+/// loaders call this with a sub-slice of the sorted entry run, skipping
+/// the intermediate [`Node`] (and its `group.to_vec()`) entirely.
+///
+/// # Panics
+/// Panics if the entries do not fit, like [`encode`].
+pub fn encode_entries<const D: usize>(level: u32, entries: &[Entry<D>], page: &mut [u8]) {
+    let need = HEADER_LEN + entries.len() * entry_size::<D>();
     assert!(
         need <= page.len(),
         "node with {} entries needs {need} bytes, page has {}",
-        node.len(),
+        entries.len(),
         page.len()
     );
 
@@ -74,7 +85,7 @@ pub fn encode<const D: usize>(node: &Node<D>, page: &mut [u8]) {
     // with the checksum over that region.
     {
         let mut body = &mut page[HEADER_LEN..need];
-        for e in &node.entries {
+        for e in entries {
             for i in 0..D {
                 body.put_f64_le(e.rect.lo(i));
             }
@@ -87,8 +98,8 @@ pub fn encode<const D: usize>(node: &Node<D>, page: &mut [u8]) {
     {
         let mut header = &mut page[..16];
         header.put_u32_le(MAGIC);
-        header.put_u32_le(node.level);
-        header.put_u32_le(node.len() as u32);
+        header.put_u32_le(level);
+        header.put_u32_le(entries.len() as u32);
         header.put_u32_le(D as u32);
     }
     let checksum = page_checksum(page, need);
@@ -146,6 +157,181 @@ pub fn decode<const D: usize>(page: &[u8], page_id: PageId) -> Result<Node<D>> {
         entries.push(Entry { rect, payload });
     }
     Ok(Node { level, entries })
+}
+
+/// A borrowed, zero-copy view of an encoded node page.
+///
+/// [`parse`](NodeView::parse) performs the exact validation [`decode`]
+/// does — magic, dimension, count-fits, checksum, and a per-entry
+/// rectangle sanity scan — but materializes nothing: entries are read
+/// lazily, straight out of the page bytes, by the accessors. Query
+/// traversal uses this under [`storage::BufferPool::with_page`] so a hot
+/// search touches no heap at all; mutation paths keep the owned
+/// [`Node`] representation.
+///
+/// The validation pass means every accessor after a successful `parse`
+/// is infallible: any page `parse` accepts, `decode` accepts, and vice
+/// versa (asserted by the differential tests).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView<'a, const D: usize> {
+    level: u32,
+    count: usize,
+    /// Exactly the entry region: `count * entry_size::<D>()` bytes.
+    body: &'a [u8],
+}
+
+impl<'a, const D: usize> NodeView<'a, D> {
+    /// Validate `page` and borrow it as a node view.
+    ///
+    /// `page_id` is only for error messages. Accepts and rejects exactly
+    /// the same pages as [`decode`], with the same error reasons.
+    pub fn parse(page: &'a [u8], page_id: PageId) -> Result<Self> {
+        if page.len() < HEADER_LEN {
+            return Err(corrupt(page_id, "page shorter than header"));
+        }
+        let mut header = &page[..HEADER_LEN];
+        let magic = header.get_u32_le();
+        if magic != MAGIC {
+            return Err(corrupt(page_id, "bad magic (not an R-tree node)"));
+        }
+        let level = header.get_u32_le();
+        let count = header.get_u32_le() as usize;
+        let dims = header.get_u32_le() as usize;
+        if dims != D {
+            return Err(corrupt(
+                page_id,
+                &format!("dimension mismatch: page has {dims}, tree is {D}"),
+            ));
+        }
+        let checksum = header.get_u64_le();
+
+        let need = HEADER_LEN + count * entry_size::<D>();
+        if need > page.len() {
+            return Err(corrupt(page_id, "entry count exceeds page size"));
+        }
+        if page_checksum(page, need) != checksum {
+            return Err(corrupt(page_id, "checksum mismatch (torn write?)"));
+        }
+
+        let view = Self {
+            level,
+            count,
+            body: &page[HEADER_LEN..need],
+        };
+        // Same rectangle sanity scan as decode, so both paths accept and
+        // reject identical pages; no allocation, and the pass doubles as
+        // a prefetch of the entry region.
+        for i in 0..count {
+            view.try_rect(i)
+                .map_err(|e| corrupt(page_id, &format!("bad rectangle: {e}")))?;
+        }
+        Ok(view)
+    }
+
+    /// Height above the leaf level (leaves are 0).
+    #[inline]
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Whether this node is at the leaf level.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the node holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Raw little-endian f64 at entry `i`, word `w` (of `2 * D`).
+    #[inline]
+    fn coord(&self, i: usize, w: usize) -> f64 {
+        let off = i * entry_size::<D>() + w * 8;
+        f64::from_le_bytes(self.body[off..off + 8].try_into().unwrap())
+    }
+
+    /// Rectangle of entry `i`, validated (used by the parse scan).
+    fn try_rect(&self, i: usize) -> std::result::Result<Rect<D>, geom::GeomError> {
+        let mut min = [0.0f64; D];
+        let mut max = [0.0f64; D];
+        for (a, m) in min.iter_mut().enumerate() {
+            *m = self.coord(i, a);
+        }
+        for (a, m) in max.iter_mut().enumerate() {
+            *m = self.coord(i, D + a);
+        }
+        Rect::try_new(min, max)
+    }
+
+    /// Rectangle of entry `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn rect(&self, i: usize) -> Rect<D> {
+        assert!(i < self.count, "entry {i} out of {}", self.count);
+        // Parse already proved every rectangle well-formed.
+        self.try_rect(i).unwrap()
+    }
+
+    /// Payload of entry `i` (data id at leaves, child page otherwise).
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn payload(&self, i: usize) -> u64 {
+        assert!(i < self.count, "entry {i} out of {}", self.count);
+        let off = i * entry_size::<D>() + D * 2 * 8;
+        u64::from_le_bytes(self.body[off..off + 8].try_into().unwrap())
+    }
+
+    /// Payload of entry `i` interpreted as a child page.
+    #[inline]
+    pub fn child_page(&self, i: usize) -> PageId {
+        PageId(self.payload(i))
+    }
+
+    /// Entry `i`, materialized.
+    #[inline]
+    pub fn entry(&self, i: usize) -> Entry<D> {
+        Entry {
+            rect: self.rect(i),
+            payload: self.payload(i),
+        }
+    }
+
+    /// Iterate all entries, decoding each lazily.
+    pub fn entries(&self) -> impl Iterator<Item = Entry<D>> + '_ {
+        (0..self.count).map(move |i| self.entry(i))
+    }
+
+    /// Minimum bounding rectangle of all entries (allocation-free,
+    /// matching [`Node::mbr`] exactly — `empty` is the union identity).
+    pub fn mbr(&self) -> Rect<D> {
+        let mut acc = Rect::empty();
+        for i in 0..self.count {
+            acc.union_in_place(&self.rect(i));
+        }
+        acc
+    }
+
+    /// Materialize the owned [`Node`] (for callers crossing from the
+    /// read path to the mutation path).
+    pub fn to_node(&self) -> Node<D> {
+        Node {
+            level: self.level,
+            entries: self.entries().collect(),
+        }
+    }
 }
 
 fn corrupt(page: PageId, reason: &str) -> RTreeError {
@@ -221,7 +407,10 @@ mod tests {
         let page = vec![0u8; 4096];
         assert!(matches!(
             decode::<2>(&page, PageId(3)),
-            Err(RTreeError::Corrupt { page: PageId(3), .. })
+            Err(RTreeError::Corrupt {
+                page: PageId(3),
+                ..
+            })
         ));
     }
 
@@ -269,5 +458,48 @@ mod tests {
         let node = sample_node(); // 10 entries * 40 + 24 = 424 bytes
         let mut page = vec![0u8; 128];
         encode(&node, &mut page);
+    }
+
+    #[test]
+    fn encode_entries_matches_encode() {
+        let node = sample_node();
+        let mut via_node = vec![0u8; 4096];
+        let mut via_slice = vec![0u8; 4096];
+        encode(&node, &mut via_node);
+        encode_entries(node.level, &node.entries, &mut via_slice);
+        assert_eq!(via_node, via_slice);
+    }
+
+    #[test]
+    fn view_matches_decode() {
+        let node = sample_node();
+        let mut page = vec![0u8; 4096];
+        encode(&node, &mut page);
+        let view = NodeView::<2>::parse(&page, PageId(0)).unwrap();
+        assert_eq!(view.level(), node.level);
+        assert!(!view.is_leaf());
+        assert_eq!(view.len(), node.len());
+        assert!(!view.is_empty());
+        assert_eq!(view.mbr(), node.mbr());
+        for (i, e) in node.entries.iter().enumerate() {
+            assert_eq!(view.entry(i), *e);
+            assert_eq!(view.rect(i), e.rect);
+            assert_eq!(view.payload(i), e.payload);
+            assert_eq!(view.child_page(i), e.child_page());
+        }
+        assert_eq!(view.entries().collect::<Vec<_>>(), node.entries);
+        assert_eq!(view.to_node(), node);
+    }
+
+    #[test]
+    fn view_rejects_what_decode_rejects() {
+        let mut page = vec![0u8; 4096];
+        encode(&sample_node(), &mut page);
+        page[100] ^= 0x01;
+        let d = decode::<2>(&page, PageId(9)).unwrap_err().to_string();
+        let v = NodeView::<2>::parse(&page, PageId(9))
+            .unwrap_err()
+            .to_string();
+        assert_eq!(d, v);
     }
 }

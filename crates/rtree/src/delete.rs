@@ -2,14 +2,17 @@
 
 use geom::Rect;
 
-use crate::{Entry, Result, RTree};
+use crate::{Entry, RTree, Result};
 
 /// Result of the recursive removal step.
 enum Outcome<const D: usize> {
     NotFound,
     /// The entry was removed somewhere below; `mbr` is the child's new
     /// MBR and `underfull` says whether it dropped below min fill.
-    Removed { mbr: Rect<D>, underfull: bool },
+    Removed {
+        mbr: Rect<D>,
+        underfull: bool,
+    },
 }
 
 impl<const D: usize> RTree<D> {
@@ -134,7 +137,10 @@ impl<const D: usize> RTree<D> {
                     let under = !is_root && node.len() < self.capacity().min();
                     let mbr = node.mbr();
                     self.write_node(page, &node)?;
-                    return Ok(Outcome::Removed { mbr, underfull: under });
+                    return Ok(Outcome::Removed {
+                        mbr,
+                        underfull: under,
+                    });
                 }
             }
         }
@@ -265,14 +271,23 @@ mod tests {
         }
         t.validate(false).unwrap();
         for (r, id) in items.iter().filter(|(_, id)| id % 16 >= 4) {
-            let hits = t.query_point(&Point::new([r.center().coord(0), r.center().coord(1)])).unwrap();
-            assert!(hits.iter().any(|(_, i)| i == id), "entry {id} lost after condensation");
+            let hits = t
+                .query_point(&Point::new([r.center().coord(0), r.center().coord(1)]))
+                .unwrap();
+            assert!(
+                hits.iter().any(|(_, i)| i == id),
+                "entry {id} lost after condensation"
+            );
         }
     }
 
     #[test]
     fn delete_works_across_policies() {
-        for policy in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::RStarAxis] {
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::RStarAxis,
+        ] {
             let mut t = new_tree(5);
             t.set_split_policy(policy);
             let mut items = Vec::new();
@@ -286,7 +301,8 @@ mod tests {
                 assert!(t.delete(r, *id).unwrap(), "{policy:?}");
             }
             assert_eq!(t.len(), 75);
-            t.validate(false).unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+            t.validate(false)
+                .unwrap_or_else(|e| panic!("{policy:?}: {e}"));
         }
     }
 }

@@ -9,7 +9,7 @@
 use geom::Rect;
 use storage::PageId;
 
-use crate::{Entry, Node, Result, RTree};
+use crate::{Entry, Node, RTree, Result};
 
 impl<const D: usize> RTree<D> {
     /// Insert a data object with bounding rectangle `rect` and identifier
@@ -119,9 +119,7 @@ fn choose_subtree<const D: usize>(node: &Node<D>, rect: &Rect<D>) -> usize {
     for (i, e) in node.entries.iter().enumerate() {
         let enlargement = e.rect.enlargement(rect);
         let area = e.rect.area();
-        if enlargement < best_enlargement
-            || (enlargement == best_enlargement && area < best_area)
-        {
+        if enlargement < best_enlargement || (enlargement == best_enlargement && area < best_area) {
             best = i;
             best_enlargement = enlargement;
             best_area = area;
@@ -179,14 +177,19 @@ mod tests {
             let x: f64 = rng.gen_range(0.0..1.0);
             let y: f64 = rng.gen_range(0.0..1.0);
             let s: f64 = rng.gen_range(0.0..0.05);
-            t.insert(square(x, y, s).clamp_to(&Rect::unit()), i).unwrap();
+            t.insert(square(x, y, s).clamp_to(&Rect::unit()), i)
+                .unwrap();
         }
         t
     }
 
     #[test]
     fn thousand_inserts_all_policies() {
-        for policy in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::RStarAxis] {
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::RStarAxis,
+        ] {
             let t = insert_many(policy, 1000, 8);
             assert_eq!(t.len(), 1000);
             t.validate(true)
@@ -214,7 +217,12 @@ mod tests {
             .filter(|(r, _)| r.intersects(&q))
             .map(|(_, id)| *id)
             .collect();
-        let mut got: Vec<u64> = t.query_region(&q).unwrap().iter().map(|(_, id)| *id).collect();
+        let mut got: Vec<u64> = t
+            .query_region(&q)
+            .unwrap()
+            .iter()
+            .map(|(_, id)| *id)
+            .collect();
         expect.sort_unstable();
         got.sort_unstable();
         assert_eq!(expect, got);
@@ -225,10 +233,8 @@ mod tests {
         let t = insert_many(SplitPolicy::Quadratic, 300, 10);
         let all = t.all_entries().unwrap();
         let q = Point::new([0.4, 0.7]);
-        let mut by_dist: Vec<(f64, u64)> = all
-            .iter()
-            .map(|(r, id)| (r.min_dist2(&q), *id))
-            .collect();
+        let mut by_dist: Vec<(f64, u64)> =
+            all.iter().map(|(r, id)| (r.min_dist2(&q), *id)).collect();
         by_dist.sort_by(|a, b| geom::total_cmp_f64(a.0, b.0));
         let got = t.nearest(&q, 10).unwrap();
         assert_eq!(got.len(), 10);

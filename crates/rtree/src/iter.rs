@@ -8,18 +8,25 @@
 use geom::Rect;
 use storage::PageId;
 
-use crate::{Node, Result, RTree};
+use crate::{RTree, Result};
 
 /// Lazy iterator over `(rect, data-id)` pairs intersecting a query
 /// region. Node pages are fetched through the buffer pool exactly when
 /// the traversal reaches them, so early termination also saves I/O.
+///
+/// Nodes are read through zero-copy views; the only buffer is one
+/// reusable `Vec` of matched leaf entries, cleared (not reallocated) per
+/// leaf, so a long stream settles into steady state with no per-node
+/// allocation.
 pub struct RegionIter<'a, const D: usize> {
     tree: &'a RTree<D>,
     query: Rect<D>,
     /// Internal pages still to visit.
     stack: Vec<PageId>,
-    /// Leaf currently being drained.
-    leaf: Option<(Node<D>, usize)>,
+    /// Matches from the leaf currently being drained (reused buffer).
+    matched: Vec<(Rect<D>, u64)>,
+    /// Next position in `matched`.
+    pos: usize,
     /// Set once an I/O error has been yielded; the iterator then fuses.
     failed: bool,
 }
@@ -30,7 +37,8 @@ impl<'a, const D: usize> RegionIter<'a, D> {
             tree,
             query,
             stack: vec![tree.root_page()],
-            leaf: None,
+            matched: Vec::new(),
+            pos: 0,
             failed: false,
         }
     }
@@ -44,32 +52,38 @@ impl<const D: usize> Iterator for RegionIter<'_, D> {
             return None;
         }
         loop {
-            // Drain the current leaf first.
-            if let Some((node, idx)) = &mut self.leaf {
-                while *idx < node.entries.len() {
-                    let e = node.entries[*idx];
-                    *idx += 1;
-                    if e.rect.intersects(&self.query) {
-                        return Some(Ok((e.rect, e.payload)));
-                    }
-                }
-                self.leaf = None;
+            // Drain the current leaf's matches first.
+            if self.pos < self.matched.len() {
+                let hit = self.matched[self.pos];
+                self.pos += 1;
+                return Some(Ok(hit));
             }
             // Descend to the next matching leaf.
             let page = self.stack.pop()?;
-            let node = match self.tree.read_node(page) {
-                Ok(n) => n,
-                Err(e) => {
-                    self.failed = true;
-                    return Some(Err(e));
+            self.matched.clear();
+            self.pos = 0;
+            let query = self.query;
+            let stack = &mut self.stack;
+            let matched = &mut self.matched;
+            let visited = self.tree.with_view(page, |node| {
+                if node.is_leaf() {
+                    for i in 0..node.len() {
+                        let rect = node.rect(i);
+                        if rect.intersects(&query) {
+                            matched.push((rect, node.payload(i)));
+                        }
+                    }
+                } else {
+                    for i in 0..node.len() {
+                        if node.rect(i).intersects(&query) {
+                            stack.push(node.child_page(i));
+                        }
+                    }
                 }
-            };
-            if node.is_leaf() {
-                self.leaf = Some((node, 0));
-            } else {
-                for e in node.matching(&self.query) {
-                    self.stack.push(e.child_page());
-                }
+            });
+            if let Err(e) = visited {
+                self.failed = true;
+                return Some(Err(e));
             }
         }
     }
@@ -112,10 +126,7 @@ mod tests {
     fn streams_same_results_as_materialized() {
         let tree = sample_tree(2000);
         let q = Rect::new([0.2, 0.2], [0.6, 0.5]);
-        let mut streamed: Vec<u64> = tree
-            .iter_region(&q)
-            .map(|r| r.unwrap().1)
-            .collect();
+        let mut streamed: Vec<u64> = tree.iter_region(&q).map(|r| r.unwrap().1).collect();
         let mut materialized: Vec<u64> = tree
             .query_region(&q)
             .unwrap()

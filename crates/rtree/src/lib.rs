@@ -38,6 +38,7 @@ pub mod tree;
 
 pub use bulk::BulkLoader;
 pub use capacity::NodeCapacity;
+pub use codec::NodeView;
 pub use iter::RegionIter;
 pub use node::{Entry, Node};
 pub use rplus::RPlusTree;

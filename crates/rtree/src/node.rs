@@ -94,7 +94,9 @@ impl<const D: usize> Node<D> {
     /// Entries whose rectangle intersects `query` (the per-node step of
     /// the paper's recursive search procedure).
     pub fn matching<'a>(&'a self, query: &'a Rect<D>) -> impl Iterator<Item = &'a Entry<D>> + 'a {
-        self.entries.iter().filter(move |e| e.rect.intersects(query))
+        self.entries
+            .iter()
+            .filter(move |e| e.rect.intersects(query))
     }
 }
 

@@ -23,7 +23,7 @@
 use geom::{Point, Rect};
 use storage::{BufferPool, PageId};
 
-use crate::{codec, Entry, Node, NodeCapacity, Result, RTreeError};
+use crate::{codec, Entry, Node, NodeCapacity, RTreeError, Result};
 use std::sync::Arc;
 
 /// A paged R⁺-tree.
@@ -109,7 +109,8 @@ impl<const D: usize> RPlusTree<D> {
     }
 
     fn read_node(&self, page: PageId) -> Result<Node<D>> {
-        self.pool.with_page(page, |bytes| codec::decode::<D>(bytes, page))?
+        self.pool
+            .with_page(page, |bytes| codec::decode::<D>(bytes, page))?
     }
 
     fn write_node(&self, page: PageId, node: &Node<D>) -> Result<()> {
@@ -164,11 +165,7 @@ impl<const D: usize> RPlusTree<D> {
                 }
                 return Ok(out);
             }
-            let Some(child) = node
-                .entries
-                .iter()
-                .find(|e| e.rect.contains_point(point))
-            else {
+            let Some(child) = node.entries.iter().find(|e| e.rect.contains_point(point)) else {
                 // Unreachable with tiling partitions; kept as a graceful
                 // fallback rather than a panic.
                 return Ok(out);
@@ -264,10 +261,7 @@ impl<const D: usize> RPlusTree<D> {
         })?;
         let (left_page, right_page) = self.cut_subtree(page, node, axis, cut)?;
         let (lp, rp) = split_rect(partition, axis, cut);
-        Ok((
-            Entry::child(lp, left_page),
-            Entry::child(rp, right_page),
-        ))
+        Ok((Entry::child(lp, left_page), Entry::child(rp, right_page)))
     }
 
     /// Cut the subtree rooted in `node` (stored at `page`) at
@@ -308,8 +302,20 @@ impl<const D: usize> RPlusTree<D> {
             }
         }
         let right_page = self.alloc_page()?;
-        self.write_node(page, &Node { level, entries: left })?;
-        self.write_node(right_page, &Node { level, entries: right })?;
+        self.write_node(
+            page,
+            &Node {
+                level,
+                entries: left,
+            },
+        )?;
+        self.write_node(
+            right_page,
+            &Node {
+                level,
+                entries: right,
+            },
+        )?;
         Ok((page, right_page))
     }
 
@@ -333,7 +339,8 @@ impl<const D: usize> RPlusTree<D> {
         let mut removed = false;
         if node.is_leaf() {
             let before = node.len();
-            node.entries.retain(|e| !(e.payload == id && e.rect == *rect));
+            node.entries
+                .retain(|e| !(e.payload == id && e.rect == *rect));
             if node.len() != before {
                 removed = true;
                 self.write_node(page, &node)?;
@@ -566,8 +573,7 @@ mod tests {
         for p in &probes {
             t.query_point(&Point::new(*p)).unwrap();
         }
-        let per_query =
-            (pool.stats().hits + pool.stats().misses) as f64 / probes.len() as f64;
+        let per_query = (pool.stats().hits + pool.stats().misses) as f64 / probes.len() as f64;
         assert!(
             per_query <= t.height() as f64 + 1e-9,
             "point query touched {per_query} nodes, height {}",
@@ -611,7 +617,7 @@ mod tests {
 
     #[test]
     fn delete_removes_all_clips() {
-        let items = random_items(800, 4, 0.08); // big rects → many clips
+        let items = random_items(800, 7, 0.08); // big rects → many clips
         let mut t = new_tree(8);
         for (r, id) in &items {
             t.insert(*r, *id).unwrap();

@@ -19,7 +19,7 @@
 use geom::Rect;
 use storage::PageId;
 
-use crate::{Entry, Node, Result, RTree, SplitPolicy};
+use crate::{Entry, Node, RTree, Result, SplitPolicy};
 
 /// Fraction of a node forcibly reinserted on first overflow (the R*
 /// paper's recommended 30%).
@@ -42,13 +42,8 @@ impl<const D: usize> RTree<D> {
                 reinserted_levels.resize(self.height as usize + 1, false);
             }
             let root = self.root;
-            let split = self.rstar_insert_rec(
-                root,
-                entry,
-                level,
-                &mut reinserted_levels,
-                &mut pending,
-            )?;
+            let split =
+                self.rstar_insert_rec(root, entry, level, &mut reinserted_levels, &mut pending)?;
             if let Some(sibling) = split {
                 self.grow_root(sibling)?;
             }
@@ -300,13 +295,8 @@ mod tests {
             linear.insert(*r, *id).unwrap();
         }
 
-        let perim = |t: &RTree<2>| -> f64 {
-            t.level_mbrs(0)
-                .unwrap()
-                .iter()
-                .map(|r| r.perimeter())
-                .sum()
-        };
+        let perim =
+            |t: &RTree<2>| -> f64 { t.level_mbrs(0).unwrap().iter().map(|r| r.perimeter()).sum() };
         let (pr, pl) = (perim(&rstar), perim(&linear));
         assert!(
             pr < pl,

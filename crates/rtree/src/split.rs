@@ -345,7 +345,11 @@ mod tests {
 
     #[test]
     fn all_policies_preserve_entries() {
-        for policy in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::RStarAxis] {
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::RStarAxis,
+        ] {
             let cap = NodeCapacity::new(9).unwrap();
             check_split(policy, entries_grid(3), cap); // 9 entries? grid(3)=9; overflow shape 9<=10 fine
             let cap = NodeCapacity::new(15).unwrap();
@@ -358,7 +362,11 @@ mod tests {
         // Two far-apart clusters must end up in different groups under
         // every policy: any mixed assignment has a catastrophically larger
         // MBR.
-        for policy in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::RStarAxis] {
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::RStarAxis,
+        ] {
             let cap = NodeCapacity::new(9).unwrap();
             let (a, b) = policy.split(two_clusters(), cap);
             let a_low = a.iter().all(|e| e.payload < 100);
@@ -376,7 +384,11 @@ mod tests {
     fn identical_rectangles_split_legally() {
         // Degenerate input: every rectangle the same. Split must still
         // produce two legal groups.
-        for policy in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::RStarAxis] {
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::RStarAxis,
+        ] {
             let entries: Vec<Entry<2>> = (0..6)
                 .map(|i| Entry::data(Rect::new([0.0, 0.0], [1.0, 1.0]), i))
                 .collect();
@@ -390,7 +402,11 @@ mod tests {
     #[test]
     fn points_split_legally() {
         // Degenerate rectangles (points) exercise zero-area math.
-        for policy in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::RStarAxis] {
+        for policy in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::RStarAxis,
+        ] {
             let entries: Vec<Entry<2>> = (0..11)
                 .map(|i| {
                     let f = i as f64 / 10.0;
@@ -404,7 +420,11 @@ mod tests {
 
     #[test]
     fn tags_round_trip() {
-        for p in [SplitPolicy::Linear, SplitPolicy::Quadratic, SplitPolicy::RStarAxis] {
+        for p in [
+            SplitPolicy::Linear,
+            SplitPolicy::Quadratic,
+            SplitPolicy::RStarAxis,
+        ] {
             assert_eq!(SplitPolicy::from_tag(p.tag()), p);
         }
         assert_eq!(SplitPolicy::from_tag(99), SplitPolicy::Quadratic);
@@ -414,12 +434,7 @@ mod tests {
     fn rstar_prefers_low_overlap() {
         // 4 squares in a row: the best 2/2 split along x has zero overlap.
         let entries: Vec<Entry<2>> = (0..4)
-            .map(|i| {
-                Entry::data(
-                    Rect::new([i as f64, 0.0], [i as f64 + 0.9, 1.0]),
-                    i as u64,
-                )
-            })
+            .map(|i| Entry::data(Rect::new([i as f64, 0.0], [i as f64 + 0.9, 1.0]), i as u64))
             .collect();
         let cap = NodeCapacity::with_min(3, 1).unwrap();
         let (a, b) = SplitPolicy::RStarAxis.split(entries, cap);

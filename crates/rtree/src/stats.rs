@@ -5,7 +5,7 @@
 //! perimeter metrics for both the whole tree (summed over all nodes at
 //! all levels) and also only for the leaf level."
 
-use crate::{Result, RTree};
+use crate::{RTree, Result};
 
 /// Aggregates for one tree level.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,8 +99,8 @@ impl<const D: usize> RTree<D> {
                 perimeter_sum: 0.0,
             })
             .collect();
-        self.visit_nodes(&mut |_, node| {
-            let l = &mut levels[node.level as usize];
+        self.visit_views(&mut |_, node| {
+            let l = &mut levels[node.level() as usize];
             l.nodes += 1;
             l.entries += node.len() as u64;
             let mbr = node.mbr();

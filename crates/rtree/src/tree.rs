@@ -7,7 +7,7 @@ use bytes::{Buf, BufMut};
 use geom::{Point, Rect};
 use storage::{BufferPool, PageId};
 
-use crate::{codec, Node, NodeCapacity, Result, RTreeError, SplitPolicy};
+use crate::{codec, Node, NodeCapacity, RTreeError, Result, SplitPolicy};
 
 const META_MAGIC: u32 = u32::from_le_bytes(*b"RTM1");
 
@@ -225,22 +225,41 @@ impl<const D: usize> RTree<D> {
 
     /// MBR of the whole tree (empty rect for an empty tree).
     pub fn root_mbr(&self) -> Result<Rect<D>> {
-        Ok(self.read_node(self.root)?.mbr())
+        self.with_view(self.root, |node| node.mbr())
     }
 
     // ---- node I/O ----------------------------------------------------
 
-    /// Read and decode the node on `page` through the buffer pool.
+    /// Read and decode the node on `page` through the buffer pool into an
+    /// owned [`Node`] — the mutation-path representation.
     pub(crate) fn read_node(&self, page: PageId) -> Result<Node<D>> {
-        self.pool.with_page(page, |bytes| codec::decode::<D>(bytes, page))?
+        self.pool
+            .with_page(page, |bytes| codec::decode::<D>(bytes, page))?
     }
 
-    /// Encode and write `node` to `page` through the buffer pool.
+    /// Run `f` on a zero-copy [`NodeView`](codec::NodeView) of the node
+    /// on `page` — the read-path access: the page is validated in place
+    /// and nothing is materialized.
+    ///
+    /// The buffer pool's mutex is held while `f` runs, so `f` must not
+    /// re-enter the pool (no nested node reads): traversals collect the
+    /// child pages they want and recurse after `f` returns.
+    pub(crate) fn with_view<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&codec::NodeView<'_, D>) -> R,
+    ) -> Result<R> {
+        self.pool.with_page(page, |bytes| {
+            let view = codec::NodeView::parse(bytes, page)?;
+            Ok(f(&view))
+        })?
+    }
+
+    /// Encode and write `node` to `page` through the buffer pool,
+    /// serializing straight into the frame (no staging buffer).
     pub(crate) fn write_node(&self, page: PageId, node: &Node<D>) -> Result<()> {
-        let ps = self.pool.page_size();
-        let mut buf = vec![0u8; ps];
-        codec::encode(node, &mut buf);
-        self.pool.write_page(page, &buf)?;
+        self.pool
+            .overwrite_page(page, |buf| codec::encode(node, buf))?;
         Ok(())
     }
 
@@ -272,7 +291,44 @@ impl<const D: usize> RTree<D> {
     }
 
     /// Visitor-form region query (no result allocation).
+    ///
+    /// Traverses through zero-copy node views: each visited page is
+    /// validated once and its entries are read directly out of the
+    /// buffer-pool frame, so a warm query performs no per-node heap
+    /// allocation at all. The decoded reference implementation is
+    /// [`query_region_visit_decoded`](Self::query_region_visit_decoded).
     pub fn query_region_visit(
+        &self,
+        query: &Rect<D>,
+        visit: &mut impl FnMut(Rect<D>, u64),
+    ) -> Result<()> {
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            self.with_view(page, |node| {
+                if node.is_leaf() {
+                    for i in 0..node.len() {
+                        let rect = node.rect(i);
+                        if rect.intersects(query) {
+                            visit(rect, node.payload(i));
+                        }
+                    }
+                } else {
+                    for i in 0..node.len() {
+                        if node.rect(i).intersects(query) {
+                            stack.push(node.child_page(i));
+                        }
+                    }
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Visitor-form region query over fully decoded nodes — the
+    /// reference implementation the zero-copy path is differentially
+    /// tested (and benchmarked) against. Kept public so those
+    /// comparisons exercise exactly the shipped code.
+    pub fn query_region_visit_decoded(
         &self,
         query: &Rect<D>,
         visit: &mut impl FnMut(Rect<D>, u64),
@@ -315,22 +371,25 @@ impl<const D: usize> RTree<D> {
         // query, every entry below is too.
         let mut stack = vec![(self.root, false)];
         while let Some((page, contained)) = stack.pop() {
-            let node = self.read_node(page)?;
-            if node.is_leaf() {
-                for e in &node.entries {
-                    if contained || query.contains_rect(&e.rect) {
-                        out.push((e.rect, e.payload));
+            self.with_view(page, |node| {
+                if node.is_leaf() {
+                    for i in 0..node.len() {
+                        let rect = node.rect(i);
+                        if contained || query.contains_rect(&rect) {
+                            out.push((rect, node.payload(i)));
+                        }
+                    }
+                } else {
+                    for i in 0..node.len() {
+                        let rect = node.rect(i);
+                        if contained || query.contains_rect(&rect) {
+                            stack.push((node.child_page(i), true));
+                        } else if rect.intersects(query) {
+                            stack.push((node.child_page(i), false));
+                        }
                     }
                 }
-            } else {
-                for e in &node.entries {
-                    if contained || query.contains_rect(&e.rect) {
-                        stack.push((e.child_page(), true));
-                    } else if e.rect.intersects(query) {
-                        stack.push((e.child_page(), false));
-                    }
-                }
-            }
+            })?;
         }
         Ok(out)
     }
@@ -342,16 +401,18 @@ impl<const D: usize> RTree<D> {
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(page) = stack.pop() {
-            let node = self.read_node(page)?;
-            for e in &node.entries {
-                if e.rect.contains_rect(query) {
-                    if node.is_leaf() {
-                        out.push((e.rect, e.payload));
-                    } else {
-                        stack.push(e.child_page());
+            self.with_view(page, |node| {
+                for i in 0..node.len() {
+                    let rect = node.rect(i);
+                    if rect.contains_rect(query) {
+                        if node.is_leaf() {
+                            out.push((rect, node.payload(i)));
+                        } else {
+                            stack.push(node.child_page(i));
+                        }
                     }
                 }
-            }
+            })?;
         }
         Ok(out)
     }
@@ -399,16 +460,18 @@ impl<const D: usize> RTree<D> {
                     }
                 }
                 Item::Node(page) => {
-                    let node = self.read_node(page)?;
-                    for e in &node.entries {
-                        let d = e.rect.min_dist2(point);
-                        let item = if node.is_leaf() {
-                            Item::Data(e.rect, e.payload)
-                        } else {
-                            Item::Node(e.child_page())
-                        };
-                        heap.push(Queued(d, item));
-                    }
+                    self.with_view(page, |node| {
+                        for i in 0..node.len() {
+                            let rect = node.rect(i);
+                            let d = rect.min_dist2(point);
+                            let item = if node.is_leaf() {
+                                Item::Data(rect, node.payload(i))
+                            } else {
+                                Item::Node(node.child_page(i))
+                            };
+                            heap.push(Queued(d, item));
+                        }
+                    })?;
                 }
             }
         }
@@ -418,7 +481,9 @@ impl<const D: usize> RTree<D> {
     // ---- traversal ----------------------------------------------------
 
     /// Visit every node, parents before children. The callback receives
-    /// `(page, node)`.
+    /// `(page, node)` with the node fully decoded — the convenient owned
+    /// API; statistics walks that only need a read-only look use
+    /// [`visit_views`](Self::visit_views).
     pub fn visit_nodes(&self, visit: &mut impl FnMut(PageId, &Node<D>)) -> Result<()> {
         let mut stack = vec![self.root];
         while let Some(page) = stack.pop() {
@@ -433,12 +498,33 @@ impl<const D: usize> RTree<D> {
         Ok(())
     }
 
+    /// Visit every node, parents before children, through zero-copy
+    /// views — no `Vec<Entry>` is materialized per node. The pool mutex
+    /// is held during each callback, so `visit` must not touch the pool.
+    pub fn visit_views(
+        &self,
+        visit: &mut impl FnMut(PageId, &codec::NodeView<'_, D>),
+    ) -> Result<()> {
+        let mut stack = vec![self.root];
+        while let Some(page) = stack.pop() {
+            self.with_view(page, |node| {
+                if !node.is_leaf() {
+                    for i in 0..node.len() {
+                        stack.push(node.child_page(i));
+                    }
+                }
+                visit(page, node);
+            })?;
+        }
+        Ok(())
+    }
+
     /// MBRs of all nodes at `level` (0 = leaves). Used for the paper's
     /// Figures 2–4 (leaf MBR plots) and the area/perimeter tables.
     pub fn level_mbrs(&self, level: u32) -> Result<Vec<Rect<D>>> {
         let mut out = Vec::new();
-        self.visit_nodes(&mut |_, node| {
-            if node.level == level {
+        self.visit_views(&mut |_, node| {
+            if node.level() == level {
                 out.push(node.mbr());
             }
         })?;
@@ -448,9 +534,9 @@ impl<const D: usize> RTree<D> {
     /// Every leaf data entry in the tree.
     pub fn all_entries(&self) -> Result<Vec<(Rect<D>, u64)>> {
         let mut out = Vec::with_capacity(self.len as usize);
-        self.visit_nodes(&mut |_, node| {
+        self.visit_views(&mut |_, node| {
             if node.is_leaf() {
-                out.extend(node.entries.iter().map(|e| (e.rect, e.payload)));
+                out.extend(node.entries().map(|e| (e.rect, e.payload)));
             }
         })?;
         Ok(out)
@@ -459,7 +545,7 @@ impl<const D: usize> RTree<D> {
     /// Total number of node pages (all levels).
     pub fn node_count(&self) -> Result<u64> {
         let mut n = 0;
-        self.visit_nodes(&mut |_, _| n += 1)?;
+        self.visit_views(&mut |_, _| n += 1)?;
         Ok(n)
     }
 
@@ -515,62 +601,87 @@ impl<const D: usize> RTree<D> {
     pub fn validate(&self, enforce_min_fill: bool) -> Result<()> {
         let mut seen = std::collections::HashSet::new();
         let mut leaf_entries = 0u64;
-        let root_node = self.read_node(self.root)?;
-        if root_node.level + 1 != self.height {
+        let root_level = self.with_view(self.root, |node| node.level())?;
+        if root_level + 1 != self.height {
             return Err(RTreeError::Invalid(format!(
                 "height {} but root level {}",
-                self.height, root_node.level
+                self.height, root_level
             )));
         }
-        let mut stack: Vec<(PageId, Option<Rect<D>>)> = vec![(self.root, None)];
-        while let Some((page, expected_mbr)) = stack.pop() {
+        // Each frame carries what the parent recorded about the child
+        // (MBR and identity), so the child is checked when it is popped —
+        // one pool request per node, never a nested read while the
+        // parent's frame is borrowed.
+        struct Pending<const D: usize> {
+            page: PageId,
+            expected_mbr: Option<Rect<D>>,
+            parent: Option<(PageId, u32)>,
+        }
+        let mut stack: Vec<Pending<D>> = vec![Pending {
+            page: self.root,
+            expected_mbr: None,
+            parent: None,
+        }];
+        while let Some(Pending {
+            page,
+            expected_mbr,
+            parent,
+        }) = stack.pop()
+        {
             if !seen.insert(page) {
                 return Err(RTreeError::Invalid(format!("{page} reachable twice")));
             }
-            let node = self.read_node(page)?;
-            if node.len() > self.cap.max() {
-                return Err(RTreeError::Invalid(format!(
-                    "{page} holds {} entries, max {}",
-                    node.len(),
-                    self.cap.max()
-                )));
-            }
             let is_root = page == self.root;
-            if enforce_min_fill && !is_root && node.len() < self.cap.min() {
-                return Err(RTreeError::Invalid(format!(
-                    "{page} holds {} entries, min {}",
-                    node.len(),
-                    self.cap.min()
-                )));
-            }
-            if is_root && !node.is_leaf() && node.len() < 2 {
-                return Err(RTreeError::Invalid(
-                    "internal root with fewer than 2 children".into(),
-                ));
-            }
-            if let Some(expected) = expected_mbr {
-                let actual = node.mbr();
-                if actual != expected {
-                    return Err(RTreeError::Invalid(format!(
-                        "{page}: parent records MBR {expected}, node is {actual}"
-                    )));
-                }
-            }
-            if node.is_leaf() {
-                leaf_entries += node.len() as u64;
-            } else {
-                for e in &node.entries {
-                    let child = e.child_page();
-                    let child_node = self.read_node(child)?;
-                    if child_node.level + 1 != node.level {
+            let cap = self.cap;
+            self.with_view(page, |node| {
+                if let Some((parent_page, parent_level)) = parent {
+                    if node.level() + 1 != parent_level {
                         return Err(RTreeError::Invalid(format!(
-                            "{page} (level {}) points at {child} (level {})",
-                            node.level, child_node.level
+                            "{parent_page} (level {parent_level}) points at {page} (level {})",
+                            node.level()
                         )));
                     }
-                    stack.push((child, Some(e.rect)));
                 }
-            }
+                if node.len() > cap.max() {
+                    return Err(RTreeError::Invalid(format!(
+                        "{page} holds {} entries, max {}",
+                        node.len(),
+                        cap.max()
+                    )));
+                }
+                if enforce_min_fill && !is_root && node.len() < cap.min() {
+                    return Err(RTreeError::Invalid(format!(
+                        "{page} holds {} entries, min {}",
+                        node.len(),
+                        cap.min()
+                    )));
+                }
+                if is_root && !node.is_leaf() && node.len() < 2 {
+                    return Err(RTreeError::Invalid(
+                        "internal root with fewer than 2 children".into(),
+                    ));
+                }
+                if let Some(expected) = expected_mbr {
+                    let actual = node.mbr();
+                    if actual != expected {
+                        return Err(RTreeError::Invalid(format!(
+                            "{page}: parent records MBR {expected}, node is {actual}"
+                        )));
+                    }
+                }
+                if node.is_leaf() {
+                    leaf_entries += node.len() as u64;
+                } else {
+                    for i in 0..node.len() {
+                        stack.push(Pending {
+                            page: node.child_page(i),
+                            expected_mbr: Some(node.rect(i)),
+                            parent: Some((page, node.level())),
+                        });
+                    }
+                }
+                Ok(())
+            })??;
         }
         if leaf_entries != self.len {
             return Err(RTreeError::Invalid(format!(

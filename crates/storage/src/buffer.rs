@@ -241,6 +241,23 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Overwrite page `id` entirely by letting `f` encode straight into
+    /// the (zeroed) frame bytes — [`write_page`](Self::write_page)
+    /// without the caller-side staging buffer. The old contents are not
+    /// read from disk; the frame is dirtied and written back on eviction
+    /// or [`flush`](Self::flush).
+    pub fn overwrite_page<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.pin_frame(&mut inner, id, false)?;
+        // pin_frame only zeroes on a miss; zero on hits too so encoders
+        // always see the blank page the write_page path produced.
+        inner.frames[idx].data.fill(0);
+        inner.frames[idx].dirty = true;
+        let out = f(&mut inner.frames[idx].data);
+        inner.frames[idx].pins -= 1;
+        Ok(out)
+    }
+
     /// Copy page `id` into `out`.
     pub fn read_into(&self, id: PageId, out: &mut [u8]) -> Result<()> {
         if out.len() != self.page_size {
@@ -507,7 +524,15 @@ mod tests {
         pool.with_page(PageId(0), |_| {}).unwrap();
         pool.with_page(PageId(1), |_| {}).unwrap();
         let delta = pool.stats().since(&before);
-        assert_eq!(delta, BufferStats { hits: 1, misses: 1, evictions: 0, writebacks: 0 });
+        assert_eq!(
+            delta,
+            BufferStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+                writebacks: 0
+            }
+        );
     }
 
     #[test]
@@ -540,7 +565,8 @@ mod tests {
         let (_d, pool) = setup(1, 2);
         pool.with_page_mut(PageId(0), |d| d[5] = 123).unwrap();
         pool.with_page(PageId(1), |_| {}).unwrap(); // evict 0 (dirty)
-        pool.with_page(PageId(0), |d| assert_eq!(d[5], 123)).unwrap();
+        pool.with_page(PageId(0), |d| assert_eq!(d[5], 123))
+            .unwrap();
     }
 
     #[test]

@@ -19,10 +19,12 @@
 pub mod buffer;
 pub mod disk;
 pub mod page;
+pub mod seq;
 
 pub use buffer::{BufferPool, BufferStats};
 pub use disk::{Disk, FileDisk, IoStats, MemDisk};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
+pub use seq::SequentialPageWriter;
 
 /// Errors surfaced by the storage layer.
 #[derive(Debug)]

@@ -42,7 +42,11 @@ fn main() {
         let pool = Arc::new(BufferPool::new(disk, 32));
         let tree = RTree::<2>::open(pool).expect("reopen");
         tree.validate(false).expect("structure intact");
-        println!("reopened: {} rectangles, {} levels", tree.len(), tree.height());
+        println!(
+            "reopened: {} rectangles, {} levels",
+            tree.len(),
+            tree.height()
+        );
 
         let q = geom::Rect2::new([0.25, 0.25], [0.27, 0.27]);
         let before = tree.pool().stats();

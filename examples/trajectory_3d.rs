@@ -37,10 +37,7 @@ fn main() {
             );
             let t0 = s as f64 / steps as f64;
             let t1 = (s + 1) as f64 / steps as f64;
-            let rect = Rect::<3>::new(
-                [x.min(nx), y.min(ny), t0],
-                [x.max(nx), y.max(ny), t1],
-            );
+            let rect = Rect::<3>::new([x.min(nx), y.min(ny), t0], [x.max(nx), y.max(ny), t1]);
             segments.push((rect, v * 1000 + s));
             (x, y) = (nx, ny);
         }
@@ -65,8 +62,7 @@ fn main() {
     let before = tree.pool().stats();
     let hits = tree.query_region(&q).expect("query");
     let io = tree.pool().stats().since(&before);
-    let vehicles: std::collections::HashSet<u64> =
-        hits.iter().map(|(_, id)| id / 1000).collect();
+    let vehicles: std::collections::HashSet<u64> = hits.iter().map(|(_, id)| id / 1000).collect();
     println!(
         "\nspace-time window {q}:\n  {} segments from {} distinct vehicles, {} disk accesses",
         hits.len(),

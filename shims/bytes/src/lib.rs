@@ -1,0 +1,133 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! stand-in provides exactly the subset the workspace uses: little-endian
+//! cursor reads over `&[u8]` and cursor writes over `&mut [u8]`. The
+//! semantics match the real crate: each call consumes from the front of
+//! the slice, and reading or writing past the end panics.
+
+/// Sequential little-endian reads from a byte cursor.
+pub trait Buf {
+    /// Bytes left in the cursor.
+    fn remaining(&self) -> usize;
+
+    /// Consume `n` bytes off the front, returning them.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// Read a little-endian `u32` and advance.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_bytes(4).try_into().unwrap())
+    }
+
+    /// Read a little-endian `u64` and advance.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+
+    /// Read a little-endian `u128` and advance.
+    fn get_u128_le(&mut self) -> u128 {
+        u128::from_le_bytes(self.take_bytes(16).try_into().unwrap())
+    }
+
+    /// Read a little-endian `f64` and advance.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(
+            self.len() >= n,
+            "buffer underflow: need {n}, have {}",
+            self.len()
+        );
+        let (head, tail) = self.split_at(n);
+        *self = tail;
+        head
+    }
+}
+
+/// Sequential little-endian writes into a byte cursor.
+pub trait BufMut {
+    /// Bytes of writable space left.
+    fn remaining_mut(&self) -> usize;
+
+    /// Write `src` at the front and advance past it.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Write a little-endian `u32` and advance.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64` and advance.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u128` and advance.
+    fn put_u128_le(&mut self, v: u128) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `f64` and advance.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for &mut [u8] {
+    fn remaining_mut(&self) -> usize {
+        self.len()
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        assert!(
+            self.len() >= src.len(),
+            "buffer overflow: need {}, have {}",
+            src.len(),
+            self.len()
+        );
+        // Standard mem::take dance to reborrow a &mut slice at a new start.
+        let slice = std::mem::take(self);
+        let (head, tail) = slice.split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut page = vec![0u8; 64];
+        {
+            let mut w: &mut [u8] = &mut page;
+            w.put_u32_le(0xDEAD_BEEF);
+            w.put_u64_le(0x0123_4567_89AB_CDEF);
+            w.put_f64_le(-2.5);
+            w.put_u128_le(7u128 << 100);
+            assert_eq!(w.remaining_mut(), 64 - 4 - 8 - 8 - 16);
+        }
+        let mut r: &[u8] = &page;
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f64_le(), -2.5);
+        assert_eq!(r.get_u128_le(), 7u128 << 100);
+        assert_eq!(r.remaining(), 64 - 4 - 8 - 8 - 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn read_past_end_panics() {
+        let mut r: &[u8] = &[1, 2];
+        r.get_u32_le();
+    }
+}

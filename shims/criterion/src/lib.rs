@@ -1,0 +1,351 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A minimal, API-compatible bench harness: adaptive iteration counts,
+//! a handful of timed samples, median-of-samples reporting to stdout.
+//! No plots, no statistics beyond median/min/max, no baseline storage —
+//! enough to run every `[[bench]]` target and compare numbers by eye or
+//! by parsing the one-line-per-benchmark output.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How work per iteration is expressed for derived throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` `self.iters` times, recording total wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One benchmark result record.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// `group/id` label.
+    pub label: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest observed sample, ns/iter.
+    pub min_ns: f64,
+    /// Slowest observed sample, ns/iter.
+    pub max_ns: f64,
+    /// Derived throughput (elem/s or byte/s), if a throughput was set.
+    pub throughput_per_sec: Option<f64>,
+}
+
+/// Top-level harness state.
+#[derive(Default)]
+pub struct Criterion {
+    samples: Vec<Sample>,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Accept CLI args the way criterion does: the first free-standing
+    /// argument is a substring filter; `--bench`/`--test` flags and
+    /// flag values are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--bench" || a == "--test" || a == "--nocapture" {
+                continue;
+            }
+            if a.starts_with("--") {
+                // Flag with a value (e.g. --save-baseline x): skip value.
+                let _ = args.next();
+                continue;
+            }
+            self.filter = Some(a);
+            break;
+        }
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let owned = id.to_string();
+        let mut g = self.benchmark_group(&owned);
+        g.bench_function("", f);
+        g.finish();
+        self
+    }
+
+    /// All samples recorded so far (for custom reporters).
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Print the collected results table.
+    pub fn final_summary(&self) {
+        if !self.samples.is_empty() {
+            println!("\n{} benchmarks complete", self.samples.len());
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compatibility; the shim's time budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut |b| f(b));
+        self
+    }
+
+    /// Run one benchmark with a borrowed input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let label = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if let Some(filter) = &self.parent.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+
+        // Calibrate: grow the iteration count until one sample takes
+        // at least ~5ms, so Instant resolution noise stays <0.1%.
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+        let min_ns = per_iter_ns[0];
+        let max_ns = *per_iter_ns.last().unwrap();
+
+        let throughput_per_sec = self.throughput.map(|t| {
+            let units = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+            };
+            units * 1e9 / median_ns
+        });
+
+        let mut line = format!("{label:<48} {:>12}/iter", fmt_ns(median_ns));
+        let _ = write!(line, "  [{} .. {}]", fmt_ns(min_ns), fmt_ns(max_ns));
+        if let Some(tp) = throughput_per_sec {
+            let unit = match self.throughput {
+                Some(Throughput::Bytes(_)) => "B/s",
+                _ => "elem/s",
+            };
+            let _ = write!(line, "  {} {unit}", fmt_count(tp));
+        }
+        println!("{line}");
+
+        self.parent.samples.push(Sample {
+            label,
+            median_ns,
+            min_ns,
+            max_ns,
+            throughput_per_sec,
+        });
+    }
+
+    /// End the group (prints nothing extra; results stream as they run).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}K", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Define a bench group runner compatible with criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            let _ = &$cfg;
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("sum", |b| b.iter(|| (0..4u64).map(black_box).sum::<u64>()));
+        g.finish();
+        assert_eq!(c.samples().len(), 1);
+        let s = &c.samples()[0];
+        assert_eq!(s.label, "t/sum");
+        assert!(s.median_ns > 0.0);
+        assert!(s.throughput_per_sec.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("STR").id, "STR");
+    }
+}

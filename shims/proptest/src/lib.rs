@@ -1,0 +1,652 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the slice of proptest this workspace's property tests use:
+//! the `proptest!` / `prop_assert*` / `prop_assume!` / `prop_oneof!`
+//! macros, `Strategy` with `prop_map`/`prop_filter`, range and tuple
+//! strategies, `any::<T>()`, `prop::collection::vec`, `Just`, and the
+//! `proptest::num::f64` class strategies. Generation is random and
+//! deterministic per test name; there is **no shrinking** — on failure
+//! the panic message carries the per-case seed so a failing case can be
+//! studied by re-running the binary (same seed stream every run).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Per-case random source handed to strategies.
+pub type TestRng = StdRng;
+
+pub mod test_runner {
+    //! Config, error type and the case-loop driver.
+
+    use super::*;
+
+    /// Subset of proptest's runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Inputs out of scope (`prop_assume!` / filter miss); retried.
+        Reject(String),
+        /// Property violated; the test fails.
+        Fail(String),
+    }
+
+    /// Result of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Stable 64-bit FNV-1a, so seeds survive toolchain changes.
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Drive `case` until `config.cases` successes (used by `proptest!`).
+    #[doc(hidden)]
+    pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let mut seeds = StdRng::seed_from_u64(fnv1a(name));
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let reject_budget = config.cases.saturating_mul(16).saturating_add(1024);
+        while passed < config.cases {
+            let case_seed = seeds.next_u64();
+            let mut rng = StdRng::seed_from_u64(case_seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= reject_budget,
+                        "{name}: too many rejected cases ({rejected}); \
+                         strategy or assumption is too narrow"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "{name}: property failed after {passed} passing cases \
+                         (case seed {case_seed:#x}):\n{msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use super::*;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value; `None` means "reject this case".
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values passing `pred` (retries internally, then
+        /// rejects the case).
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                pred,
+            }
+        }
+
+        /// Type-erase for heterogeneous collections (`prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.gen_value(rng)))
+        }
+    }
+
+    /// The boxed generator function inside a [`BoxedStrategy`].
+    type BoxedGen<T> = Box<dyn Fn(&mut TestRng) -> Option<T>>;
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(BoxedGen<T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<U> {
+            self.inner.gen_value(rng).map(&self.f)
+        }
+    }
+
+    /// `prop_filter` adapter.
+    pub struct Filter<S, F> {
+        inner: S,
+        #[allow(dead_code)]
+        reason: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Retry locally before pushing the rejection up to the runner.
+            for _ in 0..64 {
+                if let Some(v) = self.inner.gen_value(rng) {
+                    if (self.pred)(&v) {
+                        return Some(v);
+                    }
+                }
+            }
+            None
+        }
+    }
+
+    /// Weighted choice among boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        choices: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Build from `(weight, strategy)` pairs; weights must not all be 0.
+        pub fn new(choices: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = choices.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs a positive total weight");
+            Self { choices, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.choices {
+                if pick < *w as u64 {
+                    return s.gen_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                    Some(rng.gen_range(self.clone()))
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                    Some(rng.gen_range(self.clone()))
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    Some(($($name.gen_value(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` over the primitive types the tests draw.
+
+    use super::strategy::Strategy;
+    use super::*;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy wrapper returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+pub mod collection {
+    //! `prop::collection::vec`.
+
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    /// Vectors of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy produced by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.gen_value(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+pub mod num {
+    //! Bit-class float strategies (`proptest::num::f64::NORMAL | ZERO`).
+
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::TestRng;
+        use rand::{Rng, RngCore};
+
+        /// A union of IEEE-754 double classes, usable as a strategy.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct FloatClasses(u32);
+
+        const ZERO_BIT: u32 = 1;
+        const SUBNORMAL_BIT: u32 = 2;
+        const NORMAL_BIT: u32 = 4;
+        const INFINITE_BIT: u32 = 8;
+        const NAN_BIT: u32 = 16;
+
+        /// Positive and negative zero.
+        pub const ZERO: FloatClasses = FloatClasses(ZERO_BIT);
+        /// Subnormal magnitudes of either sign.
+        pub const SUBNORMAL: FloatClasses = FloatClasses(SUBNORMAL_BIT);
+        /// Normal finite values of either sign.
+        pub const NORMAL: FloatClasses = FloatClasses(NORMAL_BIT);
+        /// Both infinities.
+        pub const INFINITE: FloatClasses = FloatClasses(INFINITE_BIT);
+        /// Quiet NaNs.
+        pub const QUIET_NAN: FloatClasses = FloatClasses(NAN_BIT);
+        /// Every class, including NaN and infinities.
+        pub const ANY: FloatClasses =
+            FloatClasses(ZERO_BIT | SUBNORMAL_BIT | NORMAL_BIT | INFINITE_BIT | NAN_BIT);
+
+        impl std::ops::BitOr for FloatClasses {
+            type Output = FloatClasses;
+            fn bitor(self, rhs: FloatClasses) -> FloatClasses {
+                FloatClasses(self.0 | rhs.0)
+            }
+        }
+
+        impl Strategy for FloatClasses {
+            type Value = f64;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<f64> {
+                let set: Vec<u32> = [ZERO_BIT, SUBNORMAL_BIT, NORMAL_BIT, INFINITE_BIT, NAN_BIT]
+                    .into_iter()
+                    .filter(|b| self.0 & b != 0)
+                    .collect();
+                assert!(!set.is_empty(), "empty float class set");
+                let class = set[rng.gen_range(0..set.len())];
+                let sign = (rng.next_u64() & 1) << 63;
+                let bits = match class {
+                    ZERO_BIT => sign,
+                    SUBNORMAL_BIT => sign | rng.gen_range(1u64..(1 << 52)),
+                    NORMAL_BIT => {
+                        let exp = rng.gen_range(1u64..=2046) << 52;
+                        let mantissa = rng.next_u64() & ((1 << 52) - 1);
+                        sign | exp | mantissa
+                    }
+                    INFINITE_BIT => sign | (2047u64 << 52),
+                    _ => sign | (2047u64 << 52) | (1 << 51) | (rng.next_u64() & ((1 << 51) - 1)),
+                };
+                Some(f64::from_bits(bits))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! `use proptest::prelude::*;` — everything the tests name unqualified.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The crate itself, for `prop::collection::vec(...)` paths.
+    pub use crate as prop;
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat_param in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::test_runner::run_proptest(&__config, stringify!($name), |__rng| {
+                    $(
+                        let $pat = match $crate::strategy::Strategy::gen_value(&($strat), __rng) {
+                            ::core::option::Option::Some(v) => v,
+                            ::core::option::Option::None => {
+                                return ::core::result::Result::Err(
+                                    $crate::test_runner::TestCaseError::Reject(
+                                        "strategy rejected".to_string(),
+                                    ),
+                                )
+                            }
+                        };
+                    )+
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a proptest case; failure reports the generating seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), __l, __r
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// Assert inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            __l
+        );
+    }};
+}
+
+/// Reject the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u32..10, (a, b) in (0.0f64..1.0, any::<u8>())) {
+            prop_assert!(x < 10);
+            prop_assert!((0.0..1.0).contains(&a));
+            let _ = b;
+        }
+
+        #[test]
+        fn map_filter_vec(v in prop::collection::vec((0usize..100).prop_map(|n| n * 2), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for n in v {
+                prop_assert_eq!(n % 2, 0);
+            }
+        }
+
+        #[test]
+        fn oneof_weighted(n in prop_oneof![3 => 0i64..10, 1 => 100i64..110]) {
+            prop_assert!((0..10).contains(&n) || (100..110).contains(&n));
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn float_classes(f in crate::num::f64::NORMAL | crate::num::f64::ZERO) {
+            prop_assert!(f == 0.0 || f.is_normal());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        crate::test_runner::run_proptest(&ProptestConfig::with_cases(16), "always_fails", |_rng| {
+            prop_assert!(false, "boom");
+            #[allow(unreachable_code)]
+            Ok(())
+        });
+    }
+}

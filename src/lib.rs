@@ -69,9 +69,9 @@ pub use str_core;
 pub mod prelude {
     pub use datagen::{Dataset, DatasetKind};
     pub use geom::{Point, Point2, Rect, Rect2};
+    pub use hrtree::HilbertRTree;
     pub use rtree::{NodeCapacity, RPlusTree, RTree};
     pub use storage::{BufferPool, Disk, FileDisk, MemDisk, PageId};
-    pub use hrtree::HilbertRTree;
     pub use str_core::{
         pack, pack_str_external, HilbertPacker, NearestXPacker, PackerKind, PackingOrder,
         StrPacker, TgsPacker, TreeMetrics,

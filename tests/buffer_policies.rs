@@ -42,8 +42,8 @@ fn pinning_the_top_levels_changes_little() {
     for buffer in [10usize, 50] {
         let lru = avg_misses(&tree, buffer, 0);
         let pinned = avg_misses(&tree, buffer, 2); // root + level 1 (4 pages)
-        // The top levels are hot enough that LRU keeps them resident
-        // anyway: pinning moves the needle by well under 20%.
+                                                   // The top levels are hot enough that LRU keeps them resident
+                                                   // anyway: pinning moves the needle by well under 20%.
         let rel = (pinned - lru).abs() / lru;
         assert!(
             rel < 0.2,
@@ -96,8 +96,7 @@ fn pinned_pages_never_count_as_misses_after_warmup() {
     for p in &probes {
         tree.query_point(p).unwrap();
     }
-    let per_query =
-        (pool.stats().misses - warmup_misses) as f64 / probes.len() as f64;
+    let per_query = (pool.stats().misses - warmup_misses) as f64 / probes.len() as f64;
     assert!(
         per_query <= 1.1,
         "with a pinned root only ~1 leaf miss/query is possible, got {per_query}"

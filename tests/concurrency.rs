@@ -13,8 +13,7 @@ fn parallel_readers_agree_with_serial() {
         .pack(pool, ds.items(), NodeCapacity::new(100).unwrap())
         .unwrap();
 
-    let queries: Vec<geom::Rect2> =
-        datagen::region_queries(64, &geom::Rect2::unit(), 0.15, 52);
+    let queries: Vec<geom::Rect2> = datagen::region_queries(64, &geom::Rect2::unit(), 0.15, 52);
     let serial: Vec<usize> = queries
         .iter()
         .map(|q| tree.query_region(q).unwrap().len())
@@ -58,8 +57,7 @@ fn readers_share_a_tiny_buffer_without_errors() {
             .map(|t| {
                 let tree = &tree;
                 scope.spawn(move || {
-                    let probes =
-                        datagen::point_queries(200, &geom::Rect2::unit(), 100 + t as u64);
+                    let probes = datagen::point_queries(200, &geom::Rect2::unit(), 100 + t as u64);
                     probes
                         .iter()
                         .map(|p| tree.query_point(p).unwrap().len() as u64)

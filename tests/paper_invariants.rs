@@ -44,8 +44,12 @@ fn str_beats_hs_on_uniform_data() {
     // the STR algorithm for both point and region queries" on uniform
     // data.
     let ds = datagen::synthetic::synthetic_squares(20_000, 5.0, 1);
-    let t_str = PackerKind::Str.pack(fresh_pool(), ds.items(), cap()).unwrap();
-    let t_hs = PackerKind::Hilbert.pack(fresh_pool(), ds.items(), cap()).unwrap();
+    let t_str = PackerKind::Str
+        .pack(fresh_pool(), ds.items(), cap())
+        .unwrap();
+    let t_hs = PackerKind::Hilbert
+        .pack(fresh_pool(), ds.items(), cap())
+        .unwrap();
     assert!(point_cost(&t_hs, 10) > 1.15 * point_cost(&t_str, 10));
     assert!(region_cost(&t_hs, 10, 0.1) > 1.05 * region_cost(&t_str, 10, 0.1));
 }
@@ -58,16 +62,24 @@ fn nx_competitive_only_for_point_queries_on_point_data() {
     let points = datagen::synthetic::synthetic_points(20_000, 2);
     let regions = datagen::synthetic::synthetic_squares(20_000, 5.0, 2);
 
-    let str_pt = PackerKind::Str.pack(fresh_pool(), points.items(), cap()).unwrap();
-    let nx_pt = PackerKind::NearestX.pack(fresh_pool(), points.items(), cap()).unwrap();
+    let str_pt = PackerKind::Str
+        .pack(fresh_pool(), points.items(), cap())
+        .unwrap();
+    let nx_pt = PackerKind::NearestX
+        .pack(fresh_pool(), points.items(), cap())
+        .unwrap();
     let ratio_points = point_cost(&nx_pt, 10) / point_cost(&str_pt, 10);
     assert!(
         (0.8..1.25).contains(&ratio_points),
         "NX/STR on point data should be ~1, got {ratio_points}"
     );
 
-    let str_rg = PackerKind::Str.pack(fresh_pool(), regions.items(), cap()).unwrap();
-    let nx_rg = PackerKind::NearestX.pack(fresh_pool(), regions.items(), cap()).unwrap();
+    let str_rg = PackerKind::Str
+        .pack(fresh_pool(), regions.items(), cap())
+        .unwrap();
+    let nx_rg = PackerKind::NearestX
+        .pack(fresh_pool(), regions.items(), cap())
+        .unwrap();
     let ratio_region_data = point_cost(&nx_rg, 10) / point_cost(&str_rg, 10);
     assert!(
         ratio_region_data > 2.0,
@@ -87,12 +99,19 @@ fn gap_narrows_as_query_grows() {
     // accesses)" — and in the limit of a query covering everything, all
     // packings cost the same.
     let ds = datagen::synthetic::synthetic_points(20_000, 3);
-    let t_str = PackerKind::Str.pack(fresh_pool(), ds.items(), cap()).unwrap();
-    let t_hs = PackerKind::Hilbert.pack(fresh_pool(), ds.items(), cap()).unwrap();
+    let t_str = PackerKind::Str
+        .pack(fresh_pool(), ds.items(), cap())
+        .unwrap();
+    let t_hs = PackerKind::Hilbert
+        .pack(fresh_pool(), ds.items(), cap())
+        .unwrap();
 
     let r1 = region_cost(&t_hs, 10, 0.1) / region_cost(&t_str, 10, 0.1);
     let r9 = region_cost(&t_hs, 10, 0.3) / region_cost(&t_str, 10, 0.3);
-    assert!(r9 < r1, "ratio must shrink with query size: 1% {r1} vs 9% {r9}");
+    assert!(
+        r9 < r1,
+        "ratio must shrink with query size: 1% {r1} vs 9% {r9}"
+    );
     assert!(r9 >= 0.99, "STR should not lose at 9% ({r9})");
 
     // Full-space queries read every leaf regardless of packing.
@@ -110,7 +129,9 @@ fn bigger_buffer_never_hurts_and_diminishes() {
     // monotonically reduces misses, with diminishing returns past the
     // tree size.
     let ds = datagen::tiger::tiger_like(20_000, 4);
-    let tree = PackerKind::Str.pack(fresh_pool(), ds.items(), cap()).unwrap();
+    let tree = PackerKind::Str
+        .pack(fresh_pool(), ds.items(), cap())
+        .unwrap();
     let costs: Vec<f64> = [5, 20, 80, 320, 1280]
         .iter()
         .map(|&b| point_cost(&tree, b))
@@ -130,7 +151,9 @@ fn warm_large_buffer_cost_is_warmup_only() {
     // Table 3's 25k/250 row: with the whole tree buffered, mean accesses
     // ≈ pages touched ÷ queries — pure warm-up amortization.
     let ds = datagen::synthetic::synthetic_points(10_000, 5);
-    let tree = PackerKind::Str.pack(fresh_pool(), ds.items(), cap()).unwrap();
+    let tree = PackerKind::Str
+        .pack(fresh_pool(), ds.items(), cap())
+        .unwrap();
     let pages = tree.node_count().unwrap() as f64;
     let cost = point_cost(&tree, 2000);
     assert!(

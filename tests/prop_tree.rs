@@ -11,9 +11,8 @@ fn fresh_pool() -> Arc<BufferPool> {
 
 /// Strategy: a rectangle within the unit square.
 fn unit_rect() -> impl Strategy<Value = geom::Rect2> {
-    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.2, 0.0f64..0.2).prop_map(|(x, y, w, h)| {
-        geom::Rect2::new([x, y], [(x + w).min(1.0), (y + h).min(1.0)])
-    })
+    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.2, 0.0f64..0.2)
+        .prop_map(|(x, y, w, h)| geom::Rect2::new([x, y], [(x + w).min(1.0), (y + h).min(1.0)]))
 }
 
 fn items(max: usize) -> impl Strategy<Value = Vec<(geom::Rect2, u64)>> {

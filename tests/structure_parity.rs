@@ -128,8 +128,12 @@ fn all_structures_agree() {
 fn external_and_parallel_str_agree_with_sequential() {
     let items = dataset();
     let cap = NodeCapacity::new(64).unwrap();
-    let seq = StrPacker::new().pack(fresh_pool(), items.clone(), cap).unwrap();
-    let par = StrPacker::parallel().pack(fresh_pool(), items.clone(), cap).unwrap();
+    let seq = StrPacker::new()
+        .pack(fresh_pool(), items.clone(), cap)
+        .unwrap();
+    let par = StrPacker::parallel()
+        .pack(fresh_pool(), items.clone(), cap)
+        .unwrap();
     let ext = pack_str_external(
         fresh_pool(),
         Arc::new(MemDisk::default_size()) as Arc<dyn storage::Disk>,
