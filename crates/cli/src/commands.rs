@@ -176,6 +176,22 @@ pub fn validate(index: &Path) -> CliResult<String> {
     ))
 }
 
+/// `check`: fsck-style page walk — verifies that every reachable page
+/// decodes (magic, checksum, truncation), that levels step down by one,
+/// and that child MBRs stay inside what their parents recorded; reports
+/// unreachable pages. Unlike `validate`, it collects every problem
+/// instead of stopping at the first, so a damaged index yields a full
+/// damage report (and a non-zero exit).
+pub fn check(index: &Path) -> CliResult<String> {
+    let tree = open_index(index, 256)?;
+    let report = tree.check();
+    if report.is_clean() {
+        Ok(format!("{}:\n{report}", index.display()))
+    } else {
+        Err(format!("{}:\n{report}", index.display()))
+    }
+}
+
 /// `dump-leaves`: leaf MBRs as CSV (plot fodder, as in the paper's
 /// Figures 2–4).
 pub fn dump_leaves(index: &Path) -> CliResult<String> {
@@ -330,6 +346,41 @@ mod tests {
         std::fs::remove_file(data).ok();
         std::fs::remove_file(index).ok();
         std::fs::remove_file(extra).ok();
+    }
+
+    #[test]
+    fn check_reports_clean_and_detects_corruption() {
+        let data = tmp("chk.csv");
+        let index = tmp("chk.rtree");
+        generate("uniform", 1000, 13, &data).unwrap();
+        build(&data, &index, "str", 50, 0).unwrap();
+
+        let msg = check(&index).unwrap();
+        assert!(msg.contains("clean"), "{msg}");
+
+        // Flip a byte in the middle of a node page on disk.
+        use std::io::{Read, Seek, SeekFrom, Write};
+        let mut f = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&index)
+            .unwrap();
+        let off = storage::DEFAULT_PAGE_SIZE as u64 * 2 + 100;
+        f.seek(SeekFrom::Start(off)).unwrap();
+        let mut byte = [0u8; 1];
+        f.read_exact(&mut byte).unwrap();
+        byte[0] ^= 0x55;
+        f.seek(SeekFrom::Start(off)).unwrap();
+        f.write_all(&byte).unwrap();
+        drop(f);
+
+        let err = check(&index).unwrap_err();
+        assert!(err.contains("problem"), "{err}");
+        // validate (fail-fast) must also refuse the damaged index.
+        assert!(validate(&index).is_err());
+
+        std::fs::remove_file(data).ok();
+        std::fs::remove_file(index).ok();
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! rtree-cli compare  --input data.csv [--capacity 100] [--buffer 32]
 //! rtree-cli stats    --index index.rtree
 //! rtree-cli validate --index index.rtree
+//! rtree-cli check    --index index.rtree
 //! rtree-cli dump-leaves --index index.rtree
 //! rtree-cli insert   --index index.rtree --input more.csv
 //! rtree-cli delete   --index index.rtree --input victims.csv
@@ -21,7 +22,7 @@ use rtree_cli::{commands, parse_point, parse_rect, CliResult};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rtree-cli <gen|build|query|point|knn|stats|validate|dump-leaves|insert|delete|compare> \
+        "usage: rtree-cli <gen|build|query|point|knn|stats|validate|check|dump-leaves|insert|delete|compare> \
          [--flag value]...\nsee the crate docs for per-command flags"
     );
     std::process::exit(2);
@@ -117,6 +118,7 @@ fn run() -> CliResult<String> {
         ),
         "stats" => commands::stats(&PathBuf::from(flags.req("index")?)),
         "validate" => commands::validate(&PathBuf::from(flags.req("index")?)),
+        "check" => commands::check(&PathBuf::from(flags.req("index")?)),
         "dump-leaves" => commands::dump_leaves(&PathBuf::from(flags.req("index")?)),
         "insert" => commands::insert(
             &PathBuf::from(flags.req("index")?),

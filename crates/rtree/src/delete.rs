@@ -1,7 +1,14 @@
 //! Guttman deletion with tree condensation.
+//!
+//! The whole operation — removal, dissolving underfull nodes, orphan
+//! reinsertion, and root shrinking — runs as **one** staged mutation: an
+//! I/O error anywhere in that sequence abandons the staging overlay with
+//! the committed tree untouched, so orphans can never be half-reinserted
+//! or entries silently lost.
 
 use geom::Rect;
 
+use crate::tree::Staging;
 use crate::{Entry, RTree, Result};
 
 /// Result of the recursive removal step.
@@ -24,54 +31,23 @@ impl<const D: usize> RTree<D> {
     /// at their original level, and a root with a single child is
     /// shortened away.
     pub fn delete(&mut self, rect: &Rect<D>, data: u64) -> Result<bool> {
-        let mut orphans: Vec<(u32, Entry<D>)> = Vec::new();
-        let root = self.root;
-        let outcome = self.remove_below(root, rect, data, &mut orphans)?;
-        let found = matches!(outcome, Outcome::Removed { .. });
-        if !found {
-            debug_assert!(orphans.is_empty());
-            return Ok(false);
-        }
-        self.len -= 1;
-
-        // Reinsert orphaned entries at their recorded level. Reinserting
-        // can itself split nodes and change the height, so levels are
-        // re-validated against the current height each time.
-        while let Some((level, entry)) = orphans.pop() {
-            if level == 0 {
-                self.insert_entry_at(entry, 0)?;
-            } else if level < self.height {
-                self.insert_entry_at(entry, level)?;
-            } else {
-                // The tree shrank below the orphan's level (can happen
-                // when the root collapsed): dissolve the orphaned subtree
-                // one level and retry its children.
-                let node = self.read_node(entry.child_page())?;
-                self.free_page(entry.child_page());
-                for e in node.entries {
-                    orphans.push((node.level, e));
-                }
+        self.check_poisoned()?;
+        let mut st = self.begin_staging();
+        match self.staged_delete(&mut st, rect, data) {
+            Ok(false) => {
+                self.abandon_staging(st);
+                Ok(false)
+            }
+            Ok(true) => {
+                self.commit_staging(st)?;
+                self.len -= 1;
+                Ok(true)
+            }
+            Err(e) => {
+                self.abandon_staging(st);
+                Err(e)
             }
         }
-
-        // Shorten the tree: an internal root with one child is replaced by
-        // that child; an empty internal root degenerates to an empty leaf.
-        loop {
-            let node = self.read_node(self.root)?;
-            if node.is_leaf() {
-                break;
-            }
-            match node.len() {
-                1 => {
-                    let child = node.entries[0].child_page();
-                    self.free_page(self.root);
-                    self.root = child;
-                    self.height -= 1;
-                }
-                _ => break,
-            }
-        }
-        Ok(true)
     }
 
     /// Delete every entry intersecting `region`, returning how many were
@@ -87,14 +63,60 @@ impl<const D: usize> RTree<D> {
         Ok(removed)
     }
 
-    fn remove_below(
+    /// Phase 1 of deletion: compute the entire post-delete tree into the
+    /// staging overlay. Returns whether the entry was found (false means
+    /// the overlay holds nothing worth committing).
+    fn staged_delete(&mut self, st: &mut Staging<D>, rect: &Rect<D>, data: u64) -> Result<bool> {
+        let mut orphans: Vec<(u32, Entry<D>)> = Vec::new();
+        let root = st.root;
+        let outcome = self.staged_remove_below(st, root, rect, data, &mut orphans)?;
+        if !matches!(outcome, Outcome::Removed { .. }) {
+            debug_assert!(orphans.is_empty());
+            return Ok(false);
+        }
+
+        // Reinsert orphaned entries at their recorded level. Reinserting
+        // can itself split nodes and change the height, so levels are
+        // re-validated against the staged height each time.
+        while let Some((level, entry)) = orphans.pop() {
+            if level < st.height {
+                self.staged_insert_entry(st, entry, level)?;
+            } else {
+                // The tree shrank below the orphan's level (can happen
+                // when the root collapsed): dissolve the orphaned subtree
+                // one level and retry its children.
+                let node = self.staged_read(st, entry.child_page())?;
+                st.free(entry.child_page());
+                for e in node.entries {
+                    orphans.push((node.level, e));
+                }
+            }
+        }
+
+        // Shorten the tree: an internal root with one child is replaced by
+        // that child; an empty internal root degenerates to an empty leaf.
+        loop {
+            let node = self.staged_read(st, st.root)?;
+            if node.is_leaf() || node.len() != 1 {
+                break;
+            }
+            let child = node.entries[0].child_page();
+            st.free(st.root);
+            st.root = child;
+            st.height -= 1;
+        }
+        Ok(true)
+    }
+
+    fn staged_remove_below(
         &mut self,
+        st: &mut Staging<D>,
         page: storage::PageId,
         rect: &Rect<D>,
         data: u64,
         orphans: &mut Vec<(u32, Entry<D>)>,
     ) -> Result<Outcome<D>> {
-        let mut node = self.read_node(page)?;
+        let mut node = self.staged_read(st, page)?;
         if node.is_leaf() {
             let Some(pos) = node
                 .entries
@@ -104,10 +126,10 @@ impl<const D: usize> RTree<D> {
                 return Ok(Outcome::NotFound);
             };
             node.entries.remove(pos);
-            let is_root = page == self.root;
+            let is_root = page == st.root;
             let underfull = !is_root && node.len() < self.capacity().min();
             let mbr = node.mbr();
-            self.write_node(page, &node)?;
+            st.write(page, node);
             return Ok(Outcome::Removed { mbr, underfull });
         }
 
@@ -118,25 +140,25 @@ impl<const D: usize> RTree<D> {
             .collect();
         for idx in candidates {
             let child_page = node.entries[idx].child_page();
-            match self.remove_below(child_page, rect, data, orphans)? {
+            match self.staged_remove_below(st, child_page, rect, data, orphans)? {
                 Outcome::NotFound => continue,
                 Outcome::Removed { mbr, underfull } => {
                     if underfull {
                         // CondenseTree: dissolve the child, orphaning its
                         // entries for reinsertion at their level.
-                        let child = self.read_node(child_page)?;
+                        let child = self.staged_read(st, child_page)?;
                         for e in child.entries {
                             orphans.push((child.level, e));
                         }
-                        self.free_page(child_page);
+                        st.free(child_page);
                         node.entries.remove(idx);
                     } else {
                         node.entries[idx].rect = mbr;
                     }
-                    let is_root = page == self.root;
+                    let is_root = page == st.root;
                     let under = !is_root && node.len() < self.capacity().min();
                     let mbr = node.mbr();
-                    self.write_node(page, &node)?;
+                    st.write(page, node);
                     return Ok(Outcome::Removed {
                         mbr,
                         underfull: under,

@@ -9,101 +9,132 @@
 use geom::Rect;
 use storage::PageId;
 
+use crate::tree::Staging;
 use crate::{Entry, Node, RTree, Result};
 
 impl<const D: usize> RTree<D> {
     /// Insert a data object with bounding rectangle `rect` and identifier
     /// `data`.
+    ///
+    /// Runs as a staged mutation: every node write is computed into an
+    /// overlay first, so an I/O error during the descent or split phase
+    /// leaves the tree exactly as it was (`validate` still passes). Only
+    /// a failure while committing the computed writes can poison the
+    /// tree (see [`crate::RTreeError::Poisoned`]).
     pub fn insert(&mut self, rect: Rect<D>, data: u64) -> Result<()> {
         self.insert_entry_at(Entry::data(rect, data), 0)?;
         self.len += 1;
         Ok(())
     }
 
-    /// Insert `entry` into a node at `level` (0 = leaf). Deletion uses
-    /// non-zero levels to reinsert orphaned subtrees at their original
-    /// height (Guttman's CondenseTree step).
+    /// Insert `entry` into a node at `level` (0 = leaf), as one staged
+    /// mutation. Deletion uses non-zero levels to reinsert orphaned
+    /// subtrees at their original height (Guttman's CondenseTree step).
     pub(crate) fn insert_entry_at(&mut self, entry: Entry<D>, level: u32) -> Result<()> {
-        debug_assert!(level < self.height, "cannot insert above the root");
+        self.check_poisoned()?;
+        let mut st = self.begin_staging();
+        if let Err(e) = self.staged_insert_entry(&mut st, entry, level) {
+            self.abandon_staging(st);
+            return Err(e);
+        }
+        self.commit_staging(st)
+    }
+
+    /// The Guttman insertion algorithm, expressed against a staging
+    /// overlay: ChooseSubtree descent, split on overflow, AdjustTree walk
+    /// back up, root split. Nothing outside `st` is modified (page
+    /// allocation aside, which `st` tracks for rollback).
+    pub(crate) fn staged_insert_entry(
+        &mut self,
+        st: &mut Staging<D>,
+        entry: Entry<D>,
+        level: u32,
+    ) -> Result<()> {
+        debug_assert!(level < st.height, "cannot insert above the root");
 
         // ChooseLeaf / ChooseSubtree: descend to `level`, remembering the
         // path as (page, index-of-chosen-child).
         let mut path: Vec<(PageId, usize)> = Vec::new();
-        let mut page = self.root;
-        let mut node = self.read_node(page)?;
+        let mut page = st.root;
+        let mut node = self.staged_read(st, page)?;
         while node.level > level {
             let idx = choose_subtree(&node, &entry.rect);
             path.push((page, idx));
             page = node.entries[idx].child_page();
-            node = self.read_node(page)?;
+            node = self.staged_read(st, page)?;
         }
 
         // Add the entry; split if the node overflows.
         node.entries.push(entry);
         let mut split_off: Option<Entry<D>> = None; // entry for the new sibling
         if node.len() > self.capacity().max() {
-            split_off = Some(self.split_node(page, node)?);
+            split_off = Some(self.staged_split(st, page, node)?);
         } else {
-            self.write_node(page, &node)?;
+            st.write(page, node);
         }
 
         // AdjustTree: walk back up, growing MBRs and propagating splits.
         while let Some((parent_page, child_idx)) = path.pop() {
-            let mut parent = self.read_node(parent_page)?;
+            let mut parent = self.staged_read(st, parent_page)?;
             // Tighten the chosen child's recorded MBR. The child may have
             // been rewritten by a split, so recompute from its node.
             let child_page = parent.entries[child_idx].child_page();
-            let child_mbr = self.read_node(child_page)?.mbr();
+            let child_mbr = self.staged_read(st, child_page)?.mbr();
             parent.entries[child_idx].rect = child_mbr;
 
             if let Some(new_sibling) = split_off.take() {
                 parent.entries.push(new_sibling);
             }
             if parent.len() > self.capacity().max() {
-                split_off = Some(self.split_node(parent_page, parent)?);
+                split_off = Some(self.staged_split(st, parent_page, parent)?);
             } else {
-                self.write_node(parent_page, &parent)?;
+                st.write(parent_page, parent);
             }
         }
 
         // Root split: grow the tree by one level.
         if let Some(new_sibling) = split_off {
-            let old_root = self.root;
-            let old_root_mbr = self.read_node(old_root)?.mbr();
-            let new_root_page = self.alloc_page()?;
+            let old_root = st.root;
+            let old_root_mbr = self.staged_read(st, old_root)?.mbr();
+            let new_root_page = self.staged_alloc(st)?;
             let new_root = Node {
-                level: self.height,
+                level: st.height,
                 entries: vec![Entry::child(old_root_mbr, old_root), new_sibling],
             };
-            self.write_node(new_root_page, &new_root)?;
-            self.root = new_root_page;
-            self.height += 1;
+            st.write(new_root_page, new_root);
+            st.root = new_root_page;
+            st.height += 1;
         }
         Ok(())
     }
 
     /// Split the overflowing `node` (still addressed by `page`): keep one
-    /// group on `page`, write the other to a fresh page, and return the
+    /// group on `page`, stage the other on a fresh page, and return the
     /// parent entry for the new page.
-    fn split_node(&mut self, page: PageId, node: Node<D>) -> Result<Entry<D>> {
+    fn staged_split(
+        &mut self,
+        st: &mut Staging<D>,
+        page: PageId,
+        node: Node<D>,
+    ) -> Result<Entry<D>> {
         let level = node.level;
         let (left, right) = self.split_policy().split(node.entries, self.capacity());
         let right_mbr = Rect::union_all(right.iter().map(|e| &e.rect));
-        self.write_node(
+        st.write(
             page,
-            &Node {
+            Node {
                 level,
                 entries: left,
             },
-        )?;
-        let new_page = self.alloc_page()?;
-        self.write_node(
+        );
+        let new_page = self.staged_alloc(st)?;
+        st.write(
             new_page,
-            &Node {
+            Node {
                 level,
                 entries: right,
             },
-        )?;
+        );
         Ok(Entry::child(right_mbr, new_page))
     }
 }

@@ -27,6 +27,7 @@ pub mod bulk_insert;
 pub mod capacity;
 pub mod codec;
 pub mod delete;
+pub mod fsck;
 pub mod insert;
 pub mod iter;
 pub mod node;
@@ -39,6 +40,7 @@ pub mod tree;
 pub use bulk::BulkLoader;
 pub use capacity::NodeCapacity;
 pub use codec::NodeView;
+pub use fsck::{CheckReport, PageIssue};
 pub use iter::RegionIter;
 pub use node::{Entry, Node};
 pub use rplus::RPlusTree;
@@ -71,6 +73,10 @@ pub enum RTreeError {
     Invalid(String),
     /// Attempted to bulk-load zero rectangles.
     EmptyLoad,
+    /// A mutation failed while committing its staged writes, so the
+    /// on-disk tree may mix old and new pages. Further mutations are
+    /// refused; read the data back with `check`/recovery tooling.
+    Poisoned,
 }
 
 impl std::fmt::Display for RTreeError {
@@ -85,6 +91,9 @@ impl std::fmt::Display for RTreeError {
             }
             RTreeError::Invalid(msg) => write!(f, "invariant violated: {msg}"),
             RTreeError::EmptyLoad => write!(f, "cannot bulk-load an empty collection"),
+            RTreeError::Poisoned => {
+                write!(f, "tree poisoned by a failed commit; mutations refused")
+            }
         }
     }
 }

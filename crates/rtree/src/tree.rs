@@ -46,6 +46,49 @@ pub struct RTree<const D: usize> {
     pub(crate) len: u64,
     /// Pages freed by deletions, reused before allocating fresh ones.
     pub(crate) free: Vec<PageId>,
+    /// Set when a staged mutation failed partway through its commit, so
+    /// the on-disk pages may mix old and new state. Mutations are
+    /// refused from then on ([`RTreeError::Poisoned`]).
+    pub(crate) poisoned: bool,
+}
+
+/// A pending multi-page mutation, buffered so it can be applied
+/// atomically (with respect to errors) or abandoned without touching the
+/// committed tree.
+///
+/// Mutations run in two phases. Phase 1 computes every node write into
+/// this overlay, reading through it ([`RTree::staged_read`]) so the
+/// operation sees its own effects; any error here aborts with the tree
+/// exactly as it was. Phase 2 ([`RTree::commit_staging`]) replays the
+/// writes through the buffer pool and only then adopts the new
+/// root/height and releases freed pages.
+pub(crate) struct Staging<const D: usize> {
+    /// Ordered node writes; later writes to the same page supersede
+    /// earlier ones.
+    writes: Vec<(PageId, Node<D>)>,
+    /// Pages acquired for the overlay (free-list pops or fresh disk
+    /// allocations) — returned to the free list if the staging is
+    /// abandoned.
+    allocated: Vec<PageId>,
+    /// Pages the mutation releases — added to the free list on commit.
+    freed: Vec<PageId>,
+    /// Staged root page (may differ from the committed one after a root
+    /// split or collapse).
+    pub(crate) root: PageId,
+    /// Staged height.
+    pub(crate) height: u32,
+}
+
+impl<const D: usize> Staging<D> {
+    /// Stage a node write.
+    pub(crate) fn write(&mut self, page: PageId, node: Node<D>) {
+        self.writes.push((page, node));
+    }
+
+    /// Stage a page release.
+    pub(crate) fn free(&mut self, page: PageId) {
+        self.freed.push(page);
+    }
 }
 
 impl<const D: usize> std::fmt::Debug for RTree<D> {
@@ -76,6 +119,7 @@ impl<const D: usize> RTree<D> {
             height: 1,
             len: 0,
             free: Vec::new(),
+            poisoned: false,
         };
         tree.write_node(root, &Node::new(0))?;
         tree.persist()?;
@@ -99,6 +143,7 @@ impl<const D: usize> RTree<D> {
             height,
             len,
             free: Vec::new(),
+            poisoned: false,
         }
     }
 
@@ -140,6 +185,7 @@ impl<const D: usize> RTree<D> {
             height,
             len,
             free: Vec::new(),
+            poisoned: false,
         })
     }
 
@@ -274,6 +320,87 @@ impl<const D: usize> RTree<D> {
     /// Return a page to the free list.
     pub(crate) fn free_page(&mut self, page: PageId) {
         self.free.push(page);
+    }
+
+    // ---- staged mutations ---------------------------------------------
+
+    /// Whether a failed commit has poisoned the tree (see
+    /// [`RTreeError::Poisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    pub(crate) fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned {
+            Err(RTreeError::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Open a staging overlay mirroring the current tree shape.
+    pub(crate) fn begin_staging(&self) -> Staging<D> {
+        Staging {
+            writes: Vec::new(),
+            allocated: Vec::new(),
+            freed: Vec::new(),
+            root: self.root,
+            height: self.height,
+        }
+    }
+
+    /// Read a node through the staging overlay: the most recent staged
+    /// write wins, otherwise the node comes from the pool.
+    pub(crate) fn staged_read(&self, st: &Staging<D>, page: PageId) -> Result<Node<D>> {
+        for (p, node) in st.writes.iter().rev() {
+            if *p == page {
+                return Ok(node.clone());
+            }
+        }
+        self.read_node(page)
+    }
+
+    /// Acquire a page for a node created during staging. Reuses the free
+    /// list or allocates from disk; either way the page is unreferenced
+    /// by the committed tree, so an abandoned staging can simply hand it
+    /// back to the free list.
+    pub(crate) fn staged_alloc(&mut self, st: &mut Staging<D>) -> Result<PageId> {
+        let page = self.alloc_page()?;
+        st.allocated.push(page);
+        Ok(page)
+    }
+
+    /// Throw away a staging overlay. The committed tree was never
+    /// touched, so this is the "clean abandonment" path after a phase-1
+    /// error: pages acquired for the overlay go back to the free list
+    /// and nothing else changes.
+    pub(crate) fn abandon_staging(&mut self, st: Staging<D>) {
+        self.free.extend(st.allocated);
+    }
+
+    /// Apply a staging overlay to the tree: write every staged node (in
+    /// order, so later writes to a page win), then adopt the staged
+    /// root/height and release the staged frees.
+    ///
+    /// If a write fails before anything was applied the staging is
+    /// abandoned cleanly. If it fails after at least one page reached
+    /// the pool, the tree now mixes old and new pages and is marked
+    /// poisoned: further mutations return [`RTreeError::Poisoned`].
+    pub(crate) fn commit_staging(&mut self, st: Staging<D>) -> Result<()> {
+        for (applied, (page, node)) in st.writes.iter().enumerate() {
+            if let Err(e) = self.write_node(*page, node) {
+                if applied == 0 {
+                    self.abandon_staging(st);
+                } else {
+                    self.poisoned = true;
+                }
+                return Err(e);
+            }
+        }
+        self.root = st.root;
+        self.height = st.height;
+        self.free.extend(st.freed);
+        Ok(())
     }
 
     // ---- queries ------------------------------------------------------
@@ -558,8 +685,18 @@ impl<const D: usize> RTree<D> {
     /// or resizing the pool. Fails with `AllFramesPinned` if the pinned
     /// set would not leave a free frame.
     pub fn pin_levels(&self, levels: u32) -> Result<Vec<PageId>> {
-        let cutoff = self.height.saturating_sub(levels);
         let mut pinned = Vec::new();
+        if let Err(e) = self.pin_levels_inner(levels, &mut pinned) {
+            // A mid-traversal failure must release every pin already
+            // taken — the caller gets an Err, not the list.
+            self.unpin_pages(&pinned);
+            return Err(e);
+        }
+        Ok(pinned)
+    }
+
+    fn pin_levels_inner(&self, levels: u32, pinned: &mut Vec<PageId>) -> Result<()> {
+        let cutoff = self.height.saturating_sub(levels);
         let mut stack = vec![self.root];
         while let Some(page) = stack.pop() {
             let node = self.read_node(page)?;
@@ -574,7 +711,7 @@ impl<const D: usize> RTree<D> {
                 }
             }
         }
-        Ok(pinned)
+        Ok(())
     }
 
     /// Release pins taken by [`pin_levels`](Self::pin_levels).

@@ -356,9 +356,26 @@ impl BufferPool {
             .count()
     }
 
+    /// Fetch `id` and return an RAII guard that holds one pin until it
+    /// is dropped — [`pin`](Self::pin)/[`unpin`](Self::unpin) with the
+    /// release guaranteed on every exit path, including `?` returns and
+    /// panics.
+    pub fn pin_guard(&self, id: PageId) -> Result<PinGuard<'_>> {
+        self.pin(id)?;
+        Ok(PinGuard {
+            pool: self,
+            page: id,
+        })
+    }
+
     /// Make `id` resident and pinned (pin count +1), returning its frame
     /// index. `read_from_disk` controls whether a missing page's contents
     /// are fetched (false when the caller will overwrite the whole page).
+    ///
+    /// Error paths leave the pool consistent: a failed dirty write-back
+    /// keeps the victim resident and dirty (nothing is counted, nothing
+    /// is lost); a failed read returns the reserved frame to the free
+    /// list so the bad page is neither cached nor does it leak a frame.
     fn pin_frame(&self, inner: &mut Inner, id: PageId, read_from_disk: bool) -> Result<usize> {
         if let Some(&idx) = inner.map.get(&id) {
             inner.stats.hits += 1;
@@ -366,8 +383,6 @@ impl BufferPool {
             inner.frames[idx].pins += 1;
             return Ok(idx);
         }
-
-        inner.stats.misses += 1;
 
         // Find a frame: free list, then grow up to capacity, then evict.
         let idx = if let Some(idx) = inner.free.pop() {
@@ -385,24 +400,39 @@ impl BufferPool {
         } else {
             let victim = inner.victim().ok_or(StorageError::AllFramesPinned)?;
             let old = inner.frames[victim].page;
-            inner.stats.evictions += 1;
             if inner.frames[victim].dirty {
                 // "When a node is pushed out of the buffer the node is
-                // immediately written to disk" (§3).
-                inner.stats.writebacks += 1;
+                // immediately written to disk" (§3). Write back before
+                // touching any bookkeeping: if the write fails, the
+                // victim stays resident and dirty and no counter moved.
                 self.disk.write_page(old, &inner.frames[victim].data)?;
                 inner.frames[victim].dirty = false;
+                inner.stats.writebacks += 1;
             }
+            inner.stats.evictions += 1;
             inner.map.remove(&old);
             inner.detach(victim);
             victim
         };
 
         if read_from_disk {
-            self.disk.read_page(id, &mut inner.frames[idx].data)?;
+            if let Err(e) = self.disk.read_page(id, &mut inner.frames[idx].data) {
+                // The failed read must not be cached and the reserved
+                // frame must not be orphaned: reset it and put it back
+                // on the free list.
+                inner.frames[idx].page = PageId::INVALID;
+                inner.frames[idx].dirty = false;
+                inner.frames[idx].pins = 0;
+                inner.free.push(idx);
+                return Err(e);
+            }
         } else {
             inner.frames[idx].data.fill(0);
         }
+        // Count the miss only once the page is actually resident, so
+        // misses remain exactly the paper's "disk accesses" even when
+        // fault injection makes fetches fail.
+        inner.stats.misses += 1;
         inner.frames[idx].page = id;
         inner.frames[idx].dirty = false;
         inner.frames[idx].pins = 1;
@@ -412,9 +442,33 @@ impl BufferPool {
     }
 }
 
+/// RAII pin on a buffer-pool page: releases one pin when dropped.
+///
+/// Obtained from [`BufferPool::pin_guard`]. Holding the guard keeps the
+/// page ineligible for eviction; dropping it is equivalent to one
+/// [`BufferPool::unpin`] call and is safe on every exit path.
+pub struct PinGuard<'a> {
+    pool: &'a BufferPool,
+    page: PageId,
+}
+
+impl PinGuard<'_> {
+    /// The pinned page.
+    pub fn page(&self) -> PageId {
+        self.page
+    }
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.unpin(self.page);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultDisk, FaultKind, FaultOp, FaultSpec, Trigger};
     use crate::MemDisk;
 
     fn setup(capacity: usize, pages: usize) -> (Arc<MemDisk>, BufferPool) {
@@ -626,6 +680,102 @@ mod tests {
         pool.with_page(PageId(2), |_| {}).unwrap();
         pool.unpin(PageId(1));
         pool.clear().unwrap();
+    }
+
+    fn faulted_setup(capacity: usize, pages: usize) -> (Arc<FaultDisk>, BufferPool) {
+        let mem = Arc::new(MemDisk::new(64));
+        for _ in 0..pages {
+            mem.allocate().unwrap();
+        }
+        let disk = Arc::new(FaultDisk::new(mem));
+        let pool = BufferPool::new(disk.clone() as Arc<dyn Disk>, capacity);
+        (disk, pool)
+    }
+
+    #[test]
+    fn failed_read_is_not_cached_and_leaks_no_frame() {
+        let (disk, pool) = faulted_setup(2, 2);
+        disk.push(FaultSpec {
+            op: FaultOp::Read,
+            kind: FaultKind::Error,
+            trigger: Trigger::OnceAt(0),
+        });
+        assert!(pool.with_page(PageId(0), |_| {}).is_err());
+        // The bad page must not be resident, nothing may be pinned, and
+        // the failed fetch must not count as a disk access.
+        assert!(!pool.is_resident(PageId(0)));
+        assert_eq!(pool.pinned_count(), 0);
+        assert_eq!(pool.stats().misses, 0);
+        // The reserved frame went back to the free list: the next fetch
+        // succeeds and the pool is fully usable.
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        pool.with_page(PageId(1), |_| {}).unwrap();
+        assert_eq!(pool.resident(), 2);
+        assert_eq!(pool.stats().misses, 2);
+    }
+
+    #[test]
+    fn repeated_read_failures_never_exhaust_frames() {
+        let (disk, pool) = faulted_setup(1, 2);
+        disk.push(FaultSpec {
+            op: FaultOp::Read,
+            kind: FaultKind::Error,
+            trigger: Trigger::PageRange { lo: 1, hi: 1 },
+        });
+        // With one frame, any leak on the failure path would wedge the
+        // pool after the first error.
+        for _ in 0..10 {
+            assert!(pool.with_page(PageId(1), |_| {}).is_err());
+        }
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        assert_eq!(pool.pinned_count(), 0);
+    }
+
+    #[test]
+    fn failed_writeback_keeps_victim_dirty_and_counters_honest() {
+        let (disk, pool) = faulted_setup(1, 2);
+        pool.with_page_mut(PageId(0), |d| d[0] = 42).unwrap();
+        disk.push(FaultSpec {
+            op: FaultOp::Write,
+            kind: FaultKind::Error,
+            trigger: Trigger::OnceAt(0),
+        });
+        // Fetching page 1 needs to evict dirty page 0; the write-back
+        // fault must surface and leave everything as it was.
+        assert!(pool.with_page(PageId(1), |_| {}).is_err());
+        let s = pool.stats();
+        assert_eq!(s.evictions, 0, "failed eviction must not be counted");
+        assert_eq!(s.writebacks, 0, "failed write-back must not be counted");
+        assert!(
+            pool.is_resident(PageId(0)),
+            "victim evicted despite failed write-back"
+        );
+        // The dirty data survived: retrying (fault is spent) flushes it.
+        pool.with_page(PageId(1), |_| {}).unwrap();
+        let mut buf = vec![0u8; 64];
+        disk.read_page(PageId(0), &mut buf).unwrap();
+        assert_eq!(buf[0], 42, "dirty frame lost after write-back failure");
+        assert_eq!(pool.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn pin_guard_releases_on_drop_and_early_return() {
+        let (_d, pool) = faulted_setup(2, 2);
+        {
+            let g = pool.pin_guard(PageId(0)).unwrap();
+            assert_eq!(g.page(), PageId(0));
+            assert_eq!(pool.pinned_count(), 1);
+        }
+        assert_eq!(pool.pinned_count(), 0);
+
+        // Early `?` return mid-way through pinning a set of pages.
+        let attempt = |pool: &BufferPool| -> Result<()> {
+            let _a = pool.pin_guard(PageId(0))?;
+            let _b = pool.pin_guard(PageId(2))?; // out of bounds → Err
+            Ok(())
+        };
+        assert!(attempt(&pool).is_err());
+        assert_eq!(pool.pinned_count(), 0, "pin leaked across early return");
     }
 
     #[test]

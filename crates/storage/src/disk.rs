@@ -69,6 +69,10 @@ pub trait Disk: Send + Sync {
     /// the batch is a mechanical optimization (one device call instead of
     /// `n`), not a way to hide I/O from the counters.
     ///
+    /// On a mid-batch failure the error is wrapped in
+    /// [`StorageError::PartialWrite`] carrying the number of pages at the
+    /// start of the batch that are confirmed durable.
+    ///
     /// [`write_page`]: Disk::write_page
     fn write_pages(&self, first: PageId, buf: &[u8]) -> Result<()> {
         let ps = self.page_size();
@@ -79,7 +83,11 @@ pub trait Disk: Send + Sync {
             });
         }
         for (i, page) in buf.chunks(ps).enumerate() {
-            self.write_page(PageId(first.index() + i as u64), page)?;
+            self.write_page(PageId(first.index() + i as u64), page)
+                .map_err(|e| StorageError::PartialWrite {
+                    written: i as u64,
+                    cause: Box::new(e),
+                })?;
         }
         Ok(())
     }

@@ -18,11 +18,13 @@
 
 pub mod buffer;
 pub mod disk;
+pub mod fault;
 pub mod page;
 pub mod seq;
 
-pub use buffer::{BufferPool, BufferStats};
+pub use buffer::{BufferPool, BufferStats, PinGuard};
 pub use disk::{Disk, FileDisk, IoStats, MemDisk};
+pub use fault::{FaultDisk, FaultId, FaultKind, FaultOp, FaultSpec, Trigger};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use seq::SequentialPageWriter;
 
@@ -47,6 +49,21 @@ pub enum StorageError {
         /// Buffer length supplied.
         got: usize,
     },
+    /// A multi-page batch write failed partway: `written` pages at the
+    /// start of the batch are confirmed durable, the rest are not.
+    PartialWrite {
+        /// Pages confirmed written before the failure.
+        written: u64,
+        /// The underlying failure.
+        cause: Box<StorageError>,
+    },
+    /// A failure injected by [`fault::FaultDisk`] (tests only).
+    FaultInjected {
+        /// Which operation was faulted ("read", "write", "crash", …).
+        op: &'static str,
+        /// The page the faulted operation addressed.
+        page: PageId,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -60,6 +77,15 @@ impl std::fmt::Display for StorageError {
             StorageError::PageSizeMismatch { expected, got } => {
                 write!(f, "page size mismatch: expected {expected}, got {got}")
             }
+            StorageError::PartialWrite { written, cause } => {
+                write!(
+                    f,
+                    "batch write failed after {written} durable pages: {cause}"
+                )
+            }
+            StorageError::FaultInjected { op, page } => {
+                write!(f, "injected {op} fault at {page}")
+            }
         }
     }
 }
@@ -68,6 +94,7 @@ impl std::error::Error for StorageError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StorageError::Io(e) => Some(e),
+            StorageError::PartialWrite { cause, .. } => Some(cause),
             _ => None,
         }
     }

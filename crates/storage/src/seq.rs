@@ -42,6 +42,8 @@ pub struct SequentialPageWriter<'a> {
     in_batch: usize,
     /// Total pages appended over the writer's lifetime.
     appended: u64,
+    /// Pages confirmed durable on disk.
+    flushed: u64,
 }
 
 impl<'a> SequentialPageWriter<'a> {
@@ -65,6 +67,7 @@ impl<'a> SequentialPageWriter<'a> {
             first: PageId::INVALID,
             in_batch: 0,
             appended: 0,
+            flushed: 0,
         }
     }
 
@@ -92,20 +95,39 @@ impl<'a> SequentialPageWriter<'a> {
     }
 
     /// Write any staged pages to disk.
+    ///
+    /// On failure the staged batch is discarded (its pages may be
+    /// partially on disk — [`pages_flushed`](Self::pages_flushed) counts
+    /// only the durable prefix, extracted from
+    /// [`StorageError::PartialWrite`](crate::StorageError::PartialWrite)
+    /// when the disk reports one) and the error is returned; the writer
+    /// can keep appending afterwards, starting a fresh run.
     pub fn flush(&mut self) -> Result<()> {
         if self.in_batch == 0 {
             return Ok(());
         }
         let len = self.in_batch * self.page_size;
-        self.disk.write_pages(self.first, &self.buf[..len])?;
+        let result = self.disk.write_pages(self.first, &self.buf[..len]);
+        match &result {
+            Ok(()) => self.flushed += self.in_batch as u64,
+            Err(crate::StorageError::PartialWrite { written, .. }) => self.flushed += written,
+            // Whole-batch failure: nothing is known durable.
+            Err(_) => {}
+        }
         self.in_batch = 0;
         self.first = PageId::INVALID;
-        Ok(())
+        result
     }
 
     /// Pages appended so far (staged or flushed).
     pub fn pages_appended(&self) -> u64 {
         self.appended
+    }
+
+    /// Pages confirmed durable on disk, accurate across mid-batch
+    /// failures.
+    pub fn pages_flushed(&self) -> u64 {
+        self.flushed
     }
 
     /// Pages staged but not yet on disk.
@@ -178,6 +200,39 @@ mod tests {
         let mut buf = vec![0u8; 64];
         disk.read_page(id, &mut buf).unwrap();
         assert_eq!(buf[0], 77);
+    }
+
+    #[test]
+    fn mid_batch_failure_reports_durable_prefix() {
+        use crate::fault::{FaultDisk, FaultKind, FaultOp, FaultSpec, Trigger};
+        use crate::StorageError;
+        use std::sync::Arc;
+
+        let disk = FaultDisk::new(Arc::new(MemDisk::new(64)));
+        // 6 appends = one 4-page batch + 2 staged; fail the 3rd write.
+        disk.push(FaultSpec {
+            op: FaultOp::Write,
+            kind: FaultKind::Error,
+            trigger: Trigger::OnceAt(2),
+        });
+        let mut w = SequentialPageWriter::with_batch_pages(&disk, 4);
+        let mut err = None;
+        for i in 0..6u8 {
+            if let Err(e) = w.append(|slot| slot[0] = i) {
+                err = Some(e);
+            }
+        }
+        let err = err.expect("batch flush should have failed");
+        assert!(matches!(err, StorageError::PartialWrite { written: 2, .. }));
+        // Exactly the durable prefix of the failed batch is counted.
+        assert_eq!(w.pages_flushed(), 2);
+        assert_eq!(w.pages_appended(), 6);
+        // The writer recovers: the remaining staged pages flush cleanly.
+        w.flush().unwrap();
+        assert_eq!(w.pages_flushed(), 4);
+        let mut buf = vec![0u8; 64];
+        disk.read_page(PageId(1), &mut buf).unwrap();
+        assert_eq!(buf[0], 1);
     }
 
     #[test]

@@ -115,6 +115,73 @@ fn torn_page_is_detected() {
 }
 
 #[test]
+fn torn_write_in_last_batch_is_detected_on_reopen() {
+    use str_rtree::storage::{FaultDisk, FaultKind, FaultOp, FaultSpec, Trigger};
+
+    let path = temp_path("torn-batch.rtree");
+    // Phase A: build and fully persist a valid tree on an intact device.
+    let file = Arc::new(FileDisk::create(&path, storage::DEFAULT_PAGE_SIZE).unwrap());
+    let disk = Arc::new(FaultDisk::new(file));
+    disk.set_armed(false);
+    let pool = Arc::new(BufferPool::new(disk.clone() as Arc<dyn Disk>, 64));
+    let ds = datagen::synthetic::synthetic_points(2_000, 33);
+    let mut tree = StrPacker::new()
+        .pack(pool.clone(), ds.items(), NodeCapacity::new(50).unwrap())
+        .unwrap();
+    tree.persist().unwrap();
+    let pages_after_a = disk.num_pages();
+
+    // Phase B: a second batch of inserts, whose write-back tears. The
+    // fault targets only pages that existed in phase A, so the tear is
+    // guaranteed to strike a page the durable tree still references.
+    for i in 0..100u64 {
+        let x = (i % 10) as f64 / 10.0;
+        let y = (i / 10) as f64 / 10.0;
+        tree.insert(geom::Rect2::new([x, y], [x + 0.01, y + 0.01]), 10_000 + i)
+            .unwrap();
+    }
+    let torn = disk.push(FaultSpec {
+        op: FaultOp::Write,
+        kind: FaultKind::Torn { valid_bytes: 700 },
+        trigger: Trigger::PageRange {
+            lo: 1,
+            hi: pages_after_a - 1,
+        },
+    });
+    disk.set_armed(true);
+    let err = tree.persist().expect_err("torn flush must surface");
+    assert!(disk.fired(torn) >= 1, "scheduled tear never fired");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("fault") || msg.contains("partial"),
+        "unexpected error: {msg}"
+    );
+    drop(tree);
+    drop(pool);
+    drop(disk);
+
+    // Reopen from the raw file. The meta page was never rewritten (flush
+    // failed first), so the phase-A tree comes back — and the page the
+    // tear destroyed must be *detected*, never silently decoded.
+    let disk = Arc::new(FileDisk::open(&path, storage::DEFAULT_PAGE_SIZE).unwrap());
+    let pool = Arc::new(BufferPool::new(disk, 64));
+    let tree = RTree::<2>::open(pool).unwrap();
+    assert_eq!(tree.len(), 2_000, "old meta must still describe phase A");
+    let report = tree.check();
+    assert!(!report.is_clean(), "tear went undetected: {report}");
+    assert!(
+        report
+            .corrupt
+            .iter()
+            .any(|i| i.page.index() < pages_after_a),
+        "the corrupt page should be one phase A wrote: {report}"
+    );
+    // A full scan refuses to return garbage from the torn page.
+    assert!(tree.query_region(&geom::Rect2::unit()).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn opening_garbage_file_fails_cleanly() {
     let path = temp_path("garbage.rtree");
     std::fs::write(&path, vec![0xABu8; 4096 * 4]).unwrap();
