@@ -1,0 +1,148 @@
+//! Batch query throughput of the parallel serving engine, across thread
+//! counts and buffer-pool sizes (the pool-size axis mirrors Figure 6 of
+//! the paper; the thread axis is the concurrency this codebase adds).
+//!
+//! The disk is a [`LatencyDisk`]: every miss pays a fixed simulated seek
+//! (the paper's experiments paid a real one on a raw partition). That is
+//! the regime a buffer pool exists for, and it is what makes the
+//! comparison honest on any host: the win measured here is miss I/O
+//! *overlapping* across worker threads — reads issued outside the shard
+//! locks — not CPU parallelism, so it holds even on a single core.
+//!
+//! Custom `main` (no criterion): each (pool size × threads) cell is one
+//! timed cold batch — `clear()` + `reset_stats()` first, so every cell
+//! replays identical work from an identical pool state. Results go to
+//! stdout and `BENCH_concurrent_query.json` at the repo root in the
+//! `{name, config, metrics}` schema documented in DESIGN.md.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use geom::Rect2;
+use rtree::{BatchQuery, NodeCapacity, QueryExecutor, RTree};
+use storage::{Disk, LatencyDisk, MemDisk, ShardedBufferPool};
+use str_bench::{uniform_items, write_artifact};
+use str_core::PackerKind;
+
+const ENTRIES: usize = 100_000;
+const QUERIES: usize = 512;
+const READ_LATENCY_US: u64 = 100;
+const POOL_PAGES: [usize; 5] = [10, 50, 100, 250, 500];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Cell {
+    pool_pages: usize,
+    threads: usize,
+    queries_per_sec: f64,
+    speedup_vs_1t: f64,
+    hit_rate: f64,
+    disk_accesses: u64,
+}
+
+fn build_tree() -> RTree<2> {
+    let mem: Arc<dyn Disk> = Arc::new(MemDisk::default_size());
+    let slow: Arc<dyn Disk> = Arc::new(LatencyDisk::new(
+        mem,
+        Duration::from_micros(READ_LATENCY_US),
+    ));
+    // Build writes stream sequentially and read nothing, so the read
+    // latency costs the build nothing. Shard for the widest thread
+    // count benched.
+    let pool = Arc::new(ShardedBufferPool::for_threads(
+        slow,
+        *POOL_PAGES.last().unwrap(),
+        *THREADS.last().unwrap(),
+    ));
+    PackerKind::Str
+        .pack(
+            pool,
+            uniform_items(ENTRIES, 7),
+            NodeCapacity::new(100).unwrap(),
+        )
+        .unwrap()
+}
+
+fn mixed_queries(n: usize) -> Vec<BatchQuery<2>> {
+    let mut batch = Vec::with_capacity(n);
+    for p in datagen::point_queries(n / 3, &Rect2::unit(), 11) {
+        batch.push(BatchQuery::Point(p));
+    }
+    for r in datagen::region_queries(n - n / 3, &Rect2::unit(), 0.02, 12) {
+        batch.push(BatchQuery::Region(r));
+    }
+    batch
+}
+
+fn main() {
+    let tree = build_tree();
+    let queries = mixed_queries(QUERIES);
+    let exec = QueryExecutor::new(&tree);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    println!(
+        "{:>10} {:>8} {:>12} {:>9} {:>9} {:>10}",
+        "pool", "threads", "queries/s", "speedup", "hit rate", "disk acc"
+    );
+    for &pages in &POOL_PAGES {
+        let mut base = None;
+        for &threads in &THREADS {
+            tree.pool().set_capacity(pages).unwrap();
+            tree.pool().reset_stats();
+            let report = exec.run_batch(&queries, threads).unwrap();
+            let qps = report.throughput();
+            let base_qps = *base.get_or_insert(qps);
+            let cell = Cell {
+                pool_pages: pages,
+                threads,
+                queries_per_sec: qps,
+                speedup_vs_1t: qps / base_qps,
+                hit_rate: report.stats.hit_rate(),
+                disk_accesses: report.stats.misses,
+            };
+            println!(
+                "{:>10} {:>8} {:>12.0} {:>8.2}x {:>8.1}% {:>10}",
+                cell.pool_pages,
+                cell.threads,
+                cell.queries_per_sec,
+                cell.speedup_vs_1t,
+                cell.hit_rate * 100.0,
+                cell.disk_accesses
+            );
+            cells.push(cell);
+        }
+    }
+
+    let mut metrics = String::from("{\"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        metrics.push_str(&format!(
+            "    {{\"pool_pages\": {}, \"threads\": {}, \"queries_per_sec\": {:.1}, \
+             \"speedup_vs_1t\": {:.3}, \"hit_rate\": {:.4}, \"disk_accesses\": {}}}{}\n",
+            c.pool_pages,
+            c.threads,
+            c.queries_per_sec,
+            c.speedup_vs_1t,
+            c.hit_rate,
+            c.disk_accesses,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    metrics.push_str("  ]}");
+
+    let config = [
+        ("entries", ENTRIES.to_string()),
+        ("queries", QUERIES.to_string()),
+        ("read_latency_us", READ_LATENCY_US.to_string()),
+        (
+            "pool_pages",
+            format!("[{}]", POOL_PAGES.map(|p| p.to_string()).join(", ")),
+        ),
+        (
+            "threads",
+            format!("[{}]", THREADS.map(|t| t.to_string()).join(", ")),
+        ),
+    ];
+    match write_artifact("concurrent_query", &config, &metrics) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
+    }
+}

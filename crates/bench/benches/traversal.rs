@@ -2,9 +2,11 @@
 //! throughput — the two sides of this optimization round in one binary.
 //!
 //! Unlike the other benches this one has a custom `main`: after running,
-//! it serializes every sample to `BENCH_pack_query.json` so the numbers
-//! land in a machine-readable artifact next to the human-readable table
-//! (the shim's `samples()` accessor exists for exactly this).
+//! it serializes every sample to `BENCH_pack_query.json` at the
+//! repository root so the numbers land in a machine-readable artifact
+//! next to the human-readable table (the shim's `samples()` accessor
+//! exists for exactly this). The artifact follows the repo-wide
+//! `{name, config, metrics}` schema documented in DESIGN.md.
 
 use criterion::{BenchmarkId, Criterion, Throughput};
 use geom::Rect2;
@@ -76,12 +78,13 @@ fn bench_traversal(c: &mut Criterion) {
     g.finish();
 }
 
-/// Minimal JSON writer — the shim has no serde, and the schema is flat.
-fn write_summary(c: &Criterion, path: &str) -> std::io::Result<()> {
+/// Render the collected samples as the `metrics` object of the repo-wide
+/// artifact schema (the shim has no serde, and the schema is flat).
+fn render_metrics(c: &Criterion) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
-    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    let mut out = String::from("{\"benchmarks\": [\n");
     for (i, s) in c.samples().iter().enumerate() {
         out.push_str(&format!(
             "    {{\"label\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
@@ -95,8 +98,8 @@ fn write_summary(c: &Criterion, path: &str) -> std::io::Result<()> {
             if i + 1 == c.samples().len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
-    std::fs::write(path, out)
+    out.push_str("  ]}");
+    out
 }
 
 fn main() {
@@ -104,9 +107,13 @@ fn main() {
     bench_build(&mut c);
     bench_traversal(&mut c);
     c.final_summary();
-    let path = "BENCH_pack_query.json";
-    match write_summary(&c, path) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+    let config = [
+        ("entries", N.to_string()),
+        ("capacity", "100".to_string()),
+        ("region_queries", "64".to_string()),
+    ];
+    match str_bench::write_artifact("pack_query", &config, &render_metrics(&c)) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write artifact: {e}"),
     }
 }

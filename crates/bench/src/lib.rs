@@ -29,3 +29,33 @@ pub fn packed(items: Vec<(Rect2, u64)>, kind: PackerKind) -> RTree<2> {
     kind.pack(fresh_pool(), items, NodeCapacity::new(100).unwrap())
         .unwrap()
 }
+
+/// Where a `BENCH_*.json` artifact belongs: the repository root,
+/// regardless of the working directory cargo gives the bench binary
+/// (which is the *package* directory — writing a bare file name from a
+/// bench strands the artifact in `crates/bench/`).
+pub fn artifact_path(file_name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file_name)
+}
+
+/// Serialize a bench artifact in the repo-wide stable schema
+/// `{"name": …, "config": {…}, "metrics": {…}}` and write it as
+/// `BENCH_<name>.json` at the repository root. `config` entries and
+/// `metrics` must already be rendered JSON values (numbers, strings with
+/// quotes, arrays, objects).
+pub fn write_artifact(
+    name: &str,
+    config: &[(&str, String)],
+    metrics: &str,
+) -> std::io::Result<std::path::PathBuf> {
+    let mut out = format!("{{\n  \"name\": \"{name}\",\n  \"config\": {{");
+    for (i, (k, v)) in config.iter().enumerate() {
+        out.push_str(&format!("{}\"{k}\": {v}", if i == 0 { "" } else { ", " }));
+    }
+    out.push_str(&format!("}},\n  \"metrics\": {metrics}\n}}\n"));
+    let path = artifact_path(&format!("BENCH_{name}.json"));
+    std::fs::write(&path, out)?;
+    Ok(path)
+}

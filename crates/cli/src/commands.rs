@@ -265,6 +265,80 @@ pub fn compare(input: &Path, capacity: usize, buffer: usize) -> CliResult<String
     Ok(out)
 }
 
+/// `query-bench`: serve a mixed query batch through the parallel
+/// executor at increasing thread counts and report throughput scaling.
+///
+/// The index is opened behind a *sharded* pool sized for `threads`
+/// workers; the same batch is replayed cold (pool cleared, stats reset)
+/// at 1, 2, … up to `threads` workers, so the printed speedups isolate
+/// the serving engine rather than cache warm-up luck.
+pub fn query_bench(
+    index: &Path,
+    queries: usize,
+    threads: usize,
+    buffer: usize,
+    seed: u64,
+) -> CliResult<String> {
+    use rtree::{BatchQuery, QueryExecutor};
+
+    let threads = threads.max(1);
+    let disk = Arc::new(
+        FileDisk::open(index, DEFAULT_PAGE_SIZE)
+            .map_err(|e| format!("{}: {e}", index.display()))?,
+    );
+    let pool = Arc::new(storage::ShardedBufferPool::for_threads(
+        disk,
+        buffer.max(1),
+        threads,
+    ));
+    let tree = RTree::open(pool).map_err(|e| format!("{}: {e}", index.display()))?;
+    let bbox = tree.root_mbr().map_err(|e| e.to_string())?;
+    let side = 0.05 * bbox.extent(0).max(bbox.extent(1));
+
+    let mut batch: Vec<BatchQuery<2>> = Vec::with_capacity(queries);
+    for p in datagen::point_queries(queries / 3, &bbox, seed) {
+        batch.push(BatchQuery::Point(p));
+    }
+    for r in datagen::region_queries(queries - queries / 3, &bbox, side, seed + 1) {
+        batch.push(BatchQuery::Region(r));
+    }
+
+    let exec = QueryExecutor::new(&tree);
+    let mut out = format!(
+        "{} queries, {}-page pool, {} shards\n{:<8} {:>12} {:>10} {:>10} {:>10}\n",
+        batch.len(),
+        buffer.max(1),
+        tree.pool().shard_count(),
+        "threads",
+        "queries/s",
+        "speedup",
+        "hit rate",
+        "disk acc"
+    );
+    let mut base = None;
+    let mut t = 1;
+    while t <= threads {
+        tree.pool().clear().map_err(|e| e.to_string())?;
+        tree.pool().reset_stats();
+        let report = exec.run_batch(&batch, t).map_err(|e| e.to_string())?;
+        let qps = report.throughput();
+        let base_qps = *base.get_or_insert(qps);
+        out.push_str(&format!(
+            "{:<8} {:>12.0} {:>9.2}x {:>9.1}% {:>10}\n",
+            report.threads,
+            qps,
+            qps / base_qps,
+            report.stats.hit_rate() * 100.0,
+            report.stats.misses
+        ));
+        if t == threads {
+            break;
+        }
+        t = (t * 2).min(threads);
+    }
+    Ok(out)
+}
+
 /// `insert`: add rectangles from a CSV to an existing index (Guttman
 /// dynamic insertion), persisting afterwards.
 pub fn insert(index: &Path, input: &Path, buffer: usize) -> CliResult<String> {

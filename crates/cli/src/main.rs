@@ -7,6 +7,7 @@
 //! rtree-cli point    --index index.rtree --at 0.5,0.5
 //! rtree-cli knn      --index index.rtree --at 0.5,0.5 --k 10
 //! rtree-cli compare  --input data.csv [--capacity 100] [--buffer 32]
+//! rtree-cli query-bench --index index.rtree [--queries 512] [--threads 8] [--buffer 128] [--seed 11]
 //! rtree-cli stats    --index index.rtree
 //! rtree-cli validate --index index.rtree
 //! rtree-cli check    --index index.rtree
@@ -22,7 +23,7 @@ use rtree_cli::{commands, parse_point, parse_rect, CliResult};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rtree-cli <gen|build|query|point|knn|stats|validate|check|dump-leaves|insert|delete|compare> \
+        "usage: rtree-cli <gen|build|query|point|knn|stats|validate|check|dump-leaves|insert|delete|compare|query-bench> \
          [--flag value]...\nsee the crate docs for per-command flags"
     );
     std::process::exit(2);
@@ -115,6 +116,13 @@ fn run() -> CliResult<String> {
             &PathBuf::from(flags.req("input")?),
             flags.parse_num("capacity", 100usize)?,
             flags.parse_num("buffer", 32usize)?,
+        ),
+        "query-bench" => commands::query_bench(
+            &PathBuf::from(flags.req("index")?),
+            flags.parse_num("queries", 512usize)?,
+            flags.parse_num("threads", 8usize)?,
+            flags.parse_num("buffer", 128usize)?,
+            flags.parse_num("seed", 11u64)?,
         ),
         "stats" => commands::stats(&PathBuf::from(flags.req("index")?)),
         "validate" => commands::validate(&PathBuf::from(flags.req("index")?)),

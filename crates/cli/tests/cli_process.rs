@@ -80,6 +80,56 @@ fn gen_build_query_pipeline() {
 }
 
 #[test]
+fn query_bench_reports_thread_scaling() {
+    let data = tmp("qb.csv");
+    let index = tmp("qb.rtree");
+    assert!(bin()
+        .args(["gen", "--dataset", "uniform", "--n", "5000", "--output"])
+        .arg(&data)
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["build", "--capacity", "64", "--input"])
+        .arg(&data)
+        .arg("--output")
+        .arg(&index)
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args([
+            "query-bench",
+            "--queries",
+            "64",
+            "--threads",
+            "4",
+            "--buffer",
+            "32",
+            "--index",
+        ])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("queries/s"), "{stdout}");
+    // One row per thread count: 1, 2, 4.
+    for t in ["1", "2", "4"] {
+        assert!(
+            stdout.lines().any(|l| l.trim_start().starts_with(t)),
+            "missing row for {t} threads:\n{stdout}"
+        );
+    }
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = bin().output().unwrap();
     assert!(!out.status.success());

@@ -1,0 +1,276 @@
+//! Parallel query serving over one shared R-tree.
+//!
+//! The paper's experiments stream queries one at a time and count buffer
+//! misses; its future work points at "a parallel shared-nothing
+//! platform". This module is the serving half of that: a batch of
+//! intersection queries fanned across a fixed-size pool of scoped worker
+//! threads, all reading one `&RTree` through the sharded buffer pool.
+//! Queries take `&self` and the pool is internally synchronized, so no
+//! cloning, snapshotting, or per-thread tree state is needed.
+//!
+//! Work distribution is a single atomic cursor over the batch (the same
+//! self-balancing scheme `StrPacker::with_threads` uses for packing):
+//! each worker claims the next unclaimed query, so a slow query — one
+//! with many buffer misses — never stalls the queries behind it on the
+//! same worker.
+//!
+//! The report pairs every query's result (in input order) with the
+//! batch-wide [`BufferStats`] delta, keeping the paper's measurement
+//! discipline: *disk accesses* for a batch are pool misses during the
+//! batch, which stay exact under concurrency because coalesced duplicate
+//! reads count as hits for the waiters.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use geom::{Point, Rect};
+use parking_lot::Mutex;
+use storage::BufferStats;
+
+use crate::tree::RTree;
+use crate::Result;
+
+/// One query in a batch.
+#[derive(Debug, Clone)]
+pub enum BatchQuery<const D: usize> {
+    /// All items whose rectangle intersects the query window (§2.1).
+    Region(Rect<D>),
+    /// All items whose rectangle contains the point.
+    Point(Point<D>),
+}
+
+/// Result of one executed batch: per-query hit lists in input order plus
+/// batch-wide cost accounting.
+#[derive(Debug)]
+pub struct BatchReport<const D: usize> {
+    /// `results[i]` is the hit list of `queries[i]`, each hit a
+    /// `(rectangle, item id)` pair in the tree's traversal order.
+    pub results: Vec<Vec<(Rect<D>, u64)>>,
+    /// Buffer-pool counter movement attributable to this batch
+    /// (`stats_after.since(stats_before)`); `misses` is the paper's
+    /// "disk accesses" for the whole batch.
+    pub stats: BufferStats,
+    /// Wall-clock time for the whole batch.
+    pub elapsed: Duration,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+impl<const D: usize> BatchReport<D> {
+    /// Queries served per second of wall-clock time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.results.len() as f64 / secs
+        }
+    }
+
+    /// Total hits across every query in the batch.
+    pub fn total_matches(&self) -> u64 {
+        self.results.iter().map(|r| r.len() as u64).sum()
+    }
+}
+
+/// A batch query engine over one shared [`RTree`].
+///
+/// Holds only a shared borrow: the executor can be created per batch for
+/// free, and several executors may serve the same tree.
+///
+/// ```
+/// use std::sync::Arc;
+/// use geom::Rect;
+/// use rtree::{BatchQuery, BulkLoader, Entry, NodeCapacity, QueryExecutor};
+/// use storage::{BufferPool, MemDisk};
+///
+/// let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 8));
+/// let entries: Vec<Entry<2>> = (0..100)
+///     .map(|i| {
+///         let x = (i % 10) as f64;
+///         let y = (i / 10) as f64;
+///         Entry::data(Rect::new([x, y], [x + 0.5, y + 0.5]), i as u64)
+///     })
+///     .collect();
+/// let tree = BulkLoader::new(NodeCapacity::new(16).unwrap())
+///     .load(pool, entries, &mut |es: &mut Vec<Entry<2>>, _| {
+///         es.sort_by(|a, b| a.rect.lo(0).total_cmp(&b.rect.lo(0)));
+///     })
+///     .unwrap();
+///
+/// let queries = vec![
+///     BatchQuery::Region(Rect::new([0.0, 0.0], [3.0, 3.0])),
+///     BatchQuery::Point([5.2, 5.2].into()),
+/// ];
+/// let report = QueryExecutor::new(&tree).run_batch(&queries, 2).unwrap();
+/// assert_eq!(report.results.len(), 2);
+/// assert_eq!(report.results[0].len(), 16);
+/// assert_eq!(report.results[1], vec![(Rect::new([5.0, 5.0], [5.5, 5.5]), 55)]);
+/// ```
+pub struct QueryExecutor<'t, const D: usize> {
+    tree: &'t RTree<D>,
+}
+
+impl<'t, const D: usize> QueryExecutor<'t, D> {
+    /// Serve queries from `tree`.
+    pub fn new(tree: &'t RTree<D>) -> Self {
+        Self { tree }
+    }
+
+    /// Run every query in `queries` across up to `threads` workers and
+    /// collect the results in input order.
+    ///
+    /// `threads` is clamped to `1..=queries.len()`; with one thread the
+    /// batch runs on the calling thread with no spawns, so a
+    /// single-threaded batch is also the oracle for the concurrent one.
+    /// The first query error aborts the batch (remaining queries may or
+    /// may not have run); per-query error reporting isn't needed on a
+    /// read path where every worker shares one tree and one pool — an
+    /// I/O error for one worker is an I/O error for all of them.
+    pub fn run_batch(&self, queries: &[BatchQuery<D>], threads: usize) -> Result<BatchReport<D>> {
+        let threads = threads.clamp(1, queries.len().max(1));
+        let before = self.tree.pool().stats();
+        let start = Instant::now();
+
+        let mut results: Vec<Vec<(Rect<D>, u64)>> = Vec::new();
+        if threads == 1 {
+            for q in queries {
+                results.push(self.run_one(q)?);
+            }
+        } else {
+            results.resize(queries.len(), Vec::new());
+            let cursor = AtomicUsize::new(0);
+            let failure: Mutex<Option<crate::RTreeError>> = Mutex::new(None);
+            let out = Mutex::new(&mut results);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        // Claim query slots until the batch is drained or
+                        // some worker failed. Results are buffered
+                        // locally and merged once per worker, so the
+                        // output mutex is uncontended in steady state.
+                        let mut local: Vec<(usize, Vec<(Rect<D>, u64)>)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= queries.len() || failure.lock().is_some() {
+                                break;
+                            }
+                            match self.run_one(&queries[i]) {
+                                Ok(hits) => local.push((i, hits)),
+                                Err(e) => {
+                                    *failure.lock() = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                        let mut out = out.lock();
+                        for (i, hits) in local {
+                            out[i] = hits;
+                        }
+                    });
+                }
+            });
+            if let Some(e) = failure.into_inner() {
+                return Err(e);
+            }
+        }
+
+        Ok(BatchReport {
+            results,
+            stats: self.tree.pool().stats().since(&before),
+            elapsed: start.elapsed(),
+            threads,
+        })
+    }
+
+    fn run_one(&self, query: &BatchQuery<D>) -> Result<Vec<(Rect<D>, u64)>> {
+        match query {
+            BatchQuery::Region(rect) => self.tree.query_region(rect),
+            BatchQuery::Point(point) => self.tree.query_point(point),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BulkLoader, Entry, NodeCapacity};
+    use std::sync::Arc;
+    use storage::{BufferPool, Disk, MemDisk};
+
+    fn grid_tree(n: u64) -> RTree<2> {
+        let pool = Arc::new(BufferPool::for_threads(
+            Arc::new(MemDisk::default_size()) as Arc<dyn Disk>,
+            32,
+            4,
+        ));
+        let side = (n as f64).sqrt().ceil() as u64;
+        let entries: Vec<Entry<2>> = (0..n)
+            .map(|i| {
+                let x = (i % side) as f64;
+                let y = (i / side) as f64;
+                Entry::data(Rect::new([x, y], [x + 0.5, y + 0.5]), i)
+            })
+            .collect();
+        BulkLoader::new(NodeCapacity::new(16).unwrap())
+            .load(pool, entries, &mut |es: &mut Vec<Entry<2>>, _| {
+                es.sort_by(|a, b| {
+                    a.rect
+                        .lo(0)
+                        .total_cmp(&b.rect.lo(0))
+                        .then(a.rect.lo(1).total_cmp(&b.rect.lo(1)))
+                });
+            })
+            .unwrap()
+    }
+
+    fn mixed_queries(n: usize) -> Vec<BatchQuery<2>> {
+        (0..n)
+            .map(|i| {
+                let c = (i % 50) as f64;
+                if i % 3 == 0 {
+                    BatchQuery::Point([c + 0.25, c + 0.25].into())
+                } else {
+                    BatchQuery::Region(Rect::new([c, c], [c + 4.0, c + 4.0]))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_batch_matches_single_threaded_oracle() {
+        let tree = grid_tree(2_500);
+        let queries = mixed_queries(64);
+        let exec = QueryExecutor::new(&tree);
+        let oracle = exec.run_batch(&queries, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let par = exec.run_batch(&queries, threads).unwrap();
+            assert_eq!(par.results, oracle.results, "{threads}-thread mismatch");
+            assert_eq!(par.threads, threads);
+        }
+    }
+
+    #[test]
+    fn report_accounts_stats_and_throughput() {
+        let tree = grid_tree(2_500);
+        let queries = mixed_queries(32);
+        let report = QueryExecutor::new(&tree).run_batch(&queries, 4).unwrap();
+        assert_eq!(report.results.len(), 32);
+        assert!(report.total_matches() > 0);
+        // Every node visit is a pool request; a 32-query batch cannot be
+        // free.
+        assert!(report.stats.hits + report.stats.misses > 0);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        let tree = grid_tree(100);
+        let queries = mixed_queries(2);
+        let report = QueryExecutor::new(&tree).run_batch(&queries, 64).unwrap();
+        assert_eq!(report.threads, 2);
+        let empty = QueryExecutor::new(&tree).run_batch(&[], 8).unwrap();
+        assert_eq!(empty.results.len(), 0);
+        assert_eq!(empty.threads, 1);
+    }
+}

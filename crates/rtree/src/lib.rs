@@ -27,6 +27,7 @@ pub mod bulk_insert;
 pub mod capacity;
 pub mod codec;
 pub mod delete;
+pub mod executor;
 pub mod fsck;
 pub mod insert;
 pub mod iter;
@@ -40,6 +41,7 @@ pub mod tree;
 pub use bulk::BulkLoader;
 pub use capacity::NodeCapacity;
 pub use codec::NodeView;
+pub use executor::{BatchQuery, BatchReport, QueryExecutor};
 pub use fsck::{CheckReport, PageIssue};
 pub use iter::RegionIter;
 pub use node::{Entry, Node};

@@ -287,9 +287,11 @@ impl<const D: usize> RTree<D> {
     /// on `page` — the read-path access: the page is validated in place
     /// and nothing is materialized.
     ///
-    /// The buffer pool's mutex is held while `f` runs, so `f` must not
-    /// re-enter the pool (no nested node reads): traversals collect the
-    /// child pages they want and recurse after `f` returns.
+    /// A shared lock on the page's frame is held while `f` runs (other
+    /// readers proceed concurrently; an evictor recycling this frame
+    /// would wait), so `f` must not re-enter the pool (no nested node
+    /// reads): traversals collect the child pages they want and recurse
+    /// after `f` returns.
     pub(crate) fn with_view<R>(
         &self,
         page: PageId,
@@ -626,8 +628,9 @@ impl<const D: usize> RTree<D> {
     }
 
     /// Visit every node, parents before children, through zero-copy
-    /// views — no `Vec<Entry>` is materialized per node. The pool mutex
-    /// is held during each callback, so `visit` must not touch the pool.
+    /// views — no `Vec<Entry>` is materialized per node. A shared frame
+    /// lock is held during each callback, so `visit` must not touch the
+    /// pool.
     pub fn visit_views(
         &self,
         visit: &mut impl FnMut(PageId, &codec::NodeView<'_, D>),

@@ -1,17 +1,46 @@
-//! LRU buffer pool.
+//! Sharded concurrent LRU buffer pool.
 //!
-//! The paper's buffer manager (§3): a fixed number of page frames managed
+//! The paper's buffer manager (§3) is a fixed set of page frames managed
 //! with a least-recently-used policy, applied uniformly to every level of
 //! the R-tree ("We use LRU for all the nodes (regardless of their level) to
 //! simplify the parameter space"). A page evicted while dirty is written
-//! back to disk immediately.
+//! back to disk immediately. A *disk access* in every table of the paper is
+//! a miss in this pool.
 //!
-//! A *disk access* in every table of the paper is a miss in this pool.
+//! This implementation serves that role *and* the concurrent read path the
+//! paper's future-work section points at ("a parallel shared-nothing
+//! platform"): the frame table is split into N shards, each with its own
+//! lock, LRU list, and counters, and pages are hashed to shards by
+//! [`PageId`]. Three properties make the read path scale:
+//!
+//! * **Miss I/O runs outside the shard lock.** A missing page is read from
+//!   the disk into a scratch buffer with no lock held, then installed under
+//!   the lock. The old monolithic pool held its single mutex across
+//!   `Disk::read_page`, serializing every concurrent query on disk latency.
+//! * **Duplicate in-flight misses coalesce.** While a read for page `p` is
+//!   in flight, other threads missing `p` wait on the shard's condvar
+//!   instead of issuing their own read: one disk read per miss, no matter
+//!   how many threads ask. The waiters then count as *hits* — they were
+//!   served from memory — so misses remain exactly the paper's disk
+//!   accesses even under concurrency.
+//! * **Frames are readable under a shared borrow.** Each frame's bytes sit
+//!   behind an `RwLock`; [`with_page`](ShardedBufferPool::with_page) takes
+//!   a *read* guard on the frame, drops the shard lock, and runs the
+//!   caller's closure, so any number of threads can read the same (or
+//!   different) resident pages concurrently. An evictor that picks a frame
+//!   with active readers blocks on the frame's write guard until they are
+//!   done — readers never block on anything once they hold the guard.
+//!
+//! With one shard (the [`BufferPool`] alias default) eviction order is
+//! bit-for-bit the paper's global LRU, which is what the deterministic
+//! experiment harness runs on; concurrent servers construct the pool with
+//! [`ShardedBufferPool::for_threads`] to get `next_pow2(threads)` shards.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
 use crate::{Disk, PageId, Result, StorageError};
 
@@ -19,7 +48,8 @@ use crate::{Disk, PageId, Result, StorageError};
 /// snapshots to attribute activity to a phase (e.g. one query).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BufferStats {
-    /// Requests satisfied without touching the disk.
+    /// Requests satisfied without touching the disk (including requests
+    /// coalesced onto another thread's in-flight read).
     pub hits: u64,
     /// Requests that had to read the page from disk — the paper's
     /// "disk accesses".
@@ -52,29 +82,69 @@ impl BufferStats {
     }
 }
 
+/// Per-shard counters as atomics, so [`ShardedBufferPool::stats`] and
+/// [`ShardedBufferPool::reset_stats`] never take a shard lock.
+#[derive(Default)]
+struct ShardStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+}
+
+impl ShardStats {
+    fn snapshot(&self) -> BufferStats {
+        BufferStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.writebacks.store(0, Ordering::Relaxed);
+    }
+}
+
 const NIL: usize = usize::MAX;
 
 struct Frame {
     page: PageId,
-    data: Box<[u8]>,
+    /// Frame bytes behind a reader-writer lock so resident pages can be
+    /// read by many threads at once. The `Arc` lets a reader keep the
+    /// handle alive after dropping the shard lock; the read guard it
+    /// acquired *before* dropping that lock is what keeps the contents
+    /// valid — an evictor replacing the frame must take the write guard
+    /// and therefore waits for every active reader.
+    data: Arc<RwLock<Box<[u8]>>>,
     dirty: bool,
+    /// Explicit [`ShardedBufferPool::pin`] count only; plain reads do
+    /// not pin. Pinned frames are never evicted.
     pins: u32,
     // Intrusive LRU list: head = most recently used.
     prev: usize,
     next: usize,
 }
 
-struct Inner {
+struct ShardInner {
     capacity: usize,
     frames: Vec<Frame>,
     map: HashMap<PageId, usize>,
     head: usize,
     tail: usize,
     free: Vec<usize>,
-    stats: BufferStats,
+    /// Pages whose miss read is currently in flight (lock dropped during
+    /// the disk read). Threads needing such a page wait on the shard
+    /// condvar instead of issuing a duplicate read; only the registering
+    /// thread may install the page.
+    inflight: HashSet<PageId>,
 }
 
-impl Inner {
+impl ShardInner {
     fn detach(&mut self, idx: usize) {
         let (prev, next) = (self.frames[idx].prev, self.frames[idx].next);
         if prev != NIL {
@@ -122,13 +192,33 @@ impl Inner {
         }
         None
     }
+
+    /// Whether a frame could be produced right now (free slot, headroom
+    /// to grow, or an unpinned victim).
+    fn frame_available(&self) -> bool {
+        !self.free.is_empty() || self.frames.len() < self.capacity || self.victim().is_some()
+    }
 }
 
-/// An LRU buffer pool over a [`Disk`].
+struct Shard {
+    inner: Mutex<ShardInner>,
+    /// Wakes threads waiting for an in-flight read to land or for a
+    /// pinned frame to be released.
+    cv: Condvar,
+    stats: ShardStats,
+}
+
+/// A sharded LRU buffer pool over a [`Disk`].
 ///
-/// Thread-safe via a single internal mutex: the experiments are
-/// sequential (matching the paper's single query stream), so contention is
-/// not a concern; correctness under concurrent use still holds.
+/// Pages are hashed to one of N independent shards; each shard has its own
+/// lock, LRU order, and counters, so queries on different shards never
+/// contend, and readers of the *same* resident page share it under a read
+/// lock. Miss I/O happens with no lock held, and duplicate in-flight
+/// misses on one page issue exactly one disk read.
+///
+/// The global operations — [`flush`](Self::flush), [`clear`](Self::clear),
+/// [`set_capacity`](Self::set_capacity), [`stats`](Self::stats) — walk the
+/// shards in index order (never holding two shard locks at once).
 ///
 /// ```
 /// use std::sync::Arc;
@@ -143,33 +233,87 @@ impl Inner {
 /// assert_eq!(pool.stats().misses, 1);
 /// assert_eq!(pool.stats().hits, 1);
 /// ```
-pub struct BufferPool {
+pub struct ShardedBufferPool {
     disk: Arc<dyn Disk>,
     page_size: usize,
-    inner: Mutex<Inner>,
+    shards: Box<[Shard]>,
 }
 
-impl BufferPool {
-    /// Create a pool of `capacity` frames over `disk`.
+/// The single-shard configuration of [`ShardedBufferPool`]: eviction order
+/// and counters are exactly the paper's global LRU, which the
+/// deterministic experiments depend on. `BufferPool::new` builds it.
+pub type BufferPool = ShardedBufferPool;
+
+fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+impl ShardedBufferPool {
+    /// Create a single-shard pool of `capacity` frames over `disk` —
+    /// exact global-LRU semantics, the right construction for the
+    /// paper's sequential experiments.
     ///
     /// # Panics
     /// Panics if `capacity == 0`.
     pub fn new(disk: Arc<dyn Disk>, capacity: usize) -> Self {
+        Self::with_shards(disk, capacity, 1)
+    }
+
+    /// Create a pool sharded for `threads` concurrent callers:
+    /// `next_pow2(threads)` shards, clamped so every shard holds at
+    /// least one frame.
+    pub fn for_threads(disk: Arc<dyn Disk>, capacity: usize, threads: usize) -> Self {
+        Self::with_shards(disk, capacity, next_pow2(threads))
+    }
+
+    /// Create a pool with an explicit shard count (clamped to
+    /// `1..=capacity` so no shard is frameless). `capacity` frames are
+    /// spread as evenly as possible across the shards.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_shards(disk: Arc<dyn Disk>, capacity: usize, shards: usize) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
+        let n = shards.clamp(1, capacity);
         let page_size = disk.page_size();
+        let shards = (0..n)
+            .map(|i| Shard {
+                inner: Mutex::new(ShardInner {
+                    capacity: Self::shard_capacity(capacity, n, i),
+                    frames: Vec::new(),
+                    map: HashMap::new(),
+                    head: NIL,
+                    tail: NIL,
+                    free: Vec::new(),
+                    inflight: HashSet::new(),
+                }),
+                cv: Condvar::new(),
+                stats: ShardStats::default(),
+            })
+            .collect();
         Self {
             disk,
             page_size,
-            inner: Mutex::new(Inner {
-                capacity,
-                frames: Vec::new(),
-                map: HashMap::new(),
-                head: NIL,
-                tail: NIL,
-                free: Vec::new(),
-                stats: BufferStats::default(),
-            }),
+            shards,
         }
+    }
+
+    /// Frames shard `i` of `n` gets out of `capacity` total: an even
+    /// split with the remainder going to the low shards, and never zero.
+    fn shard_capacity(capacity: usize, n: usize, i: usize) -> usize {
+        (capacity / n + usize::from(i < capacity % n)).max(1)
+    }
+
+    /// Which shard serves `id`. Fibonacci hashing spreads the sequential
+    /// page ids a packed tree produces evenly across shards;
+    /// deterministic, so a page always lives in one shard.
+    fn shard_of(&self, id: PageId) -> &Shard {
+        let n = self.shards.len();
+        if n == 1 {
+            return &self.shards[0];
+        }
+        let h = id.index().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+        &self.shards[(h as usize) % n]
     }
 
     /// The disk underneath.
@@ -182,44 +326,89 @@ impl BufferPool {
         self.page_size
     }
 
-    /// Frame capacity.
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total frame capacity (sum over shards).
     pub fn capacity(&self) -> usize {
-        self.inner.lock().capacity
+        self.shards.iter().map(|s| s.inner.lock().capacity).sum()
     }
 
     /// Number of resident pages.
     pub fn resident(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.inner.lock().map.len()).sum()
     }
 
-    /// Cumulative counters.
+    /// Cumulative counters, aggregated over shards. Lock-free: the
+    /// counters are atomics.
     pub fn stats(&self) -> BufferStats {
-        self.inner.lock().stats
+        let mut total = BufferStats::default();
+        for s in self.shards.iter() {
+            let snap = s.stats.snapshot();
+            total.hits += snap.hits;
+            total.misses += snap.misses;
+            total.evictions += snap.evictions;
+            total.writebacks += snap.writebacks;
+        }
+        total
+    }
+
+    /// Counters of shard `i` alone (panics if out of range).
+    pub fn shard_stats(&self, i: usize) -> BufferStats {
+        self.shards[i].stats.snapshot()
     }
 
     /// Reset counters to zero (the resident set is left alone). Used
-    /// between the build phase and the measured query phase.
+    /// between the build phase and the measured query phase. Lock-free.
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = BufferStats::default();
+        for s in self.shards.iter() {
+            s.stats.reset();
+        }
     }
 
-    /// Ensure `id` is resident and pass its bytes to `f`.
+    // ---- page access --------------------------------------------------
+    //
+    // Lock order, everywhere: shard mutex → frame RwLock, never the
+    // reverse. A reader acquires the frame's read guard while still
+    // holding the shard lock (so the frame cannot be recycled out from
+    // under it), then drops the shard lock and never re-takes it: once a
+    // reader holds the guard it blocks on nothing, so the evictor
+    // waiting on the frame's write guard always makes progress.
+
+    /// Ensure `id` is resident and pass its bytes to `f` under a
+    /// *shared* borrow: concurrent `with_page` calls on the same page
+    /// run `f` simultaneously, and readers of other pages in the same
+    /// shard are not blocked while `f` runs. `f` must not re-enter the
+    /// pool.
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
-        let idx = self.pin_frame(&mut inner, id, true)?;
-        let out = f(&inner.frames[idx].data);
-        inner.frames[idx].pins -= 1;
-        Ok(out)
+        let (_shard, inner, idx) = self.lock_resident(id, true)?;
+        let data = Arc::clone(&inner.frames[idx].data);
+        // Taking the read guard under the shard lock never blocks: a
+        // frame writer (install, with_page_mut) holds the shard lock
+        // too, so none can be active here. Holding the guard is what
+        // keeps the bytes valid after the shard lock drops — an evictor
+        // recycling this frame must take the write guard and waits.
+        let bytes = data.read();
+        drop(inner);
+        Ok(f(&bytes))
     }
 
-    /// Ensure `id` is resident, pass its bytes mutably to `f`, and mark the
-    /// frame dirty.
+    /// Ensure `id` is resident, pass its bytes mutably to `f`, and mark
+    /// the frame dirty. Mutations hold the shard lock for the duration
+    /// of `f` (like the monolithic pool held its global lock): the write
+    /// path is the cold path, and this keeps a frame's bytes and its
+    /// dirty bit in one atomic step.
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
-        let idx = self.pin_frame(&mut inner, id, true)?;
+        let (_shard, mut inner, idx) = self.lock_resident(id, true)?;
         inner.frames[idx].dirty = true;
-        let out = f(&mut inner.frames[idx].data);
-        inner.frames[idx].pins -= 1;
+        let data = Arc::clone(&inner.frames[idx].data);
+        let out = {
+            let mut bytes = data.write();
+            f(&mut bytes)
+        };
+        drop(inner);
         Ok(out)
     }
 
@@ -233,11 +422,11 @@ impl BufferPool {
                 got: bytes.len(),
             });
         }
-        let mut inner = self.inner.lock();
-        let idx = self.pin_frame(&mut inner, id, false)?;
+        let (_shard, mut inner, idx) = self.lock_resident(id, false)?;
         inner.frames[idx].dirty = true;
-        inner.frames[idx].data.copy_from_slice(bytes);
-        inner.frames[idx].pins -= 1;
+        let data = Arc::clone(&inner.frames[idx].data);
+        data.write().copy_from_slice(bytes);
+        drop(inner);
         Ok(())
     }
 
@@ -247,14 +436,17 @@ impl BufferPool {
     /// read from disk; the frame is dirtied and written back on eviction
     /// or [`flush`](Self::flush).
     pub fn overwrite_page<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let mut inner = self.inner.lock();
-        let idx = self.pin_frame(&mut inner, id, false)?;
-        // pin_frame only zeroes on a miss; zero on hits too so encoders
-        // always see the blank page the write_page path produced.
-        inner.frames[idx].data.fill(0);
+        let (_shard, mut inner, idx) = self.lock_resident(id, false)?;
         inner.frames[idx].dirty = true;
-        let out = f(&mut inner.frames[idx].data);
-        inner.frames[idx].pins -= 1;
+        let data = Arc::clone(&inner.frames[idx].data);
+        let out = {
+            let mut bytes = data.write();
+            // Installation only zeroes fresh frames on a miss; zero on
+            // hits too so encoders always see a blank page.
+            bytes.fill(0);
+            f(&mut bytes)
+        };
+        drop(inner);
         Ok(out)
     }
 
@@ -271,47 +463,66 @@ impl BufferPool {
 
     /// Write every dirty frame back to disk (frames stay resident).
     pub fn flush(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let dirty: Vec<usize> = (0..inner.frames.len())
-            .filter(|&i| inner.frames[i].page.is_valid() && inner.frames[i].dirty)
-            .collect();
-        for idx in dirty {
-            let page = inner.frames[idx].page;
-            self.disk.write_page(page, &inner.frames[idx].data)?;
-            inner.frames[idx].dirty = false;
+        for shard in self.shards.iter() {
+            let mut inner = shard.inner.lock();
+            for i in 0..inner.frames.len() {
+                if !inner.frames[i].page.is_valid() || !inner.frames[i].dirty {
+                    continue;
+                }
+                let page = inner.frames[i].page;
+                {
+                    let bytes = inner.frames[i].data.read();
+                    self.disk.write_page(page, &bytes)?;
+                }
+                inner.frames[i].dirty = false;
+            }
         }
         Ok(())
     }
 
     /// Flush and drop every resident page; the pool becomes cold.
+    ///
+    /// Fails with [`StorageError::AllFramesPinned`] if any frame is
+    /// pinned. Callers must quiesce concurrent accessors first: a page
+    /// fetched while `clear` walks the shards may survive in a
+    /// later-cleared shard.
     pub fn clear(&self) -> Result<()> {
         self.flush()?;
-        let mut inner = self.inner.lock();
-        if inner.frames.iter().any(|f| f.pins > 0) {
-            return Err(StorageError::AllFramesPinned);
+        for shard in self.shards.iter() {
+            let mut inner = shard.inner.lock();
+            if inner.frames.iter().any(|f| f.pins > 0) {
+                return Err(StorageError::AllFramesPinned);
+            }
+            inner.frames.clear();
+            inner.map.clear();
+            inner.head = NIL;
+            inner.tail = NIL;
+            inner.free.clear();
         }
-        inner.frames.clear();
-        inner.map.clear();
-        inner.head = NIL;
-        inner.tail = NIL;
-        inner.free.clear();
         Ok(())
     }
 
-    /// Change the frame capacity. The pool is flushed and emptied first so
-    /// experiments at different buffer sizes start from the same cold
-    /// state.
+    /// Change the frame capacity. The pool is flushed and emptied first
+    /// so experiments at different buffer sizes start from the same cold
+    /// state. With more shards than `capacity`, every shard keeps one
+    /// frame (effective capacity = shard count).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
     pub fn set_capacity(&self, capacity: usize) -> Result<()> {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         self.clear()?;
-        self.inner.lock().capacity = capacity;
+        let n = self.shards.len();
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.inner.lock().capacity = Self::shard_capacity(capacity, n, i);
+        }
         Ok(())
     }
 
     /// Whether page `id` is currently resident (does not touch LRU order
     /// or counters).
     pub fn is_resident(&self, id: PageId) -> bool {
-        self.inner.lock().map.contains_key(&id)
+        self.shard_of(id).inner.lock().map.contains_key(&id)
     }
 
     /// Fetch `id` and leave it pinned: the frame can never be evicted
@@ -322,14 +533,13 @@ impl BufferPool {
     /// levels and then use an LRU scheme for the remaining nodes" — and
     /// rejects for its experiments, citing Leutenegger & Lopez's finding
     /// that pinning rarely helps. Exposing it makes that claim testable
-    /// here (see the `pinning_ablation` test and the buffer benches).
+    /// here (the R-tree's `pin_levels` builds on it).
     ///
     /// Counts as a normal request for hit/miss statistics. Pins nest:
     /// pin twice, unpin twice.
     pub fn pin(&self, id: PageId) -> Result<()> {
-        let mut inner = self.inner.lock();
-        // Keep the pin count from pin_frame — the caller owns it now.
-        self.pin_frame(&mut inner, id, true)?;
+        let (_shard, mut inner, idx) = self.lock_resident(id, true)?;
+        inner.frames[idx].pins += 1;
         Ok(())
     }
 
@@ -338,7 +548,8 @@ impl BufferPool {
     /// Unpinning a page that is not resident or not pinned is a no-op:
     /// the pool may legitimately have been cleared or resized in between.
     pub fn unpin(&self, id: PageId) {
-        let mut inner = self.inner.lock();
+        let shard = self.shard_of(id);
+        let mut inner = shard.inner.lock();
         if let Some(&idx) = inner.map.get(&id) {
             if inner.frames[idx].pins > 0 {
                 inner.frames[idx].pins -= 1;
@@ -348,12 +559,17 @@ impl BufferPool {
 
     /// Number of distinct pinned frames (for assertions and debugging).
     pub fn pinned_count(&self) -> usize {
-        self.inner
-            .lock()
-            .frames
+        self.shards
             .iter()
-            .filter(|f| f.page.is_valid() && f.pins > 0)
-            .count()
+            .map(|s| {
+                s.inner
+                    .lock()
+                    .frames
+                    .iter()
+                    .filter(|f| f.page.is_valid() && f.pins > 0)
+                    .count()
+            })
+            .sum()
     }
 
     /// Fetch `id` and return an RAII guard that holds one pin until it
@@ -368,87 +584,160 @@ impl BufferPool {
         })
     }
 
-    /// Make `id` resident and pinned (pin count +1), returning its frame
-    /// index. `read_from_disk` controls whether a missing page's contents
-    /// are fetched (false when the caller will overwrite the whole page).
+    // ---- residency machinery ------------------------------------------
+
+    /// Make `id` resident in its shard, returning the shard, its lock
+    /// (held), and the frame index, with the frame freshly touched in
+    /// LRU order. `fetch` controls whether a missing page's contents are
+    /// read from disk (false when the caller will overwrite the whole
+    /// page; the frame is zeroed instead).
     ///
-    /// Error paths leave the pool consistent: a failed dirty write-back
-    /// keeps the victim resident and dirty (nothing is counted, nothing
-    /// is lost); a failed read returns the reserved frame to the free
-    /// list so the bad page is neither cached nor does it leak a frame.
-    fn pin_frame(&self, inner: &mut Inner, id: PageId, read_from_disk: bool) -> Result<usize> {
-        if let Some(&idx) = inner.map.get(&id) {
-            inner.stats.hits += 1;
-            inner.touch(idx);
-            inner.frames[idx].pins += 1;
+    /// Concurrency: if another thread is already reading `id` from disk,
+    /// this waits on the shard condvar and then uses the installed frame
+    /// (counted as a hit — no disk access happened on this thread's
+    /// behalf). If this thread is the one to fetch, it registers `id` as
+    /// in-flight, drops the shard lock around `Disk::read_page`, and
+    /// installs the page afterwards.
+    ///
+    /// Error paths leave the pool consistent: a failed read is not
+    /// cached, reserves no frame, and counts no miss; a failed dirty
+    /// write-back keeps the victim resident and dirty with no counter
+    /// moved; a shard whose every frame is (explicitly) pinned fails
+    /// with [`StorageError::AllFramesPinned`] *before* touching the
+    /// disk, like the monolithic pool did.
+    #[allow(clippy::type_complexity)]
+    fn lock_resident(
+        &self,
+        id: PageId,
+        fetch: bool,
+    ) -> Result<(&Shard, MutexGuard<'_, ShardInner>, usize)> {
+        let shard = self.shard_of(id);
+        let mut inner = shard.inner.lock();
+        loop {
+            if let Some(&idx) = inner.map.get(&id) {
+                shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+                inner.touch(idx);
+                return Ok((shard, inner, idx));
+            }
+            if inner.inflight.contains(&id) {
+                // Coalesce: someone is already fetching this page.
+                shard.cv.wait(&mut inner);
+                continue;
+            }
+            if !inner.frame_available() {
+                return Err(StorageError::AllFramesPinned);
+            }
+            if !fetch {
+                // Whole-page overwrite: no disk read, install zeroed.
+                let idx = self.take_frame(shard, &mut inner)?;
+                *inner.frames[idx].data.write() = vec![0u8; self.page_size].into_boxed_slice();
+                Self::finish_install(shard, &mut inner, idx, id);
+                return Ok((shard, inner, idx));
+            }
+            // Leader: read the page with NO lock held, then install.
+            inner.inflight.insert(id);
+            drop(inner);
+            let mut scratch = vec![0u8; self.page_size];
+            let read_res = self.disk.read_page(id, &mut scratch);
+            inner = shard.inner.lock();
+            let installed = match read_res {
+                Err(e) => Err(e),
+                Ok(()) => self.install_fetched(shard, &mut inner, id, scratch),
+            };
+            // The in-flight marker must clear on every path, and waiters
+            // must wake: on success they find the page resident; on
+            // failure one of them becomes the next leader and retries.
+            inner.inflight.remove(&id);
+            shard.cv.notify_all();
+            let idx = installed?;
+            return Ok((shard, inner, idx));
+        }
+    }
+
+    /// Install a page read into `scratch`. Runs with the in-flight
+    /// marker for `id` held, so no other thread can install the same
+    /// page.
+    fn install_fetched(
+        &self,
+        shard: &Shard,
+        inner: &mut MutexGuard<'_, ShardInner>,
+        id: PageId,
+        scratch: Vec<u8>,
+    ) -> Result<usize> {
+        let idx = self.take_frame(shard, inner)?;
+        // Adopt the scratch allocation wholesale — no copy. The write
+        // guard waits for any reader still holding the recycled frame's
+        // old contents; such readers block on nothing, so this is
+        // bounded by one closure's runtime.
+        *inner.frames[idx].data.write() = scratch.into_boxed_slice();
+        Self::finish_install(shard, inner, idx, id);
+        Ok(idx)
+    }
+
+    /// Produce an empty frame: free list, then grow up to capacity, then
+    /// evict the LRU unpinned victim (writing it back first if dirty).
+    fn take_frame(&self, shard: &Shard, inner: &mut MutexGuard<'_, ShardInner>) -> Result<usize> {
+        if let Some(idx) = inner.free.pop() {
             return Ok(idx);
         }
-
-        // Find a frame: free list, then grow up to capacity, then evict.
-        let idx = if let Some(idx) = inner.free.pop() {
-            idx
-        } else if inner.frames.len() < inner.capacity {
+        if inner.frames.len() < inner.capacity {
             inner.frames.push(Frame {
                 page: PageId::INVALID,
-                data: vec![0u8; self.page_size].into_boxed_slice(),
+                data: Arc::new(RwLock::new(vec![0u8; self.page_size].into_boxed_slice())),
                 dirty: false,
                 pins: 0,
                 prev: NIL,
                 next: NIL,
             });
-            inner.frames.len() - 1
-        } else {
-            let victim = inner.victim().ok_or(StorageError::AllFramesPinned)?;
-            let old = inner.frames[victim].page;
-            if inner.frames[victim].dirty {
-                // "When a node is pushed out of the buffer the node is
-                // immediately written to disk" (§3). Write back before
-                // touching any bookkeeping: if the write fails, the
-                // victim stays resident and dirty and no counter moved.
-                self.disk.write_page(old, &inner.frames[victim].data)?;
-                inner.frames[victim].dirty = false;
-                inner.stats.writebacks += 1;
-            }
-            inner.stats.evictions += 1;
-            inner.map.remove(&old);
-            inner.detach(victim);
-            victim
-        };
-
-        if read_from_disk {
-            if let Err(e) = self.disk.read_page(id, &mut inner.frames[idx].data) {
-                // The failed read must not be cached and the reserved
-                // frame must not be orphaned: reset it and put it back
-                // on the free list.
-                inner.frames[idx].page = PageId::INVALID;
-                inner.frames[idx].dirty = false;
-                inner.frames[idx].pins = 0;
-                inner.free.push(idx);
-                return Err(e);
-            }
-        } else {
-            inner.frames[idx].data.fill(0);
+            return Ok(inner.frames.len() - 1);
         }
-        // Count the miss only once the page is actually resident, so
-        // misses remain exactly the paper's "disk accesses" even when
-        // fault injection makes fetches fail.
-        inner.stats.misses += 1;
+        let victim = inner.victim().ok_or(StorageError::AllFramesPinned)?;
+        let old = inner.frames[victim].page;
+        if inner.frames[victim].dirty {
+            // "When a node is pushed out of the buffer the node is
+            // immediately written to disk" (§3). Write back before
+            // touching any bookkeeping: if the write fails, the victim
+            // stays resident and dirty and no counter moved. The read
+            // guard is uncontended — a frame with pins == 0 has no
+            // accessor.
+            {
+                let bytes = inner.frames[victim].data.read();
+                self.disk.write_page(old, &bytes)?;
+            }
+            inner.frames[victim].dirty = false;
+            shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        inner.map.remove(&old);
+        inner.detach(victim);
+        Ok(victim)
+    }
+
+    /// Book-keep a freshly-installed page: count the miss (only once the
+    /// page is actually resident, so misses remain exactly the paper's
+    /// "disk accesses" even when fetches fail), map it, and make it MRU.
+    fn finish_install(
+        shard: &Shard,
+        inner: &mut MutexGuard<'_, ShardInner>,
+        idx: usize,
+        id: PageId,
+    ) {
+        shard.stats.misses.fetch_add(1, Ordering::Relaxed);
         inner.frames[idx].page = id;
         inner.frames[idx].dirty = false;
-        inner.frames[idx].pins = 1;
+        inner.frames[idx].pins = 0;
         inner.map.insert(id, idx);
         inner.push_front(idx);
-        Ok(idx)
     }
 }
 
 /// RAII pin on a buffer-pool page: releases one pin when dropped.
 ///
-/// Obtained from [`BufferPool::pin_guard`]. Holding the guard keeps the
-/// page ineligible for eviction; dropping it is equivalent to one
-/// [`BufferPool::unpin`] call and is safe on every exit path.
+/// Obtained from [`ShardedBufferPool::pin_guard`]. Holding the guard
+/// keeps the page ineligible for eviction; dropping it is equivalent to
+/// one [`ShardedBufferPool::unpin`] call and is safe on every exit path.
 pub struct PinGuard<'a> {
-    pool: &'a BufferPool,
+    pool: &'a ShardedBufferPool,
     page: PageId,
 }
 
@@ -706,8 +995,8 @@ mod tests {
         assert!(!pool.is_resident(PageId(0)));
         assert_eq!(pool.pinned_count(), 0);
         assert_eq!(pool.stats().misses, 0);
-        // The reserved frame went back to the free list: the next fetch
-        // succeeds and the pool is fully usable.
+        // No frame was consumed by the failure: the next fetches succeed
+        // and the pool is fully usable.
         pool.with_page(PageId(0), |_| {}).unwrap();
         pool.with_page(PageId(1), |_| {}).unwrap();
         assert_eq!(pool.resident(), 2);
@@ -790,5 +1079,93 @@ mod tests {
             pool.read_into(PageId(0), &mut small),
             Err(StorageError::PageSizeMismatch { .. })
         ));
+    }
+
+    // ---- sharded configurations ---------------------------------------
+
+    fn sharded_setup(capacity: usize, shards: usize, pages: usize) -> (Arc<MemDisk>, BufferPool) {
+        let disk = Arc::new(MemDisk::new(64));
+        for _ in 0..pages {
+            disk.allocate().unwrap();
+        }
+        let pool = ShardedBufferPool::with_shards(disk.clone() as Arc<dyn Disk>, capacity, shards);
+        (disk, pool)
+    }
+
+    #[test]
+    fn capacity_splits_evenly_across_shards() {
+        let (_d, pool) = sharded_setup(10, 4, 0);
+        assert_eq!(pool.shard_count(), 4);
+        assert_eq!(pool.capacity(), 10);
+        // 10 over 4 shards: 3, 3, 2, 2.
+        let caps: Vec<usize> = (0..4)
+            .map(|i| BufferPool::shard_capacity(10, 4, i))
+            .collect();
+        assert_eq!(caps, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn shard_count_clamped_to_capacity() {
+        let (_d, pool) = sharded_setup(3, 8, 0);
+        assert!(pool.shard_count() <= 3);
+        assert_eq!(pool.capacity(), 3);
+        let small = ShardedBufferPool::for_threads(Arc::new(MemDisk::new(64)), 2, 16);
+        assert!(small.shard_count() <= 2);
+    }
+
+    #[test]
+    fn sharded_pool_serves_and_counts_all_pages() {
+        let (disk, pool) = sharded_setup(8, 4, 32);
+        for round in 0..2 {
+            for i in 0..32u64 {
+                pool.with_page_mut(PageId(i), |d| d[1] = i as u8 + round)
+                    .unwrap();
+            }
+        }
+        // 32 pages over 8 frames: every access in both rounds misses.
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 64);
+        assert_eq!(s.misses, 64);
+        // Dirty evictions were written back; flush pushes the rest.
+        pool.flush().unwrap();
+        let mut buf = vec![0u8; 64];
+        for i in 0..32u64 {
+            disk.read_page(PageId(i), &mut buf).unwrap();
+            assert_eq!(buf[1], i as u8 + 1, "page {i} lost its last write");
+        }
+        // Per-shard stats sum to the aggregate.
+        let per: u64 = (0..pool.shard_count())
+            .map(|i| pool.shard_stats(i).misses)
+            .sum();
+        assert_eq!(per, s.misses);
+    }
+
+    #[test]
+    fn sharded_clear_and_set_capacity_cover_all_shards() {
+        let (_d, pool) = sharded_setup(8, 4, 16);
+        for i in 0..16u64 {
+            pool.with_page(PageId(i), |_| {}).unwrap();
+        }
+        assert!(pool.resident() > 0);
+        pool.set_capacity(4).unwrap();
+        assert_eq!(pool.resident(), 0);
+        assert_eq!(pool.capacity(), 4);
+        // Shrinking below the shard count keeps one frame per shard.
+        pool.set_capacity(2).unwrap();
+        assert_eq!(pool.capacity(), pool.shard_count().max(2));
+    }
+
+    #[test]
+    fn stats_reset_is_lock_free_under_held_shard_lock() {
+        // stats()/reset_stats() must not need any shard lock: call them
+        // while a with_page_mut closure (which holds its shard's lock)
+        // is still running.
+        let (_d, pool) = setup(2, 1);
+        pool.with_page_mut(PageId(0), |_| {
+            let _ = pool.stats();
+            pool.reset_stats();
+        })
+        .unwrap();
+        assert_eq!(pool.stats().misses, 0, "reset inside the closure held");
     }
 }

@@ -8,6 +8,8 @@
 use std::fs::{File, OpenOptions};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -327,6 +329,77 @@ impl Disk for FileDisk {
     }
 }
 
+/// A wrapper that adds a fixed latency to every page read, modelling the
+/// seek + rotation cost the paper's raw-partition experiments paid on real
+/// hardware. [`MemDisk`] reads complete in nanoseconds, which hides the
+/// thing a concurrent buffer pool actually buys: *overlapping* miss I/O
+/// across threads. With `read_latency` at a realistic value, a pool that
+/// serializes disk reads under a global lock is limited to
+/// `1/read_latency` misses per second no matter how many threads ask,
+/// while the sharded pool overlaps them.
+///
+/// The sleep happens inside `read_page`, which the sharded pool calls with
+/// no lock held. Writes are not delayed: the paper's measured query phase
+/// is read-only, and delaying write-back would only add noise to build
+/// phases. Counters are the inner disk's.
+pub struct LatencyDisk {
+    inner: Arc<dyn Disk>,
+    read_latency: Duration,
+}
+
+impl LatencyDisk {
+    /// Wrap `inner`, delaying every successful read by `read_latency`.
+    pub fn new(inner: Arc<dyn Disk>, read_latency: Duration) -> Self {
+        Self {
+            inner,
+            read_latency,
+        }
+    }
+
+    /// The configured per-read latency.
+    pub fn read_latency(&self) -> Duration {
+        self.read_latency
+    }
+}
+
+impl Disk for LatencyDisk {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        self.inner.allocate()
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_page(id, buf)?;
+        if !self.read_latency.is_zero() {
+            std::thread::sleep(self.read_latency);
+        }
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        self.inner.write_page(id, buf)
+    }
+
+    fn write_pages(&self, first: PageId, buf: &[u8]) -> Result<()> {
+        self.inner.write_pages(first, buf)
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +501,27 @@ mod tests {
         }
         assert_eq!(d.stats().writes(), 5);
         assert_eq!(d.stats().reads(), 3);
+    }
+
+    #[test]
+    fn latency_disk_delays_reads_and_forwards_counters() {
+        let mem = Arc::new(MemDisk::new(32));
+        let d = LatencyDisk::new(mem.clone(), Duration::from_millis(5));
+        let p = d.allocate().unwrap();
+        let buf = vec![3u8; 32];
+        d.write_page(p, &buf).unwrap();
+        let mut out = vec![0u8; 32];
+        let t0 = std::time::Instant::now();
+        d.read_page(p, &mut out).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        assert_eq!(out, buf);
+        // Counters are the inner disk's: visible from both handles.
+        assert_eq!(d.stats().reads(), 1);
+        assert_eq!(mem.stats().writes(), 1);
+        // Out-of-bounds reads fail fast, without sleeping 5ms.
+        let t1 = std::time::Instant::now();
+        assert!(d.read_page(PageId(9), &mut out).is_err());
+        assert!(t1.elapsed() < Duration::from_millis(5));
     }
 
     #[test]

@@ -22,8 +22,8 @@ pub mod fault;
 pub mod page;
 pub mod seq;
 
-pub use buffer::{BufferPool, BufferStats, PinGuard};
-pub use disk::{Disk, FileDisk, IoStats, MemDisk};
+pub use buffer::{BufferPool, BufferStats, PinGuard, ShardedBufferPool};
+pub use disk::{Disk, FileDisk, IoStats, LatencyDisk, MemDisk};
 pub use fault::{FaultDisk, FaultId, FaultKind, FaultOp, FaultSpec, Trigger};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use seq::SequentialPageWriter;
