@@ -37,6 +37,8 @@ struct Cell {
     speedup_vs_1t: f64,
     hit_rate: f64,
     disk_accesses: u64,
+    /// Per-query latency distribution of the cell's batch.
+    latency: obs::HistogramSnapshot,
 }
 
 fn build_tree() -> RTree<2> {
@@ -80,8 +82,8 @@ fn main() {
 
     let mut cells: Vec<Cell> = Vec::new();
     println!(
-        "{:>10} {:>8} {:>12} {:>9} {:>9} {:>10}",
-        "pool", "threads", "queries/s", "speedup", "hit rate", "disk acc"
+        "{:>10} {:>8} {:>12} {:>9} {:>9} {:>10} {:>9} {:>9}",
+        "pool", "threads", "queries/s", "speedup", "hit rate", "disk acc", "p50 ns", "p99 ns"
     );
     for &pages in &POOL_PAGES {
         let mut base = None;
@@ -98,15 +100,18 @@ fn main() {
                 speedup_vs_1t: qps / base_qps,
                 hit_rate: report.stats.hit_rate(),
                 disk_accesses: report.stats.misses,
+                latency: report.latency,
             };
             println!(
-                "{:>10} {:>8} {:>12.0} {:>8.2}x {:>8.1}% {:>10}",
+                "{:>10} {:>8} {:>12.0} {:>8.2}x {:>8.1}% {:>10} {:>9} {:>9}",
                 cell.pool_pages,
                 cell.threads,
                 cell.queries_per_sec,
                 cell.speedup_vs_1t,
                 cell.hit_rate * 100.0,
-                cell.disk_accesses
+                cell.disk_accesses,
+                cell.latency.percentile(0.50),
+                cell.latency.percentile(0.99),
             );
             cells.push(cell);
         }
@@ -116,13 +121,15 @@ fn main() {
     for (i, c) in cells.iter().enumerate() {
         metrics.push_str(&format!(
             "    {{\"pool_pages\": {}, \"threads\": {}, \"queries_per_sec\": {:.1}, \
-             \"speedup_vs_1t\": {:.3}, \"hit_rate\": {:.4}, \"disk_accesses\": {}}}{}\n",
+             \"speedup_vs_1t\": {:.3}, \"hit_rate\": {:.4}, \"disk_accesses\": {}, \
+             \"latency_ns\": {}}}{}\n",
             c.pool_pages,
             c.threads,
             c.queries_per_sec,
             c.speedup_vs_1t,
             c.hit_rate,
             c.disk_accesses,
+            obs::histogram_json(&c.latency),
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }

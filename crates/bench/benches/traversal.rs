@@ -79,22 +79,15 @@ fn bench_traversal(c: &mut Criterion) {
 }
 
 /// Render the collected samples as the `metrics` object of the repo-wide
-/// artifact schema (the shim has no serde, and the schema is flat).
+/// artifact schema (the shim has no serde, and the schema is flat). Each
+/// sample now carries its p50/p90/p99 alongside the historical
+/// median/min/max keys — see [`str_bench::sample_json`].
 fn render_metrics(c: &Criterion) -> String {
-    fn esc(s: &str) -> String {
-        s.replace('\\', "\\\\").replace('"', "\\\"")
-    }
     let mut out = String::from("{\"benchmarks\": [\n");
     for (i, s) in c.samples().iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"label\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
-             \"max_ns\": {:.1}, \"throughput_per_sec\": {}}}{}\n",
-            esc(&s.label),
-            s.median_ns,
-            s.min_ns,
-            s.max_ns,
-            s.throughput_per_sec
-                .map_or("null".to_string(), |t| format!("{t:.1}")),
+            "    {}{}\n",
+            str_bench::sample_json(s),
             if i + 1 == c.samples().len() { "" } else { "," }
         ));
     }

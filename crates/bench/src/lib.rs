@@ -45,6 +45,26 @@ pub fn artifact_path(file_name: &str) -> std::path::PathBuf {
 /// `BENCH_<name>.json` at the repository root. `config` entries and
 /// `metrics` must already be rendered JSON values (numbers, strings with
 /// quotes, arrays, objects).
+/// Render one shim [`criterion::Sample`] as a JSON object for a bench
+/// artifact's `metrics` block: the historical `median_ns`/`min_ns`/
+/// `max_ns` keys plus the sample-distribution percentiles, so every
+/// `BENCH_*.json` carries the same latency schema as `--metrics json`.
+pub fn sample_json(s: &criterion::Sample) -> String {
+    format!(
+        "{{\"label\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \
+         \"p50_ns\": {:.1}, \"p90_ns\": {:.1}, \"p99_ns\": {:.1}, \"throughput_per_sec\": {}}}",
+        s.label.replace('\\', "\\\\").replace('"', "\\\""),
+        s.median_ns,
+        s.min_ns,
+        s.max_ns,
+        s.p50_ns,
+        s.p90_ns,
+        s.p99_ns,
+        s.throughput_per_sec
+            .map_or("null".to_string(), |t| format!("{t:.1}")),
+    )
+}
+
 pub fn write_artifact(
     name: &str,
     config: &[(&str, String)],

@@ -7,7 +7,18 @@ use rtree::{NodeCapacity, RTree};
 use storage::{BufferPool, FileDisk, DEFAULT_PAGE_SIZE};
 use str_core::{PackingOrder, TgsPacker, TreeMetrics};
 
+use storage::BufferStats;
+
 use crate::{csvio, CliResult};
+
+/// Render one [`BufferStats`] as a JSON object (shared by `--metrics
+/// json` outputs so the schema matches the bench artifacts).
+pub fn buffer_stats_json(s: &BufferStats) -> String {
+    format!(
+        "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"writebacks\": {}, \"coalesced\": {}}}",
+        s.hits, s.misses, s.evictions, s.writebacks, s.coalesced
+    )
+}
 
 /// Which packing algorithm a `--packer` flag names.
 pub fn parse_packer(name: &str) -> CliResult<Box<dyn PackingOrder<2>>> {
@@ -272,12 +283,18 @@ pub fn compare(input: &Path, capacity: usize, buffer: usize) -> CliResult<String
 /// workers; the same batch is replayed cold (pool cleared, stats reset)
 /// at 1, 2, … up to `threads` workers, so the printed speedups isolate
 /// the serving engine rather than cache warm-up luck.
+///
+/// `metrics` selects the observability rendering: `""` keeps the plain
+/// table, `"text"` appends per-run latency percentiles, per-shard
+/// buffer counters and the metric registry, `"json"` replaces the
+/// table with one JSON document carrying all of it.
 pub fn query_bench(
     index: &Path,
     queries: usize,
     threads: usize,
     buffer: usize,
     seed: u64,
+    metrics: &str,
 ) -> CliResult<String> {
     use rtree::{BatchQuery, QueryExecutor};
 
@@ -317,10 +334,15 @@ pub fn query_bench(
     );
     let mut base = None;
     let mut t = 1;
+    // (report, per-shard stats for that run) — the pool counters are
+    // reset before every run, so a post-run per-shard snapshot is
+    // exactly that run's traffic.
+    let mut runs = Vec::new();
     while t <= threads {
         tree.pool().clear().map_err(|e| e.to_string())?;
         tree.pool().reset_stats();
         let report = exec.run_batch(&batch, t).map_err(|e| e.to_string())?;
+        let per_shard = tree.pool().per_shard_stats();
         let qps = report.throughput();
         let base_qps = *base.get_or_insert(qps);
         out.push_str(&format!(
@@ -331,10 +353,106 @@ pub fn query_bench(
             report.stats.hit_rate() * 100.0,
             report.stats.misses
         ));
+        runs.push((report, per_shard, qps / base_qps));
         if t == threads {
             break;
         }
         t = (t * 2).min(threads);
+    }
+
+    match metrics {
+        "" => Ok(out),
+        "text" => {
+            out.push('\n');
+            for (report, _, _) in &runs {
+                let h = &report.latency;
+                out.push_str(&format!(
+                    "latency_ns t={}: count={} mean={:.0} p50={} p90={} p99={} max={}\n",
+                    report.threads,
+                    h.count(),
+                    h.mean(),
+                    h.percentile(0.50),
+                    h.percentile(0.90),
+                    h.percentile(0.99),
+                    h.max()
+                ));
+            }
+            let (last, per_shard, _) = runs.last().expect("threads >= 1 ran");
+            out.push_str(&format!("\nper-shard buffer stats (t={}):\n", last.threads));
+            out.push_str(&format!(
+                "{:<6} {:>8} {:>8} {:>10} {:>11} {:>10}\n",
+                "shard", "hits", "misses", "evictions", "writebacks", "coalesced"
+            ));
+            for (i, s) in per_shard.iter().enumerate() {
+                out.push_str(&format!(
+                    "{:<6} {:>8} {:>8} {:>10} {:>11} {:>10}\n",
+                    i, s.hits, s.misses, s.evictions, s.writebacks, s.coalesced
+                ));
+            }
+            out.push_str("\n-- metrics --\n");
+            out.push_str(&obs::snapshot().render_text());
+            Ok(out)
+        }
+        "json" => {
+            let mut j = format!(
+                "{{\"queries\": {}, \"pool_pages\": {}, \"shards\": {}, \"runs\": [",
+                batch.len(),
+                buffer.max(1),
+                tree.pool().shard_count()
+            );
+            for (i, (report, per_shard, speedup)) in runs.iter().enumerate() {
+                if i > 0 {
+                    j.push_str(", ");
+                }
+                let shards: Vec<String> = per_shard.iter().map(buffer_stats_json).collect();
+                j.push_str(&format!(
+                    "{{\"threads\": {}, \"queries_per_sec\": {:.1}, \"speedup\": {:.3}, \
+                     \"hit_rate\": {:.4}, \"disk_accesses\": {}, \"latency_ns\": {}, \
+                     \"per_thread_queries\": {:?}, \"buffer\": {}, \"per_shard\": [{}]}}",
+                    report.threads,
+                    report.throughput(),
+                    speedup,
+                    report.stats.hit_rate(),
+                    report.stats.misses,
+                    obs::histogram_json(&report.latency),
+                    report.per_thread_queries,
+                    buffer_stats_json(&report.stats),
+                    shards.join(", ")
+                ));
+            }
+            j.push_str(&format!("], \"registry\": {}}}", obs::snapshot().to_json()));
+            Ok(j)
+        }
+        other => Err(format!("--metrics: expected text or json, got '{other}'")),
+    }
+}
+
+/// `flight-dump`: replay a short query workload against an index with
+/// the flight recorder armed, then print every captured event.
+///
+/// The recorder is process-global and starts empty in a fresh CLI
+/// process, so the dump is exactly the probe workload's event trail —
+/// page reads, evictions, write-backs, query start/end markers.
+pub fn flight_dump(index: &Path, queries: usize, buffer: usize, seed: u64) -> CliResult<String> {
+    obs::set_enabled(true);
+    let tree = open_index(index, buffer)?;
+    let bbox = tree.root_mbr().map_err(|e| e.to_string())?;
+    let side = 0.05 * bbox.extent(0).max(bbox.extent(1));
+    for r in datagen::region_queries(queries.max(1), &bbox, side, seed) {
+        tree.query_region_visit(&r, &mut |_, _| {})
+            .map_err(|e| e.to_string())?;
+    }
+    let rec = obs::flight::global();
+    let events = rec.dump();
+    let mut out = format!(
+        "flight recorder: {} events (capacity {}, {} dropped)\n",
+        events.len(),
+        rec.capacity(),
+        rec.dropped()
+    );
+    for e in &events {
+        out.push_str(&obs::flight::format_event(e));
+        out.push('\n');
     }
     Ok(out)
 }
@@ -496,6 +614,62 @@ mod tests {
         std::fs::remove_file(data).ok();
         std::fs::remove_file(a).ok();
         std::fs::remove_file(b).ok();
+    }
+
+    #[test]
+    fn query_bench_metrics_modes() {
+        let data = tmp("qb.csv");
+        let index = tmp("qb.rtree");
+        generate("uniform", 3000, 21, &data).unwrap();
+        build(&data, &index, "str", 50, 0).unwrap();
+
+        let plain = query_bench(&index, 60, 2, 16, 11, "").unwrap();
+        assert!(plain.contains("queries/s"), "{plain}");
+
+        let text = query_bench(&index, 60, 2, 16, 11, "text").unwrap();
+        assert!(text.contains("latency_ns t=1:"), "{text}");
+        assert!(text.contains("per-shard buffer stats"), "{text}");
+
+        let json = query_bench(&index, 60, 2, 16, 11, "json").unwrap();
+        for needle in [
+            "\"per_shard\": [",
+            "\"latency_ns\": {",
+            "\"p50\":",
+            "\"p90\":",
+            "\"p99\":",
+            "\"disk_accesses\":",
+            "\"per_thread_queries\":",
+            "\"registry\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Crude structural check: braces balance, so the document at
+        // least nests correctly.
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close, "unbalanced JSON:\n{json}");
+
+        assert!(query_bench(&index, 60, 2, 16, 11, "xml").is_err());
+
+        std::fs::remove_file(data).ok();
+        std::fs::remove_file(index).ok();
+    }
+
+    #[test]
+    fn flight_dump_records_query_traffic() {
+        let data = tmp("fd.csv");
+        let index = tmp("fd.rtree");
+        generate("uniform", 2000, 31, &data).unwrap();
+        build(&data, &index, "str", 50, 0).unwrap();
+
+        let out = flight_dump(&index, 32, 8, 11).unwrap();
+        assert!(out.contains("flight recorder:"), "{out}");
+        assert!(out.contains("query_start"), "{out}");
+        assert!(out.contains("query_end"), "{out}");
+        assert!(out.contains("page_read"), "{out}");
+
+        std::fs::remove_file(data).ok();
+        std::fs::remove_file(index).ok();
     }
 
     #[test]

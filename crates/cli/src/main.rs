@@ -8,6 +8,7 @@
 //! rtree-cli knn      --index index.rtree --at 0.5,0.5 --k 10
 //! rtree-cli compare  --input data.csv [--capacity 100] [--buffer 32]
 //! rtree-cli query-bench --index index.rtree [--queries 512] [--threads 8] [--buffer 128] [--seed 11]
+//! rtree-cli flight-dump --index index.rtree [--queries 64] [--buffer 16] [--seed 11]
 //! rtree-cli stats    --index index.rtree
 //! rtree-cli validate --index index.rtree
 //! rtree-cli check    --index index.rtree
@@ -15,6 +16,13 @@
 //! rtree-cli insert   --index index.rtree --input more.csv
 //! rtree-cli delete   --index index.rtree --input victims.csv
 //! ```
+//!
+//! Every command additionally accepts `--metrics text|json`, which
+//! turns the observability layer on for the run and appends a snapshot
+//! of every recorded metric (counters, gauges, latency histograms with
+//! p50/p90/p99) to the output. `query-bench` folds the metrics into its
+//! own report instead — per-run latency percentiles and per-shard
+//! buffer-pool counters, as one JSON document in json mode.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -23,8 +31,8 @@ use rtree_cli::{commands, parse_point, parse_rect, CliResult};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rtree-cli <gen|build|query|point|knn|stats|validate|check|dump-leaves|insert|delete|compare|query-bench> \
-         [--flag value]...\nsee the crate docs for per-command flags"
+        "usage: rtree-cli <gen|build|query|point|knn|stats|validate|check|dump-leaves|insert|delete|compare|query-bench|flight-dump> \
+         [--flag value]... [--metrics text|json]\nsee the crate docs for per-command flags"
     );
     std::process::exit(2);
 }
@@ -79,7 +87,14 @@ fn run() -> CliResult<String> {
         usage();
     };
     let flags = Flags::parse(rest)?;
-    match cmd.as_str() {
+    let metrics = flags.opt("metrics", "");
+    if !matches!(metrics.as_str(), "" | "text" | "json") {
+        return Err(format!("--metrics: expected text or json, got '{metrics}'"));
+    }
+    if !metrics.is_empty() {
+        obs::set_enabled(true);
+    }
+    let out = match cmd.as_str() {
         "gen" => commands::generate(
             flags.req("dataset")?,
             flags.parse_num("n", 10_000usize)?,
@@ -123,6 +138,13 @@ fn run() -> CliResult<String> {
             flags.parse_num("threads", 8usize)?,
             flags.parse_num("buffer", 128usize)?,
             flags.parse_num("seed", 11u64)?,
+            &metrics,
+        ),
+        "flight-dump" => commands::flight_dump(
+            &PathBuf::from(flags.req("index")?),
+            flags.parse_num("queries", 64usize)?,
+            flags.parse_num("buffer", 16usize)?,
+            flags.parse_num("seed", 11u64)?,
         ),
         "stats" => commands::stats(&PathBuf::from(flags.req("index")?)),
         "validate" => commands::validate(&PathBuf::from(flags.req("index")?)),
@@ -139,6 +161,24 @@ fn run() -> CliResult<String> {
             flags.parse_num("buffer", 64usize)?,
         ),
         _ => usage(),
+    };
+    // `query-bench` embeds its metrics (the generic registry dump would
+    // corrupt its JSON document); every other command gets the snapshot
+    // appended.
+    match (out, metrics.as_str(), cmd.as_str()) {
+        (Ok(mut text), "text", c) if c != "query-bench" => {
+            text.push_str("\n-- metrics --\n");
+            text.push_str(&obs::snapshot().render_text());
+            Ok(text)
+        }
+        (Ok(mut text), "json", c) if c != "query-bench" => {
+            if !text.ends_with('\n') {
+                text.push('\n');
+            }
+            text.push_str(&obs::snapshot().to_json());
+            Ok(text)
+        }
+        (out, _, _) => out,
     }
 }
 

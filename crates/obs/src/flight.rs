@@ -1,0 +1,312 @@
+//! Fixed-size lock-free flight recorder of recent structured events.
+//!
+//! A power-of-two ring of seqlock-style slots. Writers claim a global
+//! ticket with one `fetch_add`, CAS the target slot's sequence word
+//! from its expected previous-generation value to an odd in-progress
+//! marker, write the payload, then publish with an even marker. If the
+//! CAS fails the slot has been lapped by a faster writer (or its
+//! previous owner is still mid-write) and the event is dropped — that
+//! keeps the recorder wait-free for writers and guarantees a reader
+//! never observes fields from two different events mixed in one slot.
+//!
+//! Readers ([`FlightRecorder::dump`]) scan every slot, skip odd or
+//! changed sequences, and sort surviving events by ticket, yielding
+//! the most recent events in the order their tickets were issued.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// What happened. Payload meaning of [`Event::a`]/[`Event::b`] is
+/// per-kind and documented on each variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Disk page read. a = page index, b = bytes.
+    PageRead = 1,
+    /// Disk page write. a = page index, b = bytes.
+    PageWrite = 2,
+    /// Buffer-pool eviction. a = page index, b = 1 if it was dirty.
+    Eviction = 3,
+    /// Dirty page written back. a = page index.
+    Writeback = 4,
+    /// Injected fault fired. a = operation (0 read / 1 write),
+    /// b = fault kind ordinal.
+    FaultFired = 5,
+    /// Node split during insert. a = node page, b = new sibling page.
+    Split = 6,
+    /// Orphan re-inserted during delete. a = subtree level.
+    Reinsert = 7,
+    /// Query began. a = query ordinal.
+    QueryStart = 8,
+    /// Query finished. a = query ordinal, b = nodes visited.
+    QueryEnd = 9,
+    /// A tree transitioned to the sticky poisoned state. a = root page.
+    TreePoisoned = 10,
+}
+
+impl EventKind {
+    fn from_u8(v: u8) -> Option<EventKind> {
+        Some(match v {
+            1 => EventKind::PageRead,
+            2 => EventKind::PageWrite,
+            3 => EventKind::Eviction,
+            4 => EventKind::Writeback,
+            5 => EventKind::FaultFired,
+            6 => EventKind::Split,
+            7 => EventKind::Reinsert,
+            8 => EventKind::QueryStart,
+            9 => EventKind::QueryEnd,
+            10 => EventKind::TreePoisoned,
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase name used in dumps and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::PageRead => "page_read",
+            EventKind::PageWrite => "page_write",
+            EventKind::Eviction => "eviction",
+            EventKind::Writeback => "writeback",
+            EventKind::FaultFired => "fault_fired",
+            EventKind::Split => "split",
+            EventKind::Reinsert => "reinsert",
+            EventKind::QueryStart => "query_start",
+            EventKind::QueryEnd => "query_end",
+            EventKind::TreePoisoned => "tree_poisoned",
+        }
+    }
+}
+
+/// One recovered flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Global issue order (gaps mean dropped or still-in-flight slots).
+    pub ticket: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word (usually a page index).
+    pub a: u64,
+    /// Second payload word (kind-specific).
+    pub b: u64,
+    /// Nanoseconds since the recorder was created.
+    pub t_ns: u64,
+}
+
+struct Slot {
+    /// 0 = never written; odd = write in progress for ticket
+    /// (seq-1)/2; even = published for ticket (seq-2)/2.
+    seq: AtomicU64,
+    kind: AtomicU8,
+    a: AtomicU64,
+    b: AtomicU64,
+    t_ns: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            kind: AtomicU8::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+            t_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Lock-free ring buffer of the most recent [`Event`]s.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    cursor: AtomicU64,
+    dropped: AtomicU64,
+    epoch: Instant,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (rounded up to a
+    /// power of two, minimum 8).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        Self {
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events dropped because their slot was lapped mid-claim. Nonzero
+    /// only under extreme contention (writers more than one full ring
+    /// apart in flight at once).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Record one event. Wait-free: one `fetch_add` plus one CAS.
+    pub fn record(&self, kind: EventKind, a: u64, b: u64) {
+        let cap = self.slots.len() as u64;
+        let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket & (cap - 1)) as usize];
+        // Claim from whatever even (quiescent) state the slot is in,
+        // provided no newer generation has already published there.
+        // CAS-from-observed means a dropped claim never wedges the
+        // slot: the next lap claims from the surviving value. The odd
+        // in-progress marker plus the CAS guarantee single ownership,
+        // so payload words can't mix across events.
+        let cur = slot.seq.load(Ordering::Acquire);
+        if cur % 2 == 1 || cur > 2 * ticket + 1 {
+            // Mid-write by another ticket, or a newer event already
+            // landed here (this writer was lapped before claiming).
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if slot
+            .seq
+            .compare_exchange(cur, 2 * ticket + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        slot.kind.store(kind as u8, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.t_ns
+            .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        slot.seq.store(2 * ticket + 2, Ordering::Release);
+    }
+
+    /// Recover every consistent published event, oldest ticket first.
+    pub fn dump(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == 0 || seq % 2 == 1 {
+                continue; // never written, or write in progress
+            }
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            let t_ns = slot.t_ns.load(Ordering::Relaxed);
+            // Seqlock validation: a writer that claimed the slot while
+            // we read would have changed seq.
+            if slot.seq.load(Ordering::Acquire) != seq {
+                continue;
+            }
+            let Some(kind) = EventKind::from_u8(kind) else {
+                continue;
+            };
+            out.push(Event {
+                ticket: (seq - 2) / 2,
+                kind,
+                a,
+                b,
+                t_ns,
+            });
+        }
+        out.sort_unstable_by_key(|e| e.ticket);
+        out
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.cursor.load(Ordering::Relaxed))
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// Default capacity of the process-global recorder.
+pub const GLOBAL_CAPACITY: usize = 4096;
+
+/// The process-global flight recorder.
+pub fn global() -> &'static FlightRecorder {
+    static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+    GLOBAL.get_or_init(|| FlightRecorder::new(GLOBAL_CAPACITY))
+}
+
+/// Record into the global recorder iff observability is enabled.
+#[inline]
+pub fn record(kind: EventKind, a: u64, b: u64) {
+    if crate::enabled() {
+        global().record(kind, a, b);
+    }
+}
+
+/// Render one event as a stable single-line form used by dumps.
+pub fn format_event(e: &Event) -> String {
+    format!(
+        "#{:<8} +{:>12}ns {:<13} a={} b={}",
+        e.ticket,
+        e.t_ns,
+        e.kind.name(),
+        e.a,
+        e.b
+    )
+}
+
+/// Dump the global recorder to stderr via `tracing::warn!`. Called
+/// automatically when a tree poisons; available on demand from the CLI.
+pub fn dump_to_stderr(reason: &str) {
+    let events = global().dump();
+    tracing::warn!(
+        "flight recorder dump ({reason}): {} events, {} dropped",
+        events.len(),
+        global().dropped()
+    );
+    for e in &events {
+        tracing::warn!("{}", format_event(e));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_dumps_in_order() {
+        let r = FlightRecorder::new(16);
+        for i in 0..10u64 {
+            r.record(EventKind::PageRead, i, i * 2);
+        }
+        let events = r.dump();
+        assert_eq!(events.len(), 10);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.ticket, i as u64);
+            assert_eq!(e.a, i as u64);
+            assert_eq!(e.b, 2 * i as u64);
+            assert_eq!(e.kind, EventKind::PageRead);
+        }
+    }
+
+    #[test]
+    fn wraparound_keeps_most_recent() {
+        let r = FlightRecorder::new(8);
+        for i in 0..20u64 {
+            r.record(EventKind::Eviction, i, 0);
+        }
+        let events = r.dump();
+        assert_eq!(events.len(), 8);
+        // Single-threaded: no drops, exactly the last 8 tickets.
+        assert_eq!(r.dropped(), 0);
+        let tickets: Vec<u64> = events.iter().map(|e| e.ticket).collect();
+        assert_eq!(tickets, (12..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(FlightRecorder::new(0).capacity(), 8);
+        assert_eq!(FlightRecorder::new(100).capacity(), 128);
+        assert_eq!(FlightRecorder::new(128).capacity(), 128);
+    }
+}

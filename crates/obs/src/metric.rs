@@ -1,0 +1,363 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], and a
+//! log-bucketed [`Histogram`] mergeable across threads.
+//!
+//! The histogram uses log-linear bucketing: 8 linear sub-buckets per
+//! power-of-two octave, so any recorded value lands in a bucket whose
+//! width is at most 1/8 of its lower bound. Percentile estimates are
+//! therefore within +12.5% of the true value, which is ample for
+//! latency distributions spanning nanoseconds to seconds. All updates
+//! are relaxed atomic increments — recording never takes a lock and
+//! never allocates.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed level (e.g. resident pages, in-flight queries).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Self(AtomicI64::new(0))
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-buckets per power-of-two octave. Bucket width ≤ lower_bound/8,
+/// bounding the relative quantization error at 12.5%.
+const SUBS: u64 = 8;
+/// Values 0..8 get exact buckets; octaves 3..=63 get 8 buckets each.
+pub(crate) const NUM_BUCKETS: usize = (SUBS + 61 * SUBS) as usize; // 496
+
+/// Bucket index for a recorded value.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        v as usize
+    } else {
+        // Highest set bit h >= 3; the 3 bits below it pick the
+        // sub-bucket within the octave.
+        let h = 63 - v.leading_zeros() as u64;
+        ((h - 2) * SUBS + ((v >> (h - 3)) & (SUBS - 1))) as usize
+    }
+}
+
+/// Inclusive upper bound of the values mapping to bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUBS {
+        i
+    } else {
+        let h = i / SUBS + 2;
+        let sub = i % SUBS;
+        // Lower bound is (1<<h) + sub * 2^(h-3); width is 2^(h-3).
+        // Adding width-1 (not width, then -1) keeps the top bucket's
+        // bound at exactly u64::MAX without overflowing.
+        let low = (1u64 << h) + (sub << (h - 3));
+        low + ((1u64 << (h - 3)) - 1)
+    }
+}
+
+/// Thread-safe log-bucketed histogram. Record with [`record`]; read
+/// with [`snapshot`]; two histograms recorded on different threads
+/// merge exactly (bucket-wise addition).
+///
+/// [`record`]: Histogram::record
+/// [`snapshot`]: Histogram::snapshot
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Lock-free; safe from any thread.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy. Concurrent recorders may land between the
+    /// bucket reads, so a snapshot taken during traffic can be off by
+    /// the handful of in-flight observations — never torn within one
+    /// bucket.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Immutable copy of a [`Histogram`]'s state; supports percentile
+/// queries and exact merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no observations.
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated value at quantile `q` in [0, 1]: the inclusive upper
+    /// bound of the bucket holding the q-th observation, clamped to the
+    /// recorded maximum. Overestimates by at most 12.5%.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge `other` into `self`. Exact: the result is identical to a
+    /// histogram that recorded both observation streams.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        // The live histogram's atomic sum wraps on overflow; wrapping
+        // here keeps merge exactly equal to combined recording.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs — the wire
+    /// form used by JSON renderings.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 100, 1000, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS, "index {i} out of range for {v}");
+            assert!(i >= last, "bucket index not monotone at {v}");
+            last = i;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_contain_their_values() {
+        for v in [0u64, 3, 7, 8, 12, 255, 256, 1 << 13, (1 << 13) + 511] {
+            let i = bucket_index(v);
+            assert!(bucket_upper(i) >= v, "upper({i}) < {v}");
+            if i > 0 {
+                assert!(bucket_upper(i - 1) < v, "value {v} fits earlier bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..8 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.01), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 7);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.sum(), 28);
+    }
+
+    #[test]
+    fn percentiles_clamp_to_max() {
+        let h = Histogram::new();
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.5), 1000);
+        assert_eq!(s.percentile(0.99), 1000);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let both = Histogram::new();
+        for v in [1u64, 50, 900, 17] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [3u64, 70_000, 12] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        assert_eq!(sa, both.snapshot());
+    }
+
+    #[test]
+    fn empty_snapshot_is_benign() {
+        let s = HistogramSnapshot::empty();
+        assert_eq!(s.percentile(0.5), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Global named-metric registry and point-in-time snapshots.
+//!
+//! Metrics are registered on first use and live for the process. The
+//! registry map is behind an `RwLock`, but hot paths never touch it:
+//! instrumentation sites hold `Arc`s to their metrics (via the lazy
+//! handles in the crate root) and update them lock-free. The lock is
+//! taken only on first registration and on snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Process-global registry of named metrics.
+#[derive(Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<&'static str, Metric>>,
+}
+
+impl Registry {
+    /// The process-global registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::default)
+    }
+
+    /// Get or register the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        if let Some(Metric::Counter(c)) = self.metrics.read().get(name) {
+            return c.clone();
+        }
+        match self
+            .metrics
+            .write()
+            .entry(name)
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    /// Get or register the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        if let Some(Metric::Gauge(g)) = self.metrics.read().get(name) {
+            return g.clone();
+        }
+        match self
+            .metrics
+            .write()
+            .entry(name)
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    /// Get or register the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        if let Some(Metric::Histogram(h)) = self.metrics.read().get(name) {
+            return h.clone();
+        }
+        match self
+            .metrics
+            .write()
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.read();
+        let entries = metrics
+            .iter()
+            .map(|(&name, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name, v)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+/// One metric's value inside a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Monotone count.
+    Counter(u64),
+    /// Instantaneous level.
+    Gauge(i64),
+    /// Full distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// Point-in-time copy of the registry, ordered by metric name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    entries: BTreeMap<&'static str, MetricValue>,
+}
+
+impl Snapshot {
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &MetricValue)> {
+        self.entries.iter().map(|(&n, v)| (n, v))
+    }
+
+    /// Look up one metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.get(name)
+    }
+
+    /// Number of metrics captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no metrics were registered at capture time.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Human-readable one-metric-per-line rendering; histograms show
+    /// count/mean/percentiles.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, v) in self.iter() {
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "{name} = {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "{name} = {g}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{name}: count={} mean={:.1} p50={} p90={} p99={} max={}",
+                        h.count(),
+                        h.mean(),
+                        h.percentile(0.50),
+                        h.percentile(0.90),
+                        h.percentile(0.99),
+                        h.max()
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON object rendering: counters and gauges as numbers,
+    /// histograms as `{count, sum, mean, min, max, p50, p90, p99}`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{");
+        for (i, (name, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{name}\": ");
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = write!(out, "{c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = write!(out, "{g}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(out, "{}", histogram_json(h));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Render one histogram snapshot as a JSON object. Shared by the
+/// snapshot renderer, the CLI, and the bench artifact writers so the
+/// schema stays identical everywhere.
+pub fn histogram_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"mean\": {:.1}, \"min\": {}, \"max\": {}, \
+         \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+        h.count(),
+        h.sum(),
+        h.mean(),
+        h.min(),
+        h.max(),
+        h.percentile(0.50),
+        h.percentile(0.90),
+        h.percentile(0.99),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_snapshot() {
+        let r = Registry::default();
+        r.counter("test.a").add(3);
+        r.gauge("test.b").set(-2);
+        r.histogram("test.c").record(100);
+        // Second lookup returns the same instance.
+        r.counter("test.a").inc();
+
+        let s = r.snapshot();
+        assert_eq!(s.len(), 3);
+        match s.get("test.a") {
+            Some(MetricValue::Counter(4)) => {}
+            other => panic!("test.a = {other:?}"),
+        }
+        match s.get("test.b") {
+            Some(MetricValue::Gauge(-2)) => {}
+            other => panic!("test.b = {other:?}"),
+        }
+        let text = s.render_text();
+        assert!(text.contains("test.a = 4"));
+        assert!(text.contains("p99="));
+        let json = s.to_json();
+        assert!(json.contains("\"test.a\": 4"));
+        assert!(json.contains("\"p50\":"));
+    }
+
+    #[test]
+    #[should_panic(expected = "another type")]
+    fn type_conflict_panics() {
+        let r = Registry::default();
+        r.counter("test.conflict");
+        r.gauge("test.conflict");
+    }
+}

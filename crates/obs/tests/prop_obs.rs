@@ -1,0 +1,125 @@
+//! Property tests for the histogram: percentile estimates against a
+//! sorted-vector oracle, and merge associativity/commutativity —
+//! merging per-thread histograms must behave like one histogram that
+//! saw every observation, in any merge order.
+
+use obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = u64> {
+    // Span several octaves plus the exact small-value range.
+    prop_oneof![0..16u64, 16..4096u64, 4096..10_000_000u64, Just(u64::MAX),]
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The estimate for quantile q must sit at or above the oracle
+    /// value (bucket upper bounds never round down) and within the
+    /// 12.5% relative-error bound of the log-linear bucketing.
+    #[test]
+    fn percentile_brackets_sorted_oracle(
+        mut values in prop::collection::vec(value_strategy(), 1..200),
+        qi in 0..101u32,
+    ) {
+        let q = qi as f64 / 100.0;
+        let snap = snapshot_of(&values);
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let oracle = values[rank - 1];
+
+        let est = snap.percentile(q);
+        prop_assert!(est >= oracle, "estimate {est} below oracle {oracle} at q={q}");
+        // Bucket width is at most oracle/8 (+1 covers integer truncation
+        // of the bound arithmetic at tiny values).
+        let bound = oracle.saturating_add(oracle / 8).saturating_add(1);
+        prop_assert!(
+            est <= bound.min(snap.max()),
+            "estimate {est} exceeds error bound {bound} (oracle {oracle}, q={q})"
+        );
+    }
+
+    /// min/max/sum/count/mean agree exactly with the oracle.
+    #[test]
+    fn moments_are_exact(values in prop::collection::vec(0..1_000_000u64, 1..200)) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(snap.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(snap.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(snap.max(), *values.iter().max().unwrap());
+        let mean = snap.sum() as f64 / snap.count() as f64;
+        prop_assert!((snap.mean() - mean).abs() < 1e-9);
+    }
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) == histogram of a ++ b ++ c, and
+    /// merge order never matters.
+    #[test]
+    fn merge_is_associative_and_matches_union(
+        a in prop::collection::vec(value_strategy(), 0..60),
+        b in prop::collection::vec(value_strategy(), 0..60),
+        c in prop::collection::vec(value_strategy(), 0..60),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+
+        let mut union: Vec<u64> = a.clone();
+        union.extend(&b);
+        union.extend(&c);
+        let oracle = snapshot_of(&union);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &oracle);
+    }
+
+    /// Merging an empty snapshot is the identity.
+    #[test]
+    fn empty_is_merge_identity(values in prop::collection::vec(value_strategy(), 0..60)) {
+        let s = snapshot_of(&values);
+        let mut merged = s.clone();
+        merged.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&merged, &s);
+
+        let mut other_way = HistogramSnapshot::empty();
+        other_way.merge(&s);
+        prop_assert_eq!(&other_way, &s);
+    }
+}
+
+/// Concurrent recording loses nothing: 8 threads × disjoint value
+/// streams, the final snapshot must equal the sequential union.
+#[test]
+fn concurrent_recording_is_lossless() {
+    const THREADS: u64 = 8;
+    const PER: u64 = 5_000;
+    let h = Histogram::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = &h;
+            scope.spawn(move || {
+                for i in 0..PER {
+                    h.record(t * 1_000_000 + i * 37);
+                }
+            });
+        }
+    });
+    let all: Vec<u64> = (0..THREADS)
+        .flat_map(|t| (0..PER).map(move |i| t * 1_000_000 + i * 37))
+        .collect();
+    assert_eq!(h.snapshot(), snapshot_of(&all));
+}

@@ -81,10 +81,30 @@ fn main() {
         "# STR reproduction: capacity={} queries={} seed={:#x} scale=1/{}",
         h.node_capacity, h.num_queries, h.seed, h.scale
     );
+    // Observability on for the whole run: the per-experiment progress
+    // lines below derive disk-access totals from the registry's
+    // physical I/O counters.
+    obs::set_enabled(true);
+    let counter = |snap: &obs::Snapshot, name: &str| -> u64 {
+        match snap.get(name) {
+            Some(obs::MetricValue::Counter(n)) => *n,
+            _ => 0,
+        }
+    };
     let mut failures = 0;
     for id in &targets {
         let start = Instant::now();
-        match experiments::run(id, &h, &out_dir) {
+        let before = obs::snapshot();
+        let result = experiments::run(id, &h, &out_dir);
+        let after = obs::snapshot();
+        // Progress to stderr so piping stdout still yields clean tables.
+        eprintln!(
+            "# {id}: {:.1}s wall, {} disk reads, {} disk writes",
+            start.elapsed().as_secs_f64(),
+            counter(&after, "disk.reads") - counter(&before, "disk.reads"),
+            counter(&after, "disk.writes") - counter(&before, "disk.writes"),
+        );
+        match result {
             Ok(tables) => {
                 for t in &tables {
                     // Figure point clouds are too large for the console;

@@ -7,9 +7,17 @@
 //! or entries silently lost.
 
 use geom::Rect;
+use obs::flight::EventKind;
+use obs::{LazyCounter, LazyHistogram};
 
 use crate::tree::Staging;
 use crate::{Entry, RTree, Result};
+
+/// Orphaned entries re-inserted by CondenseTree, and the distribution
+/// of the subtree levels they went back in at (0 = single data entry;
+/// higher = a whole orphaned subtree — the "re-insert depth").
+static REINSERTS: LazyCounter = LazyCounter::new("rtree.delete.reinserts");
+static REINSERT_LEVEL: LazyHistogram = LazyHistogram::new("rtree.delete.reinsert_level");
 
 /// Result of the recursive removal step.
 enum Outcome<const D: usize> {
@@ -80,6 +88,9 @@ impl<const D: usize> RTree<D> {
         // re-validated against the staged height each time.
         while let Some((level, entry)) = orphans.pop() {
             if level < st.height {
+                REINSERTS.inc();
+                REINSERT_LEVEL.record(u64::from(level));
+                obs::flight::record(EventKind::Reinsert, u64::from(level), entry.payload);
                 self.staged_insert_entry(st, entry, level)?;
             } else {
                 // The tree shrank below the orphan's level (can happen

@@ -24,11 +24,18 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use geom::{Point, Rect};
+use obs::{Histogram, HistogramSnapshot, LazyCounter, LazyHistogram};
 use parking_lot::Mutex;
 use storage::BufferStats;
 
 use crate::tree::RTree;
 use crate::Result;
+
+/// Mirrors of the batch-local accounting into the global registry, so a
+/// process-wide snapshot sees executor latency without holding on to
+/// every [`BatchReport`].
+static EXEC_BATCHES: LazyCounter = LazyCounter::new("executor.batches");
+static EXEC_QUERY_NS: LazyHistogram = LazyHistogram::new("executor.query_ns");
 
 /// One query in a batch.
 #[derive(Debug, Clone)]
@@ -54,6 +61,15 @@ pub struct BatchReport<const D: usize> {
     pub elapsed: Duration,
     /// Worker threads actually used.
     pub threads: usize,
+    /// Per-query latency distribution in nanoseconds, merged across
+    /// workers. Always collected: the cost is two clock reads per query,
+    /// dwarfed by the traversal itself.
+    pub latency: HistogramSnapshot,
+    /// Queries served by each worker (length == `threads`). Uneven
+    /// counts are expected — the atomic cursor balances *time*, not
+    /// query count — but a worker stuck at 0 on a large batch means a
+    /// scheduling problem.
+    pub per_thread_queries: Vec<u64>,
 }
 
 impl<const D: usize> BatchReport<D> {
@@ -133,15 +149,27 @@ impl<'t, const D: usize> QueryExecutor<'t, D> {
         let start = Instant::now();
 
         let mut results: Vec<Vec<(Rect<D>, u64)>> = Vec::new();
+        let latency;
+        let per_thread_queries;
         if threads == 1 {
+            let hist = Histogram::new();
             for q in queries {
+                let t0 = Instant::now();
                 results.push(self.run_one(q)?);
+                let ns = t0.elapsed().as_nanos() as u64;
+                hist.record(ns);
+                EXEC_QUERY_NS.record(ns);
             }
+            latency = hist.snapshot();
+            per_thread_queries = vec![queries.len() as u64];
         } else {
             results.resize(queries.len(), Vec::new());
             let cursor = AtomicUsize::new(0);
             let failure: Mutex<Option<crate::RTreeError>> = Mutex::new(None);
             let out = Mutex::new(&mut results);
+            // Per-worker accounting merged once at worker exit, like the
+            // result buffers: (merged latency, per-worker query counts).
+            let accounting = Mutex::new((HistogramSnapshot::empty(), Vec::new()));
             std::thread::scope(|scope| {
                 for _ in 0..threads {
                     scope.spawn(|| {
@@ -150,13 +178,22 @@ impl<'t, const D: usize> QueryExecutor<'t, D> {
                         // locally and merged once per worker, so the
                         // output mutex is uncontended in steady state.
                         let mut local: Vec<(usize, Vec<(Rect<D>, u64)>)> = Vec::new();
+                        let hist = Histogram::new();
+                        let mut served = 0u64;
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= queries.len() || failure.lock().is_some() {
                                 break;
                             }
+                            let t0 = Instant::now();
                             match self.run_one(&queries[i]) {
-                                Ok(hits) => local.push((i, hits)),
+                                Ok(hits) => {
+                                    let ns = t0.elapsed().as_nanos() as u64;
+                                    hist.record(ns);
+                                    EXEC_QUERY_NS.record(ns);
+                                    served += 1;
+                                    local.push((i, hits));
+                                }
                                 Err(e) => {
                                     *failure.lock() = Some(e);
                                     break;
@@ -167,19 +204,26 @@ impl<'t, const D: usize> QueryExecutor<'t, D> {
                         for (i, hits) in local {
                             out[i] = hits;
                         }
+                        let mut acc = accounting.lock();
+                        acc.0.merge(&hist.snapshot());
+                        acc.1.push(served);
                     });
                 }
             });
             if let Some(e) = failure.into_inner() {
                 return Err(e);
             }
+            (latency, per_thread_queries) = accounting.into_inner();
         }
 
+        EXEC_BATCHES.inc();
         Ok(BatchReport {
             results,
             stats: self.tree.pool().stats().since(&before),
             elapsed: start.elapsed(),
             threads,
+            latency,
+            per_thread_queries,
         })
     }
 
@@ -261,6 +305,34 @@ mod tests {
         // free.
         assert!(report.stats.hits + report.stats.misses > 0);
         assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn report_carries_latency_histogram_and_per_thread_counts() {
+        let tree = grid_tree(2_500);
+        let queries = mixed_queries(48);
+        for threads in [1usize, 4] {
+            let report = QueryExecutor::new(&tree)
+                .run_batch(&queries, threads)
+                .unwrap();
+            assert_eq!(
+                report.latency.count(),
+                48,
+                "{threads}: one sample per query"
+            );
+            assert_eq!(report.per_thread_queries.len(), threads);
+            assert_eq!(
+                report.per_thread_queries.iter().sum::<u64>(),
+                48,
+                "{threads}: every query attributed to exactly one worker"
+            );
+            // Percentiles are ordered and bounded by the recorded max.
+            let (p50, p99) = (
+                report.latency.percentile(0.50),
+                report.latency.percentile(0.99),
+            );
+            assert!(p50 <= p99 && p99 <= report.latency.max());
+        }
     }
 
     #[test]

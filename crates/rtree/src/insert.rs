@@ -7,10 +7,16 @@
 //! comparison.
 
 use geom::Rect;
+use obs::flight::EventKind;
+use obs::LazyCounter;
 use storage::PageId;
 
 use crate::tree::Staging;
 use crate::{Entry, Node, RTree, Result};
+
+/// Node splits staged across every tree in the process (root splits
+/// included — they stage an ordinary split first).
+static SPLITS: LazyCounter = LazyCounter::new("rtree.splits");
 
 impl<const D: usize> RTree<D> {
     /// Insert a data object with bounding rectangle `rect` and identifier
@@ -135,6 +141,8 @@ impl<const D: usize> RTree<D> {
                 entries: right,
             },
         );
+        SPLITS.inc();
+        obs::flight::record(EventKind::Split, page.index(), new_page.index());
         Ok(Entry::child(right_mbr, new_page))
     }
 }

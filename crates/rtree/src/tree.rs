@@ -1,13 +1,26 @@
 //! The tree object: metadata, node I/O, queries, traversal, validation.
 
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut};
 use geom::{Point, Rect};
+use obs::flight::EventKind;
+use obs::{LazyCounter, LazyHistogram};
 use storage::{BufferPool, PageId};
 
 use crate::{codec, Node, NodeCapacity, RTreeError, Result, SplitPolicy};
+
+// Traversal instrumentation (all gated on `obs::enabled()`; the hot
+// loop counts into locals and publishes once per query, so the cost
+// when enabled is a handful of atomics per *query*, not per node).
+static QUERIES: LazyCounter = LazyCounter::new("rtree.queries");
+static NODES_VISITED: LazyHistogram = LazyHistogram::new("rtree.query.nodes_visited");
+static LEAF_TOUCHES: LazyCounter = LazyCounter::new("rtree.query.leaf_touches");
+static INTERNAL_TOUCHES: LazyCounter = LazyCounter::new("rtree.query.internal_touches");
+/// Ordinal linking each query's start/end flight events.
+static QUERY_SEQ: AtomicU64 = AtomicU64::new(0);
 
 const META_MAGIC: u32 = u32::from_le_bytes(*b"RTM1");
 
@@ -395,6 +408,13 @@ impl<const D: usize> RTree<D> {
                     self.abandon_staging(st);
                 } else {
                     self.poisoned = true;
+                    // Leave the poisoning itself on the record, then
+                    // dump everything leading up to it: this is the
+                    // moment the recent-event window is worth keeping.
+                    obs::flight::record(EventKind::TreePoisoned, self.root.index(), 0);
+                    if obs::enabled() {
+                        obs::flight::dump_to_stderr("tree poisoned mid-commit");
+                    }
                 }
                 return Err(e);
             }
@@ -431,9 +451,25 @@ impl<const D: usize> RTree<D> {
         query: &Rect<D>,
         visit: &mut impl FnMut(Rect<D>, u64),
     ) -> Result<()> {
+        // One flag check per query; when off, the traversal below is
+        // byte-identical to the uninstrumented loop (locals only).
+        let track = obs::enabled();
+        let ordinal = if track {
+            let ordinal = QUERY_SEQ.fetch_add(1, Ordering::Relaxed);
+            obs::flight::record(EventKind::QueryStart, ordinal, 0);
+            ordinal
+        } else {
+            0
+        };
+        let mut nodes = 0u64;
+        let mut leaves = 0u64;
         let mut stack = vec![self.root];
         while let Some(page) = stack.pop() {
             self.with_view(page, |node| {
+                if track {
+                    nodes += 1;
+                    leaves += u64::from(node.is_leaf());
+                }
                 if node.is_leaf() {
                     for i in 0..node.len() {
                         let rect = node.rect(i);
@@ -449,6 +485,13 @@ impl<const D: usize> RTree<D> {
                     }
                 }
             })?;
+        }
+        if track {
+            QUERIES.inc();
+            NODES_VISITED.record(nodes);
+            LEAF_TOUCHES.add(leaves);
+            INTERNAL_TOUCHES.add(nodes - leaves);
+            obs::flight::record(EventKind::QueryEnd, ordinal, nodes);
         }
         Ok(())
     }

@@ -1,0 +1,124 @@
+//! Acceptance: the flight recorder captures the events *leading up to*
+//! a poisoned tree.
+//!
+//! A dynamic tree runs over a `FaultDisk` with a tiny buffer pool, so
+//! commit-phase writes force dirty evictions (physical writes) that an
+//! armed write-fault schedule can hit. Sooner or later a fault lands
+//! after a commit has already applied at least one page — the one
+//! unrecoverable spot in the staged-mutation protocol — and the tree
+//! poisons. The global flight recorder must then hold the whole story:
+//! page traffic and evictions, the injected `fault_fired`, and the
+//! final `tree_poisoned`, in ticket order.
+//!
+//! Lives in its own integration-test binary on purpose: the recorder
+//! and the `obs` enable flag are process-global.
+
+use std::sync::Arc;
+
+use geom::Rect;
+use obs::flight::EventKind;
+use rtree::{NodeCapacity, RTree, RTreeError};
+use storage::{BufferPool, Disk, FaultDisk, FaultKind, FaultOp, FaultSpec, MemDisk, Trigger};
+
+fn square(x: f64, y: f64, s: f64) -> Rect<2> {
+    Rect::new([x, y], [x + s, y + s])
+}
+
+#[test]
+fn flight_recorder_captures_run_up_to_poisoning() {
+    obs::set_enabled(true);
+
+    let mem: Arc<dyn Disk> = Arc::new(MemDisk::default_size());
+    let faulted = Arc::new(FaultDisk::new(mem));
+    faulted.set_armed(false);
+
+    // Four frames against a tree of hundreds of pages: nearly every
+    // commit write misses and must evict a dirty frame, i.e. becomes a
+    // physical write the fault schedule can intercept.
+    let pool = Arc::new(BufferPool::new(faulted.clone() as Arc<dyn Disk>, 4));
+    let mut tree = RTree::<2>::create(pool, NodeCapacity::new(4).unwrap()).unwrap();
+
+    // Grow a multi-level tree while the disk is still healthy.
+    for i in 0..400u64 {
+        let x = (i % 20) as f64 / 20.0;
+        let y = (i / 20) as f64 / 20.0;
+        tree.insert(square(x, y, 0.01), i).unwrap();
+    }
+    assert!(
+        tree.height() >= 3,
+        "need a deep tree for multi-write commits"
+    );
+
+    // Every 3rd physical write now errors. Failures at the first commit
+    // write abandon cleanly (no poison) — keep inserting until one lands
+    // after a write has already been applied.
+    faulted.push(FaultSpec {
+        op: FaultOp::Write,
+        kind: FaultKind::Error,
+        trigger: Trigger::EveryNth(3),
+    });
+    faulted.set_armed(true);
+
+    let mut attempts = 0u64;
+    while !tree.is_poisoned() {
+        attempts += 1;
+        assert!(
+            attempts < 20_000,
+            "fault schedule never produced a mid-commit failure"
+        );
+        let i = 400 + attempts;
+        let x = ((i * 7) % 20) as f64 / 20.0;
+        let y = ((i * 13) % 20) as f64 / 20.0;
+        let _ = tree.insert(square(x, y, 0.01), i);
+    }
+    assert!(faulted.total_fired() > 0);
+    assert!(matches!(
+        tree.insert(square(0.5, 0.5, 0.01), u64::MAX),
+        Err(RTreeError::Poisoned)
+    ));
+
+    // The recorder must tell the whole story, in order.
+    let events = obs::flight::global().dump();
+    let poison_ticket = events
+        .iter()
+        .find(|e| e.kind == EventKind::TreePoisoned)
+        .expect("poisoning must be on the record")
+        .ticket;
+    let last_fault = events
+        .iter()
+        .filter(|e| e.kind == EventKind::FaultFired)
+        .last()
+        .expect("the injected fault must be on the record");
+    assert_eq!(last_fault.a, 1, "fired on a write");
+    assert_eq!(last_fault.b, 0, "FaultKind::Error ordinal");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == EventKind::FaultFired && e.ticket < poison_ticket),
+        "a fault firing must precede the poisoning on the record"
+    );
+    // The run-up traffic is there too: the tiny pool guarantees reads,
+    // writebacks and evictions shortly before the poisoning.
+    for kind in [
+        EventKind::PageRead,
+        EventKind::PageWrite,
+        EventKind::Eviction,
+    ] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == kind && e.ticket < poison_ticket),
+            "expected {} before the poisoning",
+            kind.name()
+        );
+    }
+    // Tickets come back sorted — the dump is a coherent timeline.
+    assert!(events.windows(2).all(|w| w[0].ticket < w[1].ticket));
+
+    // The registry agrees with the recorder.
+    let snap = obs::snapshot();
+    match snap.get("fault.fired") {
+        Some(obs::MetricValue::Counter(n)) => assert!(*n >= 1),
+        other => panic!("fault.fired missing or mistyped: {other:?}"),
+    }
+}

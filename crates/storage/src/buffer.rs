@@ -39,10 +39,25 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
+use obs::flight::EventKind;
+use obs::{LazyCounter, LazyHistogram};
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
 use crate::{Disk, PageId, Result, StorageError};
+
+// Registry mirrors of the pool counters, process-global (summed over
+// every pool in the process when several exist), plus the wait-time
+// distribution of coalesced readers. The per-pool `BufferStats`
+// atomics stay the source of truth for experiments; these exist so
+// `--metrics` output and the flight recorder tell one coherent story.
+static OBS_HITS: LazyCounter = LazyCounter::new("buffer.hits");
+static OBS_MISSES: LazyCounter = LazyCounter::new("buffer.misses");
+static OBS_EVICTIONS: LazyCounter = LazyCounter::new("buffer.evictions");
+static OBS_WRITEBACKS: LazyCounter = LazyCounter::new("buffer.writebacks");
+static OBS_COALESCED: LazyCounter = LazyCounter::new("buffer.coalesced");
+static PIN_WAIT_NS: LazyHistogram = LazyHistogram::new("buffer.pin_wait_ns");
 
 /// Snapshot of buffer-pool counters. All counters are cumulative; diff two
 /// snapshots to attribute activity to a phase (e.g. one query).
@@ -58,6 +73,9 @@ pub struct BufferStats {
     pub evictions: u64,
     /// Dirty evictions that forced a write-back.
     pub writebacks: u64,
+    /// The subset of `hits` that waited for another thread's in-flight
+    /// read of the same page instead of being resident outright.
+    pub coalesced: u64,
 }
 
 impl BufferStats {
@@ -68,7 +86,17 @@ impl BufferStats {
             misses: self.misses - earlier.misses,
             evictions: self.evictions - earlier.evictions,
             writebacks: self.writebacks - earlier.writebacks,
+            coalesced: self.coalesced - earlier.coalesced,
         }
+    }
+
+    /// Counter-wise sum, for folding per-shard snapshots into a total.
+    pub fn merge(&mut self, other: &BufferStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.coalesced += other.coalesced;
     }
 
     /// Hit rate in [0, 1]; 0 for an untouched pool.
@@ -90,6 +118,7 @@ struct ShardStats {
     misses: AtomicU64,
     evictions: AtomicU64,
     writebacks: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl ShardStats {
@@ -99,14 +128,24 @@ impl ShardStats {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             writebacks: self.writebacks.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
 
-    fn reset(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
-        self.writebacks.store(0, Ordering::Relaxed);
+    /// Atomically read-and-zero every counter. Each counter is swapped
+    /// individually, so an increment racing the take lands in exactly
+    /// one of {returned snapshot, post-reset counter} — never both,
+    /// never neither. A plain `store(0)` reset silently discards any
+    /// increment that lands between the read and the store, breaking
+    /// `misses == physical reads` under traffic.
+    fn take(&self) -> BufferStats {
+        BufferStats {
+            hits: self.hits.swap(0, Ordering::Relaxed),
+            misses: self.misses.swap(0, Ordering::Relaxed),
+            evictions: self.evictions.swap(0, Ordering::Relaxed),
+            writebacks: self.writebacks.swap(0, Ordering::Relaxed),
+            coalesced: self.coalesced.swap(0, Ordering::Relaxed),
+        }
     }
 }
 
@@ -346,11 +385,7 @@ impl ShardedBufferPool {
     pub fn stats(&self) -> BufferStats {
         let mut total = BufferStats::default();
         for s in self.shards.iter() {
-            let snap = s.stats.snapshot();
-            total.hits += snap.hits;
-            total.misses += snap.misses;
-            total.evictions += snap.evictions;
-            total.writebacks += snap.writebacks;
+            total.merge(&s.stats.snapshot());
         }
         total
     }
@@ -360,12 +395,31 @@ impl ShardedBufferPool {
         self.shards[i].stats.snapshot()
     }
 
-    /// Reset counters to zero (the resident set is left alone). Used
-    /// between the build phase and the measured query phase. Lock-free.
-    pub fn reset_stats(&self) {
+    /// Counters of every shard, in shard order. The element-wise sum
+    /// equals [`stats`](Self::stats) (up to concurrent traffic between
+    /// the two calls); use it to see skew across shards.
+    pub fn per_shard_stats(&self) -> Vec<BufferStats> {
+        self.shards.iter().map(|s| s.stats.snapshot()).collect()
+    }
+
+    /// Atomically read-and-zero the counters, returning the pre-reset
+    /// totals. Increments racing the take land either in the returned
+    /// snapshot or in the fresh counters — none are lost, so invariants
+    /// like `misses == physical reads` hold across the boundary (sum of
+    /// takes + current stats == all-time totals). Lock-free.
+    pub fn take_stats(&self) -> BufferStats {
+        let mut total = BufferStats::default();
         for s in self.shards.iter() {
-            s.stats.reset();
+            total.merge(&s.stats.take());
         }
+        total
+    }
+
+    /// Reset counters to zero (the resident set is left alone). Used
+    /// between the build phase and the measured query phase. Lock-free;
+    /// equivalent to discarding [`take_stats`](Self::take_stats).
+    pub fn reset_stats(&self) {
+        let _ = self.take_stats();
     }
 
     // ---- page access --------------------------------------------------
@@ -613,14 +667,35 @@ impl ShardedBufferPool {
     ) -> Result<(&Shard, MutexGuard<'_, ShardInner>, usize)> {
         let shard = self.shard_of(id);
         let mut inner = shard.inner.lock();
+        // Whether this request parked on the condvar behind another
+        // thread's in-flight read of the same page; the timer (taken
+        // only when observability is on) measures that wait.
+        let mut waited = false;
+        let mut wait_start: Option<Instant> = None;
         loop {
             if let Some(&idx) = inner.map.get(&id) {
                 shard.stats.hits.fetch_add(1, Ordering::Relaxed);
+                OBS_HITS.inc();
+                if waited {
+                    // Served from memory after riding another thread's
+                    // read: a hit, and specifically a coalesced one.
+                    shard.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                    OBS_COALESCED.inc();
+                    if let Some(t0) = wait_start {
+                        PIN_WAIT_NS.record(t0.elapsed().as_nanos() as u64);
+                    }
+                }
                 inner.touch(idx);
                 return Ok((shard, inner, idx));
             }
             if inner.inflight.contains(&id) {
                 // Coalesce: someone is already fetching this page.
+                if !waited {
+                    waited = true;
+                    if obs::enabled() {
+                        wait_start = Some(Instant::now());
+                    }
+                }
                 shard.cv.wait(&mut inner);
                 continue;
             }
@@ -693,6 +768,7 @@ impl ShardedBufferPool {
         }
         let victim = inner.victim().ok_or(StorageError::AllFramesPinned)?;
         let old = inner.frames[victim].page;
+        let was_dirty = inner.frames[victim].dirty;
         if inner.frames[victim].dirty {
             // "When a node is pushed out of the buffer the node is
             // immediately written to disk" (§3). Write back before
@@ -706,8 +782,12 @@ impl ShardedBufferPool {
             }
             inner.frames[victim].dirty = false;
             shard.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+            OBS_WRITEBACKS.inc();
+            obs::flight::record(EventKind::Writeback, old.index(), 0);
         }
         shard.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        OBS_EVICTIONS.inc();
+        obs::flight::record(EventKind::Eviction, old.index(), u64::from(was_dirty));
         inner.map.remove(&old);
         inner.detach(victim);
         Ok(victim)
@@ -723,6 +803,7 @@ impl ShardedBufferPool {
         id: PageId,
     ) {
         shard.stats.misses.fetch_add(1, Ordering::Relaxed);
+        OBS_MISSES.inc();
         inner.frames[idx].page = id;
         inner.frames[idx].dirty = false;
         inner.frames[idx].pins = 0;
@@ -873,9 +954,46 @@ mod tests {
                 hits: 1,
                 misses: 1,
                 evictions: 0,
-                writebacks: 0
+                writebacks: 0,
+                coalesced: 0
             }
         );
+    }
+
+    #[test]
+    fn per_shard_stats_sum_to_aggregate() {
+        let (_d, pool) = sharded_setup(8, 4, 32);
+        for round in 0..3u64 {
+            for i in 0..32u64 {
+                if round == 0 {
+                    pool.with_page_mut(PageId(i), |d| d[0] = 1).unwrap();
+                } else {
+                    pool.with_page(PageId(i % 7), |_| {}).unwrap();
+                }
+            }
+        }
+        let per = pool.per_shard_stats();
+        assert_eq!(per.len(), pool.shard_count());
+        let mut sum = BufferStats::default();
+        for s in &per {
+            sum.merge(s);
+        }
+        assert_eq!(sum, pool.stats(), "shard totals drifted from aggregate");
+        assert!(sum.hits + sum.misses == 96);
+    }
+
+    #[test]
+    fn take_stats_returns_pre_reset_totals() {
+        let (_d, pool) = setup(2, 2);
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        pool.with_page(PageId(0), |_| {}).unwrap();
+        let taken = pool.take_stats();
+        assert_eq!(taken.hits, 1);
+        assert_eq!(taken.misses, 1);
+        assert_eq!(pool.stats(), BufferStats::default());
+        // Post-take traffic accumulates from zero.
+        pool.with_page(PageId(1), |_| {}).unwrap();
+        assert_eq!(pool.stats().misses, 1);
     }
 
     #[test]

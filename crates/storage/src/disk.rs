@@ -11,9 +11,44 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use obs::flight::EventKind;
+use obs::{LazyCounter, LazyHistogram};
 use parking_lot::Mutex;
 
 use crate::{PageId, Result, StorageError};
+
+// Instrumentation (see DESIGN.md §Observability). Latency histograms
+// are per `Disk` impl — wrappers like `LatencyDisk` time their whole
+// call including the inner disk, so the names must stay distinct to be
+// interpretable. The totals counters and flight-recorder events are
+// recorded only by the terminal impls (`MemDisk`, `FileDisk`) so a
+// stack of wrappers counts each physical access exactly once.
+static DISK_READS: LazyCounter = LazyCounter::new("disk.reads");
+static DISK_WRITES: LazyCounter = LazyCounter::new("disk.writes");
+static READ_BYTES: LazyHistogram = LazyHistogram::new("disk.read_bytes");
+static WRITE_BYTES: LazyHistogram = LazyHistogram::new("disk.write_bytes");
+static MEM_READ_NS: LazyHistogram = LazyHistogram::new("disk.mem.read_ns");
+static MEM_WRITE_NS: LazyHistogram = LazyHistogram::new("disk.mem.write_ns");
+static FILE_READ_NS: LazyHistogram = LazyHistogram::new("disk.file.read_ns");
+static FILE_WRITE_NS: LazyHistogram = LazyHistogram::new("disk.file.write_ns");
+static LATENCY_READ_NS: LazyHistogram = LazyHistogram::new("disk.latency.read_ns");
+
+/// Shared by the terminal disk impls: totals, byte histogram, and the
+/// flight-recorder event for one successful physical read.
+fn observe_physical_read(id: PageId, bytes: usize) {
+    DISK_READS.inc();
+    READ_BYTES.record(bytes as u64);
+    obs::flight::record(EventKind::PageRead, id.index(), bytes as u64);
+}
+
+/// Totals, byte histogram, and flight event for `n` physical pages
+/// written starting at `id` (batch writes count per page, matching
+/// `IoStats` accounting).
+fn observe_physical_write(id: PageId, bytes: usize, n: u64) {
+    DISK_WRITES.add(n);
+    WRITE_BYTES.record(bytes as u64);
+    obs::flight::record(EventKind::PageWrite, id.index(), bytes as u64);
+}
 
 /// Cumulative I/O counters for a disk. All counters are monotonically
 /// increasing; snapshot before/after a phase and subtract.
@@ -165,20 +200,24 @@ impl Disk for MemDisk {
     }
 
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        let _span = MEM_READ_NS.start();
         check_len(self.page_size, buf.len())?;
         let pages = self.pages.lock();
         check_bounds(id, pages.len() as u64)?;
         buf.copy_from_slice(&pages[id.index() as usize]);
         self.stats.record_read();
+        observe_physical_read(id, buf.len());
         Ok(())
     }
 
     fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
+        let _span = MEM_WRITE_NS.start();
         check_len(self.page_size, buf.len())?;
         let mut pages = self.pages.lock();
         check_bounds(id, pages.len() as u64)?;
         pages[id.index() as usize].copy_from_slice(buf);
         self.stats.record_write();
+        observe_physical_write(id, buf.len(), 1);
         Ok(())
     }
 
@@ -199,6 +238,7 @@ impl Disk for MemDisk {
         }
         // One write per page, same as n write_page calls would count.
         self.stats.record_writes(n);
+        observe_physical_write(first, buf.len(), n);
         Ok(())
     }
 
@@ -282,21 +322,25 @@ impl Disk for FileDisk {
 
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
         use std::os::unix::fs::FileExt;
+        let _span = FILE_READ_NS.start();
         check_len(self.page_size, buf.len())?;
         check_bounds(id, self.num_pages())?;
         self.file
             .read_exact_at(buf, id.index() * self.page_size as u64)?;
         self.stats.record_read();
+        observe_physical_read(id, buf.len());
         Ok(())
     }
 
     fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
         use std::os::unix::fs::FileExt;
+        let _span = FILE_WRITE_NS.start();
         check_len(self.page_size, buf.len())?;
         check_bounds(id, self.num_pages())?;
         self.file
             .write_all_at(buf, id.index() * self.page_size as u64)?;
         self.stats.record_write();
+        observe_physical_write(id, buf.len(), 1);
         Ok(())
     }
 
@@ -314,8 +358,10 @@ impl Disk for FileDisk {
         check_bounds(PageId(first.index() + n - 1), self.num_pages())?;
         // One positioned syscall for the whole run — this is the point of
         // batching on a real device.
+        let _span = FILE_WRITE_NS.start();
         self.file.write_all_at(buf, first.index() * ps as u64)?;
         self.stats.record_writes(n);
+        observe_physical_write(first, buf.len(), n);
         Ok(())
     }
 
@@ -376,6 +422,9 @@ impl Disk for LatencyDisk {
     }
 
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        // Times the full call (inner read + simulated seek), under its
+        // own metric name so it never double-counts the inner disk's.
+        let _span = LATENCY_READ_NS.start();
         self.inner.read_page(id, buf)?;
         if !self.read_latency.is_zero() {
             std::thread::sleep(self.read_latency);

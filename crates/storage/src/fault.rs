@@ -30,9 +30,15 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use obs::flight::EventKind;
+use obs::LazyCounter;
 use parking_lot::Mutex;
 
 use crate::{Disk, IoStats, PageId, Result, StorageError};
+
+/// Total injected faults fired, across every [`FaultDisk`] in the
+/// process (the per-disk [`FaultDisk::fired`] counters stay exact).
+static FAULTS_FIRED: LazyCounter = LazyCounter::new("fault.fired");
 
 /// Which operations a fault applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +72,17 @@ pub enum FaultKind {
     },
     /// Fail this and every subsequent operation (fail-stop).
     Crash,
+}
+
+/// Stable ordinal used as the flight-recorder payload for a fired
+/// fault: 0 error, 1 torn, 2 bit-flip, 3 crash.
+fn fault_kind_ordinal(kind: FaultKind) -> u64 {
+    match kind {
+        FaultKind::Error => 0,
+        FaultKind::Torn { .. } => 1,
+        FaultKind::BitFlip { .. } => 2,
+        FaultKind::Crash => 3,
+    }
 }
 
 /// When a fault fires, counted over operations matching its [`FaultOp`].
@@ -282,6 +299,15 @@ impl FaultDisk {
             if matches!(s.spec.kind, FaultKind::Crash) {
                 self.crashed.store(true, Ordering::SeqCst);
             }
+            // This is the single site where any fault fires: leave the
+            // evidence in the flight recorder so a later poisoned tree
+            // can be traced back to the exact injected failure.
+            FAULTS_FIRED.inc();
+            obs::flight::record(
+                EventKind::FaultFired,
+                if s.spec.op == FaultOp::Read { 0 } else { 1 },
+                fault_kind_ordinal(s.spec.kind),
+            );
             return Some(s.spec.kind);
         }
         None

@@ -198,6 +198,60 @@ fn multi_shard_stress_preserves_data_and_counters() {
     }
 }
 
+/// Regression test for reset semantics under concurrency: `reset` via
+/// [`take_stats`] must snapshot-and-zero without losing increments, so
+/// the paper's measurement identity `misses == physical reads` holds
+/// exactly when the taken snapshots are summed with the residue — even
+/// with resets racing live traffic. (The old `store(0)` reset silently
+/// wiped any increment landing between its read and its store.)
+///
+/// [`take_stats`]: ShardedBufferPool::take_stats
+#[test]
+fn take_stats_loses_no_counts_under_traffic() {
+    const THREADS: u64 = 4;
+    const OPS: u64 = 3_000;
+    const PAGES: u64 = 64;
+
+    let mem = mem_disk_with(PAGES as usize, 64);
+    let pool = Arc::new(ShardedBufferPool::for_threads(
+        mem.clone() as Arc<dyn Disk>,
+        8,
+        THREADS as usize,
+    ));
+
+    let mut taken_total = storage::BufferStats::default();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let pool = &pool;
+            scope.spawn(move || {
+                let mut x = t * 13 + 1;
+                for _ in 0..OPS {
+                    x = (x * 29 + 7) % PAGES;
+                    pool.with_page(PageId(x), |_| {}).unwrap();
+                }
+            });
+        }
+        // Concurrently harvest the counters many times mid-flight.
+        for _ in 0..50 {
+            taken_total.merge(&pool.take_stats());
+        }
+    });
+    taken_total.merge(&pool.take_stats());
+
+    // No request lost: every access was a hit or a miss, and every miss
+    // is exactly one physical disk read.
+    assert_eq!(
+        taken_total.hits + taken_total.misses,
+        THREADS * OPS,
+        "requests lost across concurrent take_stats"
+    );
+    assert_eq!(
+        taken_total.misses,
+        mem.stats().reads(),
+        "misses drifted from physical reads across resets"
+    );
+}
+
 /// `stats()` / `reset_stats()` run lock-free while other threads hammer
 /// the pool; totals must stay internally consistent (hits + misses never
 /// exceeds requests issued so far, and reset leaves no negative deltas).

@@ -82,8 +82,22 @@ pub struct Sample {
     pub min_ns: f64,
     /// Slowest observed sample, ns/iter.
     pub max_ns: f64,
+    /// 50th percentile of the timed samples, ns/iter (nearest-rank).
+    pub p50_ns: f64,
+    /// 90th percentile of the timed samples, ns/iter (nearest-rank).
+    pub p90_ns: f64,
+    /// 99th percentile of the timed samples, ns/iter (nearest-rank; on
+    /// the usual 10–20 samples this is the slowest or second-slowest).
+    pub p99_ns: f64,
     /// Derived throughput (elem/s or byte/s), if a throughput was set.
     pub throughput_per_sec: Option<f64>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Top-level harness state.
@@ -240,6 +254,9 @@ impl BenchmarkGroup<'_> {
         let median_ns = per_iter_ns[per_iter_ns.len() / 2];
         let min_ns = per_iter_ns[0];
         let max_ns = *per_iter_ns.last().unwrap();
+        let p50_ns = percentile_sorted(&per_iter_ns, 0.50);
+        let p90_ns = percentile_sorted(&per_iter_ns, 0.90);
+        let p99_ns = percentile_sorted(&per_iter_ns, 0.99);
 
         let throughput_per_sec = self.throughput.map(|t| {
             let units = match t {
@@ -264,6 +281,9 @@ impl BenchmarkGroup<'_> {
             median_ns,
             min_ns,
             max_ns,
+            p50_ns,
+            p90_ns,
+            p99_ns,
             throughput_per_sec,
         });
     }
@@ -341,6 +361,19 @@ mod tests {
         assert_eq!(s.label, "t/sum");
         assert!(s.median_ns > 0.0);
         assert!(s.throughput_per_sec.unwrap() > 0.0);
+        // Percentiles bracket the sample spread and stay ordered.
+        assert!(s.min_ns <= s.p50_ns);
+        assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        assert_eq!(percentile_sorted(&v, 0.50), 5.0);
+        assert_eq!(percentile_sorted(&v, 0.90), 9.0);
+        assert_eq!(percentile_sorted(&v, 0.99), 10.0);
+        assert_eq!(percentile_sorted(&[7.5], 0.50), 7.5);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Offline shim for `tracing`.
+//!
+//! Provides the leveled event macros (`error!` … `trace!`) as plain
+//! formatted writes to stderr, gated by a process-global max level.
+//! Only what the workspace uses is provided: no spans, no subscribers,
+//! no structured fields — callers format their payload with the usual
+//! `format!` syntax. The default level is `Warn` so that rare,
+//! load-bearing diagnostics (e.g. a flight-recorder dump when a tree
+//! poisons) are visible without configuration, while `info!` and below
+//! stay silent unless explicitly enabled.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Event severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-loss conditions.
+    Error = 1,
+    /// Surprising but survivable conditions (default max level).
+    Warn = 2,
+    /// High-level progress notes.
+    Info = 3,
+    /// Detailed diagnostics.
+    Debug = 4,
+    /// Firehose.
+    Trace = 5,
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+/// Set the most verbose level that will be emitted.
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The most verbose level currently emitted.
+pub fn max_level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        4 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+/// Whether an event at `level` would currently be emitted.
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+#[doc(hidden)]
+pub fn __emit(level: Level, args: std::fmt::Arguments<'_>) {
+    if enabled(level) {
+        let tag = match level {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        };
+        eprintln!("[{tag}] {args}");
+    }
+}
+
+/// Emit an [`Level::Error`] event.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => { $crate::__emit($crate::Level::Error, format_args!($($arg)*)) };
+}
+
+/// Emit a [`Level::Warn`] event.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => { $crate::__emit($crate::Level::Warn, format_args!($($arg)*)) };
+}
+
+/// Emit a [`Level::Info`] event.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => { $crate::__emit($crate::Level::Info, format_args!($($arg)*)) };
+}
+
+/// Emit a [`Level::Debug`] event.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => { $crate::__emit($crate::Level::Debug, format_args!($($arg)*)) };
+}
+
+/// Emit a [`Level::Trace`] event.
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => { $crate::__emit($crate::Level::Trace, format_args!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_level_is_warn() {
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+    }
+
+    #[test]
+    fn level_ordering_matches_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn macros_compile_with_format_args() {
+        // Nothing to assert beyond "does not panic": output goes to
+        // stderr. Trace is off by default, so this line is free.
+        trace!("value = {}", 42);
+    }
+}
