@@ -34,13 +34,14 @@ pub fn parse_packer(name: &str) -> CliResult<Box<dyn PackingOrder<2>>> {
     }
 }
 
-/// Open an existing index file behind a buffer of `buffer` pages.
-pub fn open_index(path: &Path, buffer: usize) -> CliResult<RTree<2>> {
+/// Open one named tree of an existing index file behind a buffer of
+/// `buffer` pages.
+pub fn open_index(path: &Path, buffer: usize, tree: &str) -> CliResult<RTree<2>> {
     let disk = Arc::new(
         FileDisk::open(path, DEFAULT_PAGE_SIZE).map_err(|e| format!("{}: {e}", path.display()))?,
     );
     let pool = Arc::new(BufferPool::new(disk, buffer.max(1)));
-    RTree::open(pool).map_err(|e| format!("{}: {e}", path.display()))
+    RTree::open_named(pool, tree).map_err(|e| format!("{}: {e}", path.display()))
 }
 
 /// `build`: pack a CSV of rectangles into an index file.
@@ -48,12 +49,18 @@ pub fn open_index(path: &Path, buffer: usize) -> CliResult<RTree<2>> {
 /// `external_budget` > 0 switches STR to the out-of-core pipeline with
 /// that many records of sort memory (ignored for other packers, which
 /// have no streaming formulation).
+///
+/// With `tree: Some(name)` the pack targets that catalog entry: if
+/// `output` already exists it is opened (not truncated), so several
+/// named trees can be packed into one file. Without `--tree` the file
+/// is created from scratch and the tree lands under the default name.
 pub fn build(
     input: &Path,
     output: &Path,
     packer_name: &str,
     capacity: usize,
     external_budget: usize,
+    tree: Option<&str>,
 ) -> CliResult<String> {
     let items = csvio::read_items(input)?;
     if items.is_empty() {
@@ -62,27 +69,64 @@ pub fn build(
     let packer = parse_packer(packer_name)?;
     let cap = NodeCapacity::new(capacity)
         .ok_or_else(|| format!("invalid capacity {capacity} (need >= 2)"))?;
-    let disk = Arc::new(
+    let name = tree.unwrap_or(rtree::DEFAULT_TREE);
+    let disk = Arc::new(if tree.is_some() && output.exists() {
+        FileDisk::open(output, DEFAULT_PAGE_SIZE)
+            .map_err(|e| format!("{}: {e}", output.display()))?
+    } else {
         FileDisk::create(output, DEFAULT_PAGE_SIZE)
-            .map_err(|e| format!("{}: {e}", output.display()))?,
-    );
+            .map_err(|e| format!("{}: {e}", output.display()))?
+    });
     let pool = Arc::new(BufferPool::new(disk, 1024));
     let n = items.len();
-    let tree = if external_budget > 0 && packer_name.starts_with("str") {
+    let mut tree = if external_budget > 0 && packer_name.starts_with("str") {
         let scratch = Arc::new(storage::MemDisk::default_size());
-        str_core::pack_str_external(pool, scratch, items, cap, external_budget)
+        str_core::pack_str_external_named(pool, name, scratch, items, cap, external_budget)
             .map_err(|e| e.to_string())?
     } else {
-        str_core::pack(pool, items, cap, packer.as_ref()).map_err(|e| e.to_string())?
+        str_core::pack_named(pool, name, items, cap, packer.as_ref()).map_err(|e| e.to_string())?
     };
     tree.persist().map_err(|e| e.to_string())?;
     Ok(format!(
-        "packed {n} rectangles with {} into {} ({} levels, {} pages)",
+        "packed {n} rectangles with {} into {} tree '{name}' ({} levels, {} pages)",
         packer.name(),
         output.display(),
         tree.height(),
         tree.node_count().map_err(|e| e.to_string())?
     ))
+}
+
+/// `trees`: list every named tree in the file's catalog.
+pub fn trees(index: &Path) -> CliResult<String> {
+    let disk: Arc<dyn storage::Disk> = Arc::new(
+        FileDisk::open(index, DEFAULT_PAGE_SIZE)
+            .map_err(|e| format!("{}: {e}", index.display()))?,
+    );
+    let alloc = storage::PageAllocator::open(disk.clone())
+        .map_err(|e| format!("{}: {e}", index.display()))?;
+    let mut out = format!(
+        "{:<24} {:<8} {:>4} {:>8} {:>10} {:>7}\n",
+        "tree", "kind", "dims", "capacity", "entries", "height"
+    );
+    for entry in alloc.trees() {
+        let meta = rtree::read_tree_meta(disk.as_ref(), &alloc, &entry.name)
+            .map_err(|e| format!("{}: tree '{}': {e}", index.display(), entry.name))?;
+        out.push_str(&format!(
+            "{:<24} {:<8} {:>4} {:>8} {:>10} {:>7}\n",
+            entry.name,
+            rtree::kind_name(meta.kind),
+            meta.dims,
+            meta.cap_max,
+            meta.len,
+            meta.height
+        ));
+    }
+    out.push_str(&format!(
+        "{} tree(s), {} free page(s)\n",
+        alloc.trees().len(),
+        alloc.free_count()
+    ));
+    Ok(out)
 }
 
 /// `gen`: generate a named data set as CSV.
@@ -108,8 +152,13 @@ pub fn generate(dataset: &str, n: usize, seed: u64, output: &Path) -> CliResult<
 }
 
 /// `query`: region query with I/O accounting.
-pub fn query_region(index: &Path, region: geom::Rect2, buffer: usize) -> CliResult<String> {
-    let tree = open_index(index, buffer)?;
+pub fn query_region(
+    index: &Path,
+    region: geom::Rect2,
+    buffer: usize,
+    tree_name: &str,
+) -> CliResult<String> {
+    let tree = open_index(index, buffer, tree_name)?;
     let before = tree.pool().stats();
     let hits = tree.query_region(&region).map_err(|e| e.to_string())?;
     let io = tree.pool().stats().since(&before);
@@ -133,8 +182,14 @@ pub fn query_region(index: &Path, region: geom::Rect2, buffer: usize) -> CliResu
 }
 
 /// `knn`: k nearest neighbours of a point.
-pub fn knn(index: &Path, at: geom::Point2, k: usize, buffer: usize) -> CliResult<String> {
-    let tree = open_index(index, buffer)?;
+pub fn knn(
+    index: &Path,
+    at: geom::Point2,
+    k: usize,
+    buffer: usize,
+    tree_name: &str,
+) -> CliResult<String> {
+    let tree = open_index(index, buffer, tree_name)?;
     let nn = tree.nearest(&at, k).map_err(|e| e.to_string())?;
     let mut out = String::new();
     for (r, id, dist) in nn {
@@ -150,8 +205,8 @@ pub fn knn(index: &Path, at: geom::Point2, k: usize, buffer: usize) -> CliResult
 }
 
 /// `stats`: per-level summary plus quality metrics.
-pub fn stats(index: &Path) -> CliResult<String> {
-    let tree = open_index(index, 256)?;
+pub fn stats(index: &Path, tree_name: &str) -> CliResult<String> {
+    let tree = open_index(index, 256, tree_name)?;
     let summary = tree.summary().map_err(|e| e.to_string())?;
     let metrics = TreeMetrics::compute(&tree).map_err(|e| e.to_string())?;
     let mut out = format!(
@@ -176,8 +231,8 @@ pub fn stats(index: &Path) -> CliResult<String> {
 }
 
 /// `validate`: check structural invariants.
-pub fn validate(index: &Path) -> CliResult<String> {
-    let tree = open_index(index, 256)?;
+pub fn validate(index: &Path, tree_name: &str) -> CliResult<String> {
+    let tree = open_index(index, 256, tree_name)?;
     tree.validate(false).map_err(|e| e.to_string())?;
     Ok(format!(
         "{}: OK ({} rectangles, {} levels)",
@@ -190,11 +245,14 @@ pub fn validate(index: &Path) -> CliResult<String> {
 /// `check`: fsck-style page walk — verifies that every reachable page
 /// decodes (magic, checksum, truncation), that levels step down by one,
 /// and that child MBRs stay inside what their parents recorded; reports
-/// unreachable pages. Unlike `validate`, it collects every problem
-/// instead of stopping at the first, so a damaged index yields a full
-/// damage report (and a non-zero exit).
-pub fn check(index: &Path) -> CliResult<String> {
-    let tree = open_index(index, 256)?;
+/// unreachable pages. On a v2 file it also audits the page allocator:
+/// the free-list chain is walked and cross-checked against reachability,
+/// so leaked pages (allocated but unreachable from any catalogued tree)
+/// and double-frees surface here. Unlike `validate`, it collects every
+/// problem instead of stopping at the first, so a damaged index yields a
+/// full damage report (and a non-zero exit).
+pub fn check(index: &Path, tree_name: &str) -> CliResult<String> {
+    let tree = open_index(index, 256, tree_name)?;
     let report = tree.check();
     if report.is_clean() {
         Ok(format!("{}:\n{report}", index.display()))
@@ -205,8 +263,8 @@ pub fn check(index: &Path) -> CliResult<String> {
 
 /// `dump-leaves`: leaf MBRs as CSV (plot fodder, as in the paper's
 /// Figures 2–4).
-pub fn dump_leaves(index: &Path) -> CliResult<String> {
-    let tree = open_index(index, 256)?;
+pub fn dump_leaves(index: &Path, tree_name: &str) -> CliResult<String> {
+    let tree = open_index(index, 256, tree_name)?;
     let leaves = tree.level_mbrs(0).map_err(|e| e.to_string())?;
     let mut out = String::from("xmin,ymin,xmax,ymax\n");
     for mbr in leaves {
@@ -295,6 +353,7 @@ pub fn query_bench(
     buffer: usize,
     seed: u64,
     metrics: &str,
+    tree_name: &str,
 ) -> CliResult<String> {
     use rtree::{BatchQuery, QueryExecutor};
 
@@ -308,7 +367,8 @@ pub fn query_bench(
         buffer.max(1),
         threads,
     ));
-    let tree = RTree::open(pool).map_err(|e| format!("{}: {e}", index.display()))?;
+    let tree =
+        RTree::open_named(pool, tree_name).map_err(|e| format!("{}: {e}", index.display()))?;
     let bbox = tree.root_mbr().map_err(|e| e.to_string())?;
     let side = 0.05 * bbox.extent(0).max(bbox.extent(1));
 
@@ -433,9 +493,15 @@ pub fn query_bench(
 /// The recorder is process-global and starts empty in a fresh CLI
 /// process, so the dump is exactly the probe workload's event trail —
 /// page reads, evictions, write-backs, query start/end markers.
-pub fn flight_dump(index: &Path, queries: usize, buffer: usize, seed: u64) -> CliResult<String> {
+pub fn flight_dump(
+    index: &Path,
+    queries: usize,
+    buffer: usize,
+    seed: u64,
+    tree_name: &str,
+) -> CliResult<String> {
     obs::set_enabled(true);
-    let tree = open_index(index, buffer)?;
+    let tree = open_index(index, buffer, tree_name)?;
     let bbox = tree.root_mbr().map_err(|e| e.to_string())?;
     let side = 0.05 * bbox.extent(0).max(bbox.extent(1));
     for r in datagen::region_queries(queries.max(1), &bbox, side, seed) {
@@ -459,9 +525,9 @@ pub fn flight_dump(index: &Path, queries: usize, buffer: usize, seed: u64) -> Cl
 
 /// `insert`: add rectangles from a CSV to an existing index (Guttman
 /// dynamic insertion), persisting afterwards.
-pub fn insert(index: &Path, input: &Path, buffer: usize) -> CliResult<String> {
+pub fn insert(index: &Path, input: &Path, buffer: usize, tree_name: &str) -> CliResult<String> {
     let items = csvio::read_items(input)?;
-    let mut tree = open_index(index, buffer.max(64))?;
+    let mut tree = open_index(index, buffer.max(64), tree_name)?;
     let n = items.len();
     for (rect, id) in items {
         tree.insert(rect, id).map_err(|e| e.to_string())?;
@@ -474,9 +540,9 @@ pub fn insert(index: &Path, input: &Path, buffer: usize) -> CliResult<String> {
 }
 
 /// `delete`: remove rectangles listed in a CSV (exact rect + id match).
-pub fn delete(index: &Path, input: &Path, buffer: usize) -> CliResult<String> {
+pub fn delete(index: &Path, input: &Path, buffer: usize, tree_name: &str) -> CliResult<String> {
     let items = csvio::read_items(input)?;
-    let mut tree = open_index(index, buffer.max(64))?;
+    let mut tree = open_index(index, buffer.max(64), tree_name)?;
     let mut removed = 0u64;
     for (rect, id) in items {
         if tree.delete(&rect, id).map_err(|e| e.to_string())? {
@@ -494,6 +560,8 @@ pub fn delete(index: &Path, input: &Path, buffer: usize) -> CliResult<String> {
 mod tests {
     use super::*;
 
+    const DEF: &str = rtree::DEFAULT_TREE;
+
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("rtree-cli-cmd-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -508,31 +576,32 @@ mod tests {
         let msg = generate("uniform", 2000, 7, &data).unwrap();
         assert!(msg.contains("2000"));
 
-        let msg = build(&data, &index, "str", 50, 0).unwrap();
+        let msg = build(&data, &index, "str", 50, 0, None).unwrap();
         assert!(msg.contains("packed 2000"), "{msg}");
 
-        let msg = validate(&index).unwrap();
+        let msg = validate(&index, DEF).unwrap();
         assert!(msg.contains("OK"));
 
-        let out = query_region(&index, geom::Rect2::new([0.0, 0.0], [0.25, 0.25]), 32).unwrap();
+        let out =
+            query_region(&index, geom::Rect2::new([0.0, 0.0], [0.25, 0.25]), 32, DEF).unwrap();
         assert!(out.contains("disk accesses"));
 
-        let out = knn(&index, geom::Point2::new([0.5, 0.5]), 3, 32).unwrap();
+        let out = knn(&index, geom::Point2::new([0.5, 0.5]), 3, 32, DEF).unwrap();
         assert_eq!(out.lines().count(), 3);
 
-        let out = stats(&index).unwrap();
+        let out = stats(&index, DEF).unwrap();
         assert!(out.contains("utilization"));
         assert!(out.contains("level"));
 
-        let leaves = dump_leaves(&index).unwrap();
+        let leaves = dump_leaves(&index, DEF).unwrap();
         assert_eq!(leaves.lines().count(), 1 + 2000usize.div_ceil(50));
 
         // Insert more, delete some.
         let extra = tmp("extra.csv");
         generate("uniform", 100, 8, &extra).unwrap();
-        let msg = insert(&index, &extra, 64).unwrap();
+        let msg = insert(&index, &extra, 64, DEF).unwrap();
         assert!(msg.contains("2100"), "{msg}");
-        let msg = delete(&index, &extra, 64).unwrap();
+        let msg = delete(&index, &extra, 64, DEF).unwrap();
         assert!(msg.contains("deleted"), "{msg}");
 
         std::fs::remove_file(data).ok();
@@ -545,9 +614,9 @@ mod tests {
         let data = tmp("chk.csv");
         let index = tmp("chk.rtree");
         generate("uniform", 1000, 13, &data).unwrap();
-        build(&data, &index, "str", 50, 0).unwrap();
+        build(&data, &index, "str", 50, 0, None).unwrap();
 
-        let msg = check(&index).unwrap();
+        let msg = check(&index, DEF).unwrap();
         assert!(msg.contains("clean"), "{msg}");
 
         // Flip a byte in the middle of a node page on disk.
@@ -566,10 +635,10 @@ mod tests {
         f.write_all(&byte).unwrap();
         drop(f);
 
-        let err = check(&index).unwrap_err();
+        let err = check(&index, DEF).unwrap_err();
         assert!(err.contains("problem"), "{err}");
         // validate (fail-fast) must also refuse the damaged index.
-        assert!(validate(&index).is_err());
+        assert!(validate(&index, DEF).is_err());
 
         std::fs::remove_file(data).ok();
         std::fs::remove_file(index).ok();
@@ -581,9 +650,9 @@ mod tests {
         generate("squares", 500, 9, &data).unwrap();
         for name in ["str", "str-par", "hs", "nx", "tgs"] {
             let index = tmp(&format!("packers-{name}.rtree"));
-            let msg = build(&data, &index, name, 20, 0).unwrap();
+            let msg = build(&data, &index, name, 20, 0, None).unwrap();
             assert!(msg.contains("packed 500"), "{name}: {msg}");
-            validate(&index).unwrap();
+            validate(&index, DEF).unwrap();
             std::fs::remove_file(index).ok();
         }
         assert!(parse_packer("bogus").is_err());
@@ -608,9 +677,9 @@ mod tests {
         generate("uniform", 3000, 12, &data).unwrap();
         let a = tmp("ext-mem.rtree");
         let b = tmp("ext-ext.rtree");
-        build(&data, &a, "str", 50, 0).unwrap();
-        build(&data, &b, "str", 50, 100).unwrap();
-        assert_eq!(dump_leaves(&a).unwrap(), dump_leaves(&b).unwrap());
+        build(&data, &a, "str", 50, 0, None).unwrap();
+        build(&data, &b, "str", 50, 100, None).unwrap();
+        assert_eq!(dump_leaves(&a, DEF).unwrap(), dump_leaves(&b, DEF).unwrap());
         std::fs::remove_file(data).ok();
         std::fs::remove_file(a).ok();
         std::fs::remove_file(b).ok();
@@ -621,16 +690,16 @@ mod tests {
         let data = tmp("qb.csv");
         let index = tmp("qb.rtree");
         generate("uniform", 3000, 21, &data).unwrap();
-        build(&data, &index, "str", 50, 0).unwrap();
+        build(&data, &index, "str", 50, 0, None).unwrap();
 
-        let plain = query_bench(&index, 60, 2, 16, 11, "").unwrap();
+        let plain = query_bench(&index, 60, 2, 16, 11, "", DEF).unwrap();
         assert!(plain.contains("queries/s"), "{plain}");
 
-        let text = query_bench(&index, 60, 2, 16, 11, "text").unwrap();
+        let text = query_bench(&index, 60, 2, 16, 11, "text", DEF).unwrap();
         assert!(text.contains("latency_ns t=1:"), "{text}");
         assert!(text.contains("per-shard buffer stats"), "{text}");
 
-        let json = query_bench(&index, 60, 2, 16, 11, "json").unwrap();
+        let json = query_bench(&index, 60, 2, 16, 11, "json", DEF).unwrap();
         for needle in [
             "\"per_shard\": [",
             "\"latency_ns\": {",
@@ -649,7 +718,7 @@ mod tests {
         let close = json.matches('}').count();
         assert_eq!(open, close, "unbalanced JSON:\n{json}");
 
-        assert!(query_bench(&index, 60, 2, 16, 11, "xml").is_err());
+        assert!(query_bench(&index, 60, 2, 16, 11, "xml", DEF).is_err());
 
         std::fs::remove_file(data).ok();
         std::fs::remove_file(index).ok();
@@ -660,15 +729,51 @@ mod tests {
         let data = tmp("fd.csv");
         let index = tmp("fd.rtree");
         generate("uniform", 2000, 31, &data).unwrap();
-        build(&data, &index, "str", 50, 0).unwrap();
+        build(&data, &index, "str", 50, 0, None).unwrap();
 
-        let out = flight_dump(&index, 32, 8, 11).unwrap();
+        let out = flight_dump(&index, 32, 8, 11, DEF).unwrap();
         assert!(out.contains("flight recorder:"), "{out}");
         assert!(out.contains("query_start"), "{out}");
         assert!(out.contains("query_end"), "{out}");
         assert!(out.contains("page_read"), "{out}");
 
         std::fs::remove_file(data).ok();
+        std::fs::remove_file(index).ok();
+    }
+
+    #[test]
+    fn named_trees_share_one_file() {
+        let data_a = tmp("multi-a.csv");
+        let data_b = tmp("multi-b.csv");
+        let index = tmp("multi.rtree");
+        std::fs::remove_file(&index).ok();
+        generate("uniform", 600, 41, &data_a).unwrap();
+        generate("squares", 400, 42, &data_b).unwrap();
+
+        let msg = build(&data_a, &index, "str", 50, 0, Some("roads")).unwrap();
+        assert!(msg.contains("tree 'roads'"), "{msg}");
+        let msg = build(&data_b, &index, "hs", 40, 0, Some("parcels")).unwrap();
+        assert!(msg.contains("tree 'parcels'"), "{msg}");
+
+        let listing = trees(&index).unwrap();
+        assert!(listing.contains("roads"), "{listing}");
+        assert!(listing.contains("parcels"), "{listing}");
+        assert!(listing.contains("2 tree(s)"), "{listing}");
+
+        // Both trees open and validate independently out of one file.
+        let msg = validate(&index, "roads").unwrap();
+        assert!(msg.contains("600 rectangles"), "{msg}");
+        let msg = validate(&index, "parcels").unwrap();
+        assert!(msg.contains("400 rectangles"), "{msg}");
+        check(&index, "roads").unwrap();
+        check(&index, "parcels").unwrap();
+        assert!(validate(&index, "nope").is_err());
+
+        // Re-packing an existing name must be rejected, not clobbered.
+        assert!(build(&data_a, &index, "str", 50, 0, Some("roads")).is_err());
+
+        std::fs::remove_file(data_a).ok();
+        std::fs::remove_file(data_b).ok();
         std::fs::remove_file(index).ok();
     }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! rtree-cli gen      --dataset tiger --n 53145 --seed 1 --output data.csv
-//! rtree-cli build    --input data.csv --output index.rtree [--packer str|str-par|hs|nx|tgs] [--capacity 100] [--external N]
+//! rtree-cli build    --input data.csv --output index.rtree [--packer str|str-par|hs|nx|tgs] [--capacity 100] [--external N] [--tree NAME]
 //! rtree-cli query    --index index.rtree --region 0.1,0.1,0.3,0.3 [--buffer 32]
 //! rtree-cli point    --index index.rtree --at 0.5,0.5
 //! rtree-cli knn      --index index.rtree --at 0.5,0.5 --k 10
@@ -15,7 +15,13 @@
 //! rtree-cli dump-leaves --index index.rtree
 //! rtree-cli insert   --index index.rtree --input more.csv
 //! rtree-cli delete   --index index.rtree --input victims.csv
+//! rtree-cli trees    --index index.rtree
 //! ```
+//!
+//! Index files use the v2 on-disk format, which holds several named
+//! trees in one file; every command that reads or writes a tree accepts
+//! `--tree NAME` (default `default`). `build --tree` packs into an
+//! existing file instead of truncating it; `trees` lists the catalog.
 //!
 //! Every command additionally accepts `--metrics text|json`, which
 //! turns the observability layer on for the run and appends a snapshot
@@ -31,8 +37,8 @@ use rtree_cli::{commands, parse_point, parse_rect, CliResult};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rtree-cli <gen|build|query|point|knn|stats|validate|check|dump-leaves|insert|delete|compare|query-bench|flight-dump> \
-         [--flag value]... [--metrics text|json]\nsee the crate docs for per-command flags"
+        "usage: rtree-cli <gen|build|query|point|knn|stats|validate|check|dump-leaves|insert|delete|compare|query-bench|flight-dump|trees> \
+         [--flag value]... [--tree name] [--metrics text|json]\nsee the crate docs for per-command flags"
     );
     std::process::exit(2);
 }
@@ -63,6 +69,10 @@ impl Flags {
             .ok_or_else(|| format!("missing required --{key}"))
     }
 
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(|s| s.as_str())
+    }
+
     fn opt(&self, key: &str, default: &str) -> String {
         self.0
             .get(key)
@@ -88,6 +98,7 @@ fn run() -> CliResult<String> {
     };
     let flags = Flags::parse(rest)?;
     let metrics = flags.opt("metrics", "");
+    let tree = flags.opt("tree", rtree::DEFAULT_TREE);
     if !matches!(metrics.as_str(), "" | "text" | "json") {
         return Err(format!("--metrics: expected text or json, got '{metrics}'"));
     }
@@ -107,11 +118,13 @@ fn run() -> CliResult<String> {
             &flags.opt("packer", "str"),
             flags.parse_num("capacity", 100usize)?,
             flags.parse_num("external", 0usize)?,
+            flags.get("tree"),
         ),
         "query" => commands::query_region(
             &PathBuf::from(flags.req("index")?),
             parse_rect(flags.req("region")?)?,
             flags.parse_num("buffer", 32usize)?,
+            &tree,
         ),
         "point" => {
             let p = parse_point(flags.req("at")?)?;
@@ -119,6 +132,7 @@ fn run() -> CliResult<String> {
                 &PathBuf::from(flags.req("index")?),
                 geom::Rect2::from_point(p),
                 flags.parse_num("buffer", 32usize)?,
+                &tree,
             )
         }
         "knn" => commands::knn(
@@ -126,6 +140,7 @@ fn run() -> CliResult<String> {
             parse_point(flags.req("at")?)?,
             flags.parse_num("k", 5usize)?,
             flags.parse_num("buffer", 32usize)?,
+            &tree,
         ),
         "compare" => commands::compare(
             &PathBuf::from(flags.req("input")?),
@@ -139,26 +154,31 @@ fn run() -> CliResult<String> {
             flags.parse_num("buffer", 128usize)?,
             flags.parse_num("seed", 11u64)?,
             &metrics,
+            &tree,
         ),
         "flight-dump" => commands::flight_dump(
             &PathBuf::from(flags.req("index")?),
             flags.parse_num("queries", 64usize)?,
             flags.parse_num("buffer", 16usize)?,
             flags.parse_num("seed", 11u64)?,
+            &tree,
         ),
-        "stats" => commands::stats(&PathBuf::from(flags.req("index")?)),
-        "validate" => commands::validate(&PathBuf::from(flags.req("index")?)),
-        "check" => commands::check(&PathBuf::from(flags.req("index")?)),
-        "dump-leaves" => commands::dump_leaves(&PathBuf::from(flags.req("index")?)),
+        "stats" => commands::stats(&PathBuf::from(flags.req("index")?), &tree),
+        "validate" => commands::validate(&PathBuf::from(flags.req("index")?), &tree),
+        "check" => commands::check(&PathBuf::from(flags.req("index")?), &tree),
+        "dump-leaves" => commands::dump_leaves(&PathBuf::from(flags.req("index")?), &tree),
+        "trees" => commands::trees(&PathBuf::from(flags.req("index")?)),
         "insert" => commands::insert(
             &PathBuf::from(flags.req("index")?),
             &PathBuf::from(flags.req("input")?),
             flags.parse_num("buffer", 64usize)?,
+            &tree,
         ),
         "delete" => commands::delete(
             &PathBuf::from(flags.req("index")?),
             &PathBuf::from(flags.req("input")?),
             flags.parse_num("buffer", 64usize)?,
+            &tree,
         ),
         _ => usage(),
     };

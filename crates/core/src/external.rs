@@ -79,6 +79,21 @@ pub fn pack_str_external<const D: usize, I>(
 where
     I: IntoIterator<Item = (Rect<D>, u64)>,
 {
+    pack_str_external_named(pool, rtree::DEFAULT_TREE, scratch, items, cap, budget)
+}
+
+/// [`pack_str_external`] into a named catalog entry of a v2 file.
+pub fn pack_str_external_named<const D: usize, I>(
+    pool: Arc<BufferPool>,
+    name: &str,
+    scratch: Arc<dyn Disk>,
+    items: I,
+    cap: NodeCapacity,
+    budget: usize,
+) -> Result<RTree<D>, ExternalPackError>
+where
+    I: IntoIterator<Item = (Rect<D>, u64)>,
+{
     // Phase 1: external sort by x-center. The order-preserving u64 key
     // avoids f64 comparators in the merge heap.
     let mut sorter = ExternalSorter::new(scratch, budget, |e: &Entry<D>| {
@@ -140,7 +155,7 @@ where
     // in-memory STR treatment, matching the batch path.
     let loader = BulkLoader::new(cap);
     let str_packer = crate::StrPacker::new();
-    let tree = loader.load_streamed(pool, leaf_stream, &mut |entries, level| {
+    let tree = loader.load_streamed_into(pool, name, leaf_stream, &mut |entries, level| {
         str_packer.order_level(entries, level, cap)
     })?;
 

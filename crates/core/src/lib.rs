@@ -27,7 +27,7 @@ pub mod order;
 pub mod str_pack;
 pub mod tgs;
 
-pub use external::{pack_str_external, ExternalPackError};
+pub use external::{pack_str_external, pack_str_external_named, ExternalPackError};
 pub use hs::HilbertPacker;
 pub use metrics::TreeMetrics;
 pub use model::{expected_accesses, expected_accesses_rect, expected_leaf_accesses};
@@ -54,11 +54,23 @@ pub fn pack<const D: usize, O: PackingOrder<D> + ?Sized>(
     cap: NodeCapacity,
     order: &O,
 ) -> rtree::Result<RTree<D>> {
+    pack_named(pool, rtree::DEFAULT_TREE, items, cap, order)
+}
+
+/// [`pack`] into a named catalog entry, so several packed trees (or a
+/// packed tree alongside dynamic ones) share one v2 file.
+pub fn pack_named<const D: usize, O: PackingOrder<D> + ?Sized>(
+    pool: Arc<BufferPool>,
+    name: &str,
+    items: Vec<(Rect<D>, u64)>,
+    cap: NodeCapacity,
+    order: &O,
+) -> rtree::Result<RTree<D>> {
     let entries: Vec<Entry<D>> = items
         .into_iter()
         .map(|(rect, id)| Entry::data(rect, id))
         .collect();
-    BulkLoader::new(cap).load(pool, entries, &mut |es, level| {
+    BulkLoader::new(cap).load_into(pool, name, entries, &mut |es, level| {
         order.order_level(es, level, cap)
     })
 }

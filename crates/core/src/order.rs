@@ -146,10 +146,25 @@ impl PackerKind {
         items: Vec<(Rect<D>, u64)>,
         cap: NodeCapacity,
     ) -> rtree::Result<RTree<D>> {
+        self.pack_named(pool, rtree::DEFAULT_TREE, items, cap)
+    }
+
+    /// [`Self::pack`] under a catalog name of the caller's choosing.
+    pub fn pack_named<const D: usize>(
+        &self,
+        pool: Arc<BufferPool>,
+        name: &str,
+        items: Vec<(Rect<D>, u64)>,
+        cap: NodeCapacity,
+    ) -> rtree::Result<RTree<D>> {
         match self {
-            PackerKind::Str => crate::StrPacker::new().pack(pool, items, cap),
-            PackerKind::Hilbert => crate::HilbertPacker::new().pack(pool, items, cap),
-            PackerKind::NearestX => crate::NearestXPacker::new().pack(pool, items, cap),
+            PackerKind::Str => crate::pack_named(pool, name, items, cap, &crate::StrPacker::new()),
+            PackerKind::Hilbert => {
+                crate::pack_named(pool, name, items, cap, &crate::HilbertPacker::new())
+            }
+            PackerKind::NearestX => {
+                crate::pack_named(pool, name, items, cap, &crate::NearestXPacker::new())
+            }
         }
     }
 }

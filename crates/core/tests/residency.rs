@@ -48,10 +48,12 @@ fn bulk_load_leaves_hot_pages_resident() {
 
     // A 100k-entry build on the same pool: > 1000 leaf pages, an order
     // of magnitude more than the pool holds. Before the streaming write
-    // path this evicted every hot frame.
+    // path this evicted every hot frame. Both trees live in one file,
+    // so the big one needs its own catalog name.
     let big: RTree<2> = PackerKind::Str
-        .pack(
+        .pack_named(
             pool.clone(),
+            "big",
             uniform_items(100_000, 2),
             NodeCapacity::new(100).unwrap(),
         )

@@ -1,48 +1,52 @@
 //! Hilbert node ⇄ page serialization.
 //!
-//! Layout (little-endian):
-//!
-//! ```text
-//! offset  size  field
-//! 0       4     magic "HRT1"
-//! 4       4     level
-//! 8       4     count
-//! 12      4     reserved (0)
-//! 16      8     checksum (FNV-1a over header prefix + entry region)
-//! 24      —     entries: count × (4 f64 rect, u64 payload, u128 lhv)
-//! ```
-//!
-//! A 2-D entry is 56 bytes, so a 4 KiB page holds 72 entries.
+//! The page layout (24-byte header: magic `"HRT1"`, level, count, tag,
+//! FNV-1a checksum) is the shared [`rtree::store`] node format; this
+//! module supplies only the Hilbert entry codec — the one thing that
+//! differs: each entry carries a 2-D rect, a payload and its 128-bit
+//! (largest) Hilbert value, 56 bytes total, 72 per 4 KiB page.
 
 use bytes::{Buf, BufMut};
 use geom::Rect2;
+use rtree::store::{self, EntryCodec};
 use storage::PageId;
 
-use crate::{HEntry, HNode, HrtError, Result};
+use crate::{HEntry, HNode, Result};
 
-const MAGIC: u32 = u32::from_le_bytes(*b"HRT1");
-const HEADER_LEN: usize = 24;
-
-/// Bytes per entry.
+/// Bytes per entry: 4 f64 rect coordinates, u64 payload, u128 LHV.
 pub const ENTRY_SIZE: usize = 4 * 8 + 8 + 16;
+
+/// The Hilbert entry codec plugged into the shared node-store substrate.
+pub struct HilbertCodec;
+
+impl EntryCodec for HilbertCodec {
+    type Entry = HEntry;
+    const MAGIC: u32 = u32::from_le_bytes(*b"HRT1");
+    const ENTRY_SIZE: usize = ENTRY_SIZE;
+    const TAG: u32 = 0;
+
+    fn encode_entry(e: &HEntry, mut out: &mut [u8]) {
+        out.put_f64_le(e.rect.lo(0));
+        out.put_f64_le(e.rect.lo(1));
+        out.put_f64_le(e.rect.hi(0));
+        out.put_f64_le(e.rect.hi(1));
+        out.put_u64_le(e.payload);
+        out.put_u128_le(e.lhv);
+    }
+
+    fn decode_entry(mut inp: &[u8]) -> std::result::Result<HEntry, String> {
+        let min = [inp.get_f64_le(), inp.get_f64_le()];
+        let max = [inp.get_f64_le(), inp.get_f64_le()];
+        let payload = inp.get_u64_le();
+        let lhv = inp.get_u128_le();
+        let rect = Rect2::try_new(min, max).map_err(|e| format!("bad rectangle: {e}"))?;
+        Ok(HEntry { rect, payload, lhv })
+    }
+}
 
 /// Largest node capacity for a page of `page_size` bytes.
 pub const fn max_capacity(page_size: usize) -> usize {
-    (page_size - HEADER_LEN) / ENTRY_SIZE
-}
-
-fn fnv1a_update(mut h: u64, data: &[u8]) -> u64 {
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Checksum over the header prefix and the entry region.
-fn page_checksum(page: &[u8], body_end: usize) -> u64 {
-    let h = fnv1a_update(0xcbf2_9ce4_8422_2325, &page[..16]);
-    fnv1a_update(h, &page[HEADER_LEN..body_end])
+    store::max_entries::<HilbertCodec>(page_size)
 }
 
 /// Serialize `node` into `page`.
@@ -50,70 +54,13 @@ fn page_checksum(page: &[u8], body_end: usize) -> u64 {
 /// # Panics
 /// Panics if the node does not fit the page.
 pub fn encode(node: &HNode, page: &mut [u8]) {
-    let need = HEADER_LEN + node.len() * ENTRY_SIZE;
-    assert!(need <= page.len(), "node too large for page");
-    {
-        let mut body = &mut page[HEADER_LEN..need];
-        for e in &node.entries {
-            body.put_f64_le(e.rect.lo(0));
-            body.put_f64_le(e.rect.lo(1));
-            body.put_f64_le(e.rect.hi(0));
-            body.put_f64_le(e.rect.hi(1));
-            body.put_u64_le(e.payload);
-            body.put_u128_le(e.lhv);
-        }
-    }
-    {
-        let mut header = &mut page[..16];
-        header.put_u32_le(MAGIC);
-        header.put_u32_le(node.level);
-        header.put_u32_le(node.len() as u32);
-        header.put_u32_le(0);
-    }
-    let checksum = page_checksum(page, need);
-    let mut cks = &mut page[16..HEADER_LEN];
-    cks.put_u64_le(checksum);
+    store::encode_node::<HilbertCodec>(node.level, &node.entries, page);
 }
 
 /// Deserialize a node from `page`.
 pub fn decode(page: &[u8], page_id: PageId) -> Result<HNode> {
-    if page.len() < HEADER_LEN {
-        return Err(corrupt(page_id, "page shorter than header"));
-    }
-    let mut header = &page[..HEADER_LEN];
-    if header.get_u32_le() != MAGIC {
-        return Err(corrupt(page_id, "bad magic"));
-    }
-    let level = header.get_u32_le();
-    let count = header.get_u32_le() as usize;
-    let _reserved = header.get_u32_le();
-    let checksum = header.get_u64_le();
-    let need = HEADER_LEN + count * ENTRY_SIZE;
-    if need > page.len() {
-        return Err(corrupt(page_id, "entry count exceeds page size"));
-    }
-    if page_checksum(page, need) != checksum {
-        return Err(corrupt(page_id, "checksum mismatch"));
-    }
-    let mut body = &page[HEADER_LEN..need];
-    let mut entries = Vec::with_capacity(count);
-    for _ in 0..count {
-        let min = [body.get_f64_le(), body.get_f64_le()];
-        let max = [body.get_f64_le(), body.get_f64_le()];
-        let payload = body.get_u64_le();
-        let lhv = body.get_u128_le();
-        let rect = Rect2::try_new(min, max)
-            .map_err(|e| corrupt(page_id, &format!("bad rectangle: {e}")))?;
-        entries.push(HEntry { rect, payload, lhv });
-    }
+    let (level, entries) = store::decode_node::<HilbertCodec>(page, page_id)?;
     Ok(HNode { level, entries })
-}
-
-fn corrupt(page: PageId, reason: &str) -> HrtError {
-    HrtError::Corrupt {
-        page,
-        reason: reason.to_string(),
-    }
 }
 
 #[cfg(test)]

@@ -76,5 +76,18 @@ impl From<storage::StorageError> for HrtError {
     }
 }
 
+impl From<rtree::RTreeError> for HrtError {
+    fn from(e: rtree::RTreeError) -> Self {
+        match e {
+            rtree::RTreeError::Storage(e) => HrtError::Storage(e),
+            rtree::RTreeError::Corrupt { page, reason } => HrtError::Corrupt { page, reason },
+            rtree::RTreeError::CapacityTooLarge { requested, max } => {
+                HrtError::CapacityTooLarge { requested, max }
+            }
+            other => HrtError::Invalid(other.to_string()),
+        }
+    }
+}
+
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, HrtError>;

@@ -3,8 +3,10 @@
 use std::sync::Arc;
 
 use geom::{Point2, Rect2};
+use rtree::store::{kind_name, NodeStore, TreeMeta, DEFAULT_TREE, KIND_HILBERT};
 use storage::{BufferPool, PageId};
 
+use crate::codec::HilbertCodec;
 use crate::node::hilbert_value;
 use crate::{codec, HEntry, HNode, HrtError, Result};
 
@@ -34,13 +36,12 @@ use crate::{codec, HEntry, HNode, HrtError, Result};
 /// assert!(!hits.is_empty());
 /// ```
 pub struct HilbertRTree {
-    pool: Arc<BufferPool>,
+    store: NodeStore<HilbertCodec>,
     max: usize,
     min: usize,
     root: PageId,
     height: u32,
     len: u64,
-    free: Vec<PageId>,
 }
 
 impl std::fmt::Debug for HilbertRTree {
@@ -55,12 +56,82 @@ impl std::fmt::Debug for HilbertRTree {
 }
 
 impl HilbertRTree {
-    /// Create an empty tree with `max` entries per node on `pool`.
+    /// Create an empty tree with `max` entries per node on `pool`,
+    /// cataloged as [`DEFAULT_TREE`].
     ///
     /// The deletion threshold is `max / 3`, below the 2-to-3 split's
     /// natural ~2/3 fill and small enough that merging two minimal nodes
     /// always fits.
     pub fn create(pool: Arc<BufferPool>, max: usize) -> Result<Self> {
+        Self::create_named(pool, DEFAULT_TREE, max)
+    }
+
+    /// Create an empty tree under `name` in the pool's v2 file
+    /// (formatting an empty disk first) — Hilbert trees share a file
+    /// with R-trees and R⁺-trees through the same catalog.
+    pub fn create_named(pool: Arc<BufferPool>, name: &str, max: usize) -> Result<Self> {
+        Self::check_capacity(&pool, max)?;
+        let mut store = NodeStore::create(pool, name)?;
+        let root = store.alloc_page()?;
+        let mut tree = Self {
+            store,
+            max,
+            min: (max / 3).max(1),
+            root,
+            height: 1,
+            len: 0,
+        };
+        tree.write_entries(root, 0, &[])?;
+        tree.persist()?;
+        Ok(tree)
+    }
+
+    /// Reopen the [`DEFAULT_TREE`] persisted on `pool`'s disk.
+    pub fn open(pool: Arc<BufferPool>) -> Result<Self> {
+        Self::open_named(pool, DEFAULT_TREE)
+    }
+
+    /// Reopen the Hilbert R-tree stored under `name`.
+    pub fn open_named(pool: Arc<BufferPool>, name: &str) -> Result<Self> {
+        let (store, meta) = NodeStore::open(pool, name)?;
+        if meta.kind != KIND_HILBERT {
+            return Err(HrtError::Corrupt {
+                page: store.meta_page(),
+                reason: format!(
+                    "tree '{name}' is a {}, not a hilbert tree",
+                    kind_name(meta.kind)
+                ),
+            });
+        }
+        let max = meta.cap_max as usize;
+        Self::check_capacity(store.pool(), max)?;
+        Ok(Self {
+            store,
+            max,
+            min: (meta.cap_min as usize).max(1),
+            root: meta.root,
+            height: meta.height,
+            len: meta.len,
+        })
+    }
+
+    /// Make the tree durable: flush nodes, commit the meta block, hand
+    /// this session's freed pages to the persistent free chain.
+    pub fn persist(&mut self) -> Result<()> {
+        let meta = TreeMeta {
+            kind: KIND_HILBERT,
+            dims: 2,
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            cap_max: self.max as u32,
+            cap_min: self.min as u32,
+            policy: 0,
+        };
+        Ok(self.store.persist(&meta)?)
+    }
+
+    fn check_capacity(pool: &BufferPool, max: usize) -> Result<()> {
         let cap = codec::max_capacity(pool.page_size());
         if max > cap {
             return Err(HrtError::CapacityTooLarge {
@@ -71,21 +142,7 @@ impl HilbertRTree {
         if max < 3 {
             return Err(HrtError::Invalid("capacity must be at least 3".into()));
         }
-        if pool.disk().num_pages() == 0 {
-            pool.disk().allocate()?; // reserve page 0 (parity with rtree)
-        }
-        let root = pool.disk().allocate()?;
-        let tree = Self {
-            pool,
-            max,
-            min: (max / 3).max(1),
-            root,
-            height: 1,
-            len: 0,
-            free: Vec::new(),
-        };
-        tree.write_node(root, &HNode::new(0))?;
-        Ok(tree)
+        Ok(())
     }
 
     /// Number of data entries.
@@ -105,7 +162,12 @@ impl HilbertRTree {
 
     /// The buffer pool (for I/O accounting).
     pub fn pool(&self) -> &Arc<BufferPool> {
-        &self.pool
+        self.store.pool()
+    }
+
+    /// The node store (page allocation, meta persistence).
+    pub fn store(&self) -> &NodeStore<HilbertCodec> {
+        &self.store
     }
 
     /// Maximum entries per node.
@@ -114,22 +176,20 @@ impl HilbertRTree {
     }
 
     fn read_node(&self, page: PageId) -> Result<HNode> {
-        self.pool
-            .with_page(page, |bytes| codec::decode(bytes, page))?
+        let (level, entries) = self.store.read_node(page)?;
+        Ok(HNode { level, entries })
     }
 
     fn write_node(&self, page: PageId, node: &HNode) -> Result<()> {
-        let mut buf = vec![0u8; self.pool.page_size()];
-        codec::encode(node, &mut buf);
-        self.pool.write_page(page, &buf)?;
-        Ok(())
+        self.write_entries(page, node.level, &node.entries)
+    }
+
+    fn write_entries(&self, page: PageId, level: u32, entries: &[HEntry]) -> Result<()> {
+        Ok(self.store.write_node(page, level, entries)?)
     }
 
     fn alloc_page(&mut self) -> Result<PageId> {
-        if let Some(p) = self.free.pop() {
-            return Ok(p);
-        }
-        Ok(self.pool.disk().allocate()?)
+        Ok(self.store.alloc_page()?)
     }
 
     // ---- queries -------------------------------------------------------
@@ -266,20 +326,8 @@ impl HilbertRTree {
                 // Redistribute across the two nodes evenly.
                 let half = combined.len() / 2;
                 let (a, b) = split_at(combined, half);
-                self.write_node(
-                    first_page,
-                    &HNode {
-                        level,
-                        entries: a.clone(),
-                    },
-                )?;
-                self.write_node(
-                    second_page,
-                    &HNode {
-                        level,
-                        entries: b.clone(),
-                    },
-                )?;
+                self.write_entries(first_page, level, &a)?;
+                self.write_entries(second_page, level, &b)?;
                 refresh_entry(&mut parent, first_page, &a);
                 refresh_entry(&mut parent, second_page, &b);
             } else {
@@ -291,27 +339,9 @@ impl HilbertRTree {
                 let b: Vec<HEntry> = chunks.next().unwrap_or_default().to_vec();
                 let c: Vec<HEntry> = chunks.next().unwrap_or_default().to_vec();
                 debug_assert!(chunks.next().is_none());
-                self.write_node(
-                    first_page,
-                    &HNode {
-                        level,
-                        entries: a.clone(),
-                    },
-                )?;
-                self.write_node(
-                    second_page,
-                    &HNode {
-                        level,
-                        entries: b.clone(),
-                    },
-                )?;
-                self.write_node(
-                    third,
-                    &HNode {
-                        level,
-                        entries: c.clone(),
-                    },
-                )?;
+                self.write_entries(first_page, level, &a)?;
+                self.write_entries(second_page, level, &b)?;
+                self.write_entries(third, level, &c)?;
                 refresh_entry(&mut parent, first_page, &a);
                 refresh_entry(&mut parent, second_page, &b);
                 let mbr = Rect2::union_all(c.iter().map(|e| &e.rect));
@@ -330,20 +360,8 @@ impl HilbertRTree {
         let half = node.entries.len() / 2;
         let (a, b) = split_at(node.entries, half);
         let right = self.alloc_page()?;
-        self.write_node(
-            page,
-            &HNode {
-                level,
-                entries: a.clone(),
-            },
-        )?;
-        self.write_node(
-            right,
-            &HNode {
-                level,
-                entries: b.clone(),
-            },
-        )?;
+        self.write_entries(page, level, &a)?;
+        self.write_entries(right, level, &b)?;
         let new_root = self.alloc_page()?;
         let mut root = HNode::new(level + 1);
         root.insert_sorted(HEntry::child(
@@ -424,7 +442,7 @@ impl HilbertRTree {
                 break;
             }
             let child = root.entries[0].child_page();
-            self.free.push(self.root);
+            self.store.free_page(self.root);
             self.root = child;
             self.height -= 1;
         }
@@ -509,31 +527,13 @@ impl HilbertRTree {
                 // Borrow: redistribute evenly; parent count unchanged.
                 let half = combined.len() / 2;
                 let (a, b) = split_at(combined, half);
-                self.write_node(
-                    first_page,
-                    &HNode {
-                        level,
-                        entries: a.clone(),
-                    },
-                )?;
-                self.write_node(
-                    second_page,
-                    &HNode {
-                        level,
-                        entries: b.clone(),
-                    },
-                )?;
+                self.write_entries(first_page, level, &a)?;
+                self.write_entries(second_page, level, &b)?;
                 refresh_entry(&mut parent, first_page, &a);
                 refresh_entry(&mut parent, second_page, &b);
             } else {
                 // Merge everything into the first page; drop the second.
-                self.write_node(
-                    first_page,
-                    &HNode {
-                        level,
-                        entries: combined.clone(),
-                    },
-                )?;
+                self.write_entries(first_page, level, &combined)?;
                 refresh_entry(&mut parent, first_page, &combined);
                 let drop_idx = parent
                     .entries
@@ -541,7 +541,7 @@ impl HilbertRTree {
                     .position(|e| e.child_page() == second_page)
                     .expect("second child present");
                 parent.entries.remove(drop_idx);
-                self.free.push(second_page);
+                self.store.free_page(second_page);
             }
             parent.entries.sort_by_key(|x| x.lhv);
             page = parent_page;
@@ -765,6 +765,27 @@ mod tests {
             let hits = t.query_point(&r.center()).unwrap();
             assert!(hits.iter().any(|(_, i)| i == id));
         }
+    }
+
+    #[test]
+    fn persist_and_reopen_round_trip() {
+        let disk = Arc::new(MemDisk::default_size());
+        let pool = Arc::new(BufferPool::new(disk.clone() as Arc<dyn storage::Disk>, 256));
+        let mut t = HilbertRTree::create(pool, 16).unwrap();
+        let items = random_items(500, 9);
+        for (r, id) in &items {
+            t.insert(*r, *id).unwrap();
+        }
+        t.persist().unwrap();
+
+        let pool2 = Arc::new(BufferPool::new(disk as Arc<dyn storage::Disk>, 256));
+        let t2 = HilbertRTree::open(pool2).unwrap();
+        assert_eq!(t2.len(), t.len());
+        assert_eq!(t2.height(), t.height());
+        assert_eq!(t2.capacity(), 16);
+        t2.validate().unwrap();
+        let q = Rect2::new([0.1, 0.1], [0.4, 0.4]);
+        assert_eq!(t.query_region(&q).unwrap(), t2.query_region(&q).unwrap());
     }
 
     #[test]

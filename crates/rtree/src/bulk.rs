@@ -16,8 +16,10 @@
 use std::sync::Arc;
 
 use geom::Rect;
-use storage::{BufferPool, PageId, SequentialPageWriter};
+use storage::{BufferPool, SequentialPageWriter};
 
+use crate::codec::RectCodec;
+use crate::store::{NodeStore, DEFAULT_TREE};
 use crate::{Entry, NodeCapacity, RTree, RTreeError, Result};
 
 /// Bottom-up loader producing a packed [`RTree`].
@@ -55,11 +57,26 @@ impl BulkLoader {
     /// directly from its slice of the ordered run — no per-node `Node`
     /// or entry copy is materialized.
     ///
-    /// The pool's disk must be fresh (page 0 is reserved for tree
-    /// metadata) or already contain a reserved meta page.
+    /// An empty disk is formatted as a v2 file and the tree is cataloged
+    /// as [`DEFAULT_TREE`]; a disk already holding a v2 file gains
+    /// another catalog entry (see [`load_into`](Self::load_into)).
     pub fn load<const D: usize>(
         &self,
         pool: Arc<BufferPool>,
+        entries: Vec<Entry<D>>,
+        order: &mut dyn FnMut(&mut Vec<Entry<D>>, u32),
+    ) -> Result<RTree<D>> {
+        self.load_into(pool, DEFAULT_TREE, entries, order)
+    }
+
+    /// [`load`](Self::load) into a named catalog entry, so several
+    /// packed trees can share the pages of one v2 file. Packed pages
+    /// still stream to the disk tail in sequential batches — bulk loads
+    /// deliberately bypass the free list to stay contiguous.
+    pub fn load_into<const D: usize>(
+        &self,
+        pool: Arc<BufferPool>,
+        name: &str,
         entries: Vec<Entry<D>>,
         order: &mut dyn FnMut(&mut Vec<Entry<D>>, u32),
     ) -> Result<RTree<D>> {
@@ -73,10 +90,7 @@ impl BulkLoader {
                 max,
             });
         }
-        if pool.disk().num_pages() == 0 {
-            let meta = pool.disk().allocate()?;
-            debug_assert_eq!(meta, PageId(0));
-        }
+        let store = NodeStore::<RectCodec<D>>::create(pool.clone(), name)?;
 
         let disk = pool.disk().clone();
         let mut writer = SequentialPageWriter::new(disk.as_ref());
@@ -98,7 +112,7 @@ impl BulkLoader {
             if next.len() == 1 {
                 writer.flush()?;
                 let root = next[0].child_page();
-                let tree = RTree::from_parts(pool, self.cap, root, level + 1, total);
+                let mut tree = RTree::from_parts(store, self.cap, root, level + 1, total);
                 tree.persist()?;
                 return Ok(tree);
             }
@@ -123,6 +137,20 @@ impl BulkLoader {
     where
         I: IntoIterator<Item = Entry<D>>,
     {
+        self.load_streamed_into(pool, DEFAULT_TREE, leaf_entries, order_upper)
+    }
+
+    /// [`load_streamed`](Self::load_streamed) into a named catalog entry.
+    pub fn load_streamed_into<const D: usize, I>(
+        &self,
+        pool: Arc<BufferPool>,
+        name: &str,
+        leaf_entries: I,
+        order_upper: &mut dyn FnMut(&mut Vec<Entry<D>>, u32),
+    ) -> Result<RTree<D>>
+    where
+        I: IntoIterator<Item = Entry<D>>,
+    {
         let max = crate::codec::max_capacity::<D>(pool.page_size());
         if self.cap.max() > max {
             return Err(RTreeError::CapacityTooLarge {
@@ -130,10 +158,7 @@ impl BulkLoader {
                 max,
             });
         }
-        if pool.disk().num_pages() == 0 {
-            let meta = pool.disk().allocate()?;
-            debug_assert_eq!(meta, PageId(0));
-        }
+        let store = NodeStore::<RectCodec<D>>::create(pool.clone(), name)?;
 
         let disk = pool.disk().clone();
         let mut writer = SequentialPageWriter::new(disk.as_ref());
@@ -162,7 +187,7 @@ impl BulkLoader {
             if current.len() == 1 {
                 writer.flush()?;
                 let root = current[0].child_page();
-                let tree = RTree::from_parts(pool, self.cap, root, level, total);
+                let mut tree = RTree::from_parts(store, self.cap, root, level, total);
                 tree.persist()?;
                 return Ok(tree);
             }

@@ -20,10 +20,10 @@ use bytes::{Buf, BufMut};
 use geom::Rect;
 use storage::PageId;
 
+use crate::store::{self, page_checksum, EntryCodec, HEADER_LEN};
 use crate::{Entry, Node, RTreeError, Result};
 
 const MAGIC: u32 = u32::from_le_bytes(*b"RTN1");
-const HEADER_LEN: usize = 24;
 
 /// Bytes per entry at dimension `D`.
 pub const fn entry_size<const D: usize>() -> usize {
@@ -36,23 +36,51 @@ pub const fn max_capacity<const D: usize>(page_size: usize) -> usize {
     (page_size - HEADER_LEN) / entry_size::<D>()
 }
 
-/// FNV-1a, 64-bit, streaming.
-fn fnv1a_update(mut h: u64, data: &[u8]) -> u64 {
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+/// The rectangle entry codec: `D` min f64s, `D` max f64s, u64 payload,
+/// with the dimension in the header tag word. Shared by [`crate::RTree`]
+/// and [`crate::RPlusTree`]; everything page-level (header, checksum,
+/// validation) comes from [`crate::store`].
+pub struct RectCodec<const D: usize>;
+
+impl<const D: usize> EntryCodec for RectCodec<D> {
+    type Entry = Entry<D>;
+    const MAGIC: u32 = MAGIC;
+    const ENTRY_SIZE: usize = entry_size::<D>();
+    const TAG: u32 = D as u32;
+
+    #[inline]
+    fn encode_entry(e: &Entry<D>, mut out: &mut [u8]) {
+        for i in 0..D {
+            out.put_f64_le(e.rect.lo(i));
+        }
+        for i in 0..D {
+            out.put_f64_le(e.rect.hi(i));
+        }
+        out.put_u64_le(e.payload);
     }
-    h
-}
 
-const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+    #[inline]
+    fn decode_entry(mut inp: &[u8]) -> std::result::Result<Entry<D>, String> {
+        let mut min = [0.0f64; D];
+        let mut max = [0.0f64; D];
+        for m in min.iter_mut() {
+            *m = inp.get_f64_le();
+        }
+        for m in max.iter_mut() {
+            *m = inp.get_f64_le();
+        }
+        let payload = inp.get_u64_le();
+        let rect = Rect::try_new(min, max).map_err(|e| format!("bad rectangle: {e}"))?;
+        Ok(Entry { rect, payload })
+    }
 
-/// Checksum over everything that matters: the header prefix (magic,
-/// level, count, dims — bytes 0..16) and the entry region. A flipped
-/// bit anywhere meaningful is detected.
-fn page_checksum(page: &[u8], body_end: usize) -> u64 {
-    let h = fnv1a_update(FNV_SEED, &page[..16]);
-    fnv1a_update(h, &page[HEADER_LEN..body_end])
+    fn bad_magic_msg() -> String {
+        "bad magic (not an R-tree node)".to_string()
+    }
+
+    fn tag_mismatch_msg(got: u32) -> String {
+        format!("dimension mismatch: page has {got}, tree is {D}")
+    }
 }
 
 /// Serialize `node` into `page` (which must be zeroed or reused whole).
@@ -73,89 +101,14 @@ pub fn encode<const D: usize>(node: &Node<D>, page: &mut [u8]) {
 /// # Panics
 /// Panics if the entries do not fit, like [`encode`].
 pub fn encode_entries<const D: usize>(level: u32, entries: &[Entry<D>], page: &mut [u8]) {
-    let need = HEADER_LEN + entries.len() * entry_size::<D>();
-    assert!(
-        need <= page.len(),
-        "node with {} entries needs {need} bytes, page has {}",
-        entries.len(),
-        page.len()
-    );
-
-    // Entries first (into the region after the header), then the header
-    // with the checksum over that region.
-    {
-        let mut body = &mut page[HEADER_LEN..need];
-        for e in entries {
-            for i in 0..D {
-                body.put_f64_le(e.rect.lo(i));
-            }
-            for i in 0..D {
-                body.put_f64_le(e.rect.hi(i));
-            }
-            body.put_u64_le(e.payload);
-        }
-    }
-    {
-        let mut header = &mut page[..16];
-        header.put_u32_le(MAGIC);
-        header.put_u32_le(level);
-        header.put_u32_le(entries.len() as u32);
-        header.put_u32_le(D as u32);
-    }
-    let checksum = page_checksum(page, need);
-    let mut cks = &mut page[16..HEADER_LEN];
-    cks.put_u64_le(checksum);
-    // Anything after `need` is stale bytes from a previous occupant of the
-    // frame; the count field makes them unreachable.
+    store::encode_node::<RectCodec<D>>(level, entries, page);
 }
 
 /// Deserialize a node from `page`.
 ///
 /// `page_id` is only for error messages.
 pub fn decode<const D: usize>(page: &[u8], page_id: PageId) -> Result<Node<D>> {
-    if page.len() < HEADER_LEN {
-        return Err(corrupt(page_id, "page shorter than header"));
-    }
-    let mut header = &page[..HEADER_LEN];
-    let magic = header.get_u32_le();
-    if magic != MAGIC {
-        return Err(corrupt(page_id, "bad magic (not an R-tree node)"));
-    }
-    let level = header.get_u32_le();
-    let count = header.get_u32_le() as usize;
-    let dims = header.get_u32_le() as usize;
-    if dims != D {
-        return Err(corrupt(
-            page_id,
-            &format!("dimension mismatch: page has {dims}, tree is {D}"),
-        ));
-    }
-    let checksum = header.get_u64_le();
-
-    let need = HEADER_LEN + count * entry_size::<D>();
-    if need > page.len() {
-        return Err(corrupt(page_id, "entry count exceeds page size"));
-    }
-    if page_checksum(page, need) != checksum {
-        return Err(corrupt(page_id, "checksum mismatch (torn write?)"));
-    }
-
-    let mut body = &page[HEADER_LEN..need];
-    let mut entries = Vec::with_capacity(count);
-    for _ in 0..count {
-        let mut min = [0.0f64; D];
-        let mut max = [0.0f64; D];
-        for m in min.iter_mut() {
-            *m = body.get_f64_le();
-        }
-        for m in max.iter_mut() {
-            *m = body.get_f64_le();
-        }
-        let payload = body.get_u64_le();
-        let rect = Rect::try_new(min, max)
-            .map_err(|e| corrupt(page_id, &format!("bad rectangle: {e}")))?;
-        entries.push(Entry { rect, payload });
-    }
+    let (level, entries) = store::decode_node::<RectCodec<D>>(page, page_id)?;
     Ok(Node { level, entries })
 }
 

@@ -12,8 +12,9 @@
 use std::collections::HashSet;
 
 use geom::Rect;
-use storage::PageId;
+use storage::{CatalogEntry, PageAllocator, PageId};
 
+use crate::store::{self, HEADER_LEN, KIND_HILBERT, KIND_RPLUS, KIND_RTREE};
 use crate::{codec, RTree};
 
 /// A problem found on one page.
@@ -47,23 +48,31 @@ pub struct CheckReport {
     /// wrong (level arithmetic, MBR containment, double reachability,
     /// overfull nodes, entry-count mismatch).
     pub structural: Vec<PageIssue>,
-    /// Allocated pages that are neither reachable from the root, on the
-    /// free list, nor the meta page. Harmless leaked space, but a repair
-    /// tool reclaims them.
+    /// Leaked pages: allocated, but neither reachable from any cataloged
+    /// tree, on the free list, a meta page, nor the superblock. Harmless
+    /// lost space (a crash between a meta commit and its free-chain
+    /// writes legitimately leaks), but a repair tool reclaims them.
     pub unreachable: Vec<PageId>,
+    /// Length of the persistent free chain (0 for legacy v1 images,
+    /// which keep no on-disk free list).
+    pub free_pages: u64,
+    /// Allocator accounting violations: an unreadable or cyclic free
+    /// chain, and double frees — pages simultaneously on a free list and
+    /// reachable from a tree, which a future allocation would corrupt.
+    pub alloc_issues: Vec<PageIssue>,
 }
 
 impl CheckReport {
-    /// No corruption and no structural damage (unreachable pages are
-    /// reported but do not make a tree unclean — deletions legitimately
-    /// strand pages when the free list is not persisted).
+    /// No corruption, no structural damage and no allocator violations
+    /// (unreachable pages are reported but do not make a tree unclean —
+    /// a crash mid-persist legitimately leaks pages).
     pub fn is_clean(&self) -> bool {
-        self.corrupt.is_empty() && self.structural.is_empty()
+        self.corrupt.is_empty() && self.structural.is_empty() && self.alloc_issues.is_empty()
     }
 
-    /// Total number of problems (corrupt + structural).
+    /// Total number of problems (corrupt + structural + allocator).
     pub fn issue_count(&self) -> usize {
-        self.corrupt.len() + self.structural.len()
+        self.corrupt.len() + self.structural.len() + self.alloc_issues.len()
     }
 }
 
@@ -71,9 +80,10 @@ impl std::fmt::Display for CheckReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "pages: {} on disk, {} reachable, {} unreachable",
+            "pages: {} on disk, {} reachable, {} free, {} leaked",
             self.pages_on_disk,
             self.pages_reachable,
+            self.free_pages,
             self.unreachable.len()
         )?;
         writeln!(f, "leaf entries: {}", self.leaf_entries)?;
@@ -82,6 +92,9 @@ impl std::fmt::Display for CheckReport {
         }
         for issue in &self.structural {
             writeln!(f, "structure {issue}")?;
+        }
+        for issue in &self.alloc_issues {
+            writeln!(f, "allocator {issue}")?;
         }
         if self.is_clean() {
             write!(f, "clean")
@@ -206,16 +219,147 @@ impl<const D: usize> RTree<D> {
             });
         }
 
-        // Census of allocated-but-orphaned pages. Page 0 is the meta
-        // page; pages on the in-memory free list are accounted for.
-        let free: HashSet<PageId> = self.free.iter().copied().collect();
-        for i in 1..report.pages_on_disk {
+        self.audit_allocation(&seen, &mut report);
+        report
+    }
+
+    /// The allocator audit: every allocated page must be accounted for —
+    /// reachable from *some* cataloged tree, on the persistent free
+    /// chain, on this session's free list, a meta page, or the
+    /// superblock. Anything else is leaked ([`CheckReport::unreachable`]);
+    /// a page accounted as both free and reachable is a double free
+    /// ([`CheckReport::alloc_issues`]).
+    fn audit_allocation(&self, seen: &HashSet<PageId>, report: &mut CheckReport) {
+        let mut accounted: HashSet<PageId> = seen.clone();
+        accounted.insert(PageId(0)); // v2 superblock / v1 meta page
+        if let Some(alloc) = self.store.allocator() {
+            match alloc.free_list() {
+                Ok(chain) => {
+                    report.free_pages = chain.len() as u64;
+                    for &p in &chain {
+                        if seen.contains(&p) {
+                            report.alloc_issues.push(PageIssue {
+                                page: p,
+                                reason: "on the free chain but reachable from the tree \
+                                         (double free)"
+                                    .into(),
+                            });
+                        }
+                    }
+                    accounted.extend(chain);
+                }
+                Err(e) => report.alloc_issues.push(PageIssue {
+                    page: PageId(0),
+                    reason: format!("free chain unreadable: {e}"),
+                }),
+            }
+            for entry in alloc.trees() {
+                accounted.insert(entry.meta_page);
+                if entry.meta_page != self.store.meta_page() {
+                    self.audit_other_tree(alloc, &entry, seen, &mut accounted, report);
+                }
+            }
+        }
+        // A legacy v1 image keeps no on-disk free list, so after a
+        // reopen only the session list below accounts for freed pages —
+        // earlier sessions' frees surface as leaked.
+        for &p in self.store.session_free() {
+            if seen.contains(&p) {
+                report.alloc_issues.push(PageIssue {
+                    page: p,
+                    reason: "on the session free list but reachable from the tree (double free)"
+                        .into(),
+                });
+            }
+            accounted.insert(p);
+        }
+        for i in 0..report.pages_on_disk {
             let p = PageId(i);
-            if !seen.contains(&p) && !free.contains(&p) {
+            if !accounted.contains(&p) {
                 report.unreachable.push(p);
             }
         }
-        report
+    }
+
+    /// Best-effort reachability walk of another cataloged tree, variant-
+    /// agnostic: the shared node header gives level and entry count, and
+    /// the tree's recorded kind/dims give the entry stride and where the
+    /// child page sits inside an entry. Checksums are not verified here —
+    /// this accounts pages, it does not validate the other tree.
+    fn audit_other_tree(
+        &self,
+        alloc: &PageAllocator,
+        entry: &CatalogEntry,
+        seen: &HashSet<PageId>,
+        accounted: &mut HashSet<PageId>,
+        report: &mut CheckReport,
+    ) {
+        let disk = self.pool().disk().clone();
+        let meta = match store::read_tree_meta(disk.as_ref(), alloc, &entry.name) {
+            Ok(meta) => meta,
+            Err(e) => {
+                report.alloc_issues.push(PageIssue {
+                    page: entry.meta_page,
+                    reason: format!("tree '{}': meta unreadable: {e}", entry.name),
+                });
+                return;
+            }
+        };
+        let Some((entry_size, child_off)) = entry_layout(meta.kind, meta.dims) else {
+            report.alloc_issues.push(PageIssue {
+                page: entry.meta_page,
+                reason: format!("tree '{}': unknown kind {}", entry.name, meta.kind),
+            });
+            return;
+        };
+        let mut stack = vec![meta.root];
+        while let Some(page) = stack.pop() {
+            if !accounted.insert(page) {
+                if seen.contains(&page) {
+                    report.alloc_issues.push(PageIssue {
+                        page,
+                        reason: format!("reachable from both this tree and tree '{}'", entry.name),
+                    });
+                }
+                continue;
+            }
+            let children = self.pool().with_page(page, |bytes| {
+                let mut children = Vec::new();
+                if bytes.len() < HEADER_LEN {
+                    return children;
+                }
+                let level = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+                let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+                let need = HEADER_LEN + count * entry_size;
+                if level == 0 || need > bytes.len() {
+                    return children;
+                }
+                for i in 0..count {
+                    let off = HEADER_LEN + i * entry_size + child_off;
+                    let child = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+                    children.push(PageId(child));
+                }
+                children
+            });
+            match children {
+                Ok(children) => stack.extend(children),
+                Err(e) => report.alloc_issues.push(PageIssue {
+                    page,
+                    reason: format!("tree '{}': page unreadable: {e}", entry.name),
+                }),
+            }
+        }
+    }
+}
+
+/// `(entry stride, child-page offset within an entry)` for a tree kind,
+/// or `None` for a kind this build does not know.
+fn entry_layout(kind: u32, dims: u32) -> Option<(usize, usize)> {
+    let dims = dims as usize;
+    match kind {
+        KIND_RTREE | KIND_RPLUS => Some((dims * 16 + 8, dims * 16)),
+        KIND_HILBERT => Some((56, 32)),
+        _ => None,
     }
 }
 
@@ -277,7 +421,7 @@ mod tests {
     }
 
     #[test]
-    fn deletion_stranded_pages_show_as_unreachable() {
+    fn deleted_pages_reach_the_free_chain_not_the_leak_report() {
         let disk = Arc::new(MemDisk::default_size());
         let pool = Arc::new(BufferPool::new(disk.clone() as Arc<dyn Disk>, 64));
         let mut tree = RTree::<2>::create(pool.clone(), NodeCapacity::new(4).unwrap()).unwrap();
@@ -288,19 +432,43 @@ mod tests {
         for e in items.iter().take(48) {
             tree.delete(&e.rect, e.payload).unwrap();
         }
-        // With the live tree the free list accounts for released pages.
+        // With the live tree the session free list accounts for released
+        // pages.
         let report = tree.check();
         assert!(report.is_clean(), "{report}");
         assert!(report.unreachable.is_empty());
-        let freed = tree.free.len();
+        let freed = tree.store().session_free().len();
+        assert!(freed > 0, "delete-heavy workload must release pages");
 
-        // Reopened, the free list is gone: the same pages surface as
-        // unreachable (leaked but harmless), and the tree is still clean.
+        // Reopened, the frees live on the persistent chain: nothing is
+        // leaked, and the audit sees the full chain.
         tree.persist().unwrap();
         let pool2 = Arc::new(BufferPool::new(disk as Arc<dyn Disk>, 64));
         let reopened = RTree::<2>::open(pool2).unwrap();
         let report = reopened.check();
         assert!(report.is_clean(), "{report}");
-        assert_eq!(report.unreachable.len(), freed);
+        assert!(
+            report.unreachable.is_empty(),
+            "freed pages must be on the free chain, not leaked: {report}"
+        );
+        assert_eq!(report.free_pages, freed as u64);
+    }
+
+    #[test]
+    fn double_free_is_flagged_by_the_audit() {
+        let (_d, mut tree) = packed(200);
+        // Simulate the bug the audit exists to catch: a reachable page
+        // lands on the free list.
+        let victim = tree.root_page();
+        tree.free_page(victim);
+        let report = tree.check();
+        assert!(!report.is_clean());
+        assert!(
+            report
+                .alloc_issues
+                .iter()
+                .any(|i| i.page == victim && i.reason.contains("double free")),
+            "{report}"
+        );
     }
 }

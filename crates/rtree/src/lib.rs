@@ -36,11 +36,12 @@ pub mod rplus;
 pub mod rstar;
 pub mod split;
 pub mod stats;
+pub mod store;
 pub mod tree;
 
 pub use bulk::BulkLoader;
 pub use capacity::NodeCapacity;
-pub use codec::NodeView;
+pub use codec::{NodeView, RectCodec};
 pub use executor::{BatchQuery, BatchReport, QueryExecutor};
 pub use fsck::{CheckReport, PageIssue};
 pub use iter::RegionIter;
@@ -48,6 +49,10 @@ pub use node::{Entry, Node};
 pub use rplus::RPlusTree;
 pub use split::SplitPolicy;
 pub use stats::{LevelSummary, TreeSummary};
+pub use store::{
+    kind_name, read_tree_meta, EntryCodec, NodeStore, TreeMeta, DEFAULT_TREE, KIND_HILBERT,
+    KIND_RPLUS, KIND_RTREE,
+};
 pub use tree::RTree;
 
 use storage::PageId;

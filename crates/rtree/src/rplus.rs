@@ -23,6 +23,8 @@
 use geom::{Point, Rect};
 use storage::{BufferPool, PageId};
 
+use crate::codec::RectCodec;
+use crate::store::{kind_name, NodeStore, TreeMeta, DEFAULT_TREE, KIND_RPLUS};
 use crate::{codec, Entry, Node, NodeCapacity, RTreeError, Result};
 use std::sync::Arc;
 
@@ -36,7 +38,7 @@ use std::sync::Arc;
 /// intersects; leaf cuts duplicate entries that touch the cut, which
 /// keeps single-path point queries exact even for boundary points.
 pub struct RPlusTree<const D: usize> {
-    pool: Arc<BufferPool>,
+    store: NodeStore<RectCodec<D>>,
     cap: NodeCapacity,
     root: PageId,
     height: u32,
@@ -62,8 +64,86 @@ impl<const D: usize> std::fmt::Debug for RPlusTree<D> {
 }
 
 impl<const D: usize> RPlusTree<D> {
-    /// Create an empty tree.
+    /// Create an empty tree named [`DEFAULT_TREE`].
     pub fn create(pool: Arc<BufferPool>, cap: NodeCapacity) -> Result<Self> {
+        Self::create_named(pool, DEFAULT_TREE, cap)
+    }
+
+    /// Create an empty tree under `name` in the pool's v2 file
+    /// (formatting an empty disk first).
+    pub fn create_named(pool: Arc<BufferPool>, name: &str, cap: NodeCapacity) -> Result<Self> {
+        Self::check_capacity(&pool, cap)?;
+        let mut store = NodeStore::create(pool, name)?;
+        let root = store.alloc_page()?;
+        let mut tree = Self {
+            store,
+            cap,
+            root,
+            height: 1,
+            len: 0,
+        };
+        tree.write_node(root, &Node::new(0))?;
+        tree.persist()?;
+        Ok(tree)
+    }
+
+    /// Reopen the [`DEFAULT_TREE`] persisted on `pool`'s disk.
+    pub fn open(pool: Arc<BufferPool>) -> Result<Self> {
+        Self::open_named(pool, DEFAULT_TREE)
+    }
+
+    /// Reopen the R⁺-tree stored under `name`.
+    pub fn open_named(pool: Arc<BufferPool>, name: &str) -> Result<Self> {
+        let (store, meta) = NodeStore::open(pool, name)?;
+        let meta_page = store.meta_page();
+        if meta.kind != KIND_RPLUS {
+            return Err(RTreeError::Corrupt {
+                page: meta_page,
+                reason: format!(
+                    "tree '{name}' is a {}, not an rplus tree",
+                    kind_name(meta.kind)
+                ),
+            });
+        }
+        if meta.dims as usize != D {
+            return Err(RTreeError::Corrupt {
+                page: meta_page,
+                reason: format!("tree on disk is {}-dimensional, opened as {D}", meta.dims),
+            });
+        }
+        let cap = NodeCapacity::with_min(meta.cap_max as usize, meta.cap_min as usize).ok_or_else(
+            || RTreeError::Corrupt {
+                page: meta_page,
+                reason: format!("invalid capacity {}/{}", meta.cap_max, meta.cap_min),
+            },
+        )?;
+        Self::check_capacity(store.pool(), cap)?;
+        Ok(Self {
+            store,
+            cap,
+            root: meta.root,
+            height: meta.height,
+            len: meta.len,
+        })
+    }
+
+    /// Make the tree durable: flush nodes, commit the meta block, hand
+    /// this session's freed pages to the persistent free chain.
+    pub fn persist(&mut self) -> Result<()> {
+        let meta = TreeMeta {
+            kind: KIND_RPLUS,
+            dims: D as u32,
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            cap_max: self.cap.max() as u32,
+            cap_min: self.cap.min() as u32,
+            policy: 0,
+        };
+        self.store.persist(&meta)
+    }
+
+    fn check_capacity(pool: &BufferPool, cap: NodeCapacity) -> Result<()> {
         let max = codec::max_capacity::<D>(pool.page_size());
         // Splits can transiently duplicate one entry into both halves, so
         // keep one slot of slack against the physical page capacity.
@@ -73,19 +153,7 @@ impl<const D: usize> RPlusTree<D> {
                 max: max - 1,
             });
         }
-        if pool.disk().num_pages() == 0 {
-            pool.disk().allocate()?;
-        }
-        let root = pool.disk().allocate()?;
-        let tree = Self {
-            pool,
-            cap,
-            root,
-            height: 1,
-            len: 0,
-        };
-        tree.write_node(root, &Node::new(0))?;
-        Ok(tree)
+        Ok(())
     }
 
     /// Number of distinct data objects (duplicated clips count once).
@@ -105,23 +173,25 @@ impl<const D: usize> RPlusTree<D> {
 
     /// The buffer pool.
     pub fn pool(&self) -> &Arc<BufferPool> {
-        &self.pool
+        self.store.pool()
+    }
+
+    /// The node store (page allocation, meta persistence).
+    pub fn store(&self) -> &NodeStore<RectCodec<D>> {
+        &self.store
     }
 
     fn read_node(&self, page: PageId) -> Result<Node<D>> {
-        self.pool
-            .with_page(page, |bytes| codec::decode::<D>(bytes, page))?
+        let (level, entries) = self.store.read_node(page)?;
+        Ok(Node { level, entries })
     }
 
     fn write_node(&self, page: PageId, node: &Node<D>) -> Result<()> {
-        let mut buf = vec![0u8; self.pool.page_size()];
-        codec::encode(node, &mut buf);
-        self.pool.write_page(page, &buf)?;
-        Ok(())
+        self.store.write_node(page, node.level, &node.entries)
     }
 
-    fn alloc_page(&self) -> Result<PageId> {
-        Ok(self.pool.disk().allocate()?)
+    fn alloc_page(&mut self) -> Result<PageId> {
+        self.store.alloc_page()
     }
 
     // ---- queries -----------------------------------------------------
@@ -353,10 +423,13 @@ impl<const D: usize> RPlusTree<D> {
             let child = node.entries[i];
             if child.rect.intersects(rect) && self.delete_rec(child.child_page(), rect, id)? {
                 removed = true;
-                // Prune a now-empty leaf child.
+                // Prune a now-empty leaf child and release its page to
+                // the free list (it reaches the persistent chain at the
+                // next persist).
                 let child_node = self.read_node(child.child_page())?;
                 if child_node.is_empty() && node.len() > 1 {
                     node.entries.remove(i);
+                    self.store.free_page(child.child_page());
                     changed = true;
                     continue;
                 }
@@ -500,6 +573,7 @@ pub fn rplus_from_items<const D: usize>(
     for (rect, id) in items {
         tree.insert(*rect, *id)?;
     }
+    tree.persist()?;
     Ok(tree)
 }
 

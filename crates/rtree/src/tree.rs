@@ -4,12 +4,13 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use bytes::{Buf, BufMut};
 use geom::{Point, Rect};
 use obs::flight::EventKind;
 use obs::{LazyCounter, LazyHistogram};
 use storage::{BufferPool, PageId};
 
+use crate::codec::RectCodec;
+use crate::store::{NodeStore, TreeMeta, DEFAULT_TREE, KIND_RTREE};
 use crate::{codec, Node, NodeCapacity, RTreeError, Result, SplitPolicy};
 
 // Traversal instrumentation (all gated on `obs::enabled()`; the hot
@@ -22,15 +23,16 @@ static INTERNAL_TOUCHES: LazyCounter = LazyCounter::new("rtree.query.internal_to
 /// Ordinal linking each query's start/end flight events.
 static QUERY_SEQ: AtomicU64 = AtomicU64::new(0);
 
-const META_MAGIC: u32 = u32::from_le_bytes(*b"RTM1");
-
 /// A paged R-tree of dimension `D`.
 ///
 /// All node reads and writes go through the LRU buffer pool, so buffer
 /// misses during a query are exactly the paper's "disk accesses". Tree
-/// metadata lives on page 0, written *directly* to disk (bypassing the
-/// pool) so it never competes with nodes for buffer frames — mirroring the
-/// paper's setup where the buffer holds R-tree nodes only.
+/// metadata lives on its meta page (page 0 in a v1 image, a
+/// catalog-assigned page in a v2 file), written *directly* to disk
+/// (bypassing the pool) so it never competes with nodes for buffer
+/// frames — mirroring the paper's setup where the buffer holds R-tree
+/// nodes only. Page acquire/release and meta persistence are delegated
+/// to the shared [`NodeStore`] substrate.
 ///
 /// ```
 /// use std::sync::Arc;
@@ -50,15 +52,13 @@ const META_MAGIC: u32 = u32::from_le_bytes(*b"RTM1");
 /// tree.validate(true).unwrap();
 /// ```
 pub struct RTree<const D: usize> {
-    pool: Arc<BufferPool>,
+    pub(crate) store: NodeStore<RectCodec<D>>,
     cap: NodeCapacity,
     policy: SplitPolicy,
     pub(crate) root: PageId,
     /// Number of levels (1 = the root is a leaf).
     pub(crate) height: u32,
     pub(crate) len: u64,
-    /// Pages freed by deletions, reused before allocating fresh ones.
-    pub(crate) free: Vec<PageId>,
     /// Set when a staged mutation failed partway through its commit, so
     /// the on-disk pages may mix old and new state. Mutations are
     /// refused from then on ([`RTreeError::Poisoned`]).
@@ -117,21 +117,27 @@ impl<const D: usize> std::fmt::Debug for RTree<D> {
 }
 
 impl<const D: usize> RTree<D> {
-    /// Create an empty tree on `pool`. Allocates the meta page (page 0)
-    /// and an empty root leaf.
+    /// Create an empty tree named [`DEFAULT_TREE`] on `pool`'s disk,
+    /// formatting the disk as a v2 file if it is empty.
     pub fn create(pool: Arc<BufferPool>, cap: NodeCapacity) -> Result<Self> {
+        Self::create_named(pool, DEFAULT_TREE, cap)
+    }
+
+    /// Create an empty tree under `name`. An empty disk is formatted as
+    /// a v2 file (superblock + allocator + catalog); a disk already
+    /// holding a v2 file gains another catalog entry, so several named
+    /// trees share the pages of one file.
+    pub fn create_named(pool: Arc<BufferPool>, name: &str, cap: NodeCapacity) -> Result<Self> {
         Self::check_capacity(&pool, cap)?;
-        let meta_page = pool.disk().allocate()?;
-        debug_assert_eq!(meta_page, PageId(0), "meta page must be page 0");
-        let root = pool.disk().allocate()?;
-        let tree = Self {
-            pool,
+        let mut store = NodeStore::create(pool, name)?;
+        let root = store.alloc_page()?;
+        let mut tree = Self {
+            store,
             cap,
             policy: SplitPolicy::default(),
             root,
             height: 1,
             len: 0,
-            free: Vec::new(),
             poisoned: false,
         };
         tree.write_node(root, &Node::new(0))?;
@@ -142,92 +148,90 @@ impl<const D: usize> RTree<D> {
     /// Assemble a tree around an already-built root (used by the bulk
     /// loader).
     pub(crate) fn from_parts(
-        pool: Arc<BufferPool>,
+        store: NodeStore<RectCodec<D>>,
         cap: NodeCapacity,
         root: PageId,
         height: u32,
         len: u64,
     ) -> Self {
         Self {
-            pool,
+            store,
             cap,
             policy: SplitPolicy::default(),
             root,
             height,
             len,
-            free: Vec::new(),
             poisoned: false,
         }
     }
 
-    /// Reopen a tree persisted on `pool`'s disk.
+    /// Reopen the [`DEFAULT_TREE`] persisted on `pool`'s disk — a v2
+    /// file's "default" catalog entry, or a legacy v1 single-tree image
+    /// (which stays fully usable, and stays v1 on re-persist).
     pub fn open(pool: Arc<BufferPool>) -> Result<Self> {
-        let ps = pool.page_size();
-        let mut page = vec![0u8; ps];
-        pool.disk().read_page(PageId(0), &mut page)?;
-        let mut buf = &page[..];
-        if buf.get_u32_le() != META_MAGIC {
+        Self::open_named(pool, DEFAULT_TREE)
+    }
+
+    /// Reopen the tree stored under `name`.
+    pub fn open_named(pool: Arc<BufferPool>, name: &str) -> Result<Self> {
+        let (store, meta) = NodeStore::open(pool, name)?;
+        let meta_page = store.meta_page();
+        if meta.kind != KIND_RTREE {
             return Err(RTreeError::Corrupt {
-                page: PageId(0),
-                reason: "bad meta magic".into(),
+                page: meta_page,
+                reason: format!(
+                    "tree '{name}' is a {}, not an rtree",
+                    crate::store::kind_name(meta.kind)
+                ),
             });
         }
-        let dims = buf.get_u32_le() as usize;
-        if dims != D {
+        if meta.dims as usize != D {
             return Err(RTreeError::Corrupt {
-                page: PageId(0),
-                reason: format!("tree on disk is {dims}-dimensional, opened as {D}"),
+                page: meta_page,
+                reason: format!("tree on disk is {}-dimensional, opened as {D}", meta.dims),
             });
         }
-        let root = PageId(buf.get_u64_le());
-        let height = buf.get_u32_le();
-        let cap_max = buf.get_u32_le() as usize;
-        let cap_min = buf.get_u32_le() as usize;
-        let policy = SplitPolicy::from_tag(buf.get_u32_le());
-        let len = buf.get_u64_le();
-        let cap = NodeCapacity::with_min(cap_max, cap_min).ok_or_else(|| RTreeError::Corrupt {
-            page: PageId(0),
-            reason: format!("invalid capacity {cap_max}/{cap_min}"),
-        })?;
-        Self::check_capacity(&pool, cap)?;
+        let cap = NodeCapacity::with_min(meta.cap_max as usize, meta.cap_min as usize).ok_or_else(
+            || RTreeError::Corrupt {
+                page: meta_page,
+                reason: format!("invalid capacity {}/{}", meta.cap_max, meta.cap_min),
+            },
+        )?;
+        Self::check_capacity(store.pool(), cap)?;
         Ok(Self {
-            pool,
+            store,
             cap,
-            policy,
-            root,
-            height,
-            len,
-            free: Vec::new(),
+            policy: SplitPolicy::from_tag(meta.policy),
+            root: meta.root,
+            height: meta.height,
+            len: meta.len,
             poisoned: false,
         })
     }
 
-    /// Write metadata to page 0 (directly to disk, bypassing the buffer)
-    /// and flush dirty node pages. After `persist`, [`RTree::open`] on the
-    /// same disk reconstructs the tree.
+    /// Write metadata to the tree's meta page (directly to disk,
+    /// bypassing the buffer) and flush dirty node pages. After
+    /// `persist`, [`RTree::open`] on the same disk reconstructs the
+    /// tree.
     ///
-    /// The in-memory free list (pages released by deletions) is not
-    /// persisted: a reopened tree simply allocates fresh pages instead
-    /// of reusing those slots. This wastes at most the freed pages'
-    /// space on disk and never affects correctness.
-    pub fn persist(&self) -> Result<()> {
-        let ps = self.pool.page_size();
-        let mut page = vec![0u8; ps];
-        {
-            let mut buf = &mut page[..];
-            buf.put_u32_le(META_MAGIC);
-            buf.put_u32_le(D as u32);
-            buf.put_u64_le(self.root.index());
-            buf.put_u32_le(self.height);
-            buf.put_u32_le(self.cap.max() as u32);
-            buf.put_u32_le(self.cap.min() as u32);
-            buf.put_u32_le(self.policy.tag());
-            buf.put_u64_le(self.len);
-        }
-        self.pool.flush()?;
-        self.pool.disk().write_page(PageId(0), &page)?;
-        self.pool.disk().sync()?;
-        Ok(())
+    /// Pages released by deletions this session are handed to the
+    /// format-v2 persistent free chain here (after the meta write, so a
+    /// crash can only leak them, never double-allocate) — a reopened
+    /// tree reuses freed pages instead of stranding them. Legacy v1
+    /// images have no on-disk free list; for them the session free list
+    /// really is discarded, and `check` reports the stranded pages.
+    pub fn persist(&mut self) -> Result<()> {
+        let meta = TreeMeta {
+            kind: KIND_RTREE,
+            dims: D as u32,
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            cap_max: self.cap.max() as u32,
+            cap_min: self.cap.min() as u32,
+            policy: self.policy.tag(),
+        };
+        self.store.persist(&meta)
     }
 
     fn check_capacity(pool: &BufferPool, cap: NodeCapacity) -> Result<()> {
@@ -244,7 +248,12 @@ impl<const D: usize> RTree<D> {
     /// The buffer pool (for I/O statistics: a query's disk accesses are
     /// the pool's miss-count delta across the query).
     pub fn pool(&self) -> &Arc<BufferPool> {
-        &self.pool
+        self.store.pool()
+    }
+
+    /// The node store (page allocation, meta persistence, fsck).
+    pub fn store(&self) -> &NodeStore<RectCodec<D>> {
+        &self.store
     }
 
     /// Node capacity.
@@ -292,8 +301,8 @@ impl<const D: usize> RTree<D> {
     /// Read and decode the node on `page` through the buffer pool into an
     /// owned [`Node`] — the mutation-path representation.
     pub(crate) fn read_node(&self, page: PageId) -> Result<Node<D>> {
-        self.pool
-            .with_page(page, |bytes| codec::decode::<D>(bytes, page))?
+        let (level, entries) = self.store.read_node(page)?;
+        Ok(Node { level, entries })
     }
 
     /// Run `f` on a zero-copy [`NodeView`](codec::NodeView) of the node
@@ -310,7 +319,7 @@ impl<const D: usize> RTree<D> {
         page: PageId,
         f: impl FnOnce(&codec::NodeView<'_, D>) -> R,
     ) -> Result<R> {
-        self.pool.with_page(page, |bytes| {
+        self.store.pool().with_page(page, |bytes| {
             let view = codec::NodeView::parse(bytes, page)?;
             Ok(f(&view))
         })?
@@ -319,22 +328,18 @@ impl<const D: usize> RTree<D> {
     /// Encode and write `node` to `page` through the buffer pool,
     /// serializing straight into the frame (no staging buffer).
     pub(crate) fn write_node(&self, page: PageId, node: &Node<D>) -> Result<()> {
-        self.pool
-            .overwrite_page(page, |buf| codec::encode(node, buf))?;
-        Ok(())
+        self.store.write_node(page, node.level, &node.entries)
     }
 
-    /// Get a page for a new node: reuse a freed page or allocate.
+    /// Get a page for a new node: reuse a freed page (this session's
+    /// list first, then the persistent free chain) or allocate.
     pub(crate) fn alloc_page(&mut self) -> Result<PageId> {
-        if let Some(p) = self.free.pop() {
-            return Ok(p);
-        }
-        Ok(self.pool.disk().allocate()?)
+        self.store.alloc_page()
     }
 
     /// Return a page to the free list.
     pub(crate) fn free_page(&mut self, page: PageId) {
-        self.free.push(page);
+        self.store.free_page(page);
     }
 
     // ---- staged mutations ---------------------------------------------
@@ -390,7 +395,7 @@ impl<const D: usize> RTree<D> {
     /// error: pages acquired for the overlay go back to the free list
     /// and nothing else changes.
     pub(crate) fn abandon_staging(&mut self, st: Staging<D>) {
-        self.free.extend(st.allocated);
+        self.store.extend_free(st.allocated);
     }
 
     /// Apply a staging overlay to the tree: write every staged node (in
@@ -421,7 +426,7 @@ impl<const D: usize> RTree<D> {
         }
         self.root = st.root;
         self.height = st.height;
-        self.free.extend(st.freed);
+        self.store.extend_free(st.freed);
         Ok(())
     }
 
@@ -749,7 +754,7 @@ impl<const D: usize> RTree<D> {
             if node.level < cutoff {
                 continue;
             }
-            self.pool.pin(page)?;
+            self.store.pool().pin(page)?;
             pinned.push(page);
             if !node.is_leaf() && node.level > cutoff {
                 for e in &node.entries {
@@ -763,7 +768,7 @@ impl<const D: usize> RTree<D> {
     /// Release pins taken by [`pin_levels`](Self::pin_levels).
     pub fn unpin_pages(&self, pages: &[PageId]) {
         for &p in pages {
-            self.pool.unpin(p);
+            self.store.pool().unpin(p);
         }
     }
 
@@ -911,7 +916,7 @@ mod tests {
     fn persist_and_reopen_empty() {
         let disk = Arc::new(MemDisk::default_size());
         let pool = Arc::new(BufferPool::new(disk.clone() as Arc<dyn storage::Disk>, 16));
-        let t = RTree::<2>::create(pool, NodeCapacity::new(10).unwrap()).unwrap();
+        let mut t = RTree::<2>::create(pool, NodeCapacity::new(10).unwrap()).unwrap();
         t.persist().unwrap();
         let pool2 = Arc::new(BufferPool::new(disk as Arc<dyn storage::Disk>, 16));
         let t2 = RTree::<2>::open(pool2).unwrap();
@@ -924,7 +929,7 @@ mod tests {
     fn open_wrong_dimension_fails() {
         let disk = Arc::new(MemDisk::default_size());
         let pool = Arc::new(BufferPool::new(disk.clone() as Arc<dyn storage::Disk>, 16));
-        let t = RTree::<2>::create(pool, NodeCapacity::new(10).unwrap()).unwrap();
+        let mut t = RTree::<2>::create(pool, NodeCapacity::new(10).unwrap()).unwrap();
         t.persist().unwrap();
         let pool2 = Arc::new(BufferPool::new(disk as Arc<dyn storage::Disk>, 16));
         assert!(RTree::<3>::open(pool2).is_err());

@@ -37,7 +37,7 @@ fn uniform_entries(n: usize, seed: u64) -> Vec<Entry<2>> {
 /// STR ordering (paper §4): sort by x, carve into vertical slabs of
 /// `slab` entries, sort each slab by y. Applied per level by the bulk
 /// loader.
-fn str_order(entries: &mut Vec<Entry<2>>, cap: usize) {
+fn str_order(entries: &mut [Entry<2>], cap: usize) {
     entries.sort_by(|a, b| a.rect.center_coord(0).total_cmp(&b.rect.center_coord(0)));
     let n = entries.len();
     let leaves = n.div_ceil(cap);

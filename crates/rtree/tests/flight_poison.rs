@@ -86,8 +86,7 @@ fn flight_recorder_captures_run_up_to_poisoning() {
         .ticket;
     let last_fault = events
         .iter()
-        .filter(|e| e.kind == EventKind::FaultFired)
-        .last()
+        .rfind(|e| e.kind == EventKind::FaultFired)
         .expect("the injected fault must be on the record");
     assert_eq!(last_fault.a, 1, "fired on a write");
     assert_eq!(last_fault.b, 0, "FaultKind::Error ordinal");

@@ -110,16 +110,29 @@ pub trait Disk: Send + Sync {
     /// [`StorageError::PartialWrite`] carrying the number of pages at the
     /// start of the batch that are confirmed durable.
     ///
+    /// Batch validation (size multiple, both ends in bounds) lives here,
+    /// once; impls customize only [`write_pages_body`].
+    ///
     /// [`write_page`]: Disk::write_page
+    /// [`write_pages_body`]: Disk::write_pages_body
     fn write_pages(&self, first: PageId, buf: &[u8]) -> Result<()> {
-        let ps = self.page_size();
-        if buf.is_empty() || !buf.len().is_multiple_of(ps) {
-            return Err(StorageError::PageSizeMismatch {
-                expected: ps,
-                got: buf.len(),
-            });
-        }
-        for (i, page) in buf.chunks(ps).enumerate() {
+        let n = check_batch_len(self.page_size(), buf.len())?;
+        let allocated = self.num_pages();
+        check_bounds(first, allocated)?;
+        check_bounds(PageId(first.index() + n - 1), allocated)?;
+        self.write_pages_body(first, buf, n)
+    }
+
+    /// The device-specific part of [`write_pages`], called after batch
+    /// validation with `n = buf.len() / page_size()`. The default loops
+    /// [`write_page`] so wrappers ([`FaultDisk`](crate::FaultDisk)) see —
+    /// and can fault — each page individually; terminal impls override
+    /// with one device call.
+    ///
+    /// [`write_pages`]: Disk::write_pages
+    /// [`write_page`]: Disk::write_page
+    fn write_pages_body(&self, first: PageId, buf: &[u8], _n: u64) -> Result<()> {
+        for (i, page) in buf.chunks(self.page_size()).enumerate() {
             self.write_page(PageId(first.index() + i as u64), page)
                 .map_err(|e| StorageError::PartialWrite {
                     written: i as u64,
@@ -156,6 +169,17 @@ fn check_bounds(id: PageId, allocated: u64) -> Result<()> {
         });
     }
     Ok(())
+}
+
+/// Validate a batch-write buffer length and return the page count.
+fn check_batch_len(page_size: usize, len: usize) -> Result<u64> {
+    if len == 0 || !len.is_multiple_of(page_size) {
+        return Err(StorageError::PageSizeMismatch {
+            expected: page_size,
+            got: len,
+        });
+    }
+    Ok((len / page_size) as u64)
 }
 
 /// An in-memory "raw partition": byte-accurate page store with exact
@@ -221,19 +245,11 @@ impl Disk for MemDisk {
         Ok(())
     }
 
-    fn write_pages(&self, first: PageId, buf: &[u8]) -> Result<()> {
-        let ps = self.page_size;
-        if buf.is_empty() || !buf.len().is_multiple_of(ps) {
-            return Err(StorageError::PageSizeMismatch {
-                expected: ps,
-                got: buf.len(),
-            });
-        }
-        let n = (buf.len() / ps) as u64;
+    fn write_pages_body(&self, first: PageId, buf: &[u8], n: u64) -> Result<()> {
         let mut pages = self.pages.lock();
-        check_bounds(first, pages.len() as u64)?;
-        check_bounds(PageId(first.index() + n - 1), pages.len() as u64)?;
-        for (i, page) in buf.chunks(ps).enumerate() {
+        // The trait already bounds-checked and the page vector only grows.
+        debug_assert!(first.index() + n <= pages.len() as u64);
+        for (i, page) in buf.chunks(self.page_size).enumerate() {
             pages[first.index() as usize + i].copy_from_slice(page);
         }
         // One write per page, same as n write_page calls would count.
@@ -344,22 +360,13 @@ impl Disk for FileDisk {
         Ok(())
     }
 
-    fn write_pages(&self, first: PageId, buf: &[u8]) -> Result<()> {
+    fn write_pages_body(&self, first: PageId, buf: &[u8], n: u64) -> Result<()> {
         use std::os::unix::fs::FileExt;
-        let ps = self.page_size;
-        if buf.is_empty() || !buf.len().is_multiple_of(ps) {
-            return Err(StorageError::PageSizeMismatch {
-                expected: ps,
-                got: buf.len(),
-            });
-        }
-        let n = (buf.len() / ps) as u64;
-        check_bounds(first, self.num_pages())?;
-        check_bounds(PageId(first.index() + n - 1), self.num_pages())?;
         // One positioned syscall for the whole run — this is the point of
         // batching on a real device.
         let _span = FILE_WRITE_NS.start();
-        self.file.write_all_at(buf, first.index() * ps as u64)?;
+        self.file
+            .write_all_at(buf, first.index() * self.page_size as u64)?;
         self.stats.record_writes(n);
         observe_physical_write(first, buf.len(), n);
         Ok(())

@@ -19,12 +19,14 @@
 pub mod buffer;
 pub mod disk;
 pub mod fault;
+pub mod format;
 pub mod page;
 pub mod seq;
 
 pub use buffer::{BufferPool, BufferStats, PinGuard, ShardedBufferPool};
 pub use disk::{Disk, FileDisk, IoStats, LatencyDisk, MemDisk};
 pub use fault::{FaultDisk, FaultId, FaultKind, FaultOp, FaultSpec, Trigger};
+pub use format::{CatalogEntry, PageAllocator, FORMAT_V2_MAGIC, FREE_PAGE_MAGIC};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use seq::SequentialPageWriter;
 
@@ -64,6 +66,18 @@ pub enum StorageError {
         /// The page the faulted operation addressed.
         page: PageId,
     },
+    /// On-disk format metadata (superblock, free-list chain) failed
+    /// validation.
+    Corrupt {
+        /// The page that failed validation.
+        page: PageId,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A tree with this name already exists in the catalog.
+    TreeExists(String),
+    /// No tree with this name exists in the catalog.
+    UnknownTree(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -85,6 +99,15 @@ impl std::fmt::Display for StorageError {
             }
             StorageError::FaultInjected { op, page } => {
                 write!(f, "injected {op} fault at {page}")
+            }
+            StorageError::Corrupt { page, reason } => {
+                write!(f, "corrupt format metadata at {page}: {reason}")
+            }
+            StorageError::TreeExists(name) => {
+                write!(f, "tree '{name}' already exists in this file")
+            }
+            StorageError::UnknownTree(name) => {
+                write!(f, "no tree named '{name}' in this file")
             }
         }
     }

@@ -190,8 +190,8 @@ fn multi_shard_stress_preserves_data_and_counters() {
     pool.clear().unwrap();
     for p in 0..PAGES {
         pool.with_page(PageId(p), |bytes| {
-            for t in 0..THREADS as usize {
-                assert!(bytes[t] == 0 || bytes[t] == t as u8 + 1);
+            for (t, &b) in bytes.iter().enumerate().take(THREADS as usize) {
+                assert!(b == 0 || b == t as u8 + 1);
             }
         })
         .unwrap();

@@ -33,7 +33,7 @@ fn main() {
     let scratch = Arc::new(MemDisk::default_size());
 
     let t0 = std::time::Instant::now();
-    let tree = pack_str_external(
+    let mut tree = pack_str_external(
         pool,
         scratch.clone() as Arc<dyn Disk>,
         ds.items(),

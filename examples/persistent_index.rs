@@ -23,7 +23,7 @@ fn main() {
         let disk = Arc::new(FileDisk::create(&path, storage::DEFAULT_PAGE_SIZE).expect("create"));
         let pool = Arc::new(BufferPool::new(disk, 256));
         let ds = datagen::vlsi::vlsi_like(100_000, 7);
-        let tree = StrPacker::new()
+        let mut tree = StrPacker::new()
             .pack(pool, ds.items(), NodeCapacity::new(100).expect("cap"))
             .expect("pack");
         tree.persist().expect("flush to disk");

@@ -1,0 +1,337 @@
+//! On-disk format v2, end to end: reopen round-trips for every tree
+//! variant, multi-tree files under delete-heavy churn, crash schedules
+//! over the persist path, and legacy v1 image compatibility.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use str_rtree::prelude::*;
+use str_rtree::rtree::codec::RectCodec;
+use str_rtree::rtree::store::{self, META_MAGIC_V1};
+use str_rtree::rtree::Entry;
+use str_rtree::storage::{
+    Disk, FaultDisk, FaultKind, FaultOp, FaultSpec, PageAllocator, Trigger, DEFAULT_PAGE_SIZE,
+};
+
+fn everything() -> Rect2 {
+    Rect2::new([0.0, 0.0], [1.0, 1.0])
+}
+
+fn id_set(hits: &[(Rect2, u64)]) -> BTreeSet<u64> {
+    hits.iter().map(|&(_, id)| id).collect()
+}
+
+/// Distinct grid coordinate for item `i`.
+fn coords(i: u64) -> (f64, f64) {
+    ((i % 20) as f64 / 20.0, (i / 20) as f64 / 20.0)
+}
+
+fn rect_of(i: u64) -> Rect2 {
+    let (x, y) = coords(i);
+    Rect2::new([x, y], [x, y])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Build → insert/delete mix → persist → reopen on a fresh pool:
+    /// every variant must return exactly the surviving items, and the
+    /// reopened STR tree must audit clean with zero leaked pages.
+    #[test]
+    fn reopen_round_trip_matches_oracle(
+        pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 20..120),
+        q in (0.0f64..0.6, 0.0f64..0.6),
+    ) {
+        let items: Vec<(Rect2, u64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (Rect2::new([x, y], [x, y]), i as u64))
+            .collect();
+        let query = Rect2::new([q.0, q.1], [q.0 + 0.4, q.1 + 0.4]);
+        let doomed = |id: u64| id.is_multiple_of(3);
+        let expect: BTreeSet<u64> = items
+            .iter()
+            .filter(|(r, id)| !doomed(*id) && query.intersects(r))
+            .map(|&(_, id)| id)
+            .collect();
+
+        // STR R-tree.
+        {
+            let disk = Arc::new(MemDisk::default_size());
+            let pool = Arc::new(BufferPool::new(disk.clone(), 128));
+            let mut t = RTree::<2>::create(pool, NodeCapacity::new(8).unwrap()).unwrap();
+            for &(r, id) in &items {
+                t.insert(r, id).unwrap();
+            }
+            for &(r, id) in &items {
+                if doomed(id) {
+                    prop_assert!(t.delete(&r, id).unwrap());
+                }
+            }
+            t.persist().unwrap();
+            drop(t);
+            let pool = Arc::new(BufferPool::new(disk, 128));
+            let t = RTree::<2>::open(pool).unwrap();
+            prop_assert_eq!(id_set(&t.query_region(&query).unwrap()), expect.clone());
+            let report = t.check();
+            prop_assert!(report.is_clean(), "{}", report);
+            prop_assert!(report.unreachable.is_empty(), "leaked: {:?}", report.unreachable);
+        }
+
+        // R+-tree.
+        {
+            let disk = Arc::new(MemDisk::default_size());
+            let pool = Arc::new(BufferPool::new(disk.clone(), 128));
+            let mut t = RPlusTree::<2>::create(pool, NodeCapacity::new(8).unwrap()).unwrap();
+            for &(r, id) in &items {
+                t.insert(r, id).unwrap();
+            }
+            for &(r, id) in &items {
+                if doomed(id) {
+                    prop_assert!(t.delete(&r, id).unwrap());
+                }
+            }
+            t.persist().unwrap();
+            drop(t);
+            let pool = Arc::new(BufferPool::new(disk, 128));
+            let t = RPlusTree::<2>::open(pool).unwrap();
+            t.validate().unwrap();
+            prop_assert_eq!(id_set(&t.query_region(&query).unwrap()), expect.clone());
+        }
+
+        // Hilbert R-tree.
+        {
+            let disk = Arc::new(MemDisk::default_size());
+            let pool = Arc::new(BufferPool::new(disk.clone(), 128));
+            let mut t = HilbertRTree::create(pool, 8).unwrap();
+            for &(r, id) in &items {
+                t.insert(r, id).unwrap();
+            }
+            for &(r, id) in &items {
+                if doomed(id) {
+                    prop_assert!(t.delete(&r, id).unwrap());
+                }
+            }
+            t.persist().unwrap();
+            drop(t);
+            let pool = Arc::new(BufferPool::new(disk, 128));
+            let t = HilbertRTree::open(pool).unwrap();
+            t.validate().unwrap();
+            prop_assert_eq!(id_set(&t.query_region(&query).unwrap()), expect);
+        }
+    }
+}
+
+/// The acceptance scenario: one file holding three named trees (one of
+/// each variant), delete-heavy churn on all of them, a reopen — and the
+/// allocator audit must find zero leaked pages and a non-empty free
+/// chain (the freed pages actually reached the persistent free list).
+#[test]
+fn multi_tree_file_survives_delete_heavy_churn() {
+    let disk = Arc::new(MemDisk::default_size());
+    let pool = Arc::new(BufferPool::new(disk.clone(), 256));
+    let cap = NodeCapacity::new(8).unwrap();
+
+    let mut points = RTree::<2>::create_named(pool.clone(), "points", cap).unwrap();
+    let mut tiles = RPlusTree::<2>::create_named(pool.clone(), "tiles", cap).unwrap();
+    let mut curve = HilbertRTree::create_named(pool.clone(), "curve", 8).unwrap();
+
+    let n = 400u64;
+    for i in 0..n {
+        let r = rect_of(i);
+        points.insert(r, i).unwrap();
+        tiles.insert(r, i).unwrap();
+        curve.insert(r, i).unwrap();
+    }
+    // Delete three of every four.
+    for i in 0..n {
+        if i % 4 != 0 {
+            let r = rect_of(i);
+            assert!(points.delete(&r, i).unwrap());
+            assert!(tiles.delete(&r, i).unwrap());
+            assert!(curve.delete(&r, i).unwrap());
+        }
+    }
+    points.persist().unwrap();
+    tiles.persist().unwrap();
+    curve.persist().unwrap();
+    drop((points, tiles, curve));
+
+    let pool = Arc::new(BufferPool::new(disk, 256));
+    let points = RTree::<2>::open_named(pool.clone(), "points").unwrap();
+    let tiles = RPlusTree::<2>::open_named(pool.clone(), "tiles").unwrap();
+    let curve = HilbertRTree::open_named(pool.clone(), "curve").unwrap();
+
+    let expect: BTreeSet<u64> = (0..n).filter(|i| i % 4 == 0).collect();
+    assert_eq!(points.len(), expect.len() as u64);
+    assert_eq!(tiles.len(), expect.len() as u64);
+    assert_eq!(curve.len(), expect.len() as u64);
+    assert_eq!(id_set(&points.query_region(&everything()).unwrap()), expect);
+    assert_eq!(id_set(&tiles.query_region(&everything()).unwrap()), expect);
+    assert_eq!(id_set(&curve.query_region(&everything()).unwrap()), expect);
+    points.validate(false).unwrap();
+    tiles.validate().unwrap();
+    curve.validate().unwrap();
+
+    // Opening a name that isn't cataloged must fail cleanly.
+    assert!(RTree::<2>::open_named(pool, "nope").is_err());
+
+    // The audit walks all three trees out of the catalog: no leaks, no
+    // double frees, and the churn left a real free chain behind.
+    let report = points.check();
+    assert!(report.is_clean(), "{report}");
+    assert!(
+        report.unreachable.is_empty(),
+        "leaked pages: {:?}",
+        report.unreachable
+    );
+    assert!(report.free_pages > 0, "churn should have freed pages");
+}
+
+/// The allocator's crash contract, end to end: wherever a fail-stop
+/// fault lands in the churn/persist write sequence, the reopened file
+/// has whole, decodable pages (writes are all-or-nothing per page), a
+/// walkable free chain with no double frees, and keeps accepting work.
+/// Node *structure* may legitimately mix old and new pages after a
+/// crash (in-place updates are not shadow-paged — `check` reports the
+/// damage); the allocator invariants are what must never break, because
+/// a violated free chain corrupts unrelated trees on the next allocate.
+#[test]
+fn crash_during_persist_leaks_at_worst() {
+    for crash_at in [0u64, 1, 2, 3, 5, 8, 13, 21, 34, 55] {
+        let mem = Arc::new(MemDisk::default_size());
+        let fault = Arc::new(FaultDisk::new(mem));
+        let pool = Arc::new(BufferPool::new(fault.clone(), 64));
+        let mut tree = RTree::<2>::create(pool, NodeCapacity::new(8).unwrap()).unwrap();
+        for i in 0..80u64 {
+            tree.insert(rect_of(i), i).unwrap();
+        }
+        tree.persist().unwrap();
+
+        // Churn under a fail-stop schedule: the `crash_at`-th write from
+        // here on (node flushes, free-chain links, the meta commit, the
+        // superblock) kills the disk.
+        fault.push(FaultSpec {
+            op: FaultOp::Write,
+            kind: FaultKind::Crash,
+            trigger: Trigger::OnceAt(crash_at),
+        });
+        let mut attempted: BTreeSet<u64> = (0..80).collect();
+        let churn = (|| -> rtree::Result<()> {
+            for i in 0..40u64 {
+                tree.delete(&rect_of(i), i)?;
+                attempted.remove(&i);
+            }
+            for i in 80..120u64 {
+                tree.insert(rect_of(i), i)?;
+                attempted.insert(i);
+            }
+            tree.persist()
+        })();
+        drop(tree);
+
+        // Power back on (and disarm the schedule, or it would re-fire
+        // on the replayed write indices) and reopen from the last
+        // durable meta.
+        fault.revive();
+        fault.set_armed(false);
+        let pool = Arc::new(BufferPool::new(fault.clone(), 64));
+        let mut tree = RTree::<2>::open(pool).unwrap();
+        let report = tree.check();
+        assert!(
+            report.corrupt.is_empty(),
+            "crash_at={crash_at}: pages must stay whole: {report}"
+        );
+        assert!(
+            report.alloc_issues.is_empty(),
+            "crash_at={crash_at}: allocator invariants broke: {report}"
+        );
+        if churn.is_ok() {
+            // The fault fired after the last durable write (or not at
+            // all): the reopened tree must be exactly the new state.
+            assert!(report.is_clean(), "crash_at={crash_at}: {report}");
+            let got = id_set(&tree.query_region(&everything()).unwrap());
+            assert_eq!(got, attempted, "crash_at={crash_at}");
+        }
+
+        // Life goes on: the revived file still takes inserts and
+        // persists, and the allocator audit stays sound — a double
+        // allocation out of a broken chain would show up here.
+        for i in 200..260u64 {
+            tree.insert(rect_of(i % 120), i).unwrap();
+        }
+        tree.persist().unwrap();
+        drop(tree);
+        let pool = Arc::new(BufferPool::new(fault.clone(), 64));
+        let tree = RTree::<2>::open(pool).unwrap();
+        let report = tree.check();
+        assert!(
+            report.corrupt.is_empty() && report.alloc_issues.is_empty(),
+            "crash_at={crash_at}: {report}"
+        );
+    }
+}
+
+/// A hand-built v1 single-tree image (meta on page 0, nodes from page
+/// 1, no superblock) still opens, queries, mutates and persists — and
+/// stays v1 on disk, so older builds could still read it back.
+#[test]
+fn v1_single_tree_image_still_opens() {
+    let disk = Arc::new(MemDisk::default_size());
+    let meta_page = disk.allocate().unwrap();
+    let leaf = disk.allocate().unwrap();
+    assert_eq!(meta_page.index(), 0);
+    assert_eq!(leaf.index(), 1);
+
+    let n = 37u64;
+    let entries: Vec<Entry<2>> = (0..n)
+        .map(|i| {
+            let x = i as f64 / n as f64;
+            Entry::data(Rect2::new([x, 0.0], [x, 1.0]), i)
+        })
+        .collect();
+    let mut page = vec![0u8; DEFAULT_PAGE_SIZE];
+    store::encode_node::<RectCodec<2>>(0, &entries, &mut page);
+    disk.write_page(leaf, &page).unwrap();
+
+    // The v1 meta layout: magic, dims, root, height, cap max/min,
+    // split-policy tag, len.
+    let mut meta = vec![0u8; DEFAULT_PAGE_SIZE];
+    meta[0..4].copy_from_slice(b"RTM1");
+    meta[4..8].copy_from_slice(&2u32.to_le_bytes());
+    meta[8..16].copy_from_slice(&leaf.index().to_le_bytes());
+    meta[16..20].copy_from_slice(&1u32.to_le_bytes());
+    meta[20..24].copy_from_slice(&64u32.to_le_bytes());
+    meta[24..28].copy_from_slice(&16u32.to_le_bytes());
+    meta[28..32].copy_from_slice(&0u32.to_le_bytes());
+    meta[32..40].copy_from_slice(&n.to_le_bytes());
+    disk.write_page(meta_page, &meta).unwrap();
+
+    let pool = Arc::new(BufferPool::new(disk.clone(), 64));
+    let mut t = RTree::<2>::open(pool).unwrap();
+    assert_eq!(t.len(), n);
+    assert_eq!(t.query_region(&everything()).unwrap().len(), n as usize);
+    t.validate(false).unwrap();
+    let report = t.check();
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.free_pages, 0, "v1 images keep no free chain");
+
+    // Mutating and persisting keeps the image v1: no superblock ever
+    // appears on page 0.
+    t.insert(Rect2::new([0.5, 0.5], [0.5, 0.5]), 999).unwrap();
+    t.persist().unwrap();
+    assert_eq!(
+        PageAllocator::probe_magic(disk.as_ref()).unwrap(),
+        Some(META_MAGIC_V1)
+    );
+
+    let pool = Arc::new(BufferPool::new(disk, 64));
+    let t = RTree::<2>::open(pool.clone()).unwrap();
+    assert_eq!(t.len(), n + 1);
+
+    // v1 files are single-tree by construction: only the default name
+    // resolves, and no new tree can be cataloged into one.
+    assert!(RTree::<2>::open_named(pool.clone(), "other").is_err());
+    assert!(RTree::<2>::create_named(pool, "extra", NodeCapacity::new(8).unwrap()).is_err());
+}

@@ -20,7 +20,7 @@ fn packed_tree_round_trips_through_file() {
     let expect: Vec<(geom::Rect2, u64)> = {
         let disk = Arc::new(FileDisk::create(&path, storage::DEFAULT_PAGE_SIZE).unwrap());
         let pool = Arc::new(BufferPool::new(disk, 128));
-        let tree = StrPacker::new()
+        let mut tree = StrPacker::new()
             .pack(pool, items, NodeCapacity::new(100).unwrap())
             .unwrap();
         tree.persist().unwrap();
@@ -79,7 +79,7 @@ fn torn_page_is_detected() {
         let disk = Arc::new(FileDisk::create(&path, storage::DEFAULT_PAGE_SIZE).unwrap());
         let pool = Arc::new(BufferPool::new(disk, 64));
         let ds = datagen::synthetic::synthetic_points(2_000, 22);
-        let tree = StrPacker::new()
+        let mut tree = StrPacker::new()
             .pack(pool, ds.items(), NodeCapacity::new(100).unwrap())
             .unwrap();
         tree.persist().unwrap();
