@@ -3,8 +3,58 @@
 //! the "simple to implement" half of the paper's title made measurable.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hilbert::{axes_to_index, hilbert_index_f64};
+use hilbert::{axes_to_index, hilbert_index_f64, xy2d_lut};
 use str_bench::uniform_items;
+
+/// A/B of the 2-D encoders on the same coordinate stream, at the
+/// 64-bit-per-axis width `hilbert_index_f64` uses: the per-bit
+/// transpose algorithm vs the byte-at-a-time LUT the hot path now
+/// dispatches to. The ordering guard asserts bit-exact agreement on the
+/// stream before timing, so the speedup cannot come from computing a
+/// different curve.
+fn bench_lut_vs_per_bit(c: &mut Criterion) {
+    let mut coords = Vec::with_capacity(4096);
+    let mut v = 0x2545_f491_4f6c_dd1du64;
+    for _ in 0..4096 {
+        v ^= v << 13;
+        v ^= v >> 7;
+        v ^= v << 17;
+        let x = v;
+        v ^= v << 13;
+        v ^= v >> 7;
+        v ^= v << 17;
+        coords.push((x, v));
+    }
+    for &(x, y) in &coords {
+        assert_eq!(
+            xy2d_lut(x, y, 64),
+            axes_to_index(&[x, y], 64),
+            "encoders disagree at ({x:#x},{y:#x})"
+        );
+    }
+
+    let mut g = c.benchmark_group("hilbert_2d_encoder");
+    g.throughput(Throughput::Elements(coords.len() as u64));
+    g.bench_function(BenchmarkId::from_parameter("per_bit"), |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for &(x, y) in &coords {
+                acc ^= axes_to_index(&[x, y], 64);
+            }
+            acc
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("lut"), |b| {
+        b.iter(|| {
+            let mut acc = 0u128;
+            for &(x, y) in &coords {
+                acc ^= xy2d_lut(x, y, 64);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
 
 fn bench_key_computation(c: &mut Criterion) {
     let mut g = c.benchmark_group("hilbert_key");
@@ -68,5 +118,10 @@ fn bench_orderings(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_key_computation, bench_orderings);
+criterion_group!(
+    benches,
+    bench_key_computation,
+    bench_lut_vs_per_bit,
+    bench_orderings
+);
 criterion_main!(benches);

@@ -1,12 +1,22 @@
-//! Decoded vs zero-copy traversal on a 100k-entry STR tree, plus build
-//! throughput — the two sides of this optimization round in one binary.
+//! Decoded vs zero-copy vs flat traversal on a 100k-entry STR tree,
+//! plus build throughput — every serving path of the same packed data
+//! interleaved in one binary, so the A/B numbers share a process, a
+//! warm cache state, and one artifact.
+//!
+//! The flat rows serve the identical query set from the flat tier
+//! (`flat::FlatTree`): `flat` from an owned in-memory buffer, and
+//! `flat_mmap` zero-copy from an mmap'ed file — the paged rows above
+//! them are the baseline the flat tier must beat. Result-set parity is
+//! asserted before timing starts, so a fast-but-wrong kernel cannot
+//! produce a benchmark number.
 //!
 //! Unlike the other benches this one has a custom `main`: after running,
 //! it serializes every sample to `BENCH_pack_query.json` at the
 //! repository root so the numbers land in a machine-readable artifact
 //! next to the human-readable table (the shim's `samples()` accessor
 //! exists for exactly this). The artifact follows the repo-wide
-//! `{name, config, metrics}` schema documented in DESIGN.md.
+//! `{name, config, metrics}` schema documented in DESIGN.md and is
+//! schema-checked on emit.
 
 use criterion::{BenchmarkId, Criterion, Throughput};
 use geom::Rect2;
@@ -75,7 +85,49 @@ fn bench_traversal(c: &mut Criterion) {
             tree.iter_region(&regions[i]).count()
         })
     });
+
+    // Flat tier over the same tree: owned buffer and mmap'ed file.
+    let flat_owned = flat::FlatTree::from_rtree(&tree).unwrap();
+    let flat_path =
+        std::env::temp_dir().join(format!("bench-traversal-{}.flat", std::process::id()));
+    flat::FlatTree::write_file(&tree, &flat_path).unwrap();
+    let flat_mapped = flat::FlatTree::<2>::open(&flat_path).unwrap();
+    assert!(flat_mapped.is_mapped());
+
+    // Identical result sets on every probe region, checked before any
+    // timing: the speedup below is only meaningful if the answers match.
+    for q in &regions {
+        let mut want: Vec<u64> = Vec::new();
+        tree.query_region_visit(q, &mut |_, id| want.push(id))
+            .unwrap();
+        want.sort_unstable();
+        for (label, f) in [("owned", &flat_owned), ("mmap", &flat_mapped)] {
+            let mut got: Vec<u64> = f.query_region(q).into_iter().map(|(_, id)| id).collect();
+            got.sort_unstable();
+            assert_eq!(got, want, "flat ({label}) diverged from paged on {q:?}");
+        }
+    }
+
+    let mut i = 0usize;
+    g.bench_function(BenchmarkId::from_parameter("flat"), |b| {
+        b.iter(|| {
+            i = (i + 1) % regions.len();
+            let mut n = 0u64;
+            flat_owned.for_each_in_region(&regions[i], |_, _| n += 1);
+            n
+        })
+    });
+    let mut i = 0usize;
+    g.bench_function(BenchmarkId::from_parameter("flat_mmap"), |b| {
+        b.iter(|| {
+            i = (i + 1) % regions.len();
+            let mut n = 0u64;
+            flat_mapped.for_each_in_region(&regions[i], |_, _| n += 1);
+            n
+        })
+    });
     g.finish();
+    std::fs::remove_file(&flat_path).ok();
 }
 
 /// Render the collected samples as the `metrics` object of the repo-wide
@@ -105,6 +157,24 @@ fn main() {
         ("capacity", "100".to_string()),
         ("region_queries", "64".to_string()),
     ];
+    // Headline ratio: flat tier vs the fastest paged path.
+    let median = |label: &str| {
+        c.samples()
+            .iter()
+            .find(|s| s.label == label)
+            .map(|s| s.median_ns)
+    };
+    if let (Some(paged), Some(flat), Some(flat_mmap)) = (
+        median("region_query_100k/zero_copy"),
+        median("region_query_100k/flat"),
+        median("region_query_100k/flat_mmap"),
+    ) {
+        println!(
+            "flat speedup vs paged zero_copy: {:.2}x owned, {:.2}x mmap",
+            paged / flat,
+            paged / flat_mmap
+        );
+    }
     match str_bench::write_artifact("pack_query", &config, &render_metrics(&c)) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write artifact: {e}"),

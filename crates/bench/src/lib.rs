@@ -7,6 +7,8 @@
 //! latency, and the cost of the machinery itself (Hilbert keys, buffer
 //! pool).
 
+pub mod schema;
+
 use std::sync::Arc;
 
 use geom::Rect2;
@@ -75,6 +77,13 @@ pub fn write_artifact(
         out.push_str(&format!("{}\"{k}\": {v}", if i == 0 { "" } else { ", " }));
     }
     out.push_str(&format!("}},\n  \"metrics\": {metrics}\n}}\n"));
+    // Emit-time schema gate: a drifted document never reaches disk.
+    schema::validate_artifact(&out).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("BENCH_{name}.json violates the artifact schema: {e}"),
+        )
+    })?;
     let path = artifact_path(&format!("BENCH_{name}.json"));
     std::fs::write(&path, out)?;
     Ok(path)

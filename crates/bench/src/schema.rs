@@ -1,0 +1,504 @@
+//! The repo-wide bench-artifact schema, enforced at emit time.
+//!
+//! Every `BENCH_*.json` at the repository root must be one document of
+//! the shape
+//!
+//! ```text
+//! {
+//!   "name":    "<artifact name>",
+//!   "config":  { <flag>: <value>, ... },
+//!   "metrics": { "benchmarks": [ <sample>, ... ], ... }
+//! }
+//! ```
+//!
+//! where each sample object carries a `label` string, the
+//! `median_ns`/`min_ns`/`max_ns` trio, the `p50_ns`/`p90_ns`/`p99_ns`
+//! percentiles, and `throughput_per_sec` as a number or `null`. The
+//! artifacts drifted apart once already (early emitters wrote
+//! median/min/max only, later readers expected percentiles), so the
+//! schema now lives in code: [`crate::write_artifact`] refuses to emit
+//! a non-conforming document, and `repro check-bench` audits whatever
+//! is on disk.
+//!
+//! The parser is a deliberately small recursive-descent JSON reader —
+//! there is no serde in the workspace, and the artifacts are tiny.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// A parse or validation failure, with enough context to find it.
+#[derive(Debug)]
+pub struct SchemaError(pub String);
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SchemaError> {
+    Err(SchemaError(msg.into()))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), SchemaError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, SchemaError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, SchemaError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, SchemaError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| SchemaError(format!("non-utf8 number at byte {start}")))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|e| SchemaError(format!("bad number '{text}' at byte {start}: {e}")))
+    }
+
+    fn string(&mut self) -> Result<String, SchemaError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or(SchemaError("dangling escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or(SchemaError("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| SchemaError(format!("bad \\u escape: {e}")))?;
+                            self.pos += 4;
+                            // Artifacts are ASCII; surrogate pairs are out of scope.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                Some(b) => {
+                    // Multi-byte UTF-8 passes through byte-wise.
+                    let start = self.pos;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or(SchemaError("truncated utf-8".into()))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk)
+                            .map_err(|_| SchemaError(format!("bad utf-8 at byte {start}")))?,
+                    );
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, SchemaError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, SchemaError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => {
+                    return err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Parse one JSON document; trailing garbage is an error.
+pub fn parse(text: &str) -> Result<Value, SchemaError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// The percentile keys every benchmark sample must carry.
+pub const SAMPLE_KEYS: [&str; 6] = [
+    "median_ns",
+    "min_ns",
+    "max_ns",
+    "p50_ns",
+    "p90_ns",
+    "p99_ns",
+];
+
+/// Validate one artifact document against the repo-wide schema.
+/// Returns the artifact's `name` on success.
+///
+/// Two `metrics` shapes are legal, both percentile-carrying:
+/// * `"benchmarks": [sample, ...]` — criterion samples with the
+///   [`SAMPLE_KEYS`] latencies plus `throughput_per_sec` (number|null);
+/// * `"cells": [cell, ...]` — grid runs (pool size × threads) where
+///   each cell embeds a `latency_ns` histogram with numeric
+///   `p50`/`p90`/`p99`.
+pub fn validate_artifact(text: &str) -> Result<String, SchemaError> {
+    let doc = parse(text)?;
+    let top = doc
+        .as_object()
+        .ok_or(SchemaError("top level must be an object".into()))?;
+    let name = top
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or(SchemaError("missing string field 'name'".into()))?
+        .to_string();
+    top.get("config")
+        .and_then(Value::as_object)
+        .ok_or(SchemaError("missing object field 'config'".into()))?;
+    let metrics = top
+        .get("metrics")
+        .and_then(Value::as_object)
+        .ok_or(SchemaError("missing object field 'metrics'".into()))?;
+    match (metrics.get("benchmarks"), metrics.get("cells")) {
+        (Some(b), _) => validate_benchmarks(
+            b.as_array()
+                .ok_or(SchemaError("'benchmarks' must be an array".into()))?,
+        )?,
+        (None, Some(c)) => validate_cells(
+            c.as_array()
+                .ok_or(SchemaError("'cells' must be an array".into()))?,
+        )?,
+        (None, None) => {
+            return err("metrics must carry a 'benchmarks' or 'cells' array");
+        }
+    }
+    Ok(name)
+}
+
+fn validate_benchmarks(benchmarks: &[Value]) -> Result<(), SchemaError> {
+    if benchmarks.is_empty() {
+        return err("'benchmarks' is empty — the artifact carries no samples");
+    }
+    for (i, b) in benchmarks.iter().enumerate() {
+        let s = b
+            .as_object()
+            .ok_or(SchemaError(format!("benchmarks[{i}] is not an object")))?;
+        let label = s
+            .get("label")
+            .and_then(Value::as_str)
+            .ok_or(SchemaError(format!("benchmarks[{i}] missing 'label'")))?;
+        for key in SAMPLE_KEYS {
+            let n = s
+                .get(key)
+                .and_then(Value::as_number)
+                .ok_or(SchemaError(format!(
+                    "sample '{label}' missing numeric '{key}'"
+                )))?;
+            if !n.is_finite() || n < 0.0 {
+                return err(format!(
+                    "sample '{label}': '{key}' = {n} is not a valid latency"
+                ));
+            }
+        }
+        match s.get("throughput_per_sec") {
+            Some(Value::Null) | Some(Value::Number(_)) => {}
+            Some(_) => {
+                return err(format!(
+                    "sample '{label}': 'throughput_per_sec' must be a number or null"
+                ))
+            }
+            None => return err(format!("sample '{label}' missing 'throughput_per_sec'")),
+        }
+    }
+    Ok(())
+}
+
+fn validate_cells(cells: &[Value]) -> Result<(), SchemaError> {
+    if cells.is_empty() {
+        return err("'cells' is empty — the artifact carries no runs");
+    }
+    for (i, c) in cells.iter().enumerate() {
+        let cell = c
+            .as_object()
+            .ok_or(SchemaError(format!("cells[{i}] is not an object")))?;
+        let hist = cell
+            .get("latency_ns")
+            .and_then(Value::as_object)
+            .ok_or(SchemaError(format!(
+                "cells[{i}] missing 'latency_ns' histogram"
+            )))?;
+        for key in ["p50", "p90", "p99"] {
+            let n = hist
+                .get(key)
+                .and_then(Value::as_number)
+                .ok_or(SchemaError(format!(
+                    "cells[{i}].latency_ns missing numeric '{key}'"
+                )))?;
+            if !n.is_finite() || n < 0.0 {
+                return err(format!(
+                    "cells[{i}].latency_ns: '{key}' = {n} is not a valid latency"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+      "name": "pack_query",
+      "config": {"entries": 100000, "capacity": 100},
+      "metrics": {"benchmarks": [
+        {"label": "pack/STR", "median_ns": 1.0, "min_ns": 0.5, "max_ns": 2.0,
+         "p50_ns": 1.0, "p90_ns": 1.5, "p99_ns": 2.0, "throughput_per_sec": null},
+        {"label": "q/flat", "median_ns": 3e2, "min_ns": 100, "max_ns": 400.5,
+         "p50_ns": 300, "p90_ns": 390, "p99_ns": 400, "throughput_per_sec": 12.5}
+      ]}
+    }"#;
+
+    #[test]
+    fn accepts_conforming_artifact() {
+        assert_eq!(validate_artifact(GOOD).unwrap(), "pack_query");
+    }
+
+    #[test]
+    fn rejects_missing_percentiles() {
+        // The historical drift: median/min/max only.
+        let drifted = GOOD.replace("\"p90_ns\": 1.5, ", "");
+        let e = validate_artifact(&drifted).unwrap_err();
+        assert!(e.0.contains("p90_ns"), "{e}");
+    }
+
+    #[test]
+    fn rejects_structural_damage() {
+        assert!(validate_artifact("[]").is_err());
+        assert!(validate_artifact("{\"name\": \"x\"}").is_err());
+        assert!(validate_artifact(&GOOD.replace("benchmarks", "runs")).is_err());
+        assert!(validate_artifact(&format!("{GOOD} garbage")).is_err());
+        let empty = r#"{"name": "x", "config": {}, "metrics": {"benchmarks": []}}"#;
+        assert!(validate_artifact(empty).is_err(), "empty sample list");
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let neg = GOOD.replace("\"min_ns\": 0.5", "\"min_ns\": -3");
+        assert!(validate_artifact(&neg).is_err());
+        let s = GOOD.replace(
+            "\"throughput_per_sec\": 12.5",
+            "\"throughput_per_sec\": \"hi\"",
+        );
+        assert!(validate_artifact(&s).is_err());
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_escapes() {
+        let v = parse(r#"{"a": [1, {"b": "x\n\"y\""}, null, true, false]}"#).unwrap();
+        let a = v.as_object().unwrap().get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_number(), Some(1.0));
+        assert_eq!(
+            a[1].as_object().unwrap().get("b").unwrap().as_str(),
+            Some("x\n\"y\"")
+        );
+        assert_eq!(a[2], Value::Null);
+        assert_eq!(a[3], Value::Bool(true));
+        assert_eq!(a[4], Value::Bool(false));
+    }
+
+    #[test]
+    fn shipped_artifacts_conform() {
+        // Whatever is checked in at the repo root must pass its own gate.
+        let root = crate::artifact_path("");
+        let mut checked = 0;
+        for entry in std::fs::read_dir(root).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().to_string();
+            if name.starts_with("BENCH_") && name.ends_with(".json") {
+                let text = std::fs::read_to_string(&path).unwrap();
+                validate_artifact(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+                checked += 1;
+            }
+        }
+        assert!(checked >= 1, "no BENCH_*.json artifacts found");
+    }
+}

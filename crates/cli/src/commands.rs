@@ -96,6 +96,58 @@ pub fn build(
     ))
 }
 
+/// Default sibling path for a flattened tree: `<index>.<tree>.flat`.
+pub fn default_flat_path(index: &Path, tree_name: &str) -> std::path::PathBuf {
+    let mut os = index.as_os_str().to_os_string();
+    os.push(format!(".{tree_name}.flat"));
+    std::path::PathBuf::from(os)
+}
+
+/// `flatten`: lower a named tree into a flat zero-copy serving file
+/// (see the `flat` crate for the wire layout). The file lands next to
+/// the index as `<index>.<tree>.flat` unless `--out` says otherwise,
+/// and is re-opened and checksum-verified before reporting success.
+pub fn flatten(index: &Path, tree_name: &str, out: Option<&Path>) -> CliResult<String> {
+    let tree = open_index(index, 1024, tree_name)?;
+    let path = out
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| default_flat_path(index, tree_name));
+    let written = flat::FlatTree::write_file(&tree, &path).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "flattened tree '{tree_name}' ({} rectangles, {} levels) into {} ({written} bytes)",
+        tree.len(),
+        tree.height() + 1,
+        path.display()
+    ))
+}
+
+/// `query --flat` / `point --flat`: serve a region query from a flat
+/// file, mmap'ed zero-copy — no buffer pool, no page decoding.
+pub fn query_region_flat(path: &Path, region: geom::Rect2) -> CliResult<String> {
+    let flat = flat::FlatTree::<2>::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let hits = flat.query_region(&region);
+    let mut out = String::new();
+    for (r, id) in &hits {
+        out.push_str(&format!(
+            "{},{},{},{},{id}\n",
+            r.lo(0),
+            r.lo(1),
+            r.hi(0),
+            r.hi(1)
+        ));
+    }
+    out.push_str(&format!(
+        "# {} hits, flat tier ({})\n",
+        hits.len(),
+        if flat.is_mapped() {
+            "mmap"
+        } else {
+            "heap copy"
+        }
+    ));
+    Ok(out)
+}
+
 /// `trees`: list every named tree in the file's catalog.
 pub fn trees(index: &Path) -> CliResult<String> {
     let disk: Arc<dyn storage::Disk> = Arc::new(
@@ -607,6 +659,45 @@ mod tests {
         std::fs::remove_file(data).ok();
         std::fs::remove_file(index).ok();
         std::fs::remove_file(extra).ok();
+    }
+
+    #[test]
+    fn flatten_serves_identical_query_results() {
+        let data = tmp("flat.csv");
+        let index = tmp("flat.rtree");
+        generate("uniform", 2500, 17, &data).unwrap();
+        build(&data, &index, "str", 50, 0, None).unwrap();
+
+        let msg = flatten(&index, DEF, None).unwrap();
+        assert!(msg.contains("2500 rectangles"), "{msg}");
+        let flat_path = default_flat_path(&index, DEF);
+        assert!(flat_path.exists(), "{}", flat_path.display());
+
+        let region = geom::Rect2::new([0.1, 0.2], [0.5, 0.6]);
+        let paged = query_region(&index, region, 32, DEF).unwrap();
+        let flat = query_region_flat(&flat_path, region).unwrap();
+        // Same hit lines (flat reorders nothing: both emit slot/leaf
+        // order), different footer.
+        let body = |s: &str| {
+            let mut v: Vec<&str> = s.lines().filter(|l| !l.starts_with('#')).collect();
+            v.sort_unstable();
+            v.join("\n")
+        };
+        assert_eq!(body(&paged), body(&flat));
+        assert!(flat.contains("flat tier"), "{flat}");
+
+        // --out writes where told.
+        let alt = tmp("alt.flat");
+        flatten(&index, DEF, Some(&alt)).unwrap();
+        assert_eq!(
+            body(&query_region_flat(&alt, region).unwrap()),
+            body(&paged)
+        );
+
+        std::fs::remove_file(data).ok();
+        std::fs::remove_file(index).ok();
+        std::fs::remove_file(flat_path).ok();
+        std::fs::remove_file(alt).ok();
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! ```text
 //! rtree-cli gen      --dataset tiger --n 53145 --seed 1 --output data.csv
 //! rtree-cli build    --input data.csv --output index.rtree [--packer str|str-par|hs|nx|tgs] [--capacity 100] [--external N] [--tree NAME]
-//! rtree-cli query    --index index.rtree --region 0.1,0.1,0.3,0.3 [--buffer 32]
-//! rtree-cli point    --index index.rtree --at 0.5,0.5
+//! rtree-cli flatten  --index index.rtree [--tree NAME] [--out file.flat]
+//! rtree-cli query    --index index.rtree --region 0.1,0.1,0.3,0.3 [--buffer 32] [--flat auto|file.flat]
+//! rtree-cli point    --index index.rtree --at 0.5,0.5 [--flat auto|file.flat]
 //! rtree-cli knn      --index index.rtree --at 0.5,0.5 --k 10
 //! rtree-cli compare  --input data.csv [--capacity 100] [--buffer 32]
 //! rtree-cli query-bench --index index.rtree [--queries 512] [--threads 8] [--buffer 128] [--seed 11]
@@ -23,6 +24,11 @@
 //! `--tree NAME` (default `default`). `build --tree` packs into an
 //! existing file instead of truncating it; `trees` lists the catalog.
 //!
+//! `flatten` lowers a named tree into a sibling `.flat` file — one
+//! contiguous checksummed buffer the flat tier serves zero-copy via
+//! mmap. `query --flat auto` (or `--flat path.flat`) answers from that
+//! file instead of the paged index.
+//!
 //! Every command additionally accepts `--metrics text|json`, which
 //! turns the observability layer on for the run and appends a snapshot
 //! of every recorded metric (counters, gauges, latency histograms with
@@ -37,7 +43,7 @@ use rtree_cli::{commands, parse_point, parse_rect, CliResult};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rtree-cli <gen|build|query|point|knn|stats|validate|check|dump-leaves|insert|delete|compare|query-bench|flight-dump|trees> \
+        "usage: rtree-cli <gen|build|flatten|query|point|knn|stats|validate|check|dump-leaves|insert|delete|compare|query-bench|flight-dump|trees> \
          [--flag value]... [--tree name] [--metrics text|json]\nsee the crate docs for per-command flags"
     );
     std::process::exit(2);
@@ -91,6 +97,20 @@ impl Flags {
     }
 }
 
+/// `--flat` target for query/point: `auto` derives the sibling path the
+/// `flatten` command writes by default, anything else is the path
+/// itself; absent means serve from the paged index.
+fn resolve_flat(flags: &Flags, tree: &str) -> CliResult<Option<PathBuf>> {
+    match flags.get("flat") {
+        None => Ok(None),
+        Some("auto") => Ok(Some(commands::default_flat_path(
+            &PathBuf::from(flags.req("index")?),
+            tree,
+        ))),
+        Some(path) => Ok(Some(PathBuf::from(path))),
+    }
+}
+
 fn run() -> CliResult<String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -120,20 +140,35 @@ fn run() -> CliResult<String> {
             flags.parse_num("external", 0usize)?,
             flags.get("tree"),
         ),
-        "query" => commands::query_region(
+        "flatten" => commands::flatten(
             &PathBuf::from(flags.req("index")?),
-            parse_rect(flags.req("region")?)?,
-            flags.parse_num("buffer", 32usize)?,
             &tree,
+            flags.get("out").map(PathBuf::from).as_deref(),
         ),
+        "query" => {
+            let region = parse_rect(flags.req("region")?)?;
+            match resolve_flat(&flags, &tree)? {
+                Some(path) => commands::query_region_flat(&path, region),
+                None => commands::query_region(
+                    &PathBuf::from(flags.req("index")?),
+                    region,
+                    flags.parse_num("buffer", 32usize)?,
+                    &tree,
+                ),
+            }
+        }
         "point" => {
             let p = parse_point(flags.req("at")?)?;
-            commands::query_region(
-                &PathBuf::from(flags.req("index")?),
-                geom::Rect2::from_point(p),
-                flags.parse_num("buffer", 32usize)?,
-                &tree,
-            )
+            let region = geom::Rect2::from_point(p);
+            match resolve_flat(&flags, &tree)? {
+                Some(path) => commands::query_region_flat(&path, region),
+                None => commands::query_region(
+                    &PathBuf::from(flags.req("index")?),
+                    region,
+                    flags.parse_num("buffer", 32usize)?,
+                    &tree,
+                ),
+            }
         }
         "knn" => commands::knn(
             &PathBuf::from(flags.req("index")?),

@@ -60,6 +60,58 @@ fn gen_build_query_pipeline() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("disk accesses"), "{stdout}");
+    let paged_hits: Vec<String> = stdout
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+
+    // Flatten into the sibling .flat file, then serve the same query
+    // zero-copy and compare hit sets.
+    let out = bin()
+        .args(["flatten", "--index"])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("flattened"));
+
+    let out = bin()
+        .args([
+            "query",
+            "--region",
+            "0.4,0.4,0.6,0.6",
+            "--flat",
+            "auto",
+            "--index",
+        ])
+        .arg(&index)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let flat_out = String::from_utf8_lossy(&out.stdout);
+    assert!(flat_out.contains("flat tier"), "{flat_out}");
+    let mut flat_hits: Vec<String> = flat_out
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    let mut want = paged_hits.clone();
+    flat_hits.sort();
+    want.sort();
+    assert_eq!(flat_hits, want, "flat and paged hit sets differ");
+
+    let mut flat_file = index.clone().into_os_string();
+    flat_file.push(".default.flat");
+    std::fs::remove_file(PathBuf::from(flat_file)).ok();
 
     let out = bin()
         .args(["stats", "--index"])

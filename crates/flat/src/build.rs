@@ -1,0 +1,113 @@
+//! Lowering: packed paged tree → flat buffer.
+//!
+//! The walk reads the tree level by level in BFS parent-entry order
+//! ([`RTree::level_order`]) and writes slots bottom-up: flat level 0 is
+//! the data items (one slot per leaf entry, `idx` = payload), flat
+//! level `k ≥ 1` holds the paged nodes of height `k-1` (slot MBR = node
+//! MBR, `idx` = global slot index of the node's first child). Because
+//! children were emitted in the same order their parents reference
+//! them, each node's children are one contiguous run, closed by the
+//! next node's `idx` — no child counts, no pointers.
+//!
+//! One representational note: the paged tree stores *entry* rectangles
+//! in parents, and its validator enforces tightness (a parent entry's
+//! MBR equals the child node's MBR exactly), so pruning on per-node
+//! MBRs here visits exactly the nodes the paged traversal would.
+
+use crate::abi::{checksum, Header, Layout, CHECKSUM_OFF, HEADER_LEN};
+use crate::Result;
+use rtree::RTree;
+
+/// Lower `tree` into a self-contained flat buffer (see [`crate::abi`]
+/// for the wire layout). The buffer passes full load validation,
+/// checksum included.
+pub fn flatten_to_bytes<const D: usize>(tree: &RTree<D>) -> Result<Vec<u8>> {
+    let mut levels = tree.level_order()?; // root level first
+    levels.reverse(); // leaf level first, matching flat level order
+
+    let num_items: u64 = tree.len();
+    // Flat level sizes: items, then one flat level per paged level,
+    // leaves upward.
+    let mut level_sizes: Vec<usize> = Vec::with_capacity(levels.len() + 1);
+    level_sizes.push(num_items as usize);
+    level_sizes.extend(levels.iter().map(|l| l.nodes.len()));
+    let num_nodes: usize = level_sizes.iter().sum();
+
+    let layout = Layout {
+        dims: D,
+        num_levels: level_sizes.len(),
+        num_nodes,
+    };
+    let total_len = layout.total_len();
+    let mut buf = vec![0u8; total_len];
+
+    // Level bounds: cumulative tiling of the slot space, items first.
+    let mut bounds = Vec::with_capacity(level_sizes.len());
+    let mut at = 0usize;
+    for &size in &level_sizes {
+        bounds.push((at, at + size));
+        at += size;
+    }
+
+    {
+        let mut w = &mut buf[layout.bounds_off()..layout.coords_off()];
+        for &(start, end) in &bounds {
+            w[..8].copy_from_slice(&(start as u64).to_le_bytes());
+            w[8..16].copy_from_slice(&(end as u64).to_le_bytes());
+            w = &mut w[16..];
+        }
+    }
+
+    // One pass per slot: items stream out of the leaf nodes' entries,
+    // node slots out of the levels themselves. `put` writes one slot's
+    // MBR + idx at a global slot position.
+    let put = |buf: &mut Vec<u8>, slot: usize, lo: &[f64], hi: &[f64], idx: u64| {
+        for a in 0..D {
+            let off = layout.axis_min_off(a) + 8 * slot;
+            buf[off..off + 8].copy_from_slice(&lo[a].to_le_bytes());
+            let off = layout.axis_max_off(a) + 8 * slot;
+            buf[off..off + 8].copy_from_slice(&hi[a].to_le_bytes());
+        }
+        let off = layout.idx_off() + 8 * slot;
+        buf[off..off + 8].copy_from_slice(&idx.to_le_bytes());
+    };
+
+    // Items: leaf entries in BFS leaf order.
+    let mut slot = 0usize;
+    for leaf in &levels[0].nodes {
+        for e in &leaf.entries {
+            put(&mut buf, slot, e.rect.min(), e.rect.max(), e.payload);
+            slot += 1;
+        }
+    }
+    debug_assert_eq!(slot, num_items as usize);
+
+    // Node levels: each slot's idx is a running first-child cursor that
+    // starts at the child level's first slot and advances by the node's
+    // entry count.
+    for (flat_level, paged) in levels.iter().enumerate().map(|(i, l)| (i + 1, l)) {
+        let mut child = bounds[flat_level - 1].0 as u64;
+        for node in &paged.nodes {
+            let mbr = node.mbr();
+            put(&mut buf, slot, mbr.min(), mbr.max(), child);
+            child += node.len() as u64;
+            slot += 1;
+        }
+        debug_assert_eq!(child as usize, bounds[flat_level - 1].1);
+    }
+    debug_assert_eq!(slot, num_nodes);
+
+    let header = Header {
+        dims: D as u16,
+        node_capacity: tree.capacity().max() as u32,
+        num_levels: layout.num_levels as u32,
+        num_items,
+        num_nodes: num_nodes as u64,
+        total_len: total_len as u64,
+        checksum: 0,
+    };
+    buf[..HEADER_LEN].copy_from_slice(&header.encode());
+    let sum = checksum(&buf);
+    buf[CHECKSUM_OFF..HEADER_LEN].copy_from_slice(&sum.to_le_bytes());
+    Ok(buf)
+}

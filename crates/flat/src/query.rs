@@ -1,0 +1,97 @@
+//! Stackless level-bounds traversal over the flat layout.
+//!
+//! Instead of a recursion/explicit stack over nodes, the traversal
+//! keeps one *range list* per level: the candidate slot ranges that
+//! survived the parent level's pruning. Each step runs the batch SoA
+//! intersection kernel over those ranges and maps every hit to its
+//! contiguous child range; adjacent child ranges are coalesced so
+//! sibling survivors merge into one long kernel run — which is where
+//! the SoA layout pays off, because the kernel then streams rectangles
+//! 4 at a time from gap-free arrays. The final range list lies in the
+//! items level; hits there are results.
+//!
+//! Prune-equivalence with the paged tree: the paged query tests parent
+//! *entry* rectangles, the flat query tests child *node* MBRs — equal
+//! by the tree validator's tightness invariant — so both traversals
+//! visit the same node set and return identical results.
+
+use crate::FlatTree;
+use geom::Rect;
+use obs::{LazyCounter, LazyHistogram};
+
+// Mirrors the paged tier's rtree.query.* instrumentation so A/B runs
+// can read both sides from one obs snapshot. Counting happens in
+// locals; atomics are touched once per query, and only when enabled.
+static QUERIES: LazyCounter = LazyCounter::new("flat.queries");
+static SLOTS_SCANNED: LazyHistogram = LazyHistogram::new("flat.query.slots_scanned");
+static HITS: LazyHistogram = LazyHistogram::new("flat.query.hits");
+static LATENCY_NS: LazyHistogram = LazyHistogram::new("flat.query.latency_ns");
+
+/// Visit every item whose MBR intersects `query`, in slot order.
+pub(crate) fn for_each_in_region<const D: usize, F: FnMut(Rect<D>, u64)>(
+    tree: &FlatTree<'_, D>,
+    query: &Rect<D>,
+    mut visit: F,
+) {
+    let timer = LATENCY_NS.start();
+    let track = obs::enabled();
+    let mut scanned: u64 = 0;
+    let mut hits: u64 = 0;
+
+    let soa = tree.soa();
+    let idx = tree.idx();
+    let bounds = tree.level_bounds();
+    let top = bounds.len() - 1;
+
+    // Candidate ranges at the current level, starting from the root
+    // slot. Double-buffered: `ranges` is level k, `next` collects k-1.
+    let mut ranges: Vec<(usize, usize)> = vec![bounds[top]];
+    let mut next: Vec<(usize, usize)> = Vec::new();
+
+    for k in (1..=top).rev() {
+        let (level_lo, level_hi) = bounds[k];
+        let child_hi = bounds[k - 1].1;
+        debug_assert_eq!(child_hi, level_lo, "levels tile the slot space");
+        next.clear();
+        for &(s, e) in &ranges {
+            debug_assert!(level_lo <= s && e <= level_hi);
+            if track {
+                scanned += (e - s) as u64;
+            }
+            soa.for_each_intersecting(s, e, query, &mut |i| {
+                let c0 = idx[i] as usize;
+                let c1 = if i + 1 < level_hi {
+                    idx[i + 1] as usize
+                } else {
+                    child_hi
+                };
+                // Coalesce with the previous surviving sibling so the
+                // child level scans one long run instead of many short
+                // ones.
+                match next.last_mut() {
+                    Some(last) if last.1 == c0 => last.1 = c1,
+                    _ => next.push((c0, c1)),
+                }
+            });
+        }
+        std::mem::swap(&mut ranges, &mut next);
+    }
+
+    // `ranges` now lies in the items level: hits are results.
+    for &(s, e) in &ranges {
+        if track {
+            scanned += (e - s) as u64;
+        }
+        soa.for_each_intersecting(s, e, query, &mut |i| {
+            hits += 1;
+            visit(soa.get(i), idx[i]);
+        });
+    }
+
+    if track {
+        QUERIES.inc();
+        SLOTS_SCANNED.record(scanned);
+        HITS.record(hits);
+    }
+    drop(timer);
+}

@@ -18,10 +18,12 @@
 mod interval;
 mod point;
 mod rect;
+pub mod soa;
 
 pub use interval::Interval;
 pub use point::Point;
 pub use rect::Rect;
+pub use soa::SoaRects;
 
 /// A 2-D point, the case evaluated throughout the paper.
 pub type Point2 = Point<2>;

@@ -127,6 +127,11 @@ pub fn hilbert_index_f64<const D: usize>(p: &[f64; D]) -> u128 {
     for i in 0..D {
         axes[i] = crate::float::f64_order_key(p[i]) >> shift;
     }
+    if D == 2 {
+        // Hot path of Hilbert-Sort packing: the table-driven encoder
+        // computes the same curve four bits per axis at a time.
+        return crate::lut::xy2d_lut(axes[0], axes[1], bits);
+    }
     axes_to_index(&axes, bits)
 }
 

@@ -10,6 +10,10 @@
 //! Each experiment prints its table(s) and writes CSVs under `--out`
 //! (default `results/`). `--quick` runs at 1/10 data scale with 200
 //! queries — for smoke-testing the harness, not for comparing numbers.
+//!
+//! `repro check-bench` audits every `BENCH_*.json` at the repository
+//! root against the artifact schema (`str_bench::schema`) and exits
+//! non-zero on the first drifted document.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -20,10 +24,54 @@ use repro::Harness;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment>... [--out DIR] [--quick] [--queries N] [--seed S]\n\
-         experiments: {} | all | list",
+         experiments: {} | all | list | check-bench",
         experiments::ALL_IDS.join(" | ")
     );
     std::process::exit(2);
+}
+
+/// `check-bench`: validate every `BENCH_*.json` at the repository root
+/// against the artifact schema. Exits the process with the audit result.
+fn check_bench() -> ! {
+    let root = str_bench::artifact_path("");
+    let mut checked = 0u32;
+    let mut failed = 0u32;
+    let entries = match std::fs::read_dir(&root) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {}: {e}", root.display());
+            std::process::exit(1);
+        }
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        let file = path.file_name().unwrap_or_default().to_string_lossy();
+        checked += 1;
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| str_bench::schema::validate_artifact(&text).map_err(|e| e.to_string()))
+        {
+            Ok(name) => println!("{file}: OK (name '{name}')"),
+            Err(e) => {
+                eprintln!("{file}: SCHEMA VIOLATION: {e}");
+                failed += 1;
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!("no BENCH_*.json artifacts under {}", root.display());
+        std::process::exit(1);
+    }
+    println!("{checked} artifact(s) checked, {failed} violation(s)");
+    std::process::exit(if failed > 0 { 1 } else { 0 });
 }
 
 fn main() {
@@ -67,6 +115,7 @@ fn main() {
                 }
                 return;
             }
+            "check-bench" => check_bench(),
             "all" => targets.extend(experiments::ALL_IDS.iter().map(|s| s.to_string())),
             flag if flag.starts_with("--") => usage(),
             exp => targets.push(exp.to_string()),

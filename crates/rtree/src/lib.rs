@@ -31,6 +31,7 @@ pub mod executor;
 pub mod fsck;
 pub mod insert;
 pub mod iter;
+pub mod lower;
 pub mod node;
 pub mod rplus;
 pub mod rstar;
@@ -45,6 +46,7 @@ pub use codec::{NodeView, RectCodec};
 pub use executor::{BatchQuery, BatchReport, QueryExecutor};
 pub use fsck::{CheckReport, PageIssue};
 pub use iter::RegionIter;
+pub use lower::LevelNodes;
 pub use node::{Entry, Node};
 pub use rplus::RPlusTree;
 pub use split::SplitPolicy;

@@ -1,0 +1,145 @@
+//! Level-order lowering walk: read a paged tree out into per-level,
+//! BFS-ordered node lists.
+//!
+//! The flat immutable tier (crates/flat) needs the tree's nodes grouped
+//! by level, with each level's nodes in the order their parents
+//! reference them — that way a parent's children occupy one contiguous
+//! index range in the child level and the flat layout can replace child
+//! pointers with a single "first child" index per node (flatbush-style).
+//! This walk produces exactly that ordering; it is read-only and goes
+//! through the same buffer pool as any query.
+
+use crate::{Node, RTree, RTreeError, Result};
+use storage::PageId;
+
+/// One level of the tree, root level first in the containing `Vec`.
+#[derive(Debug)]
+pub struct LevelNodes<const D: usize> {
+    /// Height above the leaves (leaves are 0), as stored in the nodes.
+    pub level: u32,
+    /// The level's nodes in BFS order: the root level is the single
+    /// root node; below that, children appear in the order their
+    /// parents' entries list them.
+    pub nodes: Vec<Node<D>>,
+}
+
+impl<const D: usize> RTree<D> {
+    /// Materialize every node, grouped by level, BFS order within each
+    /// level. Index 0 of the result is the root level; the last element
+    /// is the leaf level. An empty tree yields one level holding its
+    /// single empty leaf root.
+    ///
+    /// Children are pushed in parent-entry order, which is the
+    /// contiguity guarantee the flat lowering relies on: the children
+    /// of level-`k` node `i` form one gap-free run in level `k+1`, and
+    /// those runs appear in the same order as their parents.
+    pub fn level_order(&self) -> Result<Vec<LevelNodes<D>>> {
+        let mut levels = Vec::with_capacity(self.height as usize);
+        let mut pages: Vec<PageId> = vec![self.root];
+        for depth in 0..self.height {
+            let expect_level = self.height - 1 - depth;
+            let mut nodes = Vec::with_capacity(pages.len());
+            let mut next = Vec::new();
+            for &page in &pages {
+                let node = self.read_node(page)?;
+                if node.level != expect_level {
+                    return Err(RTreeError::Corrupt {
+                        page,
+                        reason: format!(
+                            "level-order walk expected level {expect_level}, found {}",
+                            node.level
+                        ),
+                    });
+                }
+                if !node.is_leaf() {
+                    next.extend(node.entries.iter().map(|e| e.child_page()));
+                }
+                nodes.push(node);
+            }
+            levels.push(LevelNodes {
+                level: expect_level,
+                nodes,
+            });
+            pages = next;
+        }
+        Ok(levels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bulk::BulkLoader;
+    use crate::{Entry, NodeCapacity};
+    use geom::{total_cmp_f64, Rect};
+    use std::sync::Arc;
+    use storage::{BufferPool, MemDisk};
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 256))
+    }
+
+    fn grid_entries(n: usize) -> Vec<Entry<2>> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 100) as f64;
+                let y = (i / 100) as f64;
+                Entry::data(Rect::new([x, y], [x + 0.5, y + 0.5]), i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn levels_cover_whole_tree_in_parent_order() {
+        let tree = BulkLoader::new(NodeCapacity::new(10).unwrap())
+            .load(pool(), grid_entries(500), &mut |es, _| {
+                es.sort_by(|a, b| total_cmp_f64(a.rect.lo(0), b.rect.lo(0)))
+            })
+            .unwrap();
+        let levels = tree.level_order().unwrap();
+        assert_eq!(levels.len(), tree.height() as usize);
+        assert_eq!(levels[0].nodes.len(), 1, "root level is a single node");
+        assert_eq!(levels[0].level, tree.height() - 1);
+        assert_eq!(levels.last().unwrap().level, 0);
+
+        // Every level's node count equals the previous level's entry count.
+        for w in levels.windows(2) {
+            let parent_entries: usize = w[0].nodes.iter().map(Node::len).sum();
+            assert_eq!(parent_entries, w[1].nodes.len());
+        }
+
+        // Children land in parent-entry order: walking parent entries
+        // left to right must reproduce child MBRs in level order, which
+        // (validate's tightness invariant) equal the child node MBRs.
+        for w in levels.windows(2) {
+            let child_mbrs: Vec<_> = w[1].nodes.iter().map(Node::mbr).collect();
+            let entry_rects: Vec<_> = w[0]
+                .nodes
+                .iter()
+                .flat_map(|n| n.entries.iter().map(|e| e.rect))
+                .collect();
+            assert_eq!(entry_rects, child_mbrs);
+        }
+
+        // Leaf level carries every item exactly once.
+        let mut seen: Vec<u64> = levels
+            .last()
+            .unwrap()
+            .nodes
+            .iter()
+            .flat_map(|n| n.entries.iter().map(|e| e.payload))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..500).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_tree_is_one_empty_leaf_level() {
+        let tree = RTree::<2>::create(pool(), NodeCapacity::new(8).unwrap()).unwrap();
+        let levels = tree.level_order().unwrap();
+        assert_eq!(levels.len(), 1);
+        assert_eq!(levels[0].level, 0);
+        assert_eq!(levels[0].nodes.len(), 1);
+        assert!(levels[0].nodes[0].is_empty());
+    }
+}

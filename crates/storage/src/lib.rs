@@ -20,13 +20,17 @@ pub mod buffer;
 pub mod disk;
 pub mod fault;
 pub mod format;
+pub mod mmap;
 pub mod page;
 pub mod seq;
 
 pub use buffer::{BufferPool, BufferStats, PinGuard, ShardedBufferPool};
 pub use disk::{Disk, FileDisk, IoStats, LatencyDisk, MemDisk};
 pub use fault::{FaultDisk, FaultId, FaultKind, FaultOp, FaultSpec, Trigger};
-pub use format::{CatalogEntry, PageAllocator, FORMAT_V2_MAGIC, FREE_PAGE_MAGIC};
+pub use format::{
+    fnv1a_update, CatalogEntry, PageAllocator, FNV_SEED, FORMAT_V2_MAGIC, FREE_PAGE_MAGIC,
+};
+pub use mmap::Mmap;
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use seq::SequentialPageWriter;
 

@@ -1,0 +1,301 @@
+//! Read-only memory mapping for the flat index tier.
+//!
+//! The flat tier serves queries straight out of the on-disk bytes, so
+//! loading a `.flat` file should not copy it through a read buffer. The
+//! build environment vendors no `libc`/`memmap2`, so on Linux we issue
+//! the `mmap`/`munmap` syscalls directly (x86-64 and aarch64); on any
+//! other target [`Mmap::map`] transparently degrades to reading the
+//! file into an 8-byte-aligned heap buffer — same type, same API, one
+//! extra copy.
+//!
+//! # Safety contract
+//!
+//! A mapping is only as immutable as the file behind it: truncating or
+//! rewriting the file while mapped can change the bytes under us (or
+//! deliver `SIGBUS` on truncation). The flat tier's defense is layered:
+//! the mapping is `MAP_PRIVATE` + `PROT_READ` (no writes back, no other
+//! process sees us), every load validates a whole-buffer checksum
+//! before the first query, and `.flat` files are write-once artifacts
+//! produced by `flatten` — nothing in this workspace mutates one in
+//! place. See DESIGN.md §11 for the full zero-copy safety argument.
+
+use std::fs::File;
+use std::io;
+
+/// An immutable byte buffer: a real `mmap` where the platform allows,
+/// an owned aligned heap copy elsewhere. Dereferences to `&[u8]`; the
+/// pointer is always at least 8-byte aligned (page-aligned when
+/// mapped), so `f64`/`u64` slice casts over it cannot fail on
+/// alignment.
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+    backing: Backing,
+}
+
+enum Backing {
+    /// Kernel mapping: `munmap` on drop.
+    Mapped,
+    /// Heap fallback (and the empty-file case): the Vec is never read
+    /// through, it just owns the allocation `ptr` points into.
+    Heap(#[allow(dead_code)] Vec<u64>),
+}
+
+// SAFETY: the mapping is read-only for its whole lifetime and the
+// region stays valid until drop, so shared access across threads is a
+// plain immutable-borrow situation.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    pub fn map(file: &File) -> io::Result<Self> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Self {
+                ptr: std::ptr::NonNull::<u64>::dangling().as_ptr() as *const u8,
+                len: 0,
+                backing: Backing::Heap(Vec::new()),
+            });
+        }
+        Self::map_inner(file, len)
+    }
+
+    /// Map the file at `path` read-only.
+    pub fn map_path<P: AsRef<std::path::Path>>(path: P) -> io::Result<Self> {
+        Self::map(&File::open(path)?)
+    }
+
+    /// Whether the buffer is a true kernel mapping (false = heap copy).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Mapped)
+    }
+
+    /// The mapped bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: ptr/len describe either a live mapping (valid until
+        // munmap in drop) or a live heap allocation we own.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    fn map_inner(file: &File, len: usize) -> io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+        const PROT_READ: usize = 1;
+        const MAP_PRIVATE: usize = 2;
+        let ret = unsafe { sys_mmap(0, len, PROT_READ, MAP_PRIVATE, file.as_raw_fd() as isize, 0) };
+        // The kernel returns -errno in the top page's worth of values.
+        let signed = ret as isize;
+        if (-4095..0).contains(&signed) {
+            return Err(io::Error::from_raw_os_error(-signed as i32));
+        }
+        Ok(Self {
+            ptr: ret as *const u8,
+            len,
+            backing: Backing::Mapped,
+        })
+    }
+
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    fn map_inner(file: &File, len: usize) -> io::Result<Self> {
+        // Portable fallback: an 8-aligned heap buffer (u64 storage) the
+        // file is read into. One copy, identical API.
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        // SAFETY: the u64 allocation is at least `len` bytes; u8 has no
+        // alignment requirement and any byte pattern is valid.
+        let bytes = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len) };
+        let mut f = file.try_clone()?;
+        use std::io::{Read, Seek};
+        f.seek(std::io::SeekFrom::Start(0))?;
+        f.read_exact(bytes)?;
+        let ptr = buf.as_ptr() as *const u8;
+        Ok(Self {
+            ptr,
+            len,
+            backing: Backing::Heap(buf),
+        })
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if matches!(self.backing, Backing::Mapped) {
+            // SAFETY: ptr/len came from a successful mmap and are
+            // unmapped exactly once.
+            unsafe {
+                sys_munmap(self.ptr as usize, self.len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.len)
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+/// Raw `mmap(2)`.
+///
+/// # Safety
+/// Standard mmap contract: fd must be a readable open file when
+/// `MAP_PRIVATE|PROT_READ` are passed; the returned region must be
+/// released with [`sys_munmap`].
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn sys_mmap(
+    addr: usize,
+    len: usize,
+    prot: usize,
+    flags: usize,
+    fd: isize,
+    offset: usize,
+) -> usize {
+    let ret: usize;
+    std::arch::asm!(
+        "syscall",
+        inlateout("rax") 9usize => ret, // SYS_mmap
+        in("rdi") addr,
+        in("rsi") len,
+        in("rdx") prot,
+        in("r10") flags,
+        in("r8") fd,
+        in("r9") offset,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+/// Raw `munmap(2)`. See [`sys_mmap`] for the safety contract.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn sys_munmap(addr: usize, len: usize) -> usize {
+    let ret: usize;
+    std::arch::asm!(
+        "syscall",
+        inlateout("rax") 11usize => ret, // SYS_munmap
+        in("rdi") addr,
+        in("rsi") len,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+/// Raw `mmap(2)` via `svc 0`. Same contract as the x86-64 variant.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+unsafe fn sys_mmap(
+    addr: usize,
+    len: usize,
+    prot: usize,
+    flags: usize,
+    fd: isize,
+    offset: usize,
+) -> usize {
+    let ret: usize;
+    std::arch::asm!(
+        "svc 0",
+        inlateout("x8") 222usize => _, // SYS_mmap
+        inlateout("x0") addr => ret,
+        in("x1") len,
+        in("x2") prot,
+        in("x3") flags,
+        in("x4") fd,
+        in("x5") offset,
+        options(nostack),
+    );
+    ret
+}
+
+/// Raw `munmap(2)`. See [`sys_mmap`].
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+unsafe fn sys_munmap(addr: usize, len: usize) -> usize {
+    let ret: usize;
+    std::arch::asm!(
+        "svc 0",
+        inlateout("x8") 215usize => _, // SYS_munmap
+        inlateout("x0") addr => ret,
+        in("x1") len,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("str-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = tmp("basic.bin");
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::write(&path, &data).unwrap();
+        let m = Mmap::map_path(&path).unwrap();
+        assert_eq!(&m[..], &data[..]);
+        assert_eq!(m.len(), 10_000);
+        // Alignment strong enough for u64/f64 casts.
+        assert_eq!(m.as_ptr() as usize % 8, 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = tmp("empty.bin");
+        File::create(&path).unwrap();
+        let m = Mmap::map_path(&path).unwrap();
+        assert!(m.is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mapping_survives_file_handle_drop() {
+        let path = tmp("dropped.bin");
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(&[7u8; 4096]).unwrap();
+        }
+        let m = {
+            let f = File::open(&path).unwrap();
+            Mmap::map(&f).unwrap()
+            // f drops here; the mapping must stay valid.
+        };
+        assert!(m.iter().all(|&b| b == 7));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(Mmap::map_path(tmp("nonexistent.bin")).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Offline shim for the `bytemuck` crate.
+//!
+//! Implements exactly the API subset this workspace uses: the [`Pod`] /
+//! [`Zeroable`] marker traits for the primitive numeric types, and the
+//! checked slice-reinterpret casts ([`try_cast_slice`], [`cast_slice`])
+//! the flat index tier is built on. Every cast validates alignment and
+//! length *before* constructing the output slice, so a misaligned or
+//! short buffer yields a [`PodCastError`] — never undefined behaviour.
+
+use std::mem::{align_of, size_of};
+
+/// Types for which the all-zeroes bit pattern is a valid value.
+///
+/// # Safety
+/// Implementors guarantee that a zeroed `T` is initialized and valid.
+pub unsafe trait Zeroable: Sized {}
+
+/// Plain-old-data: any bit pattern is a valid value, no padding bytes,
+/// no pointers, no interior mutability.
+///
+/// # Safety
+/// Implementors guarantee the properties above; they are what makes
+/// reinterpreting `&[u8]` as `&[T]` (and back) sound once alignment
+/// and length are checked.
+pub unsafe trait Pod: Zeroable + Copy + 'static {}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {
+        $(
+            unsafe impl Zeroable for $t {}
+            unsafe impl Pod for $t {}
+        )*
+    };
+}
+
+impl_pod!(u8, i8, u16, i16, u32, i32, u64, i64, u128, i128, usize, isize, f32, f64);
+
+/// Why a cast was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PodCastError {
+    /// The input slice's pointer is not aligned for the target type.
+    TargetAlignmentGreaterAndInputNotAligned,
+    /// The input's byte length is not a multiple of the target size.
+    OutputSliceWouldHaveSlop,
+    /// Element sizes differ for a same-length cast (`from_bytes`).
+    SizeMismatch,
+}
+
+impl std::fmt::Display for PodCastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PodCastError::TargetAlignmentGreaterAndInputNotAligned => {
+                write!(f, "input pointer not aligned for the target type")
+            }
+            PodCastError::OutputSliceWouldHaveSlop => {
+                write!(f, "input length is not a multiple of the target size")
+            }
+            PodCastError::SizeMismatch => write!(f, "size mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for PodCastError {}
+
+/// Reinterpret `&[A]` as `&[B]`, checking alignment and length.
+pub fn try_cast_slice<A: Pod, B: Pod>(a: &[A]) -> Result<&[B], PodCastError> {
+    let bytes = std::mem::size_of_val(a);
+    let ptr = a.as_ptr() as usize;
+    if align_of::<B>() > align_of::<A>() && !ptr.is_multiple_of(align_of::<B>()) {
+        return Err(PodCastError::TargetAlignmentGreaterAndInputNotAligned);
+    }
+    if size_of::<B>() == 0 || !bytes.is_multiple_of(size_of::<B>()) {
+        return Err(PodCastError::OutputSliceWouldHaveSlop);
+    }
+    // SAFETY: both types are Pod (any bit pattern valid, no padding),
+    // the pointer was just checked to be aligned for B, and the byte
+    // length divides evenly into B-sized elements.
+    Ok(unsafe { std::slice::from_raw_parts(a.as_ptr() as *const B, bytes / size_of::<B>()) })
+}
+
+/// Reinterpret `&[A]` as `&[B]`.
+///
+/// # Panics
+/// Panics where [`try_cast_slice`] would return an error.
+pub fn cast_slice<A: Pod, B: Pod>(a: &[A]) -> &[B] {
+    try_cast_slice(a).expect("cast_slice: invalid cast")
+}
+
+/// View any Pod value as its bytes.
+pub fn bytes_of<T: Pod>(t: &T) -> &[u8] {
+    // SAFETY: Pod guarantees no padding, so every byte is initialized.
+    unsafe { std::slice::from_raw_parts(t as *const T as *const u8, size_of::<T>()) }
+}
+
+/// Reinterpret exactly one `B` from a byte slice.
+pub fn try_from_bytes<B: Pod>(s: &[u8]) -> Result<&B, PodCastError> {
+    if s.len() != size_of::<B>() {
+        return Err(PodCastError::SizeMismatch);
+    }
+    if !(s.as_ptr() as usize).is_multiple_of(align_of::<B>()) {
+        return Err(PodCastError::TargetAlignmentGreaterAndInputNotAligned);
+    }
+    // SAFETY: length and alignment checked; B is Pod.
+    Ok(unsafe { &*(s.as_ptr() as *const B) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u8_to_f64_round_trip() {
+        let vals: Vec<f64> = vec![1.5, -2.25, 0.0, f64::INFINITY];
+        let bytes: &[u8] = cast_slice(&vals);
+        assert_eq!(bytes.len(), 32);
+        let back: &[f64] = cast_slice(bytes);
+        assert_eq!(back, &vals[..]);
+    }
+
+    #[test]
+    fn misaligned_cast_fails_cleanly() {
+        // A buffer 8-aligned by construction, then offset by one byte:
+        // the cast must be refused, not wrapped around UB.
+        let backing = vec![0u64; 4];
+        let bytes: &[u8] = cast_slice(&backing);
+        let shifted = &bytes[1..25]; // 24 bytes, misaligned by 1
+        assert_eq!(
+            try_cast_slice::<u8, f64>(shifted).unwrap_err(),
+            PodCastError::TargetAlignmentGreaterAndInputNotAligned
+        );
+    }
+
+    #[test]
+    fn slop_cast_fails() {
+        let bytes = [0u8; 12];
+        // 12 bytes is not a multiple of 8 — refuse regardless of alignment.
+        let aligned = vec![0u64; 2];
+        let b: &[u8] = &cast_slice::<u64, u8>(&aligned)[..12];
+        let _ = bytes;
+        assert_eq!(
+            try_cast_slice::<u8, u64>(b).unwrap_err(),
+            PodCastError::OutputSliceWouldHaveSlop
+        );
+    }
+
+    #[test]
+    fn from_bytes_checks_size() {
+        let aligned = [0u64; 1];
+        let b: &[u8] = cast_slice(&aligned);
+        assert!(try_from_bytes::<u64>(b).is_ok());
+        assert_eq!(
+            try_from_bytes::<u64>(&b[..4]).unwrap_err(),
+            PodCastError::SizeMismatch
+        );
+    }
+
+    #[test]
+    fn bytes_of_little_endian_layout() {
+        let v = 0x0102_0304u32;
+        let b = bytes_of(&v);
+        assert_eq!(b.len(), 4);
+        if cfg!(target_endian = "little") {
+            assert_eq!(b, [0x04, 0x03, 0x02, 0x01]);
+        }
+    }
+}

@@ -26,6 +26,10 @@
 //!   (the paper's reference \[7\]), with cooperative 2-to-3 splitting.
 //! * [`extsort`] — external merge sort, powering out-of-core STR
 //!   packing ([`str_core::pack_str_external`]).
+//! * [`flat`] — the flat-packed immutable serving tier: any packed tree
+//!   lowered into one contiguous checksummed buffer, served zero-copy
+//!   from an mmap'ed file with a stackless SoA traversal
+//!   ([`flat::FlatTree`]).
 //!
 //! ## Quickstart
 //!
@@ -58,6 +62,7 @@
 
 pub use datagen;
 pub use extsort;
+pub use flat;
 pub use geom;
 pub use hilbert;
 pub use hrtree;
@@ -68,6 +73,7 @@ pub use str_core;
 /// The names most programs need.
 pub mod prelude {
     pub use datagen::{Dataset, DatasetKind};
+    pub use flat::FlatTree;
     pub use geom::{Point, Point2, Rect, Rect2};
     pub use hrtree::HilbertRTree;
     pub use rtree::{NodeCapacity, RPlusTree, RTree};

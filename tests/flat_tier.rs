@@ -1,0 +1,206 @@
+//! Differential tests of the flat serving tier against the paged tree.
+//!
+//! The flat tier re-derives the whole search structure (level bounds,
+//! SoA arrays, implicit child ranges) from a packed tree, so its one
+//! correctness obligation is *set equality*: every query must return
+//! exactly the paged tree's result set, for every packing algorithm
+//! that can feed it, including the degenerate geometry the kernels'
+//! fast paths are most likely to mishandle (zero-extent rectangles,
+//! point probes, empty trees). The ABI tests pin the wire format:
+//! little-endian at declared offsets, and a misaligned buffer is a
+//! clean error, never UB.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use str_rtree::prelude::*;
+use str_rtree::str_core;
+
+fn fresh_pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 512))
+}
+
+/// A rectangle in the unit square whose extents may be *exactly* zero —
+/// degenerate slivers and points, not just small boxes.
+fn unit_rect_degenerate() -> impl Strategy<Value = Rect2> {
+    let extent = || {
+        prop_oneof![
+            2 => 0.0f64..0.3,
+            1 => Just(0.0f64),
+        ]
+    };
+    (0.0f64..1.0, 0.0f64..1.0, extent(), extent())
+        .prop_map(|(x, y, w, h)| Rect2::new([x, y], [(x + w).min(1.0), (y + h).min(1.0)]))
+}
+
+fn items(max: usize) -> impl Strategy<Value = Vec<(Rect2, u64)>> {
+    prop::collection::vec(unit_rect_degenerate(), 1..max).prop_map(|rs| {
+        rs.into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, i as u64))
+            .collect()
+    })
+}
+
+/// Pack `items` with every algorithm the flat tier serves: the three
+/// `PackerKind`s (STR, Hilbert-Sort, Nearest-X) plus TGS.
+fn all_packings(items: &[(Rect2, u64)], cap: usize) -> Vec<(&'static str, RTree<2>)> {
+    let cap = NodeCapacity::new(cap).unwrap();
+    let mut out: Vec<(&'static str, RTree<2>)> = PackerKind::ALL
+        .iter()
+        .map(|kind| {
+            (
+                kind.name(),
+                kind.pack(fresh_pool(), items.to_vec(), cap).unwrap(),
+            )
+        })
+        .collect();
+    out.push((
+        "TGS",
+        str_core::pack(fresh_pool(), items.to_vec(), cap, &TgsPacker::new()).unwrap(),
+    ));
+    out
+}
+
+fn ids(mut hits: Vec<(Rect2, u64)>) -> Vec<u64> {
+    hits.sort_by_key(|&(_, id)| id);
+    hits.into_iter().map(|(_, id)| id).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flat_equals_paged_for_every_packing(
+        items in items(300),
+        q in unit_rect_degenerate(),
+        cap in 2usize..16,
+    ) {
+        for (name, tree) in all_packings(&items, cap) {
+            let flat = FlatTree::from_rtree(&tree).unwrap();
+            prop_assert_eq!(flat.len() as usize, items.len(), "{}", name);
+
+            // Region query vs both the paged tree and brute force.
+            let want = ids(tree.query_region(&q).unwrap());
+            let brute: Vec<u64> = items
+                .iter()
+                .filter(|(r, _)| r.intersects(&q))
+                .map(|(_, id)| *id)
+                .collect();
+            prop_assert_eq!(&want, &brute, "{}: paged vs brute force", name);
+            prop_assert_eq!(&ids(flat.query_region(&q)), &want, "{}: region", name);
+
+            // Point probe at an item corner: exact-boundary pruning.
+            let p = geom::Point2::new([items[0].0.lo(0), items[0].0.lo(1)]);
+            prop_assert_eq!(
+                ids(flat.query_point(&p)),
+                ids(tree.query_region(&Rect2::from_point(p)).unwrap()),
+                "{}: point",
+                name
+            );
+        }
+    }
+
+    #[test]
+    fn flat_serializes_and_reloads_identically(
+        items in items(150),
+        q in unit_rect_degenerate(),
+    ) {
+        let tree = PackerKind::Str
+            .pack(fresh_pool(), items.clone(), NodeCapacity::new(8).unwrap())
+            .unwrap();
+        let bytes = str_rtree::flat::flatten_to_bytes(&tree).unwrap();
+        let reloaded = FlatTree::<2>::from_vec(bytes).unwrap();
+        prop_assert_eq!(
+            ids(reloaded.query_region(&q)),
+            ids(tree.query_region(&q).unwrap())
+        );
+    }
+}
+
+#[test]
+fn empty_tree_round_trips_through_flat() {
+    let tree = RTree::<2>::create(fresh_pool(), NodeCapacity::new(4).unwrap()).unwrap();
+    let flat = FlatTree::from_rtree(&tree).unwrap();
+    assert!(flat.is_empty());
+    assert!(flat.query_region(&Rect2::unit()).is_empty());
+    // And through bytes.
+    let bytes = str_rtree::flat::flatten_to_bytes(&tree).unwrap();
+    let reloaded = FlatTree::<2>::from_vec(bytes).unwrap();
+    assert!(reloaded.query_region(&Rect2::unit()).is_empty());
+}
+
+/// The wire format is little-endian by definition: the declared header
+/// fields must read back with explicit LE decoding at their documented
+/// offsets, independent of host order — on a big-endian host this test
+/// would catch a native-order write immediately.
+#[test]
+fn header_fields_are_little_endian_at_fixed_offsets() {
+    let items: Vec<(Rect2, u64)> = (0..40)
+        .map(|i| {
+            let x = (i % 8) as f64 / 8.0;
+            let y = (i / 8) as f64 / 8.0;
+            (Rect2::new([x, y], [x + 0.05, y + 0.05]), i as u64)
+        })
+        .collect();
+    let tree = PackerKind::Str
+        .pack(fresh_pool(), items, NodeCapacity::new(4).unwrap())
+        .unwrap();
+    let bytes = str_rtree::flat::flatten_to_bytes(&tree).unwrap();
+
+    assert_eq!(&bytes[0..4], b"FLT1", "magic");
+    let u16_at = |off: usize| u16::from_le_bytes(bytes[off..off + 2].try_into().unwrap());
+    let u64_at = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+    assert_eq!(u16_at(6), 2, "dims");
+    assert_eq!(u64_at(16), 40, "num_items");
+    assert_eq!(u64_at(32), bytes.len() as u64, "total_len");
+    // First item slot of the first min-coordinate axis array decodes as
+    // a finite LE f64 inside the unit square.
+    let num_levels = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let coords_off = 64 + 16 * num_levels;
+    let x0 = f64::from_le_bytes(bytes[coords_off..coords_off + 8].try_into().unwrap());
+    assert!((0.0..=1.0).contains(&x0), "slot 0 min-x = {x0}");
+}
+
+/// A buffer that is valid in every byte but misaligned in memory must be
+/// rejected by the borrowing loader (alignment is the caller's problem
+/// and UB is not an acceptable failure mode) and transparently fixed by
+/// the owning loader (which re-copies into aligned storage).
+#[test]
+fn misaligned_buffer_fails_cleanly_and_owned_copy_recovers() {
+    let items: Vec<(Rect2, u64)> = (0..25)
+        .map(|i| (Rect2::new([0.0, 0.0], [0.1 + i as f64 * 0.01, 0.2]), i))
+        .collect();
+    let tree = PackerKind::Str
+        .pack(fresh_pool(), items, NodeCapacity::new(5).unwrap())
+        .unwrap();
+    let bytes = str_rtree::flat::flatten_to_bytes(&tree).unwrap();
+
+    // Place the buffer at odd alignment inside an 8-aligned allocation.
+    let mut backing = vec![0u64; bytes.len() / 8 + 2];
+    let raw = bytemuck::cast_slice_mut_u8(&mut backing);
+    raw[1..1 + bytes.len()].copy_from_slice(&bytes);
+    let misaligned = &raw[1..1 + bytes.len()];
+    assert_eq!(misaligned.as_ptr() as usize % 8, 1);
+
+    let err = FlatTree::<2>::from_bytes(misaligned).unwrap_err();
+    assert!(
+        matches!(err, str_rtree::flat::FlatError::Unaligned),
+        "{err}"
+    );
+
+    // from_vec on the same bytes succeeds: it owns the storage and can
+    // realign.
+    let owned = FlatTree::<2>::from_vec(misaligned.to_vec()).unwrap();
+    assert_eq!(owned.len(), 25);
+}
+
+/// Helper namespace: a tiny mutable u64→u8 cast so the misalignment test
+/// can build its buffer without unsafe in the test body.
+mod bytemuck {
+    pub fn cast_slice_mut_u8(v: &mut [u64]) -> &mut [u8] {
+        // SAFETY: u8 has no alignment or validity requirements and the
+        // length covers exactly the same allocation.
+        unsafe { std::slice::from_raw_parts_mut(v.as_mut_ptr() as *mut u8, v.len() * 8) }
+    }
+}
