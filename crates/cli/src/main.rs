@@ -17,6 +17,8 @@
 //! rtree-cli insert   --index index.rtree --input more.csv
 //! rtree-cli delete   --index index.rtree --input victims.csv
 //! rtree-cli trees    --index index.rtree
+//! rtree-cli wal-stat --index index.rtree
+//! rtree-cli recover  --index index.rtree
 //! ```
 //!
 //! Index files use the v2 on-disk format, which holds several named
@@ -43,7 +45,7 @@ use rtree_cli::{commands, parse_point, parse_rect, CliResult};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rtree-cli <gen|build|flatten|query|point|knn|stats|validate|check|dump-leaves|insert|delete|compare|query-bench|flight-dump|trees> \
+        "usage: rtree-cli <gen|build|flatten|query|point|knn|stats|validate|check|dump-leaves|insert|delete|compare|query-bench|flight-dump|trees|wal-stat|recover> \
          [--flag value]... [--tree name] [--metrics text|json]\nsee the crate docs for per-command flags"
     );
     std::process::exit(2);
@@ -203,6 +205,8 @@ fn run() -> CliResult<String> {
         "check" => commands::check(&PathBuf::from(flags.req("index")?), &tree),
         "dump-leaves" => commands::dump_leaves(&PathBuf::from(flags.req("index")?), &tree),
         "trees" => commands::trees(&PathBuf::from(flags.req("index")?)),
+        "wal-stat" => commands::wal_stat(&PathBuf::from(flags.req("index")?)),
+        "recover" => commands::recover(&PathBuf::from(flags.req("index")?)),
         "insert" => commands::insert(
             &PathBuf::from(flags.req("index")?),
             &PathBuf::from(flags.req("input")?),

@@ -19,6 +19,7 @@
 
 pub mod experiments;
 pub mod fmt;
+pub mod mixed;
 pub mod plot;
 
 use std::sync::Arc;

@@ -24,7 +24,7 @@ use repro::Harness;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment>... [--out DIR] [--quick] [--queries N] [--seed S]\n\
-         experiments: {} | all | list | check-bench",
+         experiments: {} | all | list | check-bench | mixed-bench [--verify]",
         experiments::ALL_IDS.join(" | ")
     );
     std::process::exit(2);
@@ -116,6 +116,19 @@ fn main() {
                 return;
             }
             "check-bench" => check_bench(),
+            "mixed-bench" => {
+                let verify_only = args.iter().any(|a| a == "--verify");
+                let res = if verify_only {
+                    repro::mixed::verify()
+                } else {
+                    repro::mixed::run()
+                };
+                if let Err(e) = res {
+                    eprintln!("error: mixed-bench: {e}");
+                    std::process::exit(1);
+                }
+                return;
+            }
             "all" => targets.extend(experiments::ALL_IDS.iter().map(|s| s.to_string())),
             flag if flag.starts_with("--") => usage(),
             exp => targets.push(exp.to_string()),

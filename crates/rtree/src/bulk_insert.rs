@@ -29,7 +29,11 @@ impl<const D: usize> RTree<D> {
             return Ok(());
         }
         let n = self.capacity().max();
-        if items.len() < n {
+        // A WAL-attached tree logs every page image at commit; the
+        // packed-subtree path writes nodes outside any staged commit, so
+        // a crash could lose them behind a committed graft. Take the
+        // fully-logged one-at-a-time path instead.
+        if self.cow || items.len() < n {
             for (rect, id) in items {
                 self.insert(rect, id)?;
             }

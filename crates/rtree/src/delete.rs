@@ -47,8 +47,8 @@ impl<const D: usize> RTree<D> {
                 Ok(false)
             }
             Ok(true) => {
+                st.len -= 1;
                 self.commit_staging(st)?;
-                self.len -= 1;
                 Ok(true)
             }
             Err(e) => {
@@ -74,7 +74,12 @@ impl<const D: usize> RTree<D> {
     /// Phase 1 of deletion: compute the entire post-delete tree into the
     /// staging overlay. Returns whether the entry was found (false means
     /// the overlay holds nothing worth committing).
-    fn staged_delete(&mut self, st: &mut Staging<D>, rect: &Rect<D>, data: u64) -> Result<bool> {
+    pub(crate) fn staged_delete(
+        &mut self,
+        st: &mut Staging<D>,
+        rect: &Rect<D>,
+        data: u64,
+    ) -> Result<bool> {
         let mut orphans: Vec<(u32, Entry<D>)> = Vec::new();
         let root = st.root;
         let outcome = self.staged_remove_below(st, root, rect, data, &mut orphans)?;

@@ -231,6 +231,7 @@ impl<const D: usize> RTree<D> {
     /// ([`CheckReport::alloc_issues`]).
     fn audit_allocation(&self, seen: &HashSet<PageId>, report: &mut CheckReport) {
         let mut accounted: HashSet<PageId> = seen.clone();
+        let mut on_chain: HashSet<PageId> = HashSet::new();
         accounted.insert(PageId(0)); // v2 superblock / v1 meta page
         if let Some(alloc) = self.store.allocator() {
             match alloc.free_list() {
@@ -246,6 +247,7 @@ impl<const D: usize> RTree<D> {
                             });
                         }
                     }
+                    on_chain.extend(chain.iter().copied());
                     accounted.extend(chain);
                 }
                 Err(e) => report.alloc_issues.push(PageIssue {
@@ -263,7 +265,13 @@ impl<const D: usize> RTree<D> {
         // A legacy v1 image keeps no on-disk free list, so after a
         // reopen only the session list below accounts for freed pages —
         // earlier sessions' frees surface as leaked.
-        for &p in self.store.session_free() {
+        let session_lists = self
+            .store
+            .session_free()
+            .iter()
+            .chain(self.store.session_deferred())
+            .chain(&self.pending_frees);
+        for &p in session_lists {
             if seen.contains(&p) {
                 report.alloc_issues.push(PageIssue {
                     page: p,
@@ -273,11 +281,63 @@ impl<const D: usize> RTree<D> {
             }
             accounted.insert(p);
         }
+        self.audit_durable_root(&on_chain, report);
         for i in 0..report.pages_on_disk {
             let p = PageId(i);
             if !accounted.contains(&p) {
                 report.unreachable.push(p);
             }
+        }
+    }
+
+    /// Audit the *durable* root — the one the superblock's meta page
+    /// records, which is what a reopen after a crash would traverse.
+    ///
+    /// The live root legitimately runs ahead of the durable one between
+    /// persists, and a durable root sitting on the *session* free list
+    /// with its content intact is the normal state of an unpersisted
+    /// root swap. What must never happen is the durable root pointing at
+    /// a page the allocator could hand out again: on the persistent free
+    /// chain, stamped with the free-page magic, or past the end of the
+    /// file. A reopen would adopt that root and a later allocation would
+    /// scribble over it — the crash-window this audit exists to flag.
+    fn audit_durable_root(&self, on_chain: &HashSet<PageId>, report: &mut CheckReport) {
+        let Ok(durable) = self.store.read_meta() else {
+            // An unreadable durable meta is its own (already reported)
+            // problem when the tree is reopened; the live walk above has
+            // nothing to cross-check against.
+            return;
+        };
+        if durable.root == self.root {
+            return;
+        }
+        let p = durable.root;
+        if p.index() >= report.pages_on_disk {
+            report.alloc_issues.push(PageIssue {
+                page: p,
+                reason: "durable meta roots the tree past the end of the file (stale root)".into(),
+            });
+            return;
+        }
+        if on_chain.contains(&p) {
+            report.alloc_issues.push(PageIssue {
+                page: p,
+                reason: "durable meta roots the tree at a page on the free chain \
+                         (stale root at a freed page)"
+                    .into(),
+            });
+            return;
+        }
+        let disk = self.pool().disk();
+        let mut page = vec![0u8; disk.page_size()];
+        if disk.read_page(p, &mut page).is_ok()
+            && page.len() >= 4
+            && page[..4] == storage::FREE_PAGE_MAGIC.to_le_bytes()
+        {
+            report.alloc_issues.push(PageIssue {
+                page: p,
+                reason: "durable meta roots the tree at a freed page (stale root)".into(),
+            });
         }
     }
 
@@ -353,8 +413,9 @@ impl<const D: usize> RTree<D> {
 }
 
 /// `(entry stride, child-page offset within an entry)` for a tree kind,
-/// or `None` for a kind this build does not know.
-fn entry_layout(kind: u32, dims: u32) -> Option<(usize, usize)> {
+/// or `None` for a kind this build does not know. Shared with the
+/// recovery sweep, which walks every cataloged tree the same way.
+pub(crate) fn entry_layout(kind: u32, dims: u32) -> Option<(usize, usize)> {
     let dims = dims as usize;
     match kind {
         KIND_RTREE | KIND_RPLUS => Some((dims * 16 + 8, dims * 16)),
@@ -452,6 +513,69 @@ mod tests {
             "freed pages must be on the free chain, not leaked: {report}"
         );
         assert_eq!(report.free_pages, freed as u64);
+    }
+
+    #[test]
+    fn stale_durable_root_at_freed_page_is_flagged() {
+        // Reproduce the crash window: a persist's free-chain writes land
+        // but the meta write does not, leaving the durable meta rooting
+        // the tree at a page that is now on the free chain.
+        let disk = Arc::new(MemDisk::default_size());
+        let pool = Arc::new(BufferPool::new(disk.clone() as Arc<dyn Disk>, 64));
+        let mut tree = RTree::<2>::create(pool, NodeCapacity::new(4).unwrap()).unwrap();
+        for e in squares(64) {
+            tree.insert(e.rect, e.payload).unwrap();
+        }
+        tree.persist().unwrap();
+
+        // Capture the durable meta as of now (root R1).
+        let meta_page = tree.store().meta_page();
+        let mut old_meta = vec![0u8; disk.page_size()];
+        disk.read_page(meta_page, &mut old_meta).unwrap();
+        let old_root = tree.root_page();
+
+        // Shrink the tree until the root changes and R1 is freed, then
+        // persist so R1 reaches the persistent free chain.
+        for e in squares(64).iter().take(60) {
+            tree.delete(&e.rect, e.payload).unwrap();
+        }
+        assert_ne!(tree.root_page(), old_root, "root must have moved");
+        tree.persist().unwrap();
+
+        // Clean before the "crash": the durable meta matches the tree.
+        assert!(tree.check().is_clean());
+
+        // The crash: the old meta bytes come back (torn meta write).
+        disk.write_page(meta_page, &old_meta).unwrap();
+        let report = tree.check();
+        assert!(
+            report
+                .alloc_issues
+                .iter()
+                .any(|i| i.page == old_root && i.reason.contains("stale root")),
+            "stale durable root not flagged: {report}"
+        );
+    }
+
+    #[test]
+    fn unpersisted_root_swap_is_not_flagged() {
+        // Between persists the durable root legitimately lags the live
+        // one, sitting on the *session* free list with content intact —
+        // that must stay clean.
+        let disk = Arc::new(MemDisk::default_size());
+        let pool = Arc::new(BufferPool::new(disk as Arc<dyn Disk>, 64));
+        let mut tree = RTree::<2>::create(pool, NodeCapacity::new(4).unwrap()).unwrap();
+        for e in squares(64) {
+            tree.insert(e.rect, e.payload).unwrap();
+        }
+        tree.persist().unwrap();
+        let old_root = tree.root_page();
+        for e in squares(64).iter().take(60) {
+            tree.delete(&e.rect, e.payload).unwrap();
+        }
+        assert_ne!(tree.root_page(), old_root);
+        let report = tree.check();
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

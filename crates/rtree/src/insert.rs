@@ -28,14 +28,21 @@ impl<const D: usize> RTree<D> {
     /// a failure while committing the computed writes can poison the
     /// tree (see [`crate::RTreeError::Poisoned`]).
     pub fn insert(&mut self, rect: Rect<D>, data: u64) -> Result<()> {
-        self.insert_entry_at(Entry::data(rect, data), 0)?;
-        self.len += 1;
-        Ok(())
+        self.check_poisoned()?;
+        let mut st = self.begin_staging();
+        st.len += 1;
+        if let Err(e) = self.staged_insert_entry(&mut st, Entry::data(rect, data), 0) {
+            self.abandon_staging(st);
+            return Err(e);
+        }
+        self.commit_staging(st)
     }
 
     /// Insert `entry` into a node at `level` (0 = leaf), as one staged
-    /// mutation. Deletion uses non-zero levels to reinsert orphaned
-    /// subtrees at their original height (Guttman's CondenseTree step).
+    /// mutation that does not change the recorded object count (the
+    /// subtree-grafting path counts its entries itself). Deletion uses
+    /// non-zero levels to reinsert orphaned subtrees at their original
+    /// height (Guttman's CondenseTree step).
     pub(crate) fn insert_entry_at(&mut self, entry: Entry<D>, level: u32) -> Result<()> {
         self.check_poisoned()?;
         let mut st = self.begin_staging();

@@ -33,8 +33,10 @@ pub mod insert;
 pub mod iter;
 pub mod lower;
 pub mod node;
+pub mod recovery;
 pub mod rplus;
 pub mod rstar;
+pub mod snapshot;
 pub mod split;
 pub mod stats;
 pub mod store;
@@ -48,7 +50,9 @@ pub use fsck::{CheckReport, PageIssue};
 pub use iter::RegionIter;
 pub use lower::LevelNodes;
 pub use node::{Entry, Node};
+pub use recovery::{recover, RecoveryReport};
 pub use rplus::RPlusTree;
+pub use snapshot::{SharedRTree, Snapshot};
 pub use split::SplitPolicy;
 pub use stats::{LevelSummary, TreeSummary};
 pub use store::{

@@ -27,7 +27,7 @@ use std::marker::PhantomData;
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 use bytes::{Buf, BufMut};
-use storage::{BufferPool, Disk, PageAllocator, PageId, StorageError, FORMAT_V2_MAGIC};
+use storage::{BufferPool, Disk, PageAllocator, PageId, StorageError, Wal, FORMAT_V2_MAGIC};
 
 use crate::{RTreeError, Result};
 
@@ -364,6 +364,16 @@ pub struct NodeStore<E: EntryCodec> {
     /// (v2) — not immediately, so a crash can never leave a page both on
     /// the durable free chain and referenced by the last-committed meta.
     free: Vec<PageId>,
+    /// Like `free`, but never reused before the next persist. The WAL
+    /// mode parks committed-then-replaced pages here: the durable meta
+    /// (or a WAL replay) may still reference them, and dirty-frame
+    /// eviction writes through to disk mid-session, so reusing one
+    /// before a checkpoint could corrupt the recoverable state.
+    deferred: Vec<PageId>,
+    /// Route `free_page`/`extend_free` into `deferred` (WAL mode).
+    defer_reuse: bool,
+    /// Write-ahead log this store's commits must precede, if attached.
+    wal: Option<Arc<Wal>>,
     _codec: PhantomData<fn() -> E>,
 }
 
@@ -418,6 +428,9 @@ impl<E: EntryCodec> NodeStore<E> {
             pool,
             backing: Backing::V2 { alloc, meta_page },
             free: Vec::new(),
+            deferred: Vec::new(),
+            defer_reuse: false,
+            wal: None,
             _codec: PhantomData,
         })
     }
@@ -444,6 +457,9 @@ impl<E: EntryCodec> NodeStore<E> {
                         pool,
                         backing: Backing::V1,
                         free: Vec::new(),
+                        deferred: Vec::new(),
+                        defer_reuse: false,
+                        wal: None,
                         _codec: PhantomData,
                     },
                     meta,
@@ -462,6 +478,9 @@ impl<E: EntryCodec> NodeStore<E> {
                         pool,
                         backing: Backing::V2 { alloc, meta_page },
                         free: Vec::new(),
+                        deferred: Vec::new(),
+                        defer_reuse: false,
+                        wal: None,
                         _codec: PhantomData,
                     },
                     meta,
@@ -492,6 +511,49 @@ impl<E: EntryCodec> NodeStore<E> {
         }
     }
 
+    /// Put a write-ahead log in front of this store's page writes.
+    /// Switches frees to deferred reuse (see the `deferred` field) and
+    /// requires a v2 backing — the WAL watermark lives in the v2
+    /// superblock.
+    pub fn attach_wal(&mut self, wal: Arc<Wal>) -> Result<()> {
+        if matches!(self.backing, Backing::V1) {
+            return Err(corrupt(
+                PageId(0),
+                "the WAL needs a v2 file (no superblock watermark in v1)",
+            ));
+        }
+        self.defer_reuse = true;
+        self.wal = Some(wal);
+        Ok(())
+    }
+
+    /// The attached WAL, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// A read-only twin over the same pool, allocator and meta page —
+    /// snapshot readers traverse through one of these without borrowing
+    /// the writer's store. It shares no session free list and must
+    /// never be used to mutate.
+    pub fn reader_clone(&self) -> Self {
+        Self {
+            pool: self.pool.clone(),
+            backing: match &self.backing {
+                Backing::V2 { alloc, meta_page } => Backing::V2 {
+                    alloc: alloc.clone(),
+                    meta_page: *meta_page,
+                },
+                Backing::V1 => Backing::V1,
+            },
+            free: Vec::new(),
+            deferred: Vec::new(),
+            defer_reuse: false,
+            wal: None,
+            _codec: PhantomData,
+        }
+    }
+
     // ---- pages --------------------------------------------------------
 
     /// Get a page for a new node: this session's free list first, then
@@ -507,19 +569,43 @@ impl<E: EntryCodec> NodeStore<E> {
     }
 
     /// Release a page to this session's free list. It reaches the
-    /// persistent free chain at the next [`persist`](Self::persist).
+    /// persistent free chain at the next [`persist`](Self::persist);
+    /// in WAL mode it is also not *reused* before then.
     pub fn free_page(&mut self, page: PageId) {
-        self.free.push(page);
+        if self.defer_reuse {
+            self.deferred.push(page);
+        } else {
+            self.free.push(page);
+        }
     }
 
     /// Release several pages at once (staging commit/abandon paths).
     pub fn extend_free(&mut self, pages: impl IntoIterator<Item = PageId>) {
+        if self.defer_reuse {
+            self.deferred.extend(pages);
+        } else {
+            self.free.extend(pages);
+        }
+    }
+
+    /// Release pages that were never durably referenced (an abandoned
+    /// staging's fresh allocations): immediately reusable even in WAL
+    /// mode, since neither the durable meta nor any WAL record names
+    /// them as live.
+    pub fn extend_reusable(&mut self, pages: impl IntoIterator<Item = PageId>) {
         self.free.extend(pages);
     }
 
-    /// Pages freed this session and not yet persisted to the free chain.
+    /// Pages freed this session, still eligible for in-session reuse,
+    /// and not yet persisted to the free chain.
     pub fn session_free(&self) -> &[PageId] {
         &self.free
+    }
+
+    /// Pages freed this session whose reuse is deferred to the next
+    /// checkpoint (WAL mode).
+    pub fn session_deferred(&self) -> &[PageId] {
+        &self.deferred
     }
 
     // ---- nodes --------------------------------------------------------
@@ -559,6 +645,12 @@ impl<E: EntryCodec> NodeStore<E> {
     pub fn persist(&mut self, meta: &TreeMeta) -> Result<()> {
         let disk = self.pool.disk().clone();
         let mut page = vec![0u8; disk.page_size()];
+        // With a WAL attached, this is also the checkpoint: capture the
+        // watermark *before* the flush — a transaction counted here has
+        // finished its pool writes, so the flush puts it fully on media.
+        // (Transactions that race in during the flush keep an LSN above
+        // the captured watermark and stay replayable.)
+        let checkpoint = self.wal.as_ref().map(|w| w.checkpoint_lsn());
         self.pool.flush()?;
         match &self.backing {
             Backing::V1 => {
@@ -571,14 +663,42 @@ impl<E: EntryCodec> NodeStore<E> {
             Backing::V2 { alloc, meta_page } => {
                 meta.encode_v2(&mut page);
                 disk.write_page(*meta_page, &page)?;
-                if !self.free.is_empty() {
-                    let freed = std::mem::take(&mut self.free);
+                if !self.free.is_empty() || !self.deferred.is_empty() {
+                    let mut freed = std::mem::take(&mut self.free);
+                    freed.append(&mut self.deferred);
                     alloc.free_pages(&freed)?;
                 }
             }
         }
         disk.sync()?;
+        if let (Some(wal), Some(cp), Backing::V2 { alloc, .. }) =
+            (&self.wal, checkpoint, &self.backing)
+        {
+            // Everything at or below `cp` is now on media: advance the
+            // superblock watermark so recovery skips it, then drop
+            // segments whose whole history is below it. A crash between
+            // these steps only costs redundant (idempotent) replay.
+            alloc.set_wal_applied_lsn(cp)?;
+            disk.sync()?;
+            wal.recycle(cp)?;
+        }
         Ok(())
+    }
+
+    /// Encode the meta block as a full page image without writing it
+    /// anywhere. WAL-mode commits log this image inside the transaction
+    /// and only write it through the buffer pool once the transaction is
+    /// durable — the next checkpoint's flush then carries it to the
+    /// media together with the nodes it references.
+    pub fn encode_meta(&self, meta: &TreeMeta) -> Result<Vec<u8>> {
+        match &self.backing {
+            Backing::V1 => Err(corrupt(PageId(0), "WAL meta images need a v2 file")),
+            Backing::V2 { .. } => {
+                let mut page = vec![0u8; self.pool.disk().page_size()];
+                meta.encode_v2(&mut page);
+                Ok(page)
+            }
+        }
     }
 
     /// Re-read this tree's metadata from disk (fsck compares the live

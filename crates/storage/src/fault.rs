@@ -158,6 +158,61 @@ impl SplitMix64 {
     }
 }
 
+/// A process-wide sync ordinal shared by every device of a simulated
+/// machine (the main [`FaultDisk`] and the WAL's log store). Each
+/// successful `sync` on any attached device ticks the clock; arming
+/// [`SyncClock::crash_after_nth_sync`] lets the sync with that ordinal
+/// complete and then crashes *all* attached devices at once (fail-stop)
+/// — the crash-schedule harness enumerates every sync point of a
+/// workload this way.
+pub struct SyncClock {
+    syncs: AtomicU64,
+    crash_at: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl SyncClock {
+    /// A clock that never crashes (until armed).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            syncs: AtomicU64::new(0),
+            crash_at: AtomicU64::new(u64::MAX),
+            crashed: AtomicBool::new(false),
+        })
+    }
+
+    /// Let the sync with ordinal `n` (0-based, counted across every
+    /// attached device) succeed, then fail every subsequent operation.
+    pub fn crash_after_nth_sync(&self, n: u64) {
+        self.crash_at.store(n, Ordering::SeqCst);
+    }
+
+    /// Called by devices after a successful sync.
+    pub fn record_sync(&self) {
+        let n = self.syncs.fetch_add(1, Ordering::SeqCst);
+        if n >= self.crash_at.load(Ordering::SeqCst) {
+            self.crashed.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether the armed crash has fired.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Syncs observed so far (a clean run's total bounds the schedule).
+    pub fn syncs_seen(&self) -> u64 {
+        self.syncs.load(Ordering::SeqCst)
+    }
+
+    /// Clear the crash (the "reboot"); the ordinal keeps counting and
+    /// the trigger is disarmed.
+    pub fn revive(&self) {
+        self.crash_at.store(u64::MAX, Ordering::SeqCst);
+        self.crashed.store(false, Ordering::SeqCst);
+    }
+}
+
 /// A [`Disk`] wrapper that injects scheduled failures.
 ///
 /// All successful operations delegate to the inner disk (whose I/O
@@ -169,8 +224,10 @@ pub struct FaultDisk {
     faults: Mutex<Vec<Scheduled>>,
     reads_seen: AtomicU64,
     writes_seen: AtomicU64,
+    syncs_seen: AtomicU64,
     crashed: AtomicBool,
     armed: AtomicBool,
+    clock: Mutex<Option<Arc<SyncClock>>>,
 }
 
 impl FaultDisk {
@@ -181,9 +238,25 @@ impl FaultDisk {
             faults: Mutex::new(Vec::new()),
             reads_seen: AtomicU64::new(0),
             writes_seen: AtomicU64::new(0),
+            syncs_seen: AtomicU64::new(0),
             crashed: AtomicBool::new(false),
             armed: AtomicBool::new(true),
+            clock: Mutex::new(None),
         }
+    }
+
+    /// Attach a shared [`SyncClock`]: this disk's syncs tick the clock,
+    /// and once the clock crashes every operation here fails too.
+    pub fn set_sync_clock(&self, clock: Arc<SyncClock>) {
+        *self.clock.lock() = Some(clock);
+    }
+
+    fn clock_crashed(&self) -> bool {
+        self.clock
+            .lock()
+            .as_ref()
+            .map(|c| c.is_crashed())
+            .unwrap_or(false)
     }
 
     /// The wrapped disk.
@@ -247,9 +320,10 @@ impl FaultDisk {
         self.armed.store(armed, Ordering::SeqCst);
     }
 
-    /// Whether a crash fault has fired.
+    /// Whether a crash fault has fired (on this disk or the shared
+    /// sync clock).
     pub fn is_crashed(&self) -> bool {
-        self.crashed.load(Ordering::SeqCst)
+        self.crashed.load(Ordering::SeqCst) || self.clock_crashed()
     }
 
     /// Clear the crashed state (simulating a device coming back after a
@@ -275,6 +349,11 @@ impl FaultDisk {
             self.reads_seen.load(Ordering::SeqCst),
             self.writes_seen.load(Ordering::SeqCst),
         )
+    }
+
+    /// Syncs that completed successfully on this disk.
+    pub fn syncs_seen(&self) -> u64 {
+        self.syncs_seen.load(Ordering::SeqCst)
     }
 
     fn crashed_err(page: PageId) -> StorageError {
@@ -394,7 +473,12 @@ impl Disk for FaultDisk {
         if self.is_crashed() {
             return Err(Self::crashed_err(PageId::INVALID));
         }
-        self.inner.sync()
+        self.inner.sync()?;
+        self.syncs_seen.fetch_add(1, Ordering::SeqCst);
+        if let Some(clock) = self.clock.lock().as_ref() {
+            clock.record_sync();
+        }
+        Ok(())
     }
 }
 

@@ -7,19 +7,24 @@
 //! every freed page forever. Format v2 replaces that with a real
 //! allocator and lets several named trees share one disk/file.
 //!
-//! Page 0 is the **superblock** (little-endian):
+//! Page 0 is the **superblock** (little-endian, version 3):
 //!
 //! ```text
 //! offset  size  field
-//! 0       4     magic      "STR2"
-//! 4       4     version    (2)
-//! 8       4     page_size  (must match the disk's)
-//! 12      4     tree_count (catalog entries in use)
-//! 16      8     free_head  (PageId of first free page; u64::MAX = none)
-//! 24      8     free_count (length of the free chain)
-//! 32      8     checksum   (FNV-1a of bytes 0..32 ++ catalog region)
-//! 40      —     catalog: tree_count × 48-byte entries
+//! 0       4     magic        "STR2"
+//! 4       4     version      (3)
+//! 8       4     page_size    (must match the disk's)
+//! 12      4     tree_count   (catalog entries in use)
+//! 16      8     free_head    (PageId of first free page; u64::MAX = none)
+//! 24      8     free_count   (length of the free chain)
+//! 32      8     wal_applied_lsn (newest WAL transaction fully applied)
+//! 40      8     checksum     (FNV-1a of bytes 0..40 ++ catalog region)
+//! 48      —     catalog: tree_count × 48-byte entries
 //! ```
+//!
+//! Version 2 images (no `wal_applied_lsn`; checksum at 32, catalog at
+//! 40) still open — the field reads as 0 and the next superblock write
+//! upgrades the page to version 3 in place.
 //!
 //! Each catalog entry is `u8 name_len ++ 39 bytes name ++ u64 meta_page`.
 //! A tree's meta page holds whatever the tree layer wants (root, height,
@@ -61,10 +66,14 @@ pub const FORMAT_V2_MAGIC: u32 = u32::from_le_bytes(*b"STR2");
 /// Magic prefix of a page on the free chain: `"FREE"` little-endian.
 pub const FREE_PAGE_MAGIC: u32 = u32::from_le_bytes(*b"FREE");
 /// On-disk format version written by this code.
-pub const FORMAT_VERSION: u32 = 2;
+pub const FORMAT_VERSION: u32 = 3;
+/// Oldest on-disk version this code still opens.
+pub const MIN_FORMAT_VERSION: u32 = 2;
 
 const SUPERBLOCK_PAGE: PageId = PageId(0);
-const FIXED_LEN: usize = 40;
+/// Fixed header length of a v3 superblock (v2 lacked the WAL field).
+const FIXED_LEN: usize = 48;
+const V2_FIXED_LEN: usize = 40;
 const ENTRY_LEN: usize = 48;
 const MAX_NAME_LEN: usize = 39;
 
@@ -101,6 +110,7 @@ pub struct CatalogEntry {
 struct AllocState {
     free_head: PageId,
     free_count: u64,
+    wal_lsn: u64,
     catalog: Vec<CatalogEntry>,
 }
 
@@ -132,6 +142,7 @@ impl PageAllocator {
             state: Mutex::new(AllocState {
                 free_head: PageId::INVALID,
                 free_count: 0,
+                wal_lsn: 0,
                 catalog: Vec::new(),
             }),
         };
@@ -176,6 +187,20 @@ impl PageAllocator {
     /// Pages currently on the free chain.
     pub fn free_count(&self) -> u64 {
         self.state.lock().free_count
+    }
+
+    /// Newest WAL transaction the media fully reflects. Recovery skips
+    /// transactions at or below this LSN — the idempotence watermark.
+    pub fn wal_applied_lsn(&self) -> u64 {
+        self.state.lock().wal_lsn
+    }
+
+    /// Advance the WAL watermark (one superblock commit). The caller
+    /// must have flushed every page write at or below `lsn` first.
+    pub fn set_wal_applied_lsn(&self, lsn: u64) -> Result<()> {
+        let mut st = self.state.lock();
+        st.wal_lsn = lsn;
+        self.write_superblock(&st)
     }
 
     /// Allocate one page: pop the free chain if non-empty (committing
@@ -364,6 +389,7 @@ impl PageAllocator {
             w.put_u32_le(st.catalog.len() as u32);
             w.put_u64_le(st.free_head.0);
             w.put_u64_le(st.free_count);
+            w.put_u64_le(st.wal_lsn);
             w.put_u64_le(0); // checksum, patched below
         }
         for (i, e) in st.catalog.iter().enumerate() {
@@ -376,11 +402,11 @@ impl PageAllocator {
         }
         let cat_end = FIXED_LEN + st.catalog.len() * ENTRY_LEN;
         let checksum = fnv1a_update(
-            fnv1a_update(FNV_SEED, &page[..32]),
+            fnv1a_update(FNV_SEED, &page[..FIXED_LEN - 8]),
             &page[FIXED_LEN..cat_end],
         );
         {
-            let mut w = &mut page[32..FIXED_LEN];
+            let mut w = &mut page[FIXED_LEN - 8..FIXED_LEN];
             w.put_u64_le(checksum);
         }
         self.disk.write_page(SUPERBLOCK_PAGE, &page)
@@ -390,33 +416,45 @@ impl PageAllocator {
         if page.len() < FIXED_LEN {
             return Err(corrupt(SUPERBLOCK_PAGE, "page shorter than superblock"));
         }
-        let mut r = &page[..FIXED_LEN];
+        let mut r = &page[..V2_FIXED_LEN];
         let magic = r.get_u32_le();
         let version = r.get_u32_le();
         let page_size = r.get_u32_le();
         let tree_count = r.get_u32_le() as usize;
         let free_head = PageId(r.get_u64_le());
         let free_count = r.get_u64_le();
-        let stored_checksum = r.get_u64_le();
         if magic != FORMAT_V2_MAGIC {
             return Err(corrupt(
                 SUPERBLOCK_PAGE,
                 "bad superblock magic (not a v2 file)",
             ));
         }
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(corrupt(
                 SUPERBLOCK_PAGE,
                 format!("unsupported format version {version}"),
             ));
         }
+        // v2 has no WAL watermark; its checksum sits where v3 keeps
+        // the watermark, and its catalog starts 8 bytes earlier.
+        let fixed_len = if version == 2 {
+            V2_FIXED_LEN
+        } else {
+            FIXED_LEN
+        };
+        let (wal_lsn, stored_checksum) = if version == 2 {
+            (0, r.get_u64_le())
+        } else {
+            let wal_lsn = r.get_u64_le();
+            (wal_lsn, (&page[FIXED_LEN - 8..FIXED_LEN]).get_u64_le())
+        };
         if page_size as usize != disk_page_size {
             return Err(corrupt(
                 SUPERBLOCK_PAGE,
                 format!("superblock page size {page_size} != disk page size {disk_page_size}"),
             ));
         }
-        let cat_end = FIXED_LEN + tree_count * ENTRY_LEN;
+        let cat_end = fixed_len + tree_count * ENTRY_LEN;
         if cat_end > page.len() {
             return Err(corrupt(
                 SUPERBLOCK_PAGE,
@@ -424,8 +462,8 @@ impl PageAllocator {
             ));
         }
         let checksum = fnv1a_update(
-            fnv1a_update(FNV_SEED, &page[..32]),
-            &page[FIXED_LEN..cat_end],
+            fnv1a_update(FNV_SEED, &page[..fixed_len - 8]),
+            &page[fixed_len..cat_end],
         );
         if checksum != stored_checksum {
             return Err(corrupt(
@@ -435,7 +473,7 @@ impl PageAllocator {
         }
         let mut catalog = Vec::with_capacity(tree_count);
         for i in 0..tree_count {
-            let off = FIXED_LEN + i * ENTRY_LEN;
+            let off = fixed_len + i * ENTRY_LEN;
             let entry = &page[off..off + ENTRY_LEN];
             let name_len = entry[0] as usize;
             if name_len == 0 || name_len > MAX_NAME_LEN {
@@ -459,6 +497,7 @@ impl PageAllocator {
         Ok(AllocState {
             free_head,
             free_count,
+            wal_lsn,
             catalog,
         })
     }
@@ -590,6 +629,63 @@ mod tests {
         assert!(a.free_page(PageId(0)).is_err());
         assert!(a.free_page(PageId(999)).is_err());
         assert!(a.free_page(PageId::INVALID).is_err());
+    }
+
+    #[test]
+    fn wal_watermark_roundtrips() {
+        let disk = mem();
+        let a = PageAllocator::format(disk.clone()).unwrap();
+        assert_eq!(a.wal_applied_lsn(), 0);
+        a.create_tree("t").unwrap();
+        a.set_wal_applied_lsn(41).unwrap();
+        let b = PageAllocator::open(disk).unwrap();
+        assert_eq!(b.wal_applied_lsn(), 41);
+        assert_eq!(b.lookup_tree("t"), Some(PageId(1)));
+    }
+
+    /// A hand-built version-2 superblock (checksum at 32, catalog at
+    /// 40, no WAL field) still opens, reads a zero watermark, and is
+    /// upgraded in place by the next superblock write.
+    #[test]
+    fn v2_superblock_still_opens_and_upgrades() {
+        let disk = Arc::new(MemDisk::new(512));
+        disk.allocate().unwrap(); // page 0
+        disk.allocate().unwrap(); // page 1: the tree's meta page
+        let mut page = vec![0u8; 512];
+        {
+            let mut w = &mut page[..V2_FIXED_LEN];
+            w.put_u32_le(FORMAT_V2_MAGIC);
+            w.put_u32_le(2);
+            w.put_u32_le(512);
+            w.put_u32_le(1);
+            w.put_u64_le(PageId::INVALID.0);
+            w.put_u64_le(0);
+            w.put_u64_le(0); // checksum, patched below
+        }
+        {
+            let entry = &mut page[V2_FIXED_LEN..V2_FIXED_LEN + ENTRY_LEN];
+            entry[0] = 3;
+            entry[1..4].copy_from_slice(b"old");
+            let mut w = &mut entry[ENTRY_LEN - 8..];
+            w.put_u64_le(1);
+        }
+        let checksum = fnv1a_update(
+            fnv1a_update(FNV_SEED, &page[..32]),
+            &page[V2_FIXED_LEN..V2_FIXED_LEN + ENTRY_LEN],
+        );
+        (&mut page[32..V2_FIXED_LEN]).put_u64_le(checksum);
+        disk.write_page(PageId(0), &page).unwrap();
+
+        let a = PageAllocator::open(disk.clone() as Arc<dyn Disk>).unwrap();
+        assert_eq!(a.wal_applied_lsn(), 0);
+        assert_eq!(a.lookup_tree("old"), Some(PageId(1)));
+        a.set_wal_applied_lsn(7).unwrap(); // rewrites as v3
+        let mut page = vec![0u8; 512];
+        disk.read_page(PageId(0), &mut page).unwrap();
+        assert_eq!((&page[4..8]).get_u32_le(), FORMAT_VERSION);
+        let b = PageAllocator::open(disk as Arc<dyn Disk>).unwrap();
+        assert_eq!(b.wal_applied_lsn(), 7);
+        assert_eq!(b.lookup_tree("old"), Some(PageId(1)));
     }
 
     /// Crash during `free_pages` before the superblock commit: the old

@@ -23,16 +23,20 @@ pub mod format;
 pub mod mmap;
 pub mod page;
 pub mod seq;
+pub mod wal;
 
 pub use buffer::{BufferPool, BufferStats, PinGuard, ShardedBufferPool};
 pub use disk::{Disk, FileDisk, IoStats, LatencyDisk, MemDisk};
-pub use fault::{FaultDisk, FaultId, FaultKind, FaultOp, FaultSpec, Trigger};
+pub use fault::{FaultDisk, FaultId, FaultKind, FaultOp, FaultSpec, SyncClock, Trigger};
 pub use format::{
     fnv1a_update, CatalogEntry, PageAllocator, FNV_SEED, FORMAT_V2_MAGIC, FREE_PAGE_MAGIC,
 };
 pub use mmap::Mmap;
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use seq::SequentialPageWriter;
+pub use wal::{
+    FileLogStore, LogStore, MemLogStore, ReplayReport, Wal, WalOptions, WalStat, WalTicket,
+};
 
 /// Errors surfaced by the storage layer.
 #[derive(Debug)]

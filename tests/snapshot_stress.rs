@@ -1,0 +1,188 @@
+//! Snapshot-isolation stress: 8 reader threads running batched queries
+//! against pinned epochs while 2 writer threads commit through the WAL.
+//!
+//! Each writer mutates only its own id range and keeps its live set a
+//! contiguous window (insert at the high end, delete at the low end),
+//! so *every committed state* decomposes into one contiguous window per
+//! writer plus the immutable seed. A reader holding a snapshot must
+//! therefore observe:
+//!
+//! * exactly `snapshot.len()` items from a query that covers the whole
+//!   space (the published `(root, len)` pair is atomic);
+//! * the full seed set (committed before any reader started);
+//! * a contiguous window per writer (no torn mix of two states);
+//! * identical results when the same batch runs twice against the same
+//!   snapshot (repeatable reads while writers keep committing);
+//! * sub-region results that are exactly the geometric filter of the
+//!   full-space results (cross-query consistency within one epoch).
+//!
+//! Afterwards the writer-visible tree must hold the seed plus each
+//! writer's final window, and the structural audit must be clean —
+//! epoch-based reclamation freed superseded pages without ever yanking
+//! one from under a pinned reader.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use str_rtree::prelude::*;
+use str_rtree::rtree::{BatchQuery, NodeCapacity, QueryExecutor, RTree, SharedRTree};
+use str_rtree::storage::{MemLogStore, Wal, WalOptions};
+
+const SEED_ITEMS: u64 = 300;
+const WRITERS: u64 = 2;
+const READERS: usize = 8;
+const OPS_PER_WRITER: u64 = 240;
+const READS_PER_READER: usize = 40;
+
+/// Writer `w` owns ids `[(w + 1) * 1_000_000, ...)`; the seed owns
+/// `[0, SEED_ITEMS)`.
+fn writer_base(w: u64) -> u64 {
+    (w + 1) * 1_000_000
+}
+
+fn rect_of(i: u64) -> Rect2 {
+    let (x, y) = ((i % 40) as f64 / 40.0, (i / 40 % 40) as f64 / 40.0);
+    Rect2::new([x, y], [x + 0.012, y + 0.012])
+}
+
+fn everything() -> Rect2 {
+    Rect2::new([-1.0, -1.0], [2.0, 2.0])
+}
+
+/// Assert `ids` (ascending) form one contiguous run.
+fn assert_contiguous(ids: &[u64], who: &str) {
+    if let (Some(&lo), Some(&hi)) = (ids.first(), ids.last()) {
+        assert_eq!(
+            ids.len() as u64,
+            hi - lo + 1,
+            "{who}: snapshot shows a torn window {lo}..={hi} with {} ids",
+            ids.len()
+        );
+    }
+}
+
+#[test]
+fn readers_always_observe_one_committed_state() {
+    let disk: Arc<dyn Disk> = Arc::new(MemDisk::default_size());
+    let pool = Arc::new(BufferPool::new(disk, 4096));
+    let tree = RTree::<2>::create(pool, NodeCapacity::new(8).unwrap()).unwrap();
+    let wal = Wal::create(MemLogStore::new(), 1, WalOptions::default()).unwrap();
+    let shared = SharedRTree::new(tree, wal).unwrap();
+
+    for i in 0..SEED_ITEMS {
+        shared.insert(rect_of(i), i).unwrap();
+    }
+
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let shared = shared.clone();
+            s.spawn(move || {
+                let base = writer_base(w);
+                let (mut lo, mut hi) = (0u64, 0u64);
+                for k in 0..OPS_PER_WRITER {
+                    if k % 4 == 3 && lo < hi {
+                        let victim = base + lo;
+                        assert!(shared.delete(&rect_of(victim), victim).unwrap());
+                        lo += 1;
+                    } else {
+                        shared.insert(rect_of(base + hi), base + hi).unwrap();
+                        hi += 1;
+                    }
+                }
+                (lo, hi)
+            });
+        }
+
+        for r in 0..READERS {
+            let shared = shared.clone();
+            s.spawn(move || {
+                let sub = Rect2::new([0.0, 0.0], [0.5, 0.5]);
+                let mut last_epoch = 0u64;
+                for round in 0..READS_PER_READER {
+                    let snap = shared.snapshot();
+                    assert!(
+                        snap.epoch() >= last_epoch,
+                        "reader {r}: epochs went backwards"
+                    );
+                    last_epoch = snap.epoch();
+
+                    let queries = [BatchQuery::Region(everything()), BatchQuery::Region(sub)];
+                    let exec = QueryExecutor::new(&snap);
+                    let report = exec.run_batch(&queries, 2).unwrap();
+
+                    // Atomic (root, len) publication: the traversal finds
+                    // exactly as many items as the epoch advertised.
+                    assert_eq!(
+                        report.results[0].len() as u64,
+                        snap.len(),
+                        "reader {r} round {round}: traversal diverges from published len"
+                    );
+
+                    let ids: BTreeSet<u64> = report.results[0].iter().map(|&(_, id)| id).collect();
+                    for i in 0..SEED_ITEMS {
+                        assert!(ids.contains(&i), "reader {r}: seed id {i} vanished");
+                    }
+                    for w in 0..WRITERS {
+                        let own: Vec<u64> = ids
+                            .range(writer_base(w)..writer_base(w + 1))
+                            .copied()
+                            .collect();
+                        assert_contiguous(&own, &format!("reader {r} writer {w}"));
+                    }
+
+                    // Cross-query consistency inside one epoch: the
+                    // sub-region is the geometric filter of everything.
+                    let filtered: Vec<(Rect2, u64)> = report.results[0]
+                        .iter()
+                        .filter(|(rect, _)| rect.intersects(&sub))
+                        .copied()
+                        .collect();
+                    let mut sorted_sub = report.results[1].clone();
+                    sorted_sub.sort_by_key(|a| a.1);
+                    let mut sorted_filtered = filtered;
+                    sorted_filtered.sort_by_key(|a| a.1);
+                    assert_eq!(
+                        sorted_sub, sorted_filtered,
+                        "reader {r} round {round}: sub-region query inconsistent"
+                    );
+
+                    // Repeatable read: same snapshot, same answer, no
+                    // matter what the writers committed meanwhile.
+                    let again = exec.run_batch(&queries, 2).unwrap();
+                    assert_eq!(
+                        again.results, report.results,
+                        "reader {r} round {round}: snapshot read not repeatable"
+                    );
+                }
+            });
+        }
+    });
+
+    // Final state: seed + each writer's final window, structurally clean.
+    let snap = shared.snapshot();
+    let ids: BTreeSet<u64> = snap
+        .query_region(&everything())
+        .unwrap()
+        .iter()
+        .map(|&(_, id)| id)
+        .collect();
+    let mut want: BTreeSet<u64> = (0..SEED_ITEMS).collect();
+    for w in 0..WRITERS {
+        // OPS_PER_WRITER ops, one delete per 4: window [deletes, inserts).
+        let deletes = OPS_PER_WRITER / 4;
+        let inserts = OPS_PER_WRITER - deletes;
+        want.extend((deletes..inserts).map(|k| writer_base(w) + k));
+    }
+    assert_eq!(ids, want, "final state is not seed + final windows");
+    assert_eq!(snap.len(), want.len() as u64);
+
+    shared.with_tree(|t| {
+        let check = t.check();
+        assert!(check.is_clean(), "{check}");
+        assert!(
+            check.unreachable.is_empty(),
+            "epoch reclamation leaked pages: {:?}",
+            check.unreachable
+        );
+    });
+}
