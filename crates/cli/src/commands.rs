@@ -48,7 +48,9 @@ pub fn open_index(path: &Path, buffer: usize, tree: &str) -> CliResult<RTree<2>>
 ///
 /// `external_budget` > 0 switches STR to the out-of-core pipeline with
 /// that many records of sort memory (ignored for other packers, which
-/// have no streaming formulation).
+/// have no streaming formulation); `threads` > 1 additionally runs the
+/// pipeline's parallel run formation, scatter and per-slab pack — the
+/// resulting file is byte-identical to the single-threaded build.
 ///
 /// With `tree: Some(name)` the pack targets that catalog entry: if
 /// `output` already exists it is opened (not truncated), so several
@@ -60,6 +62,7 @@ pub fn build(
     packer_name: &str,
     capacity: usize,
     external_budget: usize,
+    threads: usize,
     tree: Option<&str>,
 ) -> CliResult<String> {
     let items = csvio::read_items(input)?;
@@ -81,7 +84,8 @@ pub fn build(
     let n = items.len();
     let mut tree = if external_budget > 0 && packer_name.starts_with("str") {
         let scratch = Arc::new(storage::MemDisk::default_size());
-        str_core::pack_str_external_named(pool, name, scratch, items, cap, external_budget)
+        let opts = str_core::ExternalPackOptions::new(external_budget).threads(threads);
+        str_core::pack_str_external_opts(pool, name, scratch, items, cap, opts)
             .map_err(|e| e.to_string())?
     } else {
         str_core::pack_named(pool, name, items, cap, packer.as_ref()).map_err(|e| e.to_string())?
@@ -695,7 +699,7 @@ mod tests {
         let msg = generate("uniform", 2000, 7, &data).unwrap();
         assert!(msg.contains("2000"));
 
-        let msg = build(&data, &index, "str", 50, 0, None).unwrap();
+        let msg = build(&data, &index, "str", 50, 0, 1, None).unwrap();
         assert!(msg.contains("packed 2000"), "{msg}");
 
         let msg = validate(&index, DEF).unwrap();
@@ -733,7 +737,7 @@ mod tests {
         let data = tmp("flat.csv");
         let index = tmp("flat.rtree");
         generate("uniform", 2500, 17, &data).unwrap();
-        build(&data, &index, "str", 50, 0, None).unwrap();
+        build(&data, &index, "str", 50, 0, 1, None).unwrap();
 
         let msg = flatten(&index, DEF, None).unwrap();
         assert!(msg.contains("2500 rectangles"), "{msg}");
@@ -772,7 +776,7 @@ mod tests {
         let data = tmp("chk.csv");
         let index = tmp("chk.rtree");
         generate("uniform", 1000, 13, &data).unwrap();
-        build(&data, &index, "str", 50, 0, None).unwrap();
+        build(&data, &index, "str", 50, 0, 1, None).unwrap();
 
         let msg = check(&index, DEF).unwrap();
         assert!(msg.contains("clean"), "{msg}");
@@ -808,7 +812,7 @@ mod tests {
         generate("squares", 500, 9, &data).unwrap();
         for name in ["str", "str-par", "hs", "nx", "tgs"] {
             let index = tmp(&format!("packers-{name}.rtree"));
-            let msg = build(&data, &index, name, 20, 0, None).unwrap();
+            let msg = build(&data, &index, name, 20, 0, 1, None).unwrap();
             assert!(msg.contains("packed 500"), "{name}: {msg}");
             validate(&index, DEF).unwrap();
             std::fs::remove_file(index).ok();
@@ -835,8 +839,8 @@ mod tests {
         generate("uniform", 3000, 12, &data).unwrap();
         let a = tmp("ext-mem.rtree");
         let b = tmp("ext-ext.rtree");
-        build(&data, &a, "str", 50, 0, None).unwrap();
-        build(&data, &b, "str", 50, 100, None).unwrap();
+        build(&data, &a, "str", 50, 0, 1, None).unwrap();
+        build(&data, &b, "str", 50, 100, 4, None).unwrap();
         assert_eq!(dump_leaves(&a, DEF).unwrap(), dump_leaves(&b, DEF).unwrap());
         std::fs::remove_file(data).ok();
         std::fs::remove_file(a).ok();
@@ -848,7 +852,7 @@ mod tests {
         let data = tmp("qb.csv");
         let index = tmp("qb.rtree");
         generate("uniform", 3000, 21, &data).unwrap();
-        build(&data, &index, "str", 50, 0, None).unwrap();
+        build(&data, &index, "str", 50, 0, 1, None).unwrap();
 
         let plain = query_bench(&index, 60, 2, 16, 11, "", DEF).unwrap();
         assert!(plain.contains("queries/s"), "{plain}");
@@ -887,7 +891,7 @@ mod tests {
         let data = tmp("fd.csv");
         let index = tmp("fd.rtree");
         generate("uniform", 2000, 31, &data).unwrap();
-        build(&data, &index, "str", 50, 0, None).unwrap();
+        build(&data, &index, "str", 50, 0, 1, None).unwrap();
 
         let out = flight_dump(&index, 32, 8, 11, DEF).unwrap();
         assert!(out.contains("flight recorder:"), "{out}");
@@ -908,9 +912,9 @@ mod tests {
         generate("uniform", 600, 41, &data_a).unwrap();
         generate("squares", 400, 42, &data_b).unwrap();
 
-        let msg = build(&data_a, &index, "str", 50, 0, Some("roads")).unwrap();
+        let msg = build(&data_a, &index, "str", 50, 0, 1, Some("roads")).unwrap();
         assert!(msg.contains("tree 'roads'"), "{msg}");
-        let msg = build(&data_b, &index, "hs", 40, 0, Some("parcels")).unwrap();
+        let msg = build(&data_b, &index, "hs", 40, 0, 1, Some("parcels")).unwrap();
         assert!(msg.contains("tree 'parcels'"), "{msg}");
 
         let listing = trees(&index).unwrap();
@@ -928,7 +932,7 @@ mod tests {
         assert!(validate(&index, "nope").is_err());
 
         // Re-packing an existing name must be rejected, not clobbered.
-        assert!(build(&data_a, &index, "str", 50, 0, Some("roads")).is_err());
+        assert!(build(&data_a, &index, "str", 50, 0, 1, Some("roads")).is_err());
 
         std::fs::remove_file(data_a).ok();
         std::fs::remove_file(data_b).ok();

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! rtree-cli gen      --dataset tiger --n 53145 --seed 1 --output data.csv
-//! rtree-cli build    --input data.csv --output index.rtree [--packer str|str-par|hs|nx|tgs] [--capacity 100] [--external N] [--tree NAME]
+//! rtree-cli build    --input data.csv --output index.rtree [--packer str|str-par|hs|nx|tgs] [--capacity 100] [--external N] [--threads T] [--tree NAME]
 //! rtree-cli flatten  --index index.rtree [--tree NAME] [--out file.flat]
 //! rtree-cli query    --index index.rtree --region 0.1,0.1,0.3,0.3 [--buffer 32] [--flat auto|file.flat]
 //! rtree-cli point    --index index.rtree --at 0.5,0.5 [--flat auto|file.flat]
@@ -140,6 +140,7 @@ fn run() -> CliResult<String> {
             &flags.opt("packer", "str"),
             flags.parse_num("capacity", 100usize)?,
             flags.parse_num("external", 0usize)?,
+            flags.parse_num("threads", 1usize)?,
             flags.get("tree"),
         ),
         "flatten" => commands::flatten(

@@ -27,7 +27,10 @@ pub mod order;
 pub mod str_pack;
 pub mod tgs;
 
-pub use external::{pack_str_external, pack_str_external_named, ExternalPackError};
+pub use external::{
+    pack_str_external, pack_str_external_named, pack_str_external_opts, ExternalPackError,
+    ExternalPackOptions,
+};
 pub use hs::HilbertPacker;
 pub use metrics::TreeMetrics;
 pub use model::{expected_accesses, expected_accesses_rect, expected_leaf_accesses};

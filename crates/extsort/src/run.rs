@@ -1,0 +1,241 @@
+//! Sorted runs on the scratch disk: spill writer, streaming reader, and
+//! the read-ahead service the merge uses to overlap run reads.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use storage::{Disk, PageId};
+
+use crate::{FixedRecord, Result};
+
+/// Pages encoded per batched scratch write. Spills reserve the whole run
+/// up front with [`Disk::allocate_run`], so every flush is one positioned
+/// device call over consecutive pages.
+pub(crate) const SPILL_BATCH_PAGES: usize = 64;
+
+/// One sorted run: a contiguous page range plus its record count.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Run {
+    pub first: PageId,
+    pub pages: u64,
+    pub records: u64,
+}
+
+/// Records per scratch page for a record type.
+pub(crate) fn per_page<T: FixedRecord>(page_size: usize) -> usize {
+    page_size / T::SIZE
+}
+
+/// Encode `records` (already sorted) into a freshly reserved contiguous
+/// run on `scratch`, writing in [`SPILL_BATCH_PAGES`]-page batches.
+///
+/// This is the per-worker sequential appender of the parallel sorter:
+/// because the range is reserved atomically before any byte is written,
+/// any number of workers can spill concurrently without interleaving
+/// their runs.
+pub(crate) fn spill_run<T: FixedRecord>(scratch: &dyn Disk, records: &[T]) -> Result<Run> {
+    debug_assert!(!records.is_empty());
+    let page_size = scratch.page_size();
+    let per_page = per_page::<T>(page_size);
+    let pages = records.len().div_ceil(per_page) as u64;
+    let first = scratch.allocate_run(pages)?;
+
+    let mut buf = vec![0u8; page_size * SPILL_BATCH_PAGES.min(pages as usize)];
+    let mut page_in_batch = 0usize;
+    let mut batch_first = first;
+    for (page_idx, chunk) in records.chunks(per_page).enumerate() {
+        let base = page_in_batch * page_size;
+        buf[base..base + page_size].fill(0);
+        for (i, rec) in chunk.iter().enumerate() {
+            rec.encode(&mut buf[base + i * T::SIZE..base + (i + 1) * T::SIZE]);
+        }
+        page_in_batch += 1;
+        if page_in_batch == SPILL_BATCH_PAGES {
+            scratch.write_pages(batch_first, &buf[..page_in_batch * page_size])?;
+            batch_first = PageId(first.index() + page_idx as u64 + 1);
+            page_in_batch = 0;
+        }
+    }
+    if page_in_batch > 0 {
+        scratch.write_pages(batch_first, &buf[..page_in_batch * page_size])?;
+    }
+    Ok(Run {
+        first,
+        pages,
+        records: records.len() as u64,
+    })
+}
+
+/// A page fetched (or being fetched) by the [`Prefetcher`].
+struct Slot {
+    state: Mutex<Option<storage::Result<Box<[u8]>>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, value: storage::Result<Box<[u8]>>) {
+        *self.state.lock().unwrap() = Some(value);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> storage::Result<Box<[u8]>> {
+        let mut guard = self.state.lock().unwrap();
+        loop {
+            if let Some(v) = guard.take() {
+                return v;
+            }
+            guard = self.ready.wait(guard).unwrap();
+        }
+    }
+}
+
+/// A small pool of reader threads that fetch scratch pages ahead of the
+/// merge. The merge consumes runs at data-dependent rates, but each run's
+/// *next* page is always known, so each cursor keeps a couple of fetches
+/// in flight and the pool overlaps their device latency. Output order is
+/// unaffected — only when the reads happen changes.
+pub(crate) struct Prefetcher {
+    tx: Option<Sender<(PageId, Arc<Slot>)>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    pub(crate) fn new(disk: Arc<dyn Disk>, threads: usize) -> Self {
+        let (tx, rx) = channel::<(PageId, Arc<Slot>)>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..threads.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let disk = disk.clone();
+                std::thread::spawn(move || loop {
+                    let job = rx.lock().unwrap().recv();
+                    let Ok((page, slot)) = job else { return };
+                    let mut buf = vec![0u8; disk.page_size()].into_boxed_slice();
+                    let res = disk.read_page(page, &mut buf).map(|()| buf);
+                    slot.fill(res);
+                })
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    fn submit(&self, page: PageId) -> Arc<Slot> {
+        let slot = Slot::new();
+        // Workers only exit once `tx` drops, so the send cannot fail.
+        self.tx
+            .as_ref()
+            .expect("prefetcher live")
+            .send((page, slot.clone()))
+            .expect("prefetch workers live");
+        slot
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        self.tx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// How many pages each cursor keeps in flight with the prefetcher.
+const READ_AHEAD: u64 = 2;
+
+/// Streaming reader over one run, optionally fed by a [`Prefetcher`].
+pub(crate) struct RunReader<T: FixedRecord> {
+    disk: Arc<dyn Disk>,
+    first: PageId,
+    pages: u64,
+    prefetch: Option<Arc<Prefetcher>>,
+    inflight: VecDeque<Arc<Slot>>,
+    submitted: u64,
+    consumed_pages: u64,
+    buf: Box<[u8]>,
+    offset: usize,
+    in_page: usize,
+    per_page: usize,
+    records_left: u64,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: FixedRecord> RunReader<T> {
+    pub(crate) fn new(disk: Arc<dyn Disk>, run: Run, prefetch: Option<Arc<Prefetcher>>) -> Self {
+        let per_page = per_page::<T>(disk.page_size());
+        let mut reader = Self {
+            buf: vec![0u8; disk.page_size()].into_boxed_slice(),
+            disk,
+            first: run.first,
+            pages: run.pages,
+            prefetch,
+            inflight: VecDeque::new(),
+            submitted: 0,
+            consumed_pages: 0,
+            offset: 0,
+            in_page: 0,
+            per_page,
+            records_left: run.records,
+            _marker: std::marker::PhantomData,
+        };
+        if reader.prefetch.is_some() {
+            for _ in 0..READ_AHEAD.min(reader.pages) {
+                reader.submit_next();
+            }
+        }
+        reader
+    }
+
+    fn submit_next(&mut self) {
+        let pf = self.prefetch.as_ref().expect("prefetch mode");
+        let page = PageId(self.first.index() + self.submitted);
+        self.inflight.push_back(pf.submit(page));
+        self.submitted += 1;
+    }
+
+    fn load_next_page(&mut self) -> Result<()> {
+        debug_assert!(self.consumed_pages < self.pages);
+        if self.prefetch.is_some() {
+            let slot = self.inflight.pop_front().expect("read-ahead primed");
+            self.buf = slot.wait()?;
+            if self.submitted < self.pages {
+                self.submit_next();
+            }
+        } else {
+            let page = PageId(self.first.index() + self.consumed_pages);
+            let mut buf = std::mem::take(&mut self.buf);
+            self.disk.read_page(page, &mut buf)?;
+            self.buf = buf;
+        }
+        self.consumed_pages += 1;
+        self.offset = 0;
+        self.in_page = self.per_page;
+        Ok(())
+    }
+
+    pub(crate) fn next_record(&mut self) -> Result<Option<T>> {
+        if self.records_left == 0 {
+            return Ok(None);
+        }
+        if self.in_page == 0 {
+            self.load_next_page()?;
+        }
+        let rec = T::decode(&self.buf[self.offset..self.offset + T::SIZE]);
+        self.offset += T::SIZE;
+        self.in_page -= 1;
+        self.records_left -= 1;
+        Ok(Some(rec))
+    }
+}

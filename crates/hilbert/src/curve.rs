@@ -18,6 +18,28 @@
 /// Panics if `bits == 0`, `D == 0`, `D * bits > 128`, or a coordinate is
 /// out of range.
 pub fn axes_to_index<const D: usize>(axes: &[u64; D], bits: u32) -> u128 {
+    let x = axes_to_transpose(axes, bits);
+    if (3..=crate::lut::MAX_SPREAD_DIMS).contains(&D) {
+        // Hot path for d ≥ 3 keys: the transpose transform above is
+        // inherently serial per bit, but the interleave is stateless —
+        // spread tables emit 8 bits of every axis per lookup.
+        return crate::lut::interleave_nd_lut(&x, bits);
+    }
+    interleave(&x, bits)
+}
+
+/// [`axes_to_index`] forced down the per-bit interleave, bypassing the
+/// d-dimensional spread tables. Reference implementation for the
+/// bit-exactness tests and the A/B benchmark; `axes_to_index` is the
+/// production entry.
+pub fn axes_to_index_per_bit<const D: usize>(axes: &[u64; D], bits: u32) -> u128 {
+    let x = axes_to_transpose(axes, bits);
+    interleave(&x, bits)
+}
+
+/// Skilling's bit transform: coordinates to the "transpose"
+/// representation of the Hilbert index.
+fn axes_to_transpose<const D: usize>(axes: &[u64; D], bits: u32) -> [u64; D] {
     validate::<D>(bits);
     if bits < 64 {
         for (i, &a) in axes.iter().enumerate() {
@@ -65,8 +87,7 @@ pub fn axes_to_index<const D: usize>(axes: &[u64; D], bits: u32) -> u128 {
     for xi in x.iter_mut() {
         *xi ^= t;
     }
-
-    interleave::<D>(&x, bits)
+    x
 }
 
 /// Inverse of [`axes_to_index`].

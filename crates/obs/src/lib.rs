@@ -23,6 +23,7 @@ mod metric;
 mod registry;
 
 pub mod flight;
+pub mod rss;
 
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{histogram_json, MetricValue, Registry, Snapshot};

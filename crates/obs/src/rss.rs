@@ -1,0 +1,75 @@
+//! Process resident-set-size probes, used by the out-of-core build
+//! benchmarks to verify the memory-budget claims (DESIGN.md §13).
+//!
+//! Linux-only: values come from `/proc/self/status` (`VmRSS` for the
+//! current resident set, `VmHWM` for the peak — the *high-water mark*).
+//! The peak can be reset between benchmark configurations by writing
+//! `5` to `/proc/self/clear_refs`, so each configuration reports its
+//! own high-water mark rather than the process-lifetime maximum. On
+//! other platforms (or when procfs is unavailable) every probe returns
+//! `None` and callers report the sample as unavailable instead of
+//! failing.
+
+/// Current resident set size in bytes (`VmRSS`), if the platform
+/// exposes it.
+pub fn current_bytes() -> Option<u64> {
+    read_status_field("VmRSS:")
+}
+
+/// Peak resident set size in bytes since process start or the last
+/// [`reset_peak`] (`VmHWM`), if the platform exposes it.
+pub fn peak_bytes() -> Option<u64> {
+    read_status_field("VmHWM:")
+}
+
+/// Reset the peak-RSS high-water mark to the current RSS. Returns
+/// `false` when unsupported (non-Linux, or a kernel without writable
+/// `clear_refs`); the caller should then treat subsequent
+/// [`peak_bytes`] readings as cumulative.
+pub fn reset_peak() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+/// Parse one `kB` field out of `/proc/self/status`.
+fn read_status_field(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn probes_report_plausible_values() {
+        let rss = current_bytes().expect("VmRSS available on Linux");
+        let peak = peak_bytes().expect("VmHWM available on Linux");
+        // A running test binary resides in at least a few hundred KiB
+        // and the high-water mark can never lag the current value
+        // (modulo the race of reading them separately — allow slack).
+        assert!(rss > 100 * 1024, "rss = {rss}");
+        assert!(peak + 10 * 1024 * 1024 >= rss, "peak {peak} vs rss {rss}");
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn reset_brings_peak_near_current() {
+        if !reset_peak() {
+            return; // kernel without writable clear_refs
+        }
+        let rss = current_bytes().unwrap();
+        let peak = peak_bytes().unwrap();
+        // After a reset the HWM restarts from the current RSS.
+        assert!(
+            peak <= rss + 64 * 1024 * 1024,
+            "peak {peak} should be near rss {rss} after reset"
+        );
+    }
+}

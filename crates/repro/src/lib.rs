@@ -18,6 +18,7 @@
 //! a CSV file per experiment.
 
 pub mod experiments;
+pub mod extsort_bench;
 pub mod fmt;
 pub mod mixed;
 pub mod plot;

@@ -24,7 +24,8 @@ use repro::Harness;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment>... [--out DIR] [--quick] [--queries N] [--seed S]\n\
-         experiments: {} | all | list | check-bench | mixed-bench [--verify]",
+         experiments: {} | all | list | check-bench | mixed-bench [--verify] | \
+         extsort-bench [--verify|--quick]",
         experiments::ALL_IDS.join(" | ")
     );
     std::process::exit(2);
@@ -125,6 +126,20 @@ fn main() {
                 };
                 if let Err(e) = res {
                     eprintln!("error: mixed-bench: {e}");
+                    std::process::exit(1);
+                }
+                return;
+            }
+            "extsort-bench" => {
+                let verify_only = args.iter().any(|a| a == "--verify");
+                let quick = args.iter().any(|a| a == "--quick");
+                let res = if verify_only {
+                    repro::extsort_bench::verify()
+                } else {
+                    repro::extsort_bench::run(quick)
+                };
+                if let Err(e) = res {
+                    eprintln!("error: extsort-bench: {e}");
                     std::process::exit(1);
                 }
                 return;

@@ -16,7 +16,7 @@
 use std::sync::Arc;
 
 use geom::Rect;
-use storage::{BufferPool, SequentialPageWriter};
+use storage::{BufferPool, Disk, PageId, SequentialPageWriter};
 
 use crate::codec::RectCodec;
 use crate::store::{NodeStore, DEFAULT_TREE};
@@ -180,30 +180,239 @@ impl BulkLoader {
             return Err(RTreeError::EmptyLoad);
         }
 
-        // Upper levels: tiny (total / n^level entries), packed in memory.
-        let mut level: u32 = 1;
-        let mut current = next;
-        loop {
-            if current.len() == 1 {
-                writer.flush()?;
-                let root = current[0].child_page();
-                let mut tree = RTree::from_parts(store, self.cap, root, level, total);
-                tree.persist()?;
-                return Ok(tree);
-            }
-            order_upper(&mut current, level);
-            let mut next = Vec::with_capacity(current.len() / n + 1);
-            for chunk in current.chunks(n) {
-                let (page, ()) =
-                    writer.append(|buf| crate::codec::encode_entries(level, chunk, buf))?;
-                next.push(Entry::child(
-                    Rect::union_all(chunk.iter().map(|e| &e.rect)),
-                    page,
-                ));
-            }
-            current = next;
-            level += 1;
+        stitch_upper(store, &mut writer, self.cap, total, next, order_upper)
+    }
+}
+
+/// Pack the upper levels from the level-1 entries (one per leaf, already
+/// in leaf order) up to the root, then seal the tree. Shared by the
+/// streaming loader and [`ParallelLoad::finish`] so both produce the
+/// same pages in the same order.
+fn stitch_upper<const D: usize>(
+    store: NodeStore<RectCodec<D>>,
+    writer: &mut SequentialPageWriter<'_>,
+    cap: NodeCapacity,
+    total: u64,
+    mut current: Vec<Entry<D>>,
+    order_upper: &mut dyn FnMut(&mut Vec<Entry<D>>, u32),
+) -> Result<RTree<D>> {
+    // Upper levels: tiny (total / n^level entries), packed in memory.
+    let n = cap.max();
+    let mut level: u32 = 1;
+    loop {
+        if current.len() == 1 {
+            writer.flush()?;
+            let root = current[0].child_page();
+            let mut tree = RTree::from_parts(store, cap, root, level, total);
+            tree.persist()?;
+            return Ok(tree);
         }
+        order_upper(&mut current, level);
+        let mut next = Vec::with_capacity(current.len() / n + 1);
+        for chunk in current.chunks(n) {
+            let (page, ()) =
+                writer.append(|buf| crate::codec::encode_entries(level, chunk, buf))?;
+            next.push(Entry::child(
+                Rect::union_all(chunk.iter().map(|e| &e.rect)),
+                page,
+            ));
+        }
+        current = next;
+        level += 1;
+    }
+}
+
+impl BulkLoader {
+    /// Begin a bulk load whose leaf level is written by several workers
+    /// in parallel.
+    ///
+    /// The number of leaves must be known up front (STR fixes it the
+    /// moment the global sort finishes: ⌈r/n⌉). The loader creates the
+    /// catalog entry and reserves one contiguous page run for the whole
+    /// leaf level, so every worker can write its slice of leaves with
+    /// pure page arithmetic — no allocator traffic, no coordination —
+    /// via [`ParallelLoad::leaf_writer`]. Because the reservation
+    /// happens where the sequential loaders would have written their
+    /// first leaf, the finished file is byte-identical to a
+    /// single-threaded [`load_streamed`](Self::load_streamed).
+    pub fn begin_parallel<const D: usize>(
+        &self,
+        pool: Arc<BufferPool>,
+        name: &str,
+        leaf_count: u64,
+    ) -> Result<ParallelLoad<D>> {
+        if leaf_count == 0 {
+            return Err(RTreeError::EmptyLoad);
+        }
+        let max = crate::codec::max_capacity::<D>(pool.page_size());
+        if self.cap.max() > max {
+            return Err(RTreeError::CapacityTooLarge {
+                requested: self.cap.max(),
+                max,
+            });
+        }
+        let store = NodeStore::<RectCodec<D>>::create(pool.clone(), name)?;
+        let first_leaf = pool.disk().allocate_run(leaf_count)?;
+        Ok(ParallelLoad {
+            store,
+            cap: self.cap,
+            first_leaf,
+            leaf_count,
+        })
+    }
+}
+
+/// An in-progress parallel bulk load: the leaf page range is reserved,
+/// workers fill disjoint slices of it, and [`finish`](Self::finish)
+/// stitches the upper levels sequentially.
+pub struct ParallelLoad<const D: usize> {
+    store: NodeStore<RectCodec<D>>,
+    cap: NodeCapacity,
+    first_leaf: PageId,
+    leaf_count: u64,
+}
+
+impl<const D: usize> ParallelLoad<D> {
+    /// First page of the reserved leaf range.
+    pub fn first_leaf(&self) -> PageId {
+        self.first_leaf
+    }
+
+    /// Number of reserved leaf pages.
+    pub fn leaf_count(&self) -> u64 {
+        self.leaf_count
+    }
+
+    /// Node capacity of the tree being built.
+    pub fn capacity(&self) -> NodeCapacity {
+        self.cap
+    }
+
+    /// The underlying disk — what workers write leaves through.
+    pub fn disk(&self) -> Arc<dyn Disk> {
+        self.store.pool().disk().clone()
+    }
+
+    /// A writer for `count` leaves starting `offset` leaves into the
+    /// reserved range. Writers are independent and `Send`: hand one to
+    /// each worker for its contiguous slice.
+    ///
+    /// # Panics
+    /// Panics if the slice exceeds the reserved range.
+    pub fn leaf_writer(&self, offset: u64, count: u64) -> LeafRangeWriter<D> {
+        assert!(
+            offset + count <= self.leaf_count,
+            "leaf slice [{offset}, {}) exceeds reservation of {}",
+            offset + count,
+            self.leaf_count
+        );
+        LeafRangeWriter::new(self.disk(), PageId(self.first_leaf.index() + offset), count)
+    }
+
+    /// Seal the tree: pack upper levels from the per-leaf parent entries
+    /// (in leaf order — workers' results concatenated in slice order)
+    /// and persist the meta. `total` is the number of data entries.
+    pub fn finish(
+        self,
+        total: u64,
+        level1: Vec<Entry<D>>,
+        order_upper: &mut dyn FnMut(&mut Vec<Entry<D>>, u32),
+    ) -> Result<RTree<D>> {
+        assert_eq!(
+            level1.len() as u64,
+            self.leaf_count,
+            "one parent entry per reserved leaf"
+        );
+        let disk = self.disk();
+        let mut writer = SequentialPageWriter::new(disk.as_ref());
+        stitch_upper(
+            self.store,
+            &mut writer,
+            self.cap,
+            total,
+            level1,
+            order_upper,
+        )
+    }
+}
+
+/// Batched writer for a preassigned contiguous range of leaf pages.
+/// Encodes level-0 nodes into an in-memory batch and flushes with one
+/// positioned multi-page write, mirroring [`SequentialPageWriter`] but
+/// over pages reserved before the writer existed — which is what makes
+/// it safe to drive from several threads at once (each on its own
+/// disjoint range).
+pub struct LeafRangeWriter<const D: usize> {
+    disk: Arc<dyn Disk>,
+    page_size: usize,
+    next: u64,
+    end: u64,
+    batch: Vec<u8>,
+    batch_pages: usize,
+    in_batch: usize,
+}
+
+/// Pages per batched leaf flush.
+const LEAF_BATCH_PAGES: usize = 64;
+
+impl<const D: usize> LeafRangeWriter<D> {
+    fn new(disk: Arc<dyn Disk>, first: PageId, count: u64) -> Self {
+        let page_size = disk.page_size();
+        let batch_pages = LEAF_BATCH_PAGES.min(count.max(1) as usize);
+        Self {
+            disk,
+            page_size,
+            next: first.index(),
+            end: first.index() + count,
+            batch: vec![0u8; page_size * batch_pages],
+            batch_pages,
+            in_batch: 0,
+        }
+    }
+
+    /// Encode one leaf node from `entries` and return its parent entry.
+    ///
+    /// # Panics
+    /// Panics if the range is already full.
+    pub fn write_leaf(&mut self, entries: &[Entry<D>]) -> Result<Entry<D>> {
+        assert!(
+            self.next + (self.in_batch as u64) < self.end,
+            "leaf range overflow"
+        );
+        let base = self.in_batch * self.page_size;
+        let page_buf = &mut self.batch[base..base + self.page_size];
+        page_buf.fill(0);
+        crate::codec::encode_entries(0, entries, page_buf);
+        let page = PageId(self.next + self.in_batch as u64);
+        self.in_batch += 1;
+        if self.in_batch == self.batch_pages {
+            self.flush()?;
+        }
+        Ok(Entry::child(
+            Rect::union_all(entries.iter().map(|e| &e.rect)),
+            page,
+        ))
+    }
+
+    /// Write out any buffered pages.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.in_batch == 0 {
+            return Ok(());
+        }
+        self.disk.write_pages(
+            PageId(self.next),
+            &self.batch[..self.in_batch * self.page_size],
+        )?;
+        self.next += self.in_batch as u64;
+        self.in_batch = 0;
+        Ok(())
+    }
+
+    /// Flush and verify the whole range was written.
+    pub fn finish(mut self) -> Result<()> {
+        self.flush()?;
+        assert_eq!(self.next, self.end, "leaf range not fully written");
+        Ok(())
     }
 }
 
@@ -393,6 +602,61 @@ mod tests {
         assert_eq!(t.height(), 1);
         assert_eq!(t.len(), 7);
         t.validate(false).unwrap();
+    }
+
+    /// Two-worker parallel leaf writing produces the same bytes as the
+    /// streaming loader, page for page.
+    #[test]
+    fn parallel_load_is_byte_identical_to_streamed() {
+        let cap = NodeCapacity::new(10).unwrap();
+        let loader = BulkLoader::new(cap);
+        let entries = grid_entries(1234);
+
+        let streamed_disk = Arc::new(MemDisk::default_size());
+        let streamed_pool = Arc::new(BufferPool::new(streamed_disk.clone(), 256));
+        let streamed = loader
+            .load_streamed(streamed_pool, entries.clone(), &mut |_, _| {})
+            .unwrap();
+
+        let par_disk = Arc::new(MemDisk::default_size());
+        let par_pool = Arc::new(BufferPool::new(par_disk.clone(), 256));
+        let n = cap.max();
+        let leaf_count = entries.len().div_ceil(n) as u64;
+        let load = loader
+            .begin_parallel::<2>(par_pool, crate::store::DEFAULT_TREE, leaf_count)
+            .unwrap();
+        // Split the leaves between two workers at a leaf boundary.
+        let split_leaf = leaf_count / 2;
+        let split_entry = split_leaf as usize * n;
+        let (lo, hi) = entries.split_at(split_entry);
+        let mut level1 = vec![None; leaf_count as usize];
+        let (res_lo, res_hi) = level1.split_at_mut(split_leaf as usize);
+        std::thread::scope(|s| {
+            for (slice, first_leaf, results) in [(lo, 0u64, res_lo), (hi, split_leaf, res_hi)] {
+                let mut writer = load.leaf_writer(first_leaf, slice.len().div_ceil(n) as u64);
+                s.spawn(move || {
+                    for (i, group) in slice.chunks(n).enumerate() {
+                        results[i] = Some(writer.write_leaf(group).unwrap());
+                    }
+                    writer.finish().unwrap();
+                });
+            }
+        });
+        let level1: Vec<Entry<2>> = level1.into_iter().map(|e| e.unwrap()).collect();
+        let par = load
+            .finish(entries.len() as u64, level1, &mut |_, _| {})
+            .unwrap();
+
+        assert_eq!(par.len(), streamed.len());
+        assert_eq!(par.height(), streamed.height());
+        assert_eq!(streamed_disk.num_pages(), par_disk.num_pages());
+        let mut a = vec![0u8; streamed_disk.page_size()];
+        let mut b = vec![0u8; par_disk.page_size()];
+        for p in 0..streamed_disk.num_pages() {
+            streamed_disk.read_page(storage::PageId(p), &mut a).unwrap();
+            par_disk.read_page(storage::PageId(p), &mut b).unwrap();
+            assert_eq!(a, b, "page {p} differs");
+        }
     }
 
     #[test]

@@ -795,18 +795,13 @@ impl<const D: usize> RTree<D> {
                     leaves += u64::from(node.is_leaf());
                 }
                 if node.is_leaf() {
-                    for i in 0..node.len() {
-                        let rect = node.rect(i);
-                        if rect.intersects(query) {
-                            visit(rect, node.payload(i));
-                        }
-                    }
+                    node.for_each_intersecting(query, &mut |i| {
+                        visit(node.rect(i), node.payload(i));
+                    });
                 } else {
-                    for i in 0..node.len() {
-                        if node.rect(i).intersects(query) {
-                            stack.push(node.child_page(i));
-                        }
-                    }
+                    node.for_each_intersecting(query, &mut |i| {
+                        stack.push(node.child_page(i));
+                    });
                 }
             })?;
         }

@@ -409,6 +409,16 @@ impl Disk for FaultDisk {
         self.inner.allocate()
     }
 
+    fn allocate_run(&self, n: u64) -> Result<PageId> {
+        if self.is_crashed() {
+            return Err(Self::crashed_err(PageId::INVALID));
+        }
+        // Forward so the inner disk's atomicity guarantees the run is
+        // contiguous even with concurrent allocators; faults fire on the
+        // reads/writes that touch the run, not on reservation.
+        self.inner.allocate_run(n)
+    }
+
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
         if self.is_crashed() {
             return Err(Self::crashed_err(id));
