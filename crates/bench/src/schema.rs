@@ -422,6 +422,98 @@ fn validate_cells(cells: &[Value]) -> Result<(), SchemaError> {
     Ok(())
 }
 
+/// Validate a Chrome trace_event document (the `--trace` export).
+/// Returns the number of trace events on success.
+///
+/// Checked: top level is an object with a `traceEvents` array; every
+/// event is a complete (`"ph": "X"`) event carrying a string `name`,
+/// finite non-negative `ts`/`dur`, numeric `pid`/`tid`, and an `args`
+/// object whose span ids are consistent (`span` nonzero and distinct
+/// from `parent`; every nonzero `parent` resolves to another event's
+/// `span` — the stitched tree has no dangling interior edges — and
+/// every event's `trace` matches its root's span id).
+pub fn validate_chrome_trace(text: &str) -> Result<usize, SchemaError> {
+    let doc = parse(text)?;
+    let top = doc
+        .as_object()
+        .ok_or(SchemaError("top level must be an object".into()))?;
+    let events = top
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or(SchemaError("missing array field 'traceEvents'".into()))?;
+    if events.is_empty() {
+        return err("'traceEvents' is empty — the trace carries no spans");
+    }
+    let mut spans = std::collections::BTreeMap::new();
+    let mut edges: Vec<(usize, u64, u64, u64)> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let ev = e
+            .as_object()
+            .ok_or(SchemaError(format!("traceEvents[{i}] is not an object")))?;
+        let name = ev
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or(SchemaError(format!("traceEvents[{i}] missing 'name'")))?;
+        match ev.get("ph").and_then(Value::as_str) {
+            Some("X") => {}
+            _ => return err(format!("event '{name}': 'ph' must be \"X\"")),
+        }
+        for key in ["ts", "dur"] {
+            let n = ev
+                .get(key)
+                .and_then(Value::as_number)
+                .ok_or(SchemaError(format!("event '{name}' missing '{key}'")))?;
+            if !n.is_finite() || n < 0.0 {
+                return err(format!("event '{name}': '{key}' = {n} is invalid"));
+            }
+        }
+        for key in ["pid", "tid"] {
+            ev.get(key)
+                .and_then(Value::as_number)
+                .ok_or(SchemaError(format!("event '{name}' missing '{key}'")))?;
+        }
+        let args = ev
+            .get("args")
+            .and_then(Value::as_object)
+            .ok_or(SchemaError(format!("event '{name}' missing 'args'")))?;
+        let id = |key: &str| -> Result<u64, SchemaError> {
+            args.get(key)
+                .and_then(Value::as_number)
+                .map(|n| n as u64)
+                .ok_or(SchemaError(format!("event '{name}' missing args.{key}")))
+        };
+        let (trace, span, parent) = (id("trace")?, id("span")?, id("parent")?);
+        if span == 0 {
+            return err(format!("event '{name}': args.span must be nonzero"));
+        }
+        if span == parent {
+            return err(format!("event '{name}': span {span} is its own parent"));
+        }
+        spans.insert(span, trace);
+        edges.push((i, span, parent, trace));
+    }
+    for (i, span, parent, trace) in edges {
+        if parent == 0 {
+            if trace != span {
+                return err(format!(
+                    "traceEvents[{i}]: root span {span} carries trace {trace}"
+                ));
+            }
+        } else if let Some(&ptrace) = spans.get(&parent) {
+            if ptrace != trace {
+                return err(format!(
+                    "traceEvents[{i}]: span {span} (trace {trace}) has parent {parent} in trace {ptrace}"
+                ));
+            }
+        } else {
+            return err(format!(
+                "traceEvents[{i}]: span {span} references missing parent {parent}"
+            ));
+        }
+    }
+    Ok(events.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -207,6 +207,14 @@ pub fn generate(dataset: &str, n: usize, seed: u64, output: &Path) -> CliResult<
     ))
 }
 
+/// Counter value of `name` in `snap`, 0 if absent.
+fn counter_value(snap: &obs::Snapshot, name: &str) -> u64 {
+    match snap.get(name) {
+        Some(obs::MetricValue::Counter(v)) => *v,
+        _ => 0,
+    }
+}
+
 /// `query`: region query with I/O accounting.
 pub fn query_region(
     index: &Path,
@@ -216,7 +224,15 @@ pub fn query_region(
 ) -> CliResult<String> {
     let tree = open_index(index, buffer, tree_name)?;
     let before = tree.pool().stats();
+    // Registry delta measured around exactly the traced window, so the
+    // root span's pages_read must equal it (index-open reads excluded
+    // from both).
+    let reads_before = counter_value(&obs::snapshot(), "disk.reads");
+    let span = obs::trace::span("cli.query");
+    let root_span_id = span.as_ref().map(|s| s.id());
     let hits = tree.query_region(&region).map_err(|e| e.to_string())?;
+    drop(span);
+    let reads_delta = counter_value(&obs::snapshot(), "disk.reads") - reads_before;
     let io = tree.pool().stats().since(&before);
     let mut out = String::new();
     for (r, id) in &hits {
@@ -234,6 +250,15 @@ pub fn query_region(
         io.misses,
         io.hits
     ));
+    if let Some(span_id) = root_span_id {
+        let dump = obs::trace::dump();
+        if let Some(root) = dump.iter().find(|r| r.span == span_id) {
+            out.push_str(&format!(
+                "# trace: pages_read={} physical_reads_delta={}\n",
+                root.io.pages_read, reads_delta
+            ));
+        }
+    }
     Ok(out)
 }
 
@@ -644,6 +669,72 @@ pub fn flight_dump(
         out.push('\n');
     }
     Ok(out)
+}
+
+/// `trace`: run a seeded probe workload with span tracing on and
+/// report a per-trace summary; the caller (main) writes the Chrome
+/// trace_event file from the same retained records via [`write_trace`].
+///
+/// Each probe query runs under its own `cli.query` root span, so the
+/// exported file shows one trace per query with the node visits and
+/// physical reads it caused as the child tree.
+pub fn trace_command(
+    index: &Path,
+    queries: usize,
+    buffer: usize,
+    seed: u64,
+    tree_name: &str,
+) -> CliResult<String> {
+    obs::set_enabled(true);
+    obs::trace::set_enabled(true);
+    let tree = open_index(index, buffer, tree_name)?;
+    let bbox = tree.root_mbr().map_err(|e| e.to_string())?;
+    let side = 0.05 * bbox.extent(0).max(bbox.extent(1));
+    for r in datagen::region_queries(queries.max(1), &bbox, side, seed) {
+        let _span = obs::trace::span("cli.query");
+        tree.query_region_visit(&r, &mut |_, _| {})
+            .map_err(|e| e.to_string())?;
+    }
+    let records = obs::trace::dump();
+    let trees = obs::trace::stitch(&records);
+    let roots = trees
+        .iter()
+        .filter(|t| t.record.name == "cli.query")
+        .count();
+    let max_depth = trees.iter().map(|t| t.depth()).max().unwrap_or(0);
+    let slow = obs::trace::slow_ops();
+    let mut out = format!(
+        "traced {} spans in {} trees ({roots} query roots, max depth {max_depth}, {} dropped)\n",
+        records.len(),
+        trees.len(),
+        obs::trace::spans_dropped(),
+    );
+    if !slow.is_empty() {
+        out.push_str(&format!("slow ops ({}):\n", slow.len()));
+        for op in &slow {
+            out.push_str(&format!(
+                "  {} {}ns trace={} spans={}\n",
+                op.root.name,
+                op.root.dur_ns,
+                op.root.trace,
+                op.spans.len()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Export every retained span record as a Chrome trace_event JSON file
+/// at `path`. Called by main after any `--trace <path>` run.
+pub fn write_trace(path: &Path) -> CliResult<String> {
+    let records = obs::trace::dump();
+    let json = obs::trace::export_chrome(&records);
+    std::fs::write(path, &json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(format!(
+        "# wrote {} spans to {} (load in chrome://tracing or Perfetto)\n",
+        records.len(),
+        path.display()
+    ))
 }
 
 /// `insert`: add rectangles from a CSV to an existing index (Guttman

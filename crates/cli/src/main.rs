@@ -10,6 +10,7 @@
 //! rtree-cli compare  --input data.csv [--capacity 100] [--buffer 32]
 //! rtree-cli query-bench --index index.rtree [--queries 512] [--threads 8] [--buffer 128] [--seed 11]
 //! rtree-cli flight-dump --index index.rtree [--queries 64] [--buffer 16] [--seed 11]
+//! rtree-cli trace    --index index.rtree [--queries 64] [--buffer 16] [--seed 11] [--trace out.json]
 //! rtree-cli stats    --index index.rtree
 //! rtree-cli validate --index index.rtree
 //! rtree-cli check    --index index.rtree
@@ -37,6 +38,13 @@
 //! p50/p90/p99) to the output. `query-bench` folds the metrics into its
 //! own report instead — per-run latency percentiles and per-shard
 //! buffer-pool counters, as one JSON document in json mode.
+//!
+//! `--trace out.json` additionally turns on request-scoped span
+//! tracing (see DESIGN.md §14) and writes every retained span to
+//! `out.json` in Chrome trace_event format — load it in
+//! `chrome://tracing` or Perfetto. `--trace-sample N` records 1-in-N
+//! traces; `--slow-ms MS` promotes root spans over the threshold to
+//! the slow-op log (reported by the `trace` subcommand).
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -45,8 +53,8 @@ use rtree_cli::{commands, parse_point, parse_rect, CliResult};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rtree-cli <gen|build|flatten|query|point|knn|stats|validate|check|dump-leaves|insert|delete|compare|query-bench|flight-dump|trees|wal-stat|recover> \
-         [--flag value]... [--tree name] [--metrics text|json]\nsee the crate docs for per-command flags"
+        "usage: rtree-cli <gen|build|flatten|query|point|knn|stats|validate|check|dump-leaves|insert|delete|compare|query-bench|flight-dump|trace|trees|wal-stat|recover> \
+         [--flag value]... [--tree name] [--metrics text|json] [--trace out.json [--trace-sample N] [--slow-ms MS]]\nsee the crate docs for per-command flags"
     );
     std::process::exit(2);
 }
@@ -127,6 +135,20 @@ fn run() -> CliResult<String> {
     if !metrics.is_empty() {
         obs::set_enabled(true);
     }
+    // `--trace <path>` turns on span tracing for the run and writes the
+    // retained spans to <path> as a Chrome trace_event file afterwards.
+    // Tracing implies metrics: span I/O attribution is checked against
+    // the registry deltas, so both layers must count the same events.
+    let trace_path = flags.get("trace").map(PathBuf::from);
+    if trace_path.is_some() {
+        obs::set_enabled(true);
+        obs::trace::set_enabled(true);
+        obs::trace::set_sample_every(flags.parse_num("trace-sample", 1u64)?);
+    }
+    let slow_ms = flags.parse_num("slow-ms", 0u64)?;
+    if slow_ms > 0 {
+        obs::trace::set_slow_threshold(std::time::Duration::from_millis(slow_ms));
+    }
     let out = match cmd.as_str() {
         "gen" => commands::generate(
             flags.req("dataset")?,
@@ -194,6 +216,13 @@ fn run() -> CliResult<String> {
             &metrics,
             &tree,
         ),
+        "trace" => commands::trace_command(
+            &PathBuf::from(flags.req("index")?),
+            flags.parse_num("queries", 64usize)?,
+            flags.parse_num("buffer", 16usize)?,
+            flags.parse_num("seed", 11u64)?,
+            &tree,
+        ),
         "flight-dump" => commands::flight_dump(
             &PathBuf::from(flags.req("index")?),
             flags.parse_num("queries", 64usize)?,
@@ -221,6 +250,18 @@ fn run() -> CliResult<String> {
             &tree,
         ),
         _ => usage(),
+    };
+    // Any traced run exports its spans on the way out; the note is a
+    // `#` comment line so machine-read outputs stay parseable.
+    let out = match (out, &trace_path) {
+        (Ok(mut text), Some(path)) => {
+            if !text.ends_with('\n') {
+                text.push('\n');
+            }
+            text.push_str(&commands::write_trace(path)?);
+            Ok(text)
+        }
+        (out, _) => out,
     };
     // `query-bench` embeds its metrics (the generic registry dump would
     // corrupt its JSON document); every other command gets the snapshot

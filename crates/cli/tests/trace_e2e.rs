@@ -1,0 +1,246 @@
+//! End-to-end trace export: `rtree-cli query --trace out.json` on a
+//! 100k-entry tree must produce a schema-valid Chrome trace_event file
+//! whose span tree is at least 3 levels deep (query → node visits →
+//! disk reads) and whose root-span page-read attribution exactly
+//! equals the registry's physical-read delta for the run.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+use str_bench::schema::{self, Value};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rtree-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtree-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().unwrap();
+    assert!(
+        out.status.success(),
+        "command failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// One parsed trace event: (name, span, parent, pages_read).
+struct Ev {
+    name: String,
+    span: u64,
+    parent: u64,
+    pages_read: u64,
+}
+
+fn parse_events(text: &str) -> Vec<Ev> {
+    let doc = schema::parse(text).expect("trace file parses as JSON");
+    let events = doc
+        .as_object()
+        .and_then(|t| t.get("traceEvents"))
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    events
+        .iter()
+        .map(|e| {
+            let ev = e.as_object().unwrap();
+            let args = ev.get("args").and_then(Value::as_object).unwrap();
+            let num =
+                |k: &str| -> u64 { args.get(k).and_then(Value::as_number).unwrap_or(0.0) as u64 };
+            Ev {
+                name: ev.get("name").and_then(Value::as_str).unwrap().to_string(),
+                span: num("span"),
+                parent: num("parent"),
+                pages_read: num("pages_read"),
+            }
+        })
+        .collect()
+}
+
+/// Depth of the subtree under `span` (the span itself counts as 1).
+fn depth_under(span: u64, children: &HashMap<u64, Vec<u64>>) -> usize {
+    1 + children
+        .get(&span)
+        .map(|kids| {
+            kids.iter()
+                .map(|&k| depth_under(k, children))
+                .max()
+                .unwrap_or(0)
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn query_trace_is_deep_and_io_exact() {
+    let data = tmp("trace.csv");
+    let index = tmp("trace.rtree");
+    let trace = tmp("trace.json");
+
+    run_ok(
+        bin()
+            .args([
+                "gen",
+                "--dataset",
+                "uniform",
+                "--n",
+                "100000",
+                "--seed",
+                "5",
+                "--output",
+            ])
+            .arg(&data),
+    );
+    let out = run_ok(
+        bin()
+            .args(["build", "--packer", "str", "--capacity", "100", "--input"])
+            .arg(&data)
+            .arg("--output")
+            .arg(&index),
+    );
+    assert!(out.contains("packed 100000"), "{out}");
+
+    // Small buffer pool: the query must touch disk, giving the trace
+    // its third level (disk.read spans under the node visits).
+    let stdout = run_ok(
+        bin()
+            .args([
+                "query",
+                "--region",
+                "0.2,0.2,0.4,0.4",
+                "--buffer",
+                "32",
+                "--trace",
+            ])
+            .arg(&trace)
+            .arg("--index")
+            .arg(&index),
+    );
+
+    // The parity line: per-query page reads attributed to the root
+    // span must exactly equal the registry's physical-read delta.
+    let parity = stdout
+        .lines()
+        .find(|l| l.starts_with("# trace:"))
+        .unwrap_or_else(|| panic!("missing parity line in:\n{stdout}"));
+    let field = |key: &str| -> u64 {
+        parity
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing {key} in '{parity}'"))
+    };
+    let pages_read = field("pages_read");
+    let reads_delta = field("physical_reads_delta");
+    assert!(pages_read > 0, "cold query must read pages: {parity}");
+    assert_eq!(
+        pages_read, reads_delta,
+        "span attribution drifted: {parity}"
+    );
+
+    // The exported file is schema-valid…
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let n = schema::validate_chrome_trace(&text).expect("trace file is schema-valid");
+    assert!(n > 0);
+
+    // …and the cli.query span tree is ≥ 3 levels deep, with the
+    // query → node visit → disk read chain intact.
+    let events = parse_events(&text);
+    let mut children: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut by_span: HashMap<u64, &Ev> = HashMap::new();
+    for e in &events {
+        children.entry(e.parent).or_default().push(e.span);
+        by_span.insert(e.span, e);
+    }
+    let root = events
+        .iter()
+        .find(|e| e.name == "cli.query")
+        .expect("cli.query root span exported");
+    let depth = depth_under(root.span, &children);
+    assert!(depth >= 3, "span tree only {depth} levels deep");
+    // The exported root event carries the same attribution the CLI
+    // printed on the parity line.
+    assert_eq!(
+        root.pages_read, pages_read,
+        "export drifted from parity line"
+    );
+    let node_with_read = events.iter().any(|e| {
+        e.name == "disk.read"
+            && by_span
+                .get(&e.parent)
+                .is_some_and(|p| p.name == "rtree.node")
+    });
+    assert!(node_with_read, "no disk.read recorded under a node visit");
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn trace_subcommand_and_sampling() {
+    let data = tmp("sub.csv");
+    let index = tmp("sub.rtree");
+    let trace = tmp("sub.json");
+
+    run_ok(
+        bin()
+            .args([
+                "gen",
+                "--dataset",
+                "uniform",
+                "--n",
+                "5000",
+                "--seed",
+                "9",
+                "--output",
+            ])
+            .arg(&data),
+    );
+    run_ok(
+        bin()
+            .args(["build", "--packer", "str", "--capacity", "64", "--input"])
+            .arg(&data)
+            .arg("--output")
+            .arg(&index),
+    );
+
+    // The trace subcommand runs a seeded probe workload and reports
+    // the stitched summary; --trace-sample 4 keeps 1-in-4 traces.
+    let stdout = run_ok(
+        bin()
+            .args([
+                "trace",
+                "--queries",
+                "32",
+                "--buffer",
+                "16",
+                "--trace-sample",
+                "4",
+                "--slow-ms",
+                "0",
+                "--trace",
+            ])
+            .arg(&trace)
+            .arg("--index")
+            .arg(&index),
+    );
+    assert!(stdout.contains("traced "), "{stdout}");
+    assert!(stdout.contains("query roots"), "{stdout}");
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    schema::validate_chrome_trace(&text).expect("sampled trace is schema-valid");
+    let events = parse_events(&text);
+    let roots = events.iter().filter(|e| e.name == "cli.query").count();
+    // 32 probe queries sampled 1-in-4: exactly 8 recorded roots.
+    assert_eq!(roots, 8, "sampling kept {roots} of 32 roots");
+
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&index).ok();
+    std::fs::remove_file(&trace).ok();
+}

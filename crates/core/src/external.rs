@@ -172,6 +172,7 @@ where
     // when threads > 1; either way the merged stream is the stable sort
     // of the input.
     let sort_span = SORT_NS.start();
+    let sort_tspan = obs::trace::span("external.sort");
     let mut sorter = ExternalSorter::with_threads(
         scratch.clone(),
         opts.budget,
@@ -198,6 +199,7 @@ where
     };
 
     let merge = sorter.finish()?;
+    drop(sort_tspan);
     drop(sort_span);
 
     if threads == 1 {
@@ -224,6 +226,7 @@ fn pack_sequential<const D: usize>(
     slab_size: usize,
     cap: NodeCapacity,
 ) -> Result<RTree<D>, ExternalPackError> {
+    let _pack_tspan = obs::trace::span("external.pack");
     let n = cap.max();
     let mut failure: Option<extsort::SortError> = None;
 
@@ -313,6 +316,8 @@ fn pack_parallel<const D: usize>(
     let rx = Arc::new(Mutex::new(rx));
 
     let pack_span = PACK_NS.start();
+    let pack_tspan = obs::trace::span("external.pack");
+    let ctx = obs::trace::current();
     std::thread::scope(|scope| -> Result<(), ExternalPackError> {
         for _ in 0..threads {
             let rx = rx.clone();
@@ -321,6 +326,7 @@ fn pack_parallel<const D: usize>(
             let error = &error;
             let level1 = &level1;
             scope.spawn(move || {
+                let _attached = ctx.attach();
                 let mut slab_buf: Vec<Entry<D>> = Vec::new();
                 loop {
                     let job = rx.lock().unwrap().recv();
@@ -328,6 +334,7 @@ fn pack_parallel<const D: usize>(
                     if error.lock().unwrap().is_some() {
                         continue;
                     }
+                    let _slab_span = obs::trace::span("external.pack_slab");
                     let leaf_offset = slab.idx as u64 * leaves_per_slab;
                     let result = pack_slab(
                         scratch.as_ref(),
@@ -359,6 +366,7 @@ fn pack_parallel<const D: usize>(
         // sequential writes, and handed to the pool the moment it is
         // complete — packing overlaps the remainder of the merge.
         let scatter_span = SCATTER_NS.start();
+        let scatter_tspan = obs::trace::span("external.scatter");
         let mut scatter = ScatterWriter::<D>::new(scratch.as_ref());
         let mut result: Result<(), ExternalPackError> = Ok(());
         'scatter: for idx in 0..num_slabs {
@@ -402,10 +410,12 @@ fn pack_parallel<const D: usize>(
                 break;
             }
         }
+        drop(scatter_tspan);
         drop(scatter_span);
         drop(tx); // Hang up: workers drain remaining jobs and exit.
         result
     })?;
+    drop(pack_tspan);
     drop(pack_span);
 
     if let Some(e) = error.into_inner().unwrap() {
@@ -416,6 +426,7 @@ fn pack_parallel<const D: usize>(
     // order and stitch the upper levels exactly like the streaming
     // loader would.
     let stitch_span = STITCH_NS.start();
+    let stitch_tspan = obs::trace::span("external.stitch");
     let mut parents: Vec<Entry<D>> = Vec::with_capacity(total_leaves as usize);
     for slot in level1.into_inner().unwrap() {
         parents.extend(slot.expect("every slab packed"));
@@ -424,6 +435,7 @@ fn pack_parallel<const D: usize>(
     let tree = load.finish(total as u64, parents, &mut |entries, level| {
         str_packer.order_level(entries, level, cap)
     })?;
+    drop(stitch_tspan);
     drop(stitch_span);
     Ok(tree)
 }

@@ -48,13 +48,16 @@ impl<T: FixedRecord + Send + 'static> RunFormerPool<T> {
             error: Mutex::new(None),
             runs: Mutex::new(Vec::new()),
         });
+        // The pool is created inside the caller's build span; hand that
+        // context to each worker so run-sort spans join the build trace.
+        let ctx = obs::trace::current();
         let handles = (0..threads)
             .map(|_| {
                 let rx = rx.clone();
                 let scratch = scratch.clone();
                 let shared = shared.clone();
                 let key = key.clone();
-                std::thread::spawn(move || worker(rx, scratch, shared, key))
+                std::thread::spawn(move || worker(rx, scratch, shared, key, ctx))
             })
             .collect();
         Self {
@@ -123,11 +126,13 @@ fn worker<T, K, F>(
     scratch: Arc<dyn Disk>,
     shared: Arc<Shared>,
     key: F,
+    ctx: obs::trace::TraceContext,
 ) where
     T: FixedRecord,
     K: Ord,
     F: Fn(&T) -> K,
 {
+    let _attached = ctx.attach();
     loop {
         // Take the receiver lock only to dequeue, then sort and spill
         // with the channel free for the other workers.
@@ -140,6 +145,9 @@ fn worker<T, K, F>(
             // blocks on a dead pipeline, but do no work.
             continue;
         }
+        // Facade span: inert until obs::trace installs its backend,
+        // then a real "extsort.run" span in the build's trace.
+        let _tspan = tracing::debug_span!("extsort.run").entered();
         let _span = crate::RUN_SORT_NS.start();
         batch.sort_by_key(&key);
         drop(_span);

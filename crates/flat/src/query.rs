@@ -34,6 +34,7 @@ pub(crate) fn for_each_in_region<const D: usize, F: FnMut(Rect<D>, u64)>(
     mut visit: F,
 ) {
     let timer = LATENCY_NS.start();
+    let _tspan = obs::trace::span("flat.query");
     let track = obs::enabled();
     let mut scanned: u64 = 0;
     let mut hits: u64 = 0;

@@ -92,6 +92,9 @@ pub struct Event {
     pub b: u64,
     /// Nanoseconds since the recorder was created.
     pub t_ns: u64,
+    /// Active trace id on the recording thread (0 = no active trace).
+    /// Lets `flight-dump` output be correlated with exported traces.
+    pub trace: u64,
 }
 
 struct Slot {
@@ -102,6 +105,7 @@ struct Slot {
     a: AtomicU64,
     b: AtomicU64,
     t_ns: AtomicU64,
+    trace: AtomicU64,
 }
 
 impl Slot {
@@ -112,6 +116,7 @@ impl Slot {
             a: AtomicU64::new(0),
             b: AtomicU64::new(0),
             t_ns: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
         }
     }
 }
@@ -151,6 +156,12 @@ impl FlightRecorder {
 
     /// Record one event. Wait-free: one `fetch_add` plus one CAS.
     pub fn record(&self, kind: EventKind, a: u64, b: u64) {
+        self.record_traced(kind, a, b, 0);
+    }
+
+    /// Record one event tagged with the trace id active on the calling
+    /// thread (0 = untraced). Same wait-free protocol as [`record`](Self::record).
+    pub fn record_traced(&self, kind: EventKind, a: u64, b: u64, trace: u64) {
         let cap = self.slots.len() as u64;
         let ticket = self.cursor.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket & (cap - 1)) as usize];
@@ -178,6 +189,7 @@ impl FlightRecorder {
         slot.kind.store(kind as u8, Ordering::Relaxed);
         slot.a.store(a, Ordering::Relaxed);
         slot.b.store(b, Ordering::Relaxed);
+        slot.trace.store(trace, Ordering::Relaxed);
         slot.t_ns
             .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
         slot.seq.store(2 * ticket + 2, Ordering::Release);
@@ -195,6 +207,7 @@ impl FlightRecorder {
             let a = slot.a.load(Ordering::Relaxed);
             let b = slot.b.load(Ordering::Relaxed);
             let t_ns = slot.t_ns.load(Ordering::Relaxed);
+            let trace = slot.trace.load(Ordering::Relaxed);
             // Seqlock validation: a writer that claimed the slot while
             // we read would have changed seq.
             if slot.seq.load(Ordering::Acquire) != seq {
@@ -209,6 +222,7 @@ impl FlightRecorder {
                 a,
                 b,
                 t_ns,
+                trace,
             });
         }
         out.sort_unstable_by_key(|e| e.ticket);
@@ -235,24 +249,32 @@ pub fn global() -> &'static FlightRecorder {
     GLOBAL.get_or_init(|| FlightRecorder::new(GLOBAL_CAPACITY))
 }
 
-/// Record into the global recorder iff observability is enabled.
+/// Record into the global recorder iff observability is enabled,
+/// tagging the event with the thread's active trace id (if any) so
+/// dumps can be correlated with exported span traces.
 #[inline]
 pub fn record(kind: EventKind, a: u64, b: u64) {
     if crate::enabled() {
-        global().record(kind, a, b);
+        global().record_traced(kind, a, b, crate::trace::current_trace_id());
     }
 }
 
-/// Render one event as a stable single-line form used by dumps.
+/// Render one event as a stable single-line form used by dumps. Traced
+/// events carry a trailing `trace=<id>` matching the `args.trace` field
+/// of the Chrome trace_event export.
 pub fn format_event(e: &Event) -> String {
-    format!(
+    let mut line = format!(
         "#{:<8} +{:>12}ns {:<13} a={} b={}",
         e.ticket,
         e.t_ns,
         e.kind.name(),
         e.a,
         e.b
-    )
+    );
+    if e.trace != 0 {
+        line.push_str(&format!(" trace={}", e.trace));
+    }
+    line
 }
 
 /// Dump the global recorder to stderr via `tracing::warn!`. Called
@@ -301,6 +323,18 @@ mod tests {
         assert_eq!(r.dropped(), 0);
         let tickets: Vec<u64> = events.iter().map(|e| e.ticket).collect();
         assert_eq!(tickets, (12..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn trace_tag_round_trips_and_formats() {
+        let r = FlightRecorder::new(8);
+        r.record(EventKind::PageRead, 1, 4096);
+        r.record_traced(EventKind::PageRead, 2, 4096, 77);
+        let events = r.dump();
+        assert_eq!(events[0].trace, 0);
+        assert_eq!(events[1].trace, 77);
+        assert!(!format_event(&events[0]).contains("trace="));
+        assert!(format_event(&events[1]).ends_with("trace=77"));
     }
 
     #[test]

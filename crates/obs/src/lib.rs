@@ -24,6 +24,7 @@ mod registry;
 
 pub mod flight;
 pub mod rss;
+pub mod trace;
 
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{histogram_json, MetricValue, Registry, Snapshot};

@@ -23,11 +23,54 @@ pub fn peak_bytes() -> Option<u64> {
 }
 
 /// Reset the peak-RSS high-water mark to the current RSS. Returns
-/// `false` when unsupported (non-Linux, or a kernel without writable
-/// `clear_refs`); the caller should then treat subsequent
-/// [`peak_bytes`] readings as cumulative.
+/// `false` when unsupported (non-Linux, or a container/kernel where
+/// `clear_refs` is unwritable); the caller should then treat subsequent
+/// [`peak_bytes`] readings as cumulative — [`PeakProbe`] packages that
+/// rule.
 pub fn reset_peak() -> bool {
-    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+    reset_peak_at("/proc/self/clear_refs")
+}
+
+fn reset_peak_at(path: &str) -> bool {
+    std::fs::write(path, "5").is_ok()
+}
+
+/// A peak-RSS measurement window that degrades gracefully where the
+/// high-water mark cannot be reset (sandboxed containers mount procfs
+/// read-only; non-Linux has no procfs at all). [`start`](PeakProbe::start)
+/// attempts the reset; [`peak_bytes`](PeakProbe::peak_bytes) then
+/// returns `None` — never an error, never a process-lifetime value
+/// masquerading as a window-scoped one — when the reset did not take.
+#[derive(Debug, Clone, Copy)]
+pub struct PeakProbe {
+    reset_ok: bool,
+}
+
+impl PeakProbe {
+    /// Open a measurement window: reset the high-water mark if the
+    /// platform allows it, remembering whether that worked.
+    pub fn start() -> PeakProbe {
+        PeakProbe {
+            reset_ok: reset_peak(),
+        }
+    }
+
+    /// Whether the window actually started from a fresh high-water
+    /// mark.
+    pub fn supported(&self) -> bool {
+        self.reset_ok
+    }
+
+    /// Peak RSS within this window, or `None` when the window could
+    /// not be isolated (reset unsupported) or the platform exposes no
+    /// high-water mark.
+    pub fn peak_bytes(&self) -> Option<u64> {
+        if self.reset_ok {
+            peak_bytes()
+        } else {
+            None
+        }
+    }
 }
 
 /// Parse one `kB` field out of `/proc/self/status`.
@@ -56,6 +99,29 @@ mod tests {
         // (modulo the race of reading them separately — allow slack).
         assert!(rss > 100 * 1024, "rss = {rss}");
         assert!(peak + 10 * 1024 * 1024 >= rss, "peak {peak} vs rss {rss}");
+    }
+
+    #[test]
+    fn unwritable_clear_refs_reports_unsupported() {
+        // Simulate a container where procfs rejects the write: the
+        // reset must report failure, not error or panic.
+        assert!(!reset_peak_at("/proc/self/nonexistent-clear-refs"));
+        // A probe whose reset failed yields None from peak_bytes even
+        // on platforms where VmHWM itself is readable.
+        let probe = PeakProbe { reset_ok: false };
+        assert!(!probe.supported());
+        assert_eq!(probe.peak_bytes(), None);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn probe_window_reports_when_supported() {
+        let probe = PeakProbe::start();
+        if probe.supported() {
+            assert!(probe.peak_bytes().is_some());
+        } else {
+            assert_eq!(probe.peak_bytes(), None);
+        }
     }
 
     #[test]

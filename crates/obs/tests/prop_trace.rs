@@ -1,0 +1,134 @@
+//! Property tests for span-tree stitching: arbitrary span
+//! interleavings across several worker threads must always reconstruct
+//! valid trees — every recorded span's parent exists and carries the
+//! same trace id, the forest contains every record exactly once (no
+//! cycles, no duplication), and child spans start no earlier than
+//! their parents.
+
+use obs::trace::{self, SpanTree};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Run one generated schedule: a root span on the driving thread,
+/// `ops.len()` workers attached to its context, each pushing (true) and
+/// popping (false) spans per its op list. Returns the records of
+/// exactly this trace.
+fn run_schedule(ops: &[Vec<bool>]) -> (u64, Vec<trace::SpanRecord>) {
+    trace::set_enabled(true);
+    trace::clear();
+    let root_id;
+    {
+        let root = trace::span("root").expect("tracing enabled");
+        root_id = root.id();
+        let ctx = trace::current();
+        std::thread::scope(|scope| {
+            for thread_ops in ops {
+                scope.spawn(move || {
+                    let _attached = ctx.attach();
+                    let mut stack = Vec::new();
+                    for &push in thread_ops {
+                        if push {
+                            stack.push(trace::span("work").expect("tracing enabled"));
+                        } else {
+                            drop(stack.pop());
+                        }
+                    }
+                    // Remaining spans unwind LIFO as the stack drops.
+                });
+            }
+        });
+    }
+    trace::set_enabled(false);
+    let records = records_of(root_id);
+    (root_id, records)
+}
+
+fn records_of(trace_id: u64) -> Vec<trace::SpanRecord> {
+    trace::dump()
+        .into_iter()
+        .filter(|r| r.trace == trace_id)
+        .collect()
+}
+
+fn forest_size(trees: &[SpanTree]) -> usize {
+    trees.iter().map(SpanTree::span_count).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ≥4 threads, arbitrary push/pop interleavings: the stitched
+    /// forest is a single tree rooted at the root span, accounts for
+    /// every record exactly once, and every parent edge is valid.
+    #[test]
+    fn stitching_reconstructs_valid_trees(
+        ops in prop::collection::vec(
+            prop::collection::vec(any::<bool>(), 1..40),
+            4..6,
+        ),
+    ) {
+        let (root_id, records) = run_schedule(&ops);
+        let expected_spans = 1 + ops
+            .iter()
+            .flatten()
+            .filter(|&&push| push)
+            .count();
+        prop_assert_eq!(records.len(), expected_spans, "one record per opened span");
+
+        let by_id: HashMap<u64, &trace::SpanRecord> =
+            records.iter().map(|r| (r.span, r)).collect();
+        for r in &records {
+            if r.span == root_id {
+                prop_assert_eq!(r.parent, 0, "the root has no parent");
+                continue;
+            }
+            // Every non-root span's parent exists in the same trace...
+            let parent = by_id.get(&r.parent);
+            prop_assert!(parent.is_some(), "span {} orphaned (parent {})", r.span, r.parent);
+            let parent = parent.unwrap();
+            prop_assert_eq!(parent.trace, r.trace, "parent in a different trace");
+            // ...and started no later (ids share one global clock).
+            prop_assert!(
+                parent.start_ns <= r.start_ns,
+                "child {} starts before parent {}",
+                r.span,
+                parent.span
+            );
+        }
+
+        // Stitching yields one tree holding every record: presence of a
+        // cycle or a dangling edge would change the forest size.
+        let trees = trace::stitch(&records);
+        prop_assert_eq!(trees.len(), 1, "all spans reachable from the root");
+        prop_assert_eq!(trees[0].record.span, root_id);
+        prop_assert_eq!(forest_size(&trees), records.len());
+    }
+
+    /// Stitching arbitrary (possibly malformed) record sets never loses
+    /// or duplicates a record and never cycles: the forest size always
+    /// equals the input size, even when parents point at evicted,
+    /// unknown, or mutually-referencing spans.
+    #[test]
+    fn stitching_is_total_on_malformed_input(
+        edges in prop::collection::vec((1..24u64, 0..24u64, 0..1000u64), 1..24),
+    ) {
+        let mut records: Vec<trace::SpanRecord> = Vec::new();
+        for (i, &(span, parent, start)) in edges.iter().enumerate() {
+            // Distinct span ids (stitch indexes by id); parents are
+            // unconstrained — self-loops, unknowns, cross-references.
+            let span = span + (i as u64) * 24;
+            records.push(trace::SpanRecord {
+                trace: 1,
+                span,
+                parent,
+                name: "m",
+                thread: (i % 3) as u32,
+                start_ns: start,
+                dur_ns: 1,
+                io: trace::IoCounts::default(),
+            });
+        }
+        let trees = trace::stitch(&records);
+        prop_assert_eq!(forest_size(&trees), records.len());
+    }
+}

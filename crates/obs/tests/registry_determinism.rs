@@ -1,0 +1,62 @@
+//! Registry snapshot determinism: with no intervening metric activity,
+//! two snapshots must be byte-identical in every rendering, and
+//! iteration must be stable and sorted by metric name — exporters and
+//! the CI overhead gate both diff snapshot output textually.
+
+use obs::{MetricValue, Registry};
+use std::sync::Mutex;
+
+/// The registry is process-global; serialize the tests in this binary
+/// so neither mutates it between the other's paired snapshots.
+static GATE: Mutex<()> = Mutex::new(());
+
+#[test]
+fn consecutive_snapshots_are_identical() {
+    let _g = GATE.lock().unwrap();
+    obs::set_enabled(true);
+    let reg = Registry::global();
+    reg.counter("determinism.count").add(7);
+    reg.gauge("determinism.level").set(-3);
+    reg.histogram("determinism.lat_ns").record(1500);
+
+    let a = obs::snapshot();
+    let b = obs::snapshot();
+
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.render_text(), b.render_text());
+    assert_eq!(a.to_json(), b.to_json());
+    for ((name_a, val_a), (name_b, val_b)) in a.iter().zip(b.iter()) {
+        assert_eq!(name_a, name_b);
+        match (val_a, val_b) {
+            (MetricValue::Counter(x), MetricValue::Counter(y)) => assert_eq!(x, y),
+            (MetricValue::Gauge(x), MetricValue::Gauge(y)) => assert_eq!(x, y),
+            (MetricValue::Histogram(x), MetricValue::Histogram(y)) => {
+                assert_eq!(x.count(), y.count());
+                assert_eq!(x.sum(), y.sum());
+            }
+            _ => panic!("{name_a}: metric kind changed between snapshots"),
+        }
+    }
+}
+
+#[test]
+fn iteration_is_sorted_by_name() {
+    let _g = GATE.lock().unwrap();
+    obs::set_enabled(true);
+    let reg = Registry::global();
+    // Registered deliberately out of order.
+    reg.counter("sorted.zz").inc();
+    reg.counter("sorted.aa").inc();
+    reg.counter("sorted.mm").inc();
+
+    let snap = obs::snapshot();
+    let names: Vec<&str> = snap.iter().map(|(n, _)| n).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "snapshot iteration must be name-sorted");
+    assert!(names.contains(&"sorted.aa"));
+
+    // And the ordering survives re-snapshotting.
+    let again: Vec<&str> = obs::snapshot().iter().map(|(n, _)| n).collect();
+    assert_eq!(names, again);
+}

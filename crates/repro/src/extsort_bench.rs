@@ -170,7 +170,7 @@ fn run_cell(
     ));
     let pool = Arc::new(BufferPool::new(dest, 512));
 
-    obs::rss::reset_peak();
+    let rss_probe = obs::rss::PeakProbe::start();
     let before = obs::snapshot();
     let start = Instant::now();
     let tree = pack_str_external_opts(
@@ -184,7 +184,7 @@ fn run_cell(
     .map_err(|e| e.to_string())?;
     let wall = start.elapsed();
     let after = obs::snapshot();
-    let peak_rss = obs::rss::peak_bytes();
+    let peak_rss = rss_probe.peak_bytes();
 
     if tree.len() != n {
         return Err(format!("built tree holds {} of {n} entries", tree.len()));

@@ -14,6 +14,11 @@
 //! `repro check-bench` audits every `BENCH_*.json` at the repository
 //! root against the artifact schema (`str_bench::schema`) and exits
 //! non-zero on the first drifted document.
+//!
+//! `repro check-trace <file>...` validates Chrome trace_event files
+//! produced by `rtree-cli --trace` (span/parent/trace id consistency,
+//! complete events, finite timestamps) and exits non-zero on the first
+//! malformed file — the CI trace job's schema gate.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -24,8 +29,8 @@ use repro::Harness;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment>... [--out DIR] [--quick] [--queries N] [--seed S]\n\
-         experiments: {} | all | list | check-bench | mixed-bench [--verify] | \
-         extsort-bench [--verify|--quick]",
+         experiments: {} | all | list | check-bench | check-trace FILE... | \
+         mixed-bench [--verify] | extsort-bench [--verify|--quick]",
         experiments::ALL_IDS.join(" | ")
     );
     std::process::exit(2);
@@ -75,6 +80,31 @@ fn check_bench() -> ! {
     std::process::exit(if failed > 0 { 1 } else { 0 });
 }
 
+/// `check-trace`: validate Chrome trace_event exports. Exits the
+/// process with the audit result.
+fn check_trace(paths: &[String]) -> ! {
+    if paths.is_empty() {
+        eprintln!("check-trace needs at least one file");
+        std::process::exit(2);
+    }
+    let mut failed = 0u32;
+    for path in paths {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| {
+                str_bench::schema::validate_chrome_trace(&text).map_err(|e| e.to_string())
+            }) {
+            Ok(n) => println!("{path}: OK ({n} trace events)"),
+            Err(e) => {
+                eprintln!("{path}: INVALID TRACE: {e}");
+                failed += 1;
+            }
+        }
+    }
+    println!("{} file(s) checked, {failed} violation(s)", paths.len());
+    std::process::exit(if failed > 0 { 1 } else { 0 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -117,6 +147,7 @@ fn main() {
                 return;
             }
             "check-bench" => check_bench(),
+            "check-trace" => check_trace(&args[i + 1..]),
             "mixed-bench" => {
                 let verify_only = args.iter().any(|a| a == "--verify");
                 let res = if verify_only {

@@ -148,6 +148,11 @@ impl<'t, const D: usize> QueryExecutor<'t, D> {
         let before = self.tree.pool().stats();
         let start = Instant::now();
 
+        let _batch_span = obs::trace::span("executor.batch");
+        // Captured before spawning so worker-side spans join the
+        // batch's trace even though they run on other threads.
+        let ctx = obs::trace::current();
+
         let mut results: Vec<Vec<(Rect<D>, u64)>> = Vec::new();
         let latency;
         let per_thread_queries;
@@ -155,7 +160,10 @@ impl<'t, const D: usize> QueryExecutor<'t, D> {
             let hist = Histogram::new();
             for q in queries {
                 let t0 = Instant::now();
-                results.push(self.run_one(q)?);
+                let qspan = obs::trace::span("executor.query");
+                let hits = self.run_one(q)?;
+                drop(qspan);
+                results.push(hits);
                 let ns = t0.elapsed().as_nanos() as u64;
                 hist.record(ns);
                 EXEC_QUERY_NS.record(ns);
@@ -177,6 +185,7 @@ impl<'t, const D: usize> QueryExecutor<'t, D> {
                         // some worker failed. Results are buffered
                         // locally and merged once per worker, so the
                         // output mutex is uncontended in steady state.
+                        let _attached = ctx.attach();
                         let mut local: Vec<(usize, Vec<(Rect<D>, u64)>)> = Vec::new();
                         let hist = Histogram::new();
                         let mut served = 0u64;
@@ -186,6 +195,7 @@ impl<'t, const D: usize> QueryExecutor<'t, D> {
                                 break;
                             }
                             let t0 = Instant::now();
+                            let _qspan = obs::trace::span("executor.query");
                             match self.run_one(&queries[i]) {
                                 Ok(hits) => {
                                     let ns = t0.elapsed().as_nanos() as u64;

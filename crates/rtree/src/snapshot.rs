@@ -155,6 +155,7 @@ impl<const D: usize> SharedRTree<D> {
     /// Pin the current epoch and return a read-only view of it. Never
     /// blocks on writers.
     pub fn snapshot(&self) -> Snapshot<D> {
+        let _tspan = obs::trace::span("shared.snapshot_pin");
         let mut st = lock(&self.inner.state);
         let epoch = st.epoch;
         *st.pins.entry(epoch).or_insert(0) += 1;
@@ -244,6 +245,9 @@ impl<const D: usize> SharedRTree<D> {
     /// it. `op` returns `None` for a no-op (nothing staged, nothing to
     /// commit). Returns whether a transaction was committed.
     fn write_op(&self, op: impl FnOnce(&mut RTree<D>) -> Result<Option<StagedTx>>) -> Result<bool> {
+        // Covers staging, publish, and the shared leader fsync — the
+        // wal.commit span below nests inside it.
+        let _tspan = obs::trace::span("shared.commit");
         let mut tree = lock(&self.inner.writer);
         let Some(tx) = op(&mut tree)? else {
             return Ok(false);
@@ -321,6 +325,7 @@ impl<const D: usize> Deref for Snapshot<D> {
 
 impl<const D: usize> Drop for Snapshot<D> {
     fn drop(&mut self) {
+        let _tspan = obs::trace::span("shared.snapshot_unpin");
         let mut st = lock(&self.shared.state);
         if let Some(n) = st.pins.get_mut(&self.epoch) {
             *n -= 1;

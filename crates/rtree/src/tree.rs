@@ -785,10 +785,14 @@ impl<const D: usize> RTree<D> {
         } else {
             0
         };
+        let _tspan = obs::trace::span("rtree.query");
         let mut nodes = 0u64;
         let mut leaves = 0u64;
         let mut stack = vec![self.root];
         while let Some(page) = stack.pop() {
+            // Per-node span: a page fetched from disk shows the read as
+            // a child, giving traces the query → node → read shape.
+            let _node_span = obs::trace::span("rtree.node");
             self.with_view(page, |node| {
                 if track {
                     nodes += 1;

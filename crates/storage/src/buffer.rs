@@ -676,6 +676,7 @@ impl ShardedBufferPool {
             if let Some(&idx) = inner.map.get(&id) {
                 shard.stats.hits.fetch_add(1, Ordering::Relaxed);
                 OBS_HITS.inc();
+                obs::trace::cache_hit();
                 if waited {
                     // Served from memory after riding another thread's
                     // read: a hit, and specifically a coalesced one.
@@ -804,6 +805,7 @@ impl ShardedBufferPool {
     ) {
         shard.stats.misses.fetch_add(1, Ordering::Relaxed);
         OBS_MISSES.inc();
+        obs::trace::cache_miss();
         inner.frames[idx].page = id;
         inner.frames[idx].dirty = false;
         inner.frames[idx].pins = 0;

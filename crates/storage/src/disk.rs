@@ -38,6 +38,9 @@ static LATENCY_READ_NS: LazyHistogram = LazyHistogram::new("disk.latency.read_ns
 fn observe_physical_read(id: PageId, bytes: usize) {
     DISK_READS.inc();
     READ_BYTES.record(bytes as u64);
+    // Same event feeds the active span's I/O attribution, so a span's
+    // pages_read equals the registry's disk.reads delta by construction.
+    obs::trace::io_read(1, bytes as u64);
     obs::flight::record(EventKind::PageRead, id.index(), bytes as u64);
 }
 
@@ -47,6 +50,7 @@ fn observe_physical_read(id: PageId, bytes: usize) {
 fn observe_physical_write(id: PageId, bytes: usize, n: u64) {
     DISK_WRITES.add(n);
     WRITE_BYTES.record(bytes as u64);
+    obs::trace::io_write(n, bytes as u64);
     obs::flight::record(EventKind::PageWrite, id.index(), bytes as u64);
 }
 
@@ -263,6 +267,7 @@ impl Disk for MemDisk {
 
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
         let _span = MEM_READ_NS.start();
+        let _tspan = obs::trace::span("disk.read");
         check_len(self.page_size, buf.len())?;
         let pages = self.pages.lock();
         check_bounds(id, pages.len() as u64)?;
@@ -274,6 +279,7 @@ impl Disk for MemDisk {
 
     fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
         let _span = MEM_WRITE_NS.start();
+        let _tspan = obs::trace::span("disk.write");
         check_len(self.page_size, buf.len())?;
         let mut pages = self.pages.lock();
         check_bounds(id, pages.len() as u64)?;
@@ -284,6 +290,7 @@ impl Disk for MemDisk {
     }
 
     fn write_pages_body(&self, first: PageId, buf: &[u8], n: u64) -> Result<()> {
+        let _tspan = obs::trace::span("disk.write");
         let mut pages = self.pages.lock();
         // The trait already bounds-checked and the page vector only grows.
         debug_assert!(first.index() + n <= pages.len() as u64);
@@ -399,6 +406,7 @@ impl Disk for FileDisk {
     fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<()> {
         use std::os::unix::fs::FileExt;
         let _span = FILE_READ_NS.start();
+        let _tspan = obs::trace::span("disk.read");
         check_len(self.page_size, buf.len())?;
         check_bounds(id, self.num_pages())?;
         self.file
@@ -411,6 +419,7 @@ impl Disk for FileDisk {
     fn write_page(&self, id: PageId, buf: &[u8]) -> Result<()> {
         use std::os::unix::fs::FileExt;
         let _span = FILE_WRITE_NS.start();
+        let _tspan = obs::trace::span("disk.write");
         check_len(self.page_size, buf.len())?;
         check_bounds(id, self.num_pages())?;
         self.file
@@ -425,6 +434,7 @@ impl Disk for FileDisk {
         // One positioned syscall for the whole run — this is the point of
         // batching on a real device.
         let _span = FILE_WRITE_NS.start();
+        let _tspan = obs::trace::span("disk.write");
         self.file
             .write_all_at(buf, first.index() * self.page_size as u64)?;
         self.stats.record_writes(n);

@@ -651,6 +651,7 @@ impl Wal {
     /// allocated — into the shared batch. Nothing is durable until
     /// [`Wal::commit`] returns for the ticket's LSN.
     pub fn append_tx(&self, images: &[(PageId, &[u8])], allocs: &[PageId]) -> Result<WalTicket> {
+        let _tspan = obs::trace::span("wal.append");
         let mut g = self.inner.lock();
         let lsn = g.next_lsn;
         g.next_lsn += 1;
@@ -704,6 +705,10 @@ impl Wal {
     /// the current segment and fsyncs once for everyone.
     pub fn commit(&self, lsn: u64) -> Result<()> {
         let _commit_span = WAL_COMMIT_NS.start();
+        // The leader's fsync below covers followers of the same batch;
+        // this span covers the caller's full wait (leader or follower),
+        // which is what a request trace wants attributed.
+        let _tspan = obs::trace::span("wal.commit");
         WAL_COMMITS.inc();
         self.commits.fetch_add(1, Ordering::Relaxed);
         let group = self.group_commit.load(Ordering::Relaxed);
@@ -749,7 +754,9 @@ impl Wal {
             let sync_target = g.appended_lsn;
             drop(g);
             let fsync_start = std::time::Instant::now();
+            let fsync_span = obs::trace::span("wal.fsync");
             let sync_res = self.store.sync();
+            drop(fsync_span);
             g = self.inner.lock();
             g.syncing = false;
             match sync_res {
