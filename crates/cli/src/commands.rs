@@ -3,7 +3,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use rtree::{NodeCapacity, RTree};
+use rtree::{NodeCapacity, RTree, SpatialIndex};
 use storage::{BufferPool, FileDisk, DEFAULT_PAGE_SIZE};
 use str_core::{PackingOrder, TgsPacker, TreeMetrics};
 
@@ -125,11 +125,14 @@ pub fn flatten(index: &Path, tree_name: &str, out: Option<&Path>) -> CliResult<S
     ))
 }
 
-/// `query --flat` / `point --flat`: serve a region query from a flat
-/// file, mmap'ed zero-copy — no buffer pool, no page decoding.
-pub fn query_region_flat(path: &Path, region: geom::Rect2) -> CliResult<String> {
-    let flat = flat::FlatTree::<2>::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let hits = flat.query_region(&region);
+/// Run a region query against any [`SpatialIndex`] backend and render
+/// the hits as CSV plus a `#` summary line. The summary reports buffer
+/// I/O when the backend is paged and the backend name either way, so
+/// the paged, flat and LSM tiers all answer through this one path.
+pub fn run_region_query(index: &dyn SpatialIndex<2>, region: &geom::Rect2) -> CliResult<String> {
+    let before = index.buffer_stats().unwrap_or_default();
+    let hits = index.query(region).map_err(|e| e.to_string())?;
+    let stats = index.stats();
     let mut out = String::new();
     for (r, id) in &hits {
         out.push_str(&format!(
@@ -140,9 +143,34 @@ pub fn query_region_flat(path: &Path, region: geom::Rect2) -> CliResult<String> 
             r.hi(1)
         ));
     }
+    match index.buffer_stats() {
+        Some(after) => {
+            let io = after.since(&before);
+            out.push_str(&format!(
+                "# {} hits, {} disk accesses, {} buffer hits\n",
+                hits.len(),
+                io.misses,
+                io.hits
+            ));
+        }
+        None => out.push_str(&format!(
+            "# {} hits, {} backend ({} items, {} levels)\n",
+            hits.len(),
+            stats.backend,
+            stats.len,
+            stats.levels
+        )),
+    }
+    Ok(out)
+}
+
+/// `query --flat` / `point --flat`: serve a region query from a flat
+/// file, mmap'ed zero-copy — no buffer pool, no page decoding.
+pub fn query_region_flat(path: &Path, region: geom::Rect2) -> CliResult<String> {
+    let flat = flat::FlatTree::<2>::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = run_region_query(&flat, &region)?;
     out.push_str(&format!(
-        "# {} hits, flat tier ({})\n",
-        hits.len(),
+        "# served {}\n",
         if flat.is_mapped() {
             "mmap"
         } else {
@@ -150,6 +178,78 @@ pub fn query_region_flat(path: &Path, region: geom::Rect2) -> CliResult<String> 
         }
     ));
     Ok(out)
+}
+
+/// The three files/directories of an on-disk LSM tree under `dir`:
+/// superblock+meta disk, WAL directory, segment directory.
+fn open_lsm_parts(
+    dir: &Path,
+) -> CliResult<(
+    Arc<dyn storage::Disk>,
+    Arc<dyn storage::LogStore>,
+    Arc<dyn lsm::SegmentStore>,
+)> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let index = dir.join("index.v2");
+    let disk: Arc<dyn storage::Disk> = Arc::new(
+        if index.exists() {
+            FileDisk::open(&index, DEFAULT_PAGE_SIZE)
+        } else {
+            FileDisk::create(&index, DEFAULT_PAGE_SIZE)
+        }
+        .map_err(|e| format!("{}: {e}", index.display()))?,
+    );
+    let log: Arc<dyn storage::LogStore> = storage::FileLogStore::open(dir.join("wal"))
+        .map_err(|e| format!("{}: {e}", dir.display()))?;
+    let segs: Arc<dyn lsm::SegmentStore> = Arc::new(
+        lsm::FileSegmentStore::open(dir.join("segments"))
+            .map_err(|e| format!("{}: {e}", dir.display()))?,
+    );
+    Ok((disk, log, segs))
+}
+
+/// Open (or create) the LSM tree stored under `dir`, running recovery.
+pub fn open_lsm(dir: &Path, opts: lsm::LsmOptions) -> CliResult<lsm::LsmTree<2>> {
+    let (disk, log, segs) = open_lsm_parts(dir)?;
+    lsm::LsmTree::open(disk, log, segs, opts).map_err(|e| format!("{}: {e}", dir.display()))
+}
+
+/// `query --lsm` / `point --lsm`: answer from an LSM directory.
+pub fn query_region_lsm(dir: &Path, region: geom::Rect2) -> CliResult<String> {
+    let tree = open_lsm(dir, lsm::LsmOptions::default())?;
+    run_region_query(&tree, &region)
+}
+
+/// `build --lsm`: ingest a CSV of rectangles into an LSM directory via
+/// the durable insert path (every batch WAL-committed), then flush so
+/// everything is segment-resident. Unlike `build --output`, this is
+/// incremental — running it twice adds both files' rectangles.
+pub fn build_lsm(input: &Path, dir: &Path, capacity: usize, threads: usize) -> CliResult<String> {
+    let items = csvio::read_items(input)?;
+    if items.is_empty() {
+        return Err(format!("{}: no rectangles", input.display()));
+    }
+    let cap = NodeCapacity::new(capacity)
+        .ok_or_else(|| format!("invalid capacity {capacity} (need >= 2)"))?;
+    let opts = lsm::LsmOptions {
+        capacity: cap,
+        threads: threads.max(1),
+        ..lsm::LsmOptions::default()
+    };
+    let tree = open_lsm(dir, opts)?;
+    let n = items.len();
+    for batch in items.chunks(1024) {
+        tree.insert_batch(batch).map_err(|e| e.to_string())?;
+    }
+    tree.flush().map_err(|e| e.to_string())?;
+    let st = tree.stats();
+    Ok(format!(
+        "ingested {n} rectangles into {} ({} items across {} flat level(s), {} compaction(s))",
+        dir.display(),
+        st.level_items,
+        st.levels,
+        st.compactions
+    ))
 }
 
 /// `trees`: list every named tree in the file's catalog.
@@ -223,33 +323,15 @@ pub fn query_region(
     tree_name: &str,
 ) -> CliResult<String> {
     let tree = open_index(index, buffer, tree_name)?;
-    let before = tree.pool().stats();
     // Registry delta measured around exactly the traced window, so the
     // root span's pages_read must equal it (index-open reads excluded
     // from both).
     let reads_before = counter_value(&obs::snapshot(), "disk.reads");
     let span = obs::trace::span("cli.query");
     let root_span_id = span.as_ref().map(|s| s.id());
-    let hits = tree.query_region(&region).map_err(|e| e.to_string())?;
+    let mut out = run_region_query(&tree, &region)?;
     drop(span);
     let reads_delta = counter_value(&obs::snapshot(), "disk.reads") - reads_before;
-    let io = tree.pool().stats().since(&before);
-    let mut out = String::new();
-    for (r, id) in &hits {
-        out.push_str(&format!(
-            "{},{},{},{},{id}\n",
-            r.lo(0),
-            r.lo(1),
-            r.hi(0),
-            r.hi(1)
-        ));
-    }
-    out.push_str(&format!(
-        "# {} hits, {} disk accesses, {} buffer hits\n",
-        hits.len(),
-        io.misses,
-        io.hits
-    ));
     if let Some(span_id) = root_span_id {
         let dump = obs::trace::dump();
         if let Some(root) = dump.iter().find(|r| r.span == span_id) {

@@ -3,9 +3,12 @@
 //! ```text
 //! rtree-cli gen      --dataset tiger --n 53145 --seed 1 --output data.csv
 //! rtree-cli build    --input data.csv --output index.rtree [--packer str|str-par|hs|nx|tgs] [--capacity 100] [--external N] [--threads T] [--tree NAME]
+//! rtree-cli build    --input data.csv --lsm DIR [--capacity 100] [--threads T]
 //! rtree-cli flatten  --index index.rtree [--tree NAME] [--out file.flat]
 //! rtree-cli query    --index index.rtree --region 0.1,0.1,0.3,0.3 [--buffer 32] [--flat auto|file.flat]
+//! rtree-cli query    --lsm DIR --region 0.1,0.1,0.3,0.3
 //! rtree-cli point    --index index.rtree --at 0.5,0.5 [--flat auto|file.flat]
+//! rtree-cli point    --lsm DIR --at 0.5,0.5
 //! rtree-cli knn      --index index.rtree --at 0.5,0.5 --k 10
 //! rtree-cli compare  --input data.csv [--capacity 100] [--buffer 32]
 //! rtree-cli query-bench --index index.rtree [--queries 512] [--threads 8] [--buffer 128] [--seed 11]
@@ -31,6 +34,12 @@
 //! contiguous checksummed buffer the flat tier serves zero-copy via
 //! mmap. `query --flat auto` (or `--flat path.flat`) answers from that
 //! file instead of the paged index.
+//!
+//! `--lsm DIR` points `build`/`query`/`point` at an LSM tree directory
+//! (superblock file, WAL, flat segments — see DESIGN.md §15): `build
+//! --lsm` ingests through the durable insert path instead of bulk
+//! packing, and queries answer over the memtable plus every flat level
+//! through the same `SpatialIndex` interface as the other tiers.
 //!
 //! Every command additionally accepts `--metrics text|json`, which
 //! turns the observability layer on for the run and appends a snapshot
@@ -121,6 +130,23 @@ fn resolve_flat(flags: &Flags, tree: &str) -> CliResult<Option<PathBuf>> {
     }
 }
 
+/// Dispatch a region query to the backend the flags select: an LSM
+/// directory (`--lsm`), a flat file (`--flat`), or the paged index.
+fn run_query(flags: &Flags, tree: &str, region: geom::Rect2) -> CliResult<String> {
+    if let Some(dir) = flags.get("lsm") {
+        return commands::query_region_lsm(&PathBuf::from(dir), region);
+    }
+    match resolve_flat(flags, tree)? {
+        Some(path) => commands::query_region_flat(&path, region),
+        None => commands::query_region(
+            &PathBuf::from(flags.req("index")?),
+            region,
+            flags.parse_num("buffer", 32usize)?,
+            tree,
+        ),
+    }
+}
+
 fn run() -> CliResult<String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -156,15 +182,23 @@ fn run() -> CliResult<String> {
             flags.parse_num("seed", 1u64)?,
             &PathBuf::from(flags.req("output")?),
         ),
-        "build" => commands::build(
-            &PathBuf::from(flags.req("input")?),
-            &PathBuf::from(flags.req("output")?),
-            &flags.opt("packer", "str"),
-            flags.parse_num("capacity", 100usize)?,
-            flags.parse_num("external", 0usize)?,
-            flags.parse_num("threads", 1usize)?,
-            flags.get("tree"),
-        ),
+        "build" => match flags.get("lsm") {
+            Some(dir) => commands::build_lsm(
+                &PathBuf::from(flags.req("input")?),
+                &PathBuf::from(dir),
+                flags.parse_num("capacity", 100usize)?,
+                flags.parse_num("threads", 1usize)?,
+            ),
+            None => commands::build(
+                &PathBuf::from(flags.req("input")?),
+                &PathBuf::from(flags.req("output")?),
+                &flags.opt("packer", "str"),
+                flags.parse_num("capacity", 100usize)?,
+                flags.parse_num("external", 0usize)?,
+                flags.parse_num("threads", 1usize)?,
+                flags.get("tree"),
+            ),
+        },
         "flatten" => commands::flatten(
             &PathBuf::from(flags.req("index")?),
             &tree,
@@ -172,28 +206,11 @@ fn run() -> CliResult<String> {
         ),
         "query" => {
             let region = parse_rect(flags.req("region")?)?;
-            match resolve_flat(&flags, &tree)? {
-                Some(path) => commands::query_region_flat(&path, region),
-                None => commands::query_region(
-                    &PathBuf::from(flags.req("index")?),
-                    region,
-                    flags.parse_num("buffer", 32usize)?,
-                    &tree,
-                ),
-            }
+            run_query(&flags, &tree, region)
         }
         "point" => {
             let p = parse_point(flags.req("at")?)?;
-            let region = geom::Rect2::from_point(p);
-            match resolve_flat(&flags, &tree)? {
-                Some(path) => commands::query_region_flat(&path, region),
-                None => commands::query_region(
-                    &PathBuf::from(flags.req("index")?),
-                    region,
-                    flags.parse_num("buffer", 32usize)?,
-                    &tree,
-                ),
-            }
+            run_query(&flags, &tree, geom::Rect2::from_point(p))
         }
         "knn" => commands::knn(
             &PathBuf::from(flags.req("index")?),

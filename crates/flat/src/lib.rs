@@ -29,11 +29,28 @@ use std::borrow::Cow;
 use std::path::Path;
 
 use geom::{Point, Rect, SoaRects};
-use rtree::RTree;
+use rtree::{IndexStats, RTree, SpatialIndex};
 use storage::Mmap;
 
 pub use abi::{Header, Layout, HEADER_LEN, MAGIC, VERSION};
 pub use build::flatten_to_bytes;
+
+/// File-name stem for LSM flat segments: `seg-<id, 8 hex digits>.flat`.
+/// One naming scheme shared by the compaction writer, recovery's orphan
+/// scan, and the CLI, so a directory listing is unambiguous.
+pub fn segment_file_name(id: u64) -> String {
+    format!("seg-{id:08x}.flat")
+}
+
+/// Inverse of [`segment_file_name`]; `None` for anything that is not a
+/// well-formed segment name.
+pub fn parse_segment_file_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("seg-")?.strip_suffix(".flat")?;
+    if hex.len() != 8 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
 
 /// Errors from building, loading, or serving a flat index.
 #[derive(Debug)]
@@ -180,12 +197,31 @@ impl<const D: usize> FlatTree<'static, D> {
     /// re-open + checksum verification of the written bytes), returning
     /// the byte length written.
     pub fn write_file<P: AsRef<Path>>(tree: &RTree<D>, path: P) -> Result<u64> {
-        let bytes = flatten_to_bytes(tree)?;
-        std::fs::write(&path, &bytes)?;
+        Self::persist(flatten_to_bytes(tree)?, path, false)
+    }
+
+    /// The one write path every producer funnels through: validate
+    /// `bytes` as a flat index (before anything touches disk), write
+    /// them to `path`, and re-open the file so the bytes future serving
+    /// trusts — the ones on disk — are the ones verified. With
+    /// `durable`, the file and its parent directory are fsynced before
+    /// the read-back, which is what the LSM compaction writer needs
+    /// before it may commit a catalog flip referencing the segment.
+    pub fn persist<P: AsRef<Path>>(bytes: Vec<u8>, path: P, durable: bool) -> Result<u64> {
+        let tree = Self::from_vec(bytes)?;
+        let len = tree.as_bytes().len() as u64;
+        let path = path.as_ref();
+        std::fs::write(path, tree.as_bytes())?;
+        if durable {
+            std::fs::File::open(path)?.sync_all()?;
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                std::fs::File::open(dir)?.sync_all()?;
+            }
+        }
         // Read-back validation: the file on disk, not our buffer, is
         // what future serving trusts.
-        Self::open(&path)?;
-        Ok(bytes.len() as u64)
+        Self::open(path)?;
+        Ok(len)
     }
 }
 
@@ -392,6 +428,42 @@ impl<'a, const D: usize> FlatTree<'a, D> {
     pub fn query_point(&self, point: &Point<D>) -> Vec<(Rect<D>, u64)> {
         self.query_region(&Rect::from_point(*point))
     }
+
+    /// Every `(rect, payload)` item in slot order — for the items level
+    /// of an STR-packed source that is Hilbert/packing order, which is
+    /// exactly what a compaction merge wants to drain.
+    pub fn items(&self) -> impl Iterator<Item = (Rect<D>, u64)> + '_ {
+        let soa = self.soa();
+        let idx = self.idx();
+        (0..self.header.num_items as usize).map(move |i| (soa.get(i), idx[i]))
+    }
+}
+
+impl<const D: usize> SpatialIndex<D> for FlatTree<'_, D> {
+    fn for_each_intersecting(
+        &self,
+        query: &Rect<D>,
+        visit: &mut dyn FnMut(Rect<D>, u64),
+    ) -> rtree::Result<()> {
+        self.for_each_in_region(query, |rect, id| visit(rect, id));
+        Ok(())
+    }
+
+    fn query(&self, query: &Rect<D>) -> rtree::Result<Vec<(Rect<D>, u64)>> {
+        Ok(self.query_region(query))
+    }
+
+    fn len(&self) -> u64 {
+        FlatTree::len(self)
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            backend: "flat",
+            len: FlatTree::len(self),
+            levels: self.bounds.len() as u32,
+        }
+    }
 }
 
 impl<const D: usize> std::fmt::Debug for FlatTree<'_, D> {
@@ -403,6 +475,30 @@ impl<const D: usize> std::fmt::Debug for FlatTree<'_, D> {
             .field("bytes", &self.header.total_len)
             .field("mapped", &self.is_mapped())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod segment_name_tests {
+    use super::*;
+
+    #[test]
+    fn segment_names_round_trip() {
+        for id in [0u64, 1, 42, 0xffff_ffff] {
+            let name = segment_file_name(id);
+            assert_eq!(parse_segment_file_name(&name), Some(id));
+        }
+        assert_eq!(segment_file_name(0x2a), "seg-0000002a.flat");
+        for bad in [
+            "seg-.flat",
+            "seg-1.flat",
+            "seg-0000002a.flat.tmp",
+            "wal-0000002a.flat",
+            "seg-0000002g.flat",
+            "seg-000000000.flat",
+        ] {
+            assert_eq!(parse_segment_file_name(bad), None, "{bad}");
+        }
     }
 }
 

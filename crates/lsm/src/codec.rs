@@ -1,0 +1,336 @@
+//! Wire formats for the LSM tier: WAL note payloads and segment meta
+//! pages.
+//!
+//! Everything here is little-endian and self-validating. Notes travel
+//! inside the WAL's checksummed record frames, so they carry only a tag
+//! byte; the segment meta page lives on a raw disk page and carries its
+//! own FNV-1a header checksum plus a checksum of the segment bytes it
+//! describes, so recovery can tell a committed segment from a torn one
+//! without trusting the segment store.
+
+use geom::Rect;
+use storage::{fnv1a_update, PageId, FNV_SEED};
+
+use crate::{LsmError, Result};
+
+/// Note tag: a batch of acknowledged inserts (memtable redo).
+pub const NOTE_INSERT: u8 = 1;
+/// Note tag: a compaction's catalog flip (the commit point).
+pub const NOTE_FLIP: u8 = 2;
+
+/// Magic prefix of a segment meta page.
+pub const SEGMENT_META_MAGIC: [u8; 4] = *b"SEGM";
+/// Segment meta page format version.
+pub const SEGMENT_META_VERSION: u16 = 1;
+/// Fixed encoded size of a segment meta header (checksum included).
+pub const SEGMENT_META_LEN: usize = 56;
+
+/// A batch of inserts, logged before the memtable mutation so recovery
+/// can replay exactly the acknowledged set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertNote<const D: usize> {
+    /// The rectangles and their opaque ids, in acknowledgement order.
+    pub items: Vec<(Rect<D>, u64)>,
+}
+
+/// A compaction commit record: once this note's WAL commit frame is
+/// durable, the flip MUST happen; before it, the flip MUST NOT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlipNote {
+    /// Id of the newly packed segment.
+    pub new_id: u64,
+    /// Meta page describing the new segment.
+    pub meta_page: PageId,
+    /// WAL watermark: inserts with LSN <= this are covered by the flip.
+    pub seal_lsn: u64,
+    /// Segments the flip replaces: `(seg_id, meta_page)` pairs.
+    pub removed: Vec<(u64, PageId)>,
+}
+
+/// Any LSM note payload, as scanned back out of the WAL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Note<const D: usize> {
+    /// Acknowledged inserts to replay into the memtable.
+    Insert(InsertNote<D>),
+    /// A committed compaction to re-execute if the superblock missed it.
+    Flip(FlipNote),
+}
+
+impl<const D: usize> InsertNote<D> {
+    /// Serialize: tag, item count, then `2*D` coordinates + id per item.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5 + self.items.len() * (16 * D + 8));
+        out.push(NOTE_INSERT);
+        out.extend_from_slice(&(self.items.len() as u32).to_le_bytes());
+        for (rect, id) in &self.items {
+            for a in 0..D {
+                out.extend_from_slice(&rect.lo(a).to_le_bytes());
+            }
+            for a in 0..D {
+                out.extend_from_slice(&rect.hi(a).to_le_bytes());
+            }
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        out
+    }
+}
+
+impl FlipNote {
+    /// Serialize: tag, new segment triple, then the removed pairs.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(29 + self.removed.len() * 16);
+        out.push(NOTE_FLIP);
+        out.extend_from_slice(&self.new_id.to_le_bytes());
+        out.extend_from_slice(&self.meta_page.0.to_le_bytes());
+        out.extend_from_slice(&self.seal_lsn.to_le_bytes());
+        out.extend_from_slice(&(self.removed.len() as u32).to_le_bytes());
+        for (id, page) in &self.removed {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&page.0.to_le_bytes());
+        }
+        out
+    }
+}
+
+/// Cursor over a note payload that fails loudly on truncation.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let end = self.at + N;
+        if end > self.buf.len() {
+            return Err(LsmError::Corrupt("truncated note payload".into()));
+        }
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.buf[self.at..end]);
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take()?))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take()?))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take()?))
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(LsmError::Corrupt("trailing bytes after note".into()))
+        }
+    }
+}
+
+impl<const D: usize> Note<D> {
+    /// Decode a note payload scanned from the WAL.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let tag = *buf
+            .first()
+            .ok_or_else(|| LsmError::Corrupt("empty note payload".into()))?;
+        let mut r = Reader { buf, at: 1 };
+        match tag {
+            NOTE_INSERT => {
+                let count = r.u32()? as usize;
+                let mut items = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    let mut lo = [0.0f64; D];
+                    let mut hi = [0.0f64; D];
+                    for l in lo.iter_mut() {
+                        *l = r.f64()?;
+                    }
+                    for h in hi.iter_mut() {
+                        *h = r.f64()?;
+                    }
+                    let id = r.u64()?;
+                    let rect = Rect::try_new(lo, hi).map_err(|e| {
+                        LsmError::Corrupt(format!("invalid rect in insert note: {e}"))
+                    })?;
+                    items.push((rect, id));
+                }
+                r.done()?;
+                Ok(Note::Insert(InsertNote { items }))
+            }
+            NOTE_FLIP => {
+                let new_id = r.u64()?;
+                let meta_page = PageId(r.u64()?);
+                let seal_lsn = r.u64()?;
+                let count = r.u32()? as usize;
+                let mut removed = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    let id = r.u64()?;
+                    let page = PageId(r.u64()?);
+                    removed.push((id, page));
+                }
+                r.done()?;
+                Ok(Note::Flip(FlipNote {
+                    new_id,
+                    meta_page,
+                    seal_lsn,
+                    removed,
+                }))
+            }
+            other => Err(LsmError::Corrupt(format!("unknown note tag {other}"))),
+        }
+    }
+}
+
+/// On-disk descriptor of one immutable flat segment.
+///
+/// Lives on its own meta page inside the v2 superblock catalog; the
+/// catalog maps `seg-XXXXXXXX.flat` → this page, and this page pins the
+/// exact bytes (length + FNV checksum) the segment store must serve.
+/// A segment whose bytes disagree with its meta page is treated as
+/// absent — recovery then re-executes or discards the flip that
+/// introduced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Segment id (also encoded in the catalog entry name).
+    pub seg_id: u64,
+    /// Number of items packed into the segment.
+    pub item_count: u64,
+    /// Exact byte length of the flat-tree image.
+    pub byte_len: u64,
+    /// FNV-1a checksum of the flat-tree image.
+    pub data_checksum: u64,
+    /// WAL watermark the segment's contents cover.
+    pub seal_lsn: u64,
+}
+
+impl SegmentMeta {
+    /// Checksum the tier uses to pin segment bytes.
+    pub fn checksum_of(bytes: &[u8]) -> u64 {
+        fnv1a_update(FNV_SEED, bytes)
+    }
+
+    /// Describe `bytes` as the image of segment `seg_id`.
+    pub fn describe(seg_id: u64, item_count: u64, seal_lsn: u64, bytes: &[u8]) -> Self {
+        Self {
+            seg_id,
+            item_count,
+            byte_len: bytes.len() as u64,
+            data_checksum: Self::checksum_of(bytes),
+            seal_lsn,
+        }
+    }
+
+    /// Whether `bytes` are exactly the image this meta page pins.
+    pub fn matches(&self, bytes: &[u8]) -> bool {
+        bytes.len() as u64 == self.byte_len && Self::checksum_of(bytes) == self.data_checksum
+    }
+
+    /// Encode into a zero-padded page image of `page_size` bytes.
+    pub fn encode_page(&self, page_size: usize) -> Vec<u8> {
+        assert!(page_size >= SEGMENT_META_LEN, "page too small for meta");
+        let mut out = vec![0u8; page_size];
+        out[0..4].copy_from_slice(&SEGMENT_META_MAGIC);
+        out[4..6].copy_from_slice(&SEGMENT_META_VERSION.to_le_bytes());
+        // bytes 6..8 reserved (zero)
+        out[8..16].copy_from_slice(&self.seg_id.to_le_bytes());
+        out[16..24].copy_from_slice(&self.item_count.to_le_bytes());
+        out[24..32].copy_from_slice(&self.byte_len.to_le_bytes());
+        out[32..40].copy_from_slice(&self.data_checksum.to_le_bytes());
+        out[40..48].copy_from_slice(&self.seal_lsn.to_le_bytes());
+        let sum = fnv1a_update(FNV_SEED, &out[..48]);
+        out[48..56].copy_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parse and validate a meta page image.
+    pub fn decode_page(page: &[u8]) -> Result<Self> {
+        if page.len() < SEGMENT_META_LEN {
+            return Err(LsmError::Corrupt("segment meta page too short".into()));
+        }
+        if page[0..4] != SEGMENT_META_MAGIC {
+            return Err(LsmError::Corrupt("segment meta magic mismatch".into()));
+        }
+        let version = u16::from_le_bytes([page[4], page[5]]);
+        if version != SEGMENT_META_VERSION {
+            return Err(LsmError::Corrupt(format!(
+                "unsupported segment meta version {version}"
+            )));
+        }
+        let stored = u64::from_le_bytes(page[48..56].try_into().unwrap());
+        let computed = fnv1a_update(FNV_SEED, &page[..48]);
+        if stored != computed {
+            return Err(LsmError::Corrupt("segment meta checksum mismatch".into()));
+        }
+        let u = |a: usize| u64::from_le_bytes(page[a..a + 8].try_into().unwrap());
+        Ok(Self {
+            seg_id: u(8),
+            item_count: u(16),
+            byte_len: u(24),
+            data_checksum: u(32),
+            seal_lsn: u(40),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_note_round_trips() {
+        let note = InsertNote::<2> {
+            items: vec![
+                (Rect::new([0.0, 1.0], [2.0, 3.0]), 7),
+                (Rect::new([-5.0, -5.0], [-1.0, -2.5]), u64::MAX),
+            ],
+        };
+        let bytes = note.encode();
+        match Note::<2>::decode(&bytes).unwrap() {
+            Note::Insert(back) => assert_eq!(back, note),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Truncation and trailing garbage both fail loudly.
+        assert!(Note::<2>::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(Note::<2>::decode(&long).is_err());
+    }
+
+    #[test]
+    fn flip_note_round_trips() {
+        let note = FlipNote {
+            new_id: 3,
+            meta_page: PageId(17),
+            seal_lsn: 999,
+            removed: vec![(1, PageId(5)), (2, PageId(9))],
+        };
+        match Note::<2>::decode(&note.encode()).unwrap() {
+            Note::Flip(back) => assert_eq!(back, note),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(Note::<2>::decode(&[42]).is_err());
+        assert!(Note::<2>::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn segment_meta_round_trips_and_detects_corruption() {
+        let bytes = b"flat tree image stand-in".to_vec();
+        let meta = SegmentMeta::describe(11, 1000, 42, &bytes);
+        assert!(meta.matches(&bytes));
+        assert!(!meta.matches(b"different"));
+
+        let page = meta.encode_page(4096);
+        assert_eq!(SegmentMeta::decode_page(&page).unwrap(), meta);
+
+        let mut flipped = page.clone();
+        flipped[10] ^= 0xff;
+        assert!(SegmentMeta::decode_page(&flipped).is_err());
+        let mut wrong_magic = page.clone();
+        wrong_magic[0] = b'X';
+        assert!(SegmentMeta::decode_page(&wrong_magic).is_err());
+        assert!(SegmentMeta::decode_page(&page[..40]).is_err());
+    }
+}

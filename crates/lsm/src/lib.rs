@@ -1,0 +1,108 @@
+//! LSM-style spatial ingestion over the flat tier.
+//!
+//! The STR paper gives bulk-load-quality packing but no story for
+//! sustained inserts. This crate closes that gap the LSM way, with the
+//! paper's own machinery at every layer:
+//!
+//! * writes land in a small in-memory **memtable** ordered by the
+//!   Hilbert index of each rectangle's center (the "Simpler is Faster"
+//!   observation: sorting along a space-filling curve is itself a
+//!   competitive index), logged as WAL notes before acknowledgement;
+//! * a full memtable is **sealed** and drained by background compaction
+//!   through the out-of-core STR build
+//!   ([`str_core::pack_str_external_to_flat`]) into a new immutable
+//!   flat segment ([`flat::FlatTree`]) — ingest sustains near bulk-load
+//!   throughput while queries keep STR-packed locality;
+//! * the drain **commits with an atomic catalog flip**: segment bytes
+//!   durable, segment meta page durable, one WAL flip note (the commit
+//!   point), then one format-v2 superblock write that adds the new
+//!   catalog entry, drops any replaced ones, and advances the WAL
+//!   watermark indivisibly. Recovery re-executes committed flips the
+//!   superblock missed and discards uncommitted ones, so a crash at any
+//!   sync point loses **zero acknowledged inserts** (see DESIGN.md §15
+//!   for the atomicity argument);
+//! * every component — memtable, each flat level, and the composed
+//!   [`LsmTree`] — implements [`rtree::SpatialIndex`], so the executor,
+//!   the CLI, and the differential suites run unchanged over it.
+
+mod codec;
+mod memtable;
+mod segstore;
+mod tree;
+
+pub use codec::{FlipNote, InsertNote, Note, SegmentMeta};
+pub use memtable::Memtable;
+pub use segstore::{FileSegmentStore, MemSegmentStore, SegmentStore};
+pub use tree::{LsmOptions, LsmStats, LsmTree};
+
+/// Errors from the LSM tier.
+#[derive(Debug)]
+pub enum LsmError {
+    /// Storage-layer failure (disk, WAL, allocator, segment store).
+    Storage(storage::StorageError),
+    /// Paged-tree failure inside a drain.
+    Tree(rtree::RTreeError),
+    /// Flat-tier failure loading or validating a segment.
+    Flat(flat::FlatError),
+    /// The external pack pipeline failed mid-drain.
+    Pack(str_core::ExternalPackError),
+    /// Persistent state that violates the commit protocol's invariants.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for LsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LsmError::Storage(e) => write!(f, "storage: {e}"),
+            LsmError::Tree(e) => write!(f, "tree: {e}"),
+            LsmError::Flat(e) => write!(f, "flat segment: {e}"),
+            LsmError::Pack(e) => write!(f, "compaction drain: {e}"),
+            LsmError::Corrupt(msg) => write!(f, "lsm state corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LsmError::Storage(e) => Some(e),
+            LsmError::Tree(e) => Some(e),
+            LsmError::Flat(e) => Some(e),
+            LsmError::Pack(e) => Some(e),
+            LsmError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<storage::StorageError> for LsmError {
+    fn from(e: storage::StorageError) -> Self {
+        LsmError::Storage(e)
+    }
+}
+
+impl From<rtree::RTreeError> for LsmError {
+    fn from(e: rtree::RTreeError) -> Self {
+        LsmError::Tree(e)
+    }
+}
+
+impl From<flat::FlatError> for LsmError {
+    fn from(e: flat::FlatError) -> Self {
+        LsmError::Flat(e)
+    }
+}
+
+impl From<str_core::ExternalPackError> for LsmError {
+    fn from(e: str_core::ExternalPackError) -> Self {
+        LsmError::Pack(e)
+    }
+}
+
+impl From<std::io::Error> for LsmError {
+    fn from(e: std::io::Error) -> Self {
+        LsmError::Storage(storage::StorageError::Io(e))
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, LsmError>;

@@ -1,0 +1,797 @@
+//! The composed LSM tree: one WAL-backed memtable plus N immutable
+//! flat levels, with crash-safe compaction.
+//!
+//! # Commit protocol
+//!
+//! A compaction drains the sealed memtable (and, for a major
+//! compaction, every existing level) through the out-of-core STR build
+//! into one new flat segment, then commits it in this exact order:
+//!
+//! 1. segment bytes durable in the [`SegmentStore`] (`put` + `sync`);
+//! 2. segment meta page written to the main disk and synced;
+//! 3. flip note appended to the WAL and committed — **the commit
+//!    point**;
+//! 4. one superblock write ([`PageAllocator::flip_catalog`]) that adds
+//!    the new catalog entry, drops the replaced ones, and advances the
+//!    WAL watermark to the drained memtable's seal LSN, followed by a
+//!    disk sync;
+//! 5. in-memory flip, then cleanup (free replaced meta pages, delete
+//!    replaced segment bytes, recycle fully-applied WAL segments).
+//!
+//! Recovery inverts the order: a flip note whose `seal_lsn` is above
+//! the superblock watermark was committed but may have missed step 4,
+//! so it is re-executed (steps 1–2 guarantee its inputs are durable); a
+//! flip that never reached the log never happened, and its segment
+//! bytes are garbage-collected as orphans. Insert notes above the final
+//! watermark rebuild the memtable. The only thing a crash can leak is
+//! meta pages: the new segment's page if the flip never committed, or
+//! the victims' pages if the crash landed between the superblock flip
+//! and cleanup (recovery deliberately never frees them — freeing a
+//! page twice corrupts the allocator, leaking a few pages does not).
+//! Bounded by one compaction's victims; never an acknowledged insert.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use geom::Rect;
+use obs::{LazyCounter, LazyGauge, LazyHistogram};
+use parking_lot::{Condvar, Mutex, RwLock};
+use rtree::{IndexStats, NodeCapacity, SpatialIndex};
+use storage::{
+    truncate_torn_tail, wal::scan, Disk, LogStore, MemDisk, PageAllocator, PageId, Wal, WalOptions,
+};
+use str_core::{pack_str_external_to_flat, ExternalPackOptions};
+
+use crate::codec::{FlipNote, InsertNote, Note, SegmentMeta};
+use crate::memtable::Memtable;
+use crate::segstore::SegmentStore;
+use crate::{LsmError, Result};
+
+static LSM_MEMTABLE_BYTES: LazyGauge = LazyGauge::new("lsm.memtable_bytes");
+static LSM_COMPACTIONS: LazyCounter = LazyCounter::new("lsm.compactions");
+static LSM_STALL_NS: LazyHistogram = LazyHistogram::new("lsm.stall_ns");
+
+/// Tuning knobs for an [`LsmTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct LsmOptions {
+    /// Node fan-out for packed segments (the paper's page capacity).
+    pub capacity: NodeCapacity,
+    /// Seal the memtable once it holds this many items.
+    pub memtable_items: u64,
+    /// Maximum flat levels before a compaction goes major (drains every
+    /// level plus the sealed memtable into one segment).
+    pub max_levels: usize,
+    /// Worker threads for the STR drain pipeline.
+    pub threads: usize,
+    /// Sort budget (records in memory) for the STR drain pipeline.
+    pub drain_budget: usize,
+    /// Run compactions on a background thread (`true`) or inline on the
+    /// inserting thread (`false`; deterministic, used by crash tests).
+    pub background: bool,
+}
+
+impl Default for LsmOptions {
+    fn default() -> Self {
+        Self {
+            capacity: NodeCapacity::new(64).unwrap(),
+            memtable_items: 4096,
+            max_levels: 4,
+            threads: 1,
+            drain_budget: 1 << 15,
+            background: false,
+        }
+    }
+}
+
+/// Point-in-time shape of an [`LsmTree`], for stats output and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsmStats {
+    /// Items in the active memtable.
+    pub memtable_items: u64,
+    /// Items in the sealed (compacting) memtable, if any.
+    pub sealed_items: u64,
+    /// Items across all flat levels.
+    pub level_items: u64,
+    /// Number of flat levels.
+    pub levels: usize,
+    /// Compactions committed since open.
+    pub compactions: u64,
+}
+
+/// One immutable flat level.
+struct Segment<const D: usize> {
+    id: u64,
+    meta_page: PageId,
+    seal_lsn: u64,
+    item_count: u64,
+    tree: flat::FlatTree<'static, D>,
+}
+
+struct Sealed<const D: usize> {
+    mem: Arc<Memtable<D>>,
+    seal_lsn: u64,
+}
+
+struct State<const D: usize> {
+    active: Arc<Memtable<D>>,
+    sealed: Option<Sealed<D>>,
+    levels: Vec<Arc<Segment<D>>>,
+    next_seg_id: u64,
+}
+
+struct Signal {
+    pending: bool,
+    shutdown: bool,
+}
+
+struct Inner<const D: usize> {
+    state: RwLock<State<D>>,
+    alloc: Arc<PageAllocator>,
+    disk: Arc<dyn Disk>,
+    wal: Arc<Wal>,
+    segs: Arc<dyn SegmentStore>,
+    opts: LsmOptions,
+    /// Serializes compactions end to end.
+    compact_mx: Mutex<()>,
+    /// Background-worker error, surfaced on the next foreground call.
+    failed: Mutex<Option<String>>,
+    signal: Mutex<Signal>,
+    work_cv: Condvar,
+    done_mx: Mutex<()>,
+    done_cv: Condvar,
+    compactions: AtomicU64,
+}
+
+/// A crash-safe spatial LSM tree: WAL-backed Hilbert memtable over
+/// immutable STR-packed flat levels. See the module docs for the
+/// commit protocol.
+pub struct LsmTree<const D: usize> {
+    inner: Arc<Inner<D>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl<const D: usize> LsmTree<D> {
+    /// Open (or create) an LSM tree over the given devices, running
+    /// recovery: re-execute the committed-but-unapplied flip if one
+    /// exists, garbage-collect orphan segments, rebuild the memtable
+    /// from insert notes past the watermark, and truncate any torn WAL
+    /// tail.
+    pub fn open(
+        disk: Arc<dyn Disk>,
+        log: Arc<dyn LogStore>,
+        segs: Arc<dyn SegmentStore>,
+        opts: LsmOptions,
+    ) -> Result<Self> {
+        let _tspan = obs::trace::span("lsm.open");
+        let alloc = if disk.num_pages() == 0 {
+            PageAllocator::format(disk.clone())?
+        } else {
+            PageAllocator::open(disk.clone())?
+        };
+
+        let scanned = scan(&*log)?;
+        truncate_torn_tail(&*log, &scanned)?;
+
+        // LSM transactions are note-only; page-image transactions in a
+        // shared log belong to `storage::replay` and are skipped here.
+        let mut inserts: Vec<(u64, InsertNote<D>)> = Vec::new();
+        let mut flips: Vec<(u64, FlipNote)> = Vec::new();
+        let mut max_seen_id = 0u64;
+        for tx in &scanned.txns {
+            for note in &tx.notes {
+                match Note::<D>::decode(note)? {
+                    Note::Insert(n) => inserts.push((tx.lsn, n)),
+                    Note::Flip(f) => {
+                        max_seen_id = max_seen_id.max(f.new_id);
+                        for &(id, _) in &f.removed {
+                            max_seen_id = max_seen_id.max(id);
+                        }
+                        flips.push((tx.lsn, f));
+                    }
+                }
+            }
+        }
+
+        // Re-execute the committed flip the superblock missed. Seal
+        // LSNs strictly increase across compactions and the watermark
+        // advances with each applied flip, so at most the newest flip
+        // can qualify.
+        for (_, flip) in &flips {
+            if flip.seal_lsn <= alloc.wal_applied_lsn() {
+                continue;
+            }
+            let meta = read_meta_page(&disk, flip.meta_page)?;
+            if meta.seg_id != flip.new_id {
+                return Err(LsmError::Corrupt(format!(
+                    "flip note names segment {} but meta page {} describes {}",
+                    flip.new_id, flip.meta_page, meta.seg_id
+                )));
+            }
+            let bytes = segs.read(flip.new_id)?.ok_or_else(|| {
+                LsmError::Corrupt(format!(
+                    "committed flip references missing segment {}",
+                    flip.new_id
+                ))
+            })?;
+            if !meta.matches(&bytes) {
+                return Err(LsmError::Corrupt(format!(
+                    "segment {} bytes disagree with committed meta page",
+                    flip.new_id
+                )));
+            }
+            let removes: Vec<String> = flip
+                .removed
+                .iter()
+                .map(|&(id, _)| flat::segment_file_name(id))
+                .collect();
+            let remove_refs: Vec<&str> = removes.iter().map(String::as_str).collect();
+            let name = flat::segment_file_name(flip.new_id);
+            alloc.flip_catalog(
+                &remove_refs,
+                &[(&name, flip.meta_page)],
+                Some(flip.seal_lsn),
+            )?;
+            disk.sync()?;
+        }
+        let watermark = alloc.wal_applied_lsn();
+
+        // Load the levels the catalog now describes.
+        let mut levels: Vec<Arc<Segment<D>>> = Vec::new();
+        let mut live_ids: Vec<u64> = Vec::new();
+        for entry in alloc.trees() {
+            let Some(id) = flat::parse_segment_file_name(&entry.name) else {
+                continue; // a paged tree sharing the disk, not ours
+            };
+            let meta = read_meta_page(&disk, entry.meta_page)?;
+            let bytes = segs.read(id)?.ok_or_else(|| {
+                LsmError::Corrupt(format!("catalog references missing segment {id}"))
+            })?;
+            if meta.seg_id != id || !meta.matches(&bytes) {
+                return Err(LsmError::Corrupt(format!(
+                    "segment {id} bytes disagree with its meta page"
+                )));
+            }
+            let tree = flat::FlatTree::<D>::from_vec(bytes)?;
+            live_ids.push(id);
+            max_seen_id = max_seen_id.max(id);
+            levels.push(Arc::new(Segment {
+                id,
+                meta_page: entry.meta_page,
+                seal_lsn: meta.seal_lsn,
+                item_count: meta.item_count,
+                tree,
+            }));
+        }
+        levels.sort_by_key(|s| s.seal_lsn);
+
+        // Garbage-collect segments no committed flip owns (a crashed
+        // compaction's half-finished output).
+        let mut deleted_orphan = false;
+        for id in segs.list()? {
+            max_seen_id = max_seen_id.max(id);
+            if !live_ids.contains(&id) {
+                segs.delete(id)?;
+                deleted_orphan = true;
+            }
+        }
+        if deleted_orphan {
+            segs.sync()?;
+        }
+
+        // Rebuild the memtable from acknowledged inserts the flipped
+        // segments don't already cover.
+        let active = Arc::new(Memtable::<D>::new());
+        for (lsn, note) in &inserts {
+            if *lsn > watermark {
+                for &(rect, id) in &note.items {
+                    active.insert(rect, id);
+                }
+            }
+        }
+        LSM_MEMTABLE_BYTES.set(active.approx_bytes() as i64);
+
+        // A new log must start past every valid LSN on media, committed
+        // or not, so old and new records can never stitch together.
+        let wal = Wal::create(
+            log,
+            scanned.max_lsn.max(watermark) + 1,
+            WalOptions::default(),
+        )?;
+
+        let inner = Arc::new(Inner {
+            state: RwLock::new(State {
+                active,
+                sealed: None,
+                levels,
+                next_seg_id: max_seen_id + 1,
+            }),
+            alloc,
+            disk,
+            wal,
+            segs,
+            opts,
+            compact_mx: Mutex::new(()),
+            failed: Mutex::new(None),
+            signal: Mutex::new(Signal {
+                pending: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_mx: Mutex::new(()),
+            done_cv: Condvar::new(),
+            compactions: AtomicU64::new(0),
+        });
+        let worker = if opts.background {
+            let w = inner.clone();
+            Some(std::thread::spawn(move || worker_loop(&w)))
+        } else {
+            None
+        };
+        Ok(Self { inner, worker })
+    }
+
+    /// Insert one rectangle. Durable (WAL-committed) on return.
+    pub fn insert(&self, rect: Rect<D>, id: u64) -> Result<()> {
+        self.insert_batch(&[(rect, id)])
+    }
+
+    /// Insert a batch under one WAL note. Durable on return; the whole
+    /// batch lands in one memtable generation, so a crash keeps either
+    /// all of it or — if the commit never returned — possibly none.
+    pub fn insert_batch(&self, items: &[(Rect<D>, u64)]) -> Result<()> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        self.check_failed()?;
+        loop {
+            {
+                // Holding the state read lock across the note append and
+                // the memtable insert pins the seal point: a seal (write
+                // lock) observes either none or both, so its seal LSN
+                // always covers exactly the items in the sealed memtable.
+                let g = self.inner.state.read();
+                if g.active.len() < self.inner.opts.memtable_items {
+                    let payload = InsertNote {
+                        items: items.to_vec(),
+                    }
+                    .encode();
+                    let ticket = self.inner.wal.append_note(&payload)?;
+                    for &(rect, id) in items {
+                        g.active.insert(rect, id);
+                    }
+                    let bytes = g.active.approx_bytes();
+                    drop(g);
+                    LSM_MEMTABLE_BYTES.set(bytes as i64);
+                    self.inner.wal.commit(ticket.lsn)?;
+                    return Ok(());
+                }
+            }
+            self.make_room()?;
+        }
+    }
+
+    /// Seal and drain everything down to the flat levels. After this
+    /// returns the memtable is empty and all data is segment-resident.
+    pub fn flush(&self) -> Result<()> {
+        loop {
+            self.check_failed()?;
+            self.inner.compact_once()?;
+            let mut g = self.inner.state.write();
+            if g.sealed.is_some() {
+                drop(g);
+                continue;
+            }
+            if g.active.is_empty() {
+                return Ok(());
+            }
+            seal_locked(&self.inner, &mut g);
+            drop(g);
+        }
+    }
+
+    /// Run one compaction if a sealed memtable is waiting. Returns
+    /// whether anything was drained. Mostly for tests and tools; the
+    /// insert path triggers compaction by itself.
+    pub fn compact_once(&self) -> Result<bool> {
+        self.inner.compact_once()
+    }
+
+    /// Current shape.
+    pub fn stats(&self) -> LsmStats {
+        let g = self.inner.state.read();
+        LsmStats {
+            memtable_items: g.active.len(),
+            sealed_items: g.sealed.as_ref().map_or(0, |s| s.mem.len()),
+            level_items: g.levels.iter().map(|s| s.item_count).sum(),
+            levels: g.levels.len(),
+            compactions: self.inner.compactions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn check_failed(&self) -> Result<()> {
+        match &*self.inner.failed.lock() {
+            Some(msg) => Err(LsmError::Corrupt(format!(
+                "background compaction failed: {msg}"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// The memtable is full: seal it, or stall until the compactor
+    /// frees the sealed slot.
+    fn make_room(&self) -> Result<()> {
+        {
+            let mut g = self.inner.state.write();
+            if g.active.len() < self.inner.opts.memtable_items {
+                return Ok(()); // someone else already sealed
+            }
+            if g.sealed.is_none() {
+                seal_locked(&self.inner, &mut g);
+                drop(g);
+                return self.kick();
+            }
+        }
+        // Both memtable slots full: the ingest stall the paper's
+        // sustained-insert benchmark measures.
+        let _stall = LSM_STALL_NS.start();
+        if self.inner.opts.background {
+            let mut dg = self.inner.done_mx.lock();
+            while self.inner.state.read().sealed.is_some() {
+                if self.inner.failed.lock().is_some() {
+                    break;
+                }
+                self.inner.done_cv.wait(&mut dg);
+            }
+            drop(dg);
+            self.check_failed()?;
+        } else {
+            self.inner.compact_once()?;
+        }
+        Ok(())
+    }
+
+    fn kick(&self) -> Result<()> {
+        if self.inner.opts.background {
+            let mut s = self.inner.signal.lock();
+            s.pending = true;
+            self.inner.work_cv.notify_one();
+            Ok(())
+        } else {
+            self.inner.compact_once().map(|_| ())
+        }
+    }
+}
+
+impl<const D: usize> Drop for LsmTree<D> {
+    fn drop(&mut self) {
+        if let Some(handle) = self.worker.take() {
+            {
+                let mut s = self.inner.signal.lock();
+                s.shutdown = true;
+                self.inner.work_cv.notify_all();
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Seal the active memtable. Caller holds the state write lock and has
+/// checked `sealed` is vacant; the sealed slot's LSN is read under the
+/// same lock, so it bounds exactly the inserts already in the memtable.
+fn seal_locked<const D: usize>(inner: &Inner<D>, g: &mut State<D>) {
+    debug_assert!(g.sealed.is_none());
+    let seal_lsn = inner.wal.last_lsn();
+    let full = std::mem::replace(&mut g.active, Arc::new(Memtable::new()));
+    g.sealed = Some(Sealed {
+        mem: full,
+        seal_lsn,
+    });
+    LSM_MEMTABLE_BYTES.set(0);
+}
+
+fn worker_loop<const D: usize>(inner: &Arc<Inner<D>>) {
+    loop {
+        {
+            let mut s = inner.signal.lock();
+            while !s.pending && !s.shutdown {
+                inner.work_cv.wait(&mut s);
+            }
+            if s.shutdown {
+                return;
+            }
+            s.pending = false;
+        }
+        if let Err(e) = inner.compact_once() {
+            *inner.failed.lock() = Some(e.to_string());
+            // Wake stalled writers so they can observe the failure
+            // instead of waiting for a drain that will never come.
+            let _g = inner.done_mx.lock();
+            inner.done_cv.notify_all();
+        }
+    }
+}
+
+fn read_meta_page(disk: &Arc<dyn Disk>, page: PageId) -> Result<SegmentMeta> {
+    let mut buf = vec![0u8; disk.page_size()];
+    disk.read_page(page, &mut buf)?;
+    SegmentMeta::decode_page(&buf)
+}
+
+impl<const D: usize> Inner<D> {
+    /// Drain the sealed memtable (plus every level, when at the level
+    /// cap) into one new flat segment and commit it. See the module
+    /// docs for the ordering argument.
+    fn compact_once(&self) -> Result<bool> {
+        let _serial = self.compact_mx.lock();
+        let _tspan = obs::trace::span("lsm.compact");
+
+        let (mem, seal_lsn, victims, new_id) = {
+            let g = self.state.read();
+            let Some(sealed) = &g.sealed else {
+                return Ok(false);
+            };
+            let major = g.levels.len() + 1 > self.opts.max_levels;
+            let victims: Vec<Arc<Segment<D>>> = if major { g.levels.clone() } else { Vec::new() };
+            (sealed.mem.clone(), sealed.seal_lsn, victims, g.next_seg_id)
+        };
+
+        let mut items = mem.items_ordered();
+        for seg in &victims {
+            items.extend(seg.tree.items());
+        }
+        let item_count = items.len() as u64;
+        if item_count == 0 {
+            // Nothing to pack (a defensive case: seals are triggered by
+            // fullness or a non-empty flush). Just clear the slot.
+            let mut g = self.state.write();
+            g.sealed = None;
+            drop(g);
+            self.notify_done();
+            return Ok(true);
+        }
+
+        let bytes = {
+            let _dspan = obs::trace::span("lsm.drain");
+            let scratch: Arc<dyn Disk> = Arc::new(MemDisk::default_size());
+            pack_str_external_to_flat::<D, _>(
+                scratch,
+                items,
+                self.opts.capacity,
+                ExternalPackOptions {
+                    budget: self.opts.drain_budget,
+                    threads: self.opts.threads,
+                },
+            )?
+        };
+
+        // (1) Segment bytes durable before anything references them.
+        self.segs.put(new_id, &bytes)?;
+        self.segs.sync()?;
+
+        // (2) Meta page durable before the flip note names it.
+        let meta_page = self.alloc.allocate()?;
+        let meta = SegmentMeta::describe(new_id, item_count, seal_lsn, &bytes);
+        self.disk
+            .write_page(meta_page, &meta.encode_page(self.disk.page_size()))?;
+        self.disk.sync()?;
+
+        let flip = FlipNote {
+            new_id,
+            meta_page,
+            seal_lsn,
+            removed: victims.iter().map(|s| (s.id, s.meta_page)).collect(),
+        };
+        {
+            let _fspan = obs::trace::span("lsm.flip");
+            // (3) The commit point: once this note is durable the flip
+            // happens — now, or during recovery.
+            let ticket = self.wal.append_note(&flip.encode())?;
+            self.wal.commit(ticket.lsn)?;
+            // (4) One superblock write makes it visible to opens.
+            let name = flat::segment_file_name(new_id);
+            let removes: Vec<String> = victims
+                .iter()
+                .map(|s| flat::segment_file_name(s.id))
+                .collect();
+            let remove_refs: Vec<&str> = removes.iter().map(String::as_str).collect();
+            self.alloc
+                .flip_catalog(&remove_refs, &[(&name, meta_page)], Some(seal_lsn))?;
+            self.disk.sync()?;
+        }
+
+        // (5) In-memory flip, then cleanup.
+        let tree = flat::FlatTree::<D>::from_vec(bytes)?;
+        {
+            let mut g = self.state.write();
+            g.sealed = None;
+            if !victims.is_empty() {
+                g.levels.clear();
+            }
+            g.levels.push(Arc::new(Segment {
+                id: new_id,
+                meta_page,
+                seal_lsn,
+                item_count,
+                tree,
+            }));
+            g.next_seg_id = new_id + 1;
+        }
+        LSM_COMPACTIONS.inc();
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.notify_done();
+
+        let freed: Vec<PageId> = flip.removed.iter().map(|&(_, p)| p).collect();
+        if !freed.is_empty() {
+            self.alloc.free_pages(&freed)?;
+            for &(id, _) in &flip.removed {
+                self.segs.delete(id)?;
+            }
+            self.segs.sync()?;
+        }
+        self.wal.recycle(seal_lsn)?;
+        Ok(true)
+    }
+
+    fn notify_done(&self) {
+        let _g = self.done_mx.lock();
+        self.done_cv.notify_all();
+    }
+}
+
+impl<const D: usize> SpatialIndex<D> for LsmTree<D> {
+    fn for_each_intersecting(
+        &self,
+        query: &Rect<D>,
+        visit: &mut dyn FnMut(Rect<D>, u64),
+    ) -> rtree::Result<()> {
+        // Snapshot the component set under the lock, query outside it:
+        // a concurrent flip atomically moves items between components,
+        // so one consistent snapshot sees every item exactly once.
+        let (active, sealed, levels) = {
+            let g = self.inner.state.read();
+            (
+                g.active.clone(),
+                g.sealed.as_ref().map(|s| s.mem.clone()),
+                g.levels.clone(),
+            )
+        };
+        active.for_each_intersecting(query, visit)?;
+        if let Some(mem) = sealed {
+            mem.for_each_intersecting(query, visit)?;
+        }
+        for seg in levels {
+            seg.tree.for_each_in_region(query, |rect, id| visit(rect, id));
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        let g = self.inner.state.read();
+        g.active.len()
+            + g.sealed.as_ref().map_or(0, |s| s.mem.len())
+            + g.levels.iter().map(|s| s.item_count).sum::<u64>()
+    }
+
+    fn stats(&self) -> IndexStats {
+        let g = self.inner.state.read();
+        IndexStats {
+            backend: "lsm",
+            len: g.active.len()
+                + g.sealed.as_ref().map_or(0, |s| s.mem.len())
+                + g.levels.iter().map(|s| s.item_count).sum::<u64>(),
+            levels: (1 + g.levels.len()) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segstore::MemSegmentStore;
+    use storage::MemLogStore;
+
+    fn small_opts() -> LsmOptions {
+        LsmOptions {
+            memtable_items: 32,
+            max_levels: 2,
+            ..LsmOptions::default()
+        }
+    }
+
+    fn open_mem(opts: LsmOptions) -> (LsmTree<2>, Arc<dyn Disk>, Arc<dyn LogStore>, Arc<dyn SegmentStore>) {
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::default_size());
+        let log: Arc<dyn LogStore> = MemLogStore::new();
+        let segs: Arc<dyn SegmentStore> = Arc::new(MemSegmentStore::new());
+        let tree = LsmTree::open(disk.clone(), log.clone(), segs.clone(), opts).unwrap();
+        (tree, disk, log, segs)
+    }
+
+    fn rect_for(i: u64) -> Rect<2> {
+        let x = (i % 97) as f64;
+        let y = (i / 97) as f64;
+        Rect::new([x, y], [x + 0.5, y + 0.5])
+    }
+
+    #[test]
+    fn inserts_compact_into_levels_and_stay_queryable() {
+        let (tree, _, _, _) = open_mem(small_opts());
+        for i in 0..200u64 {
+            tree.insert(rect_for(i), i).unwrap();
+        }
+        let st = tree.stats();
+        assert!(st.compactions >= 1, "expected at least one compaction");
+        assert!(st.levels <= 2, "level cap violated: {st:?}");
+        assert_eq!(SpatialIndex::len(&tree), 200);
+
+        // Every item answers a point-ish query against the full set.
+        let idx: &dyn SpatialIndex<2> = &tree;
+        for i in (0..200u64).step_by(23) {
+            let hits = idx.query(&rect_for(i)).unwrap();
+            assert!(
+                hits.iter().any(|&(_, id)| id == i),
+                "item {i} missing from query"
+            );
+        }
+    }
+
+    #[test]
+    fn reopen_recovers_memtable_and_levels() {
+        let opts = small_opts();
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::default_size());
+        let log: Arc<dyn LogStore> = MemLogStore::new();
+        let segs: Arc<dyn SegmentStore> = Arc::new(MemSegmentStore::new());
+        {
+            let tree = LsmTree::<2>::open(disk.clone(), log.clone(), segs.clone(), opts).unwrap();
+            for i in 0..100u64 {
+                tree.insert(rect_for(i), i).unwrap();
+            }
+        }
+        let tree = LsmTree::<2>::open(disk, log, segs, opts).unwrap();
+        assert_eq!(SpatialIndex::len(&tree), 100);
+        let idx: &dyn SpatialIndex<2> = &tree;
+        for i in 0..100u64 {
+            let hits = idx.query(&rect_for(i)).unwrap();
+            assert!(hits.iter().any(|&(_, id)| id == i), "item {i} lost");
+        }
+    }
+
+    #[test]
+    fn flush_drains_everything_to_segments() {
+        let (tree, _, _, _) = open_mem(small_opts());
+        for i in 0..50u64 {
+            tree.insert(rect_for(i), i).unwrap();
+        }
+        tree.flush().unwrap();
+        let st = tree.stats();
+        assert_eq!(st.memtable_items, 0);
+        assert_eq!(st.sealed_items, 0);
+        assert_eq!(st.level_items, 50);
+        assert_eq!(SpatialIndex::len(&tree), 50);
+    }
+
+    #[test]
+    fn background_mode_keeps_ingest_correct() {
+        let opts = LsmOptions {
+            background: true,
+            ..small_opts()
+        };
+        let (tree, _, _, _) = open_mem(opts);
+        let tree = Arc::new(tree);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let tree = tree.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    tree.insert(rect_for(t * 1000 + i), t * 1000 + i).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(SpatialIndex::len(&*tree), 400);
+        tree.flush().unwrap();
+        assert_eq!(SpatialIndex::len(&*tree), 400);
+    }
+}

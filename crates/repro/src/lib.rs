@@ -20,6 +20,7 @@
 pub mod experiments;
 pub mod extsort_bench;
 pub mod fmt;
+pub mod ingest;
 pub mod mixed;
 pub mod plot;
 

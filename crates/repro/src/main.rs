@@ -11,9 +11,17 @@
 //! (default `results/`). `--quick` runs at 1/10 data scale with 200
 //! queries — for smoke-testing the harness, not for comparing numbers.
 //!
-//! `repro check-bench` audits every `BENCH_*.json` at the repository
-//! root against the artifact schema (`str_bench::schema`) and exits
-//! non-zero on the first drifted document.
+//! `repro check-bench [FILE...]` audits benchmark artifacts against the
+//! artifact schema (`str_bench::schema`) and exits non-zero on the
+//! first drifted document. With no arguments it sweeps every
+//! `BENCH_*.json` at the repository root; with explicit paths it
+//! validates exactly those files (so CI can gate freshly written
+//! artifacts before they are committed).
+//!
+//! `repro ingest-bench` measures sustained LSM ingestion (1/4/8 writer
+//! threads racing concurrent readers over background compactions) and
+//! writes `BENCH_ingest.json`; `--verify` re-checks the committed
+//! artifact's read-latency gate without re-running.
 //!
 //! `repro check-trace <file>...` validates Chrome trace_event files
 //! produced by `rtree-cli --trace` (span/parent/trace id consistency,
@@ -29,35 +37,43 @@ use repro::Harness;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment>... [--out DIR] [--quick] [--queries N] [--seed S]\n\
-         experiments: {} | all | list | check-bench | check-trace FILE... | \
-         mixed-bench [--verify] | extsort-bench [--verify|--quick]",
+         experiments: {} | all | list | check-bench [FILE...] | check-trace FILE... | \
+         mixed-bench [--verify] | extsort-bench [--verify|--quick] | \
+         ingest-bench [--verify|--quick]",
         experiments::ALL_IDS.join(" | ")
     );
     std::process::exit(2);
 }
 
-/// `check-bench`: validate every `BENCH_*.json` at the repository root
-/// against the artifact schema. Exits the process with the audit result.
-fn check_bench() -> ! {
+/// `check-bench [FILE...]`: validate benchmark artifacts against the
+/// artifact schema — the given files, or with no arguments every
+/// `BENCH_*.json` at the repository root. Exits the process with the
+/// audit result.
+fn check_bench(files: &[String]) -> ! {
     let root = str_bench::artifact_path("");
     let mut checked = 0u32;
     let mut failed = 0u32;
-    let entries = match std::fs::read_dir(&root) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("error: {}: {e}", root.display());
-            std::process::exit(1);
-        }
+    let paths: Vec<PathBuf> = if files.is_empty() {
+        let entries = match std::fs::read_dir(&root) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("error: {}: {e}", root.display());
+                std::process::exit(1);
+            }
+        };
+        let mut paths: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect();
+        paths.sort();
+        paths
+    } else {
+        files.iter().map(PathBuf::from).collect()
     };
-    let mut paths: Vec<_> = entries
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
-        })
-        .collect();
-    paths.sort();
     for path in paths {
         let file = path.file_name().unwrap_or_default().to_string_lossy();
         checked += 1;
@@ -146,7 +162,7 @@ fn main() {
                 }
                 return;
             }
-            "check-bench" => check_bench(),
+            "check-bench" => check_bench(&args[i + 1..]),
             "check-trace" => check_trace(&args[i + 1..]),
             "mixed-bench" => {
                 let verify_only = args.iter().any(|a| a == "--verify");
@@ -171,6 +187,20 @@ fn main() {
                 };
                 if let Err(e) = res {
                     eprintln!("error: extsort-bench: {e}");
+                    std::process::exit(1);
+                }
+                return;
+            }
+            "ingest-bench" => {
+                let verify_only = args.iter().any(|a| a == "--verify");
+                let quick = args.iter().any(|a| a == "--quick");
+                let res = if verify_only {
+                    repro::ingest::verify()
+                } else {
+                    repro::ingest::run(quick)
+                };
+                if let Err(e) = res {
+                    eprintln!("error: ingest-bench: {e}");
                     std::process::exit(1);
                 }
                 return;

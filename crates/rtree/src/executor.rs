@@ -1,12 +1,14 @@
-//! Parallel query serving over one shared R-tree.
+//! Parallel query serving over one shared index backend.
 //!
 //! The paper's experiments stream queries one at a time and count buffer
 //! misses; its future work points at "a parallel shared-nothing
 //! platform". This module is the serving half of that: a batch of
 //! intersection queries fanned across a fixed-size pool of scoped worker
-//! threads, all reading one `&RTree` through the sharded buffer pool.
-//! Queries take `&self` and the pool is internally synchronized, so no
-//! cloning, snapshotting, or per-thread tree state is needed.
+//! threads, all reading one `&dyn SpatialIndex` — the paged tree through
+//! its sharded buffer pool, the flat tier straight off the mmap, or an
+//! LSM tree across all its components. Queries take `&self` and each
+//! backend is internally synchronized, so no cloning, snapshotting, or
+//! per-thread state is needed.
 //!
 //! Work distribution is a single atomic cursor over the batch (the same
 //! self-balancing scheme `StrPacker::with_threads` uses for packing):
@@ -18,7 +20,9 @@
 //! batch-wide [`BufferStats`] delta, keeping the paper's measurement
 //! discipline: *disk accesses* for a batch are pool misses during the
 //! batch, which stay exact under concurrency because coalesced duplicate
-//! reads count as hits for the waiters.
+//! reads count as hits for the waiters. Backends without a buffer pool
+//! (flat mmap, memtables) report a zero delta — they perform no paged
+//! reads, so zero is the true count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -28,7 +32,7 @@ use obs::{Histogram, HistogramSnapshot, LazyCounter, LazyHistogram};
 use parking_lot::Mutex;
 use storage::BufferStats;
 
-use crate::tree::RTree;
+use crate::index::SpatialIndex;
 use crate::Result;
 
 /// Mirrors of the batch-local accounting into the global registry, so a
@@ -89,10 +93,12 @@ impl<const D: usize> BatchReport<D> {
     }
 }
 
-/// A batch query engine over one shared [`RTree`].
+/// A batch query engine over one shared [`SpatialIndex`] backend.
 ///
 /// Holds only a shared borrow: the executor can be created per batch for
-/// free, and several executors may serve the same tree.
+/// free, and several executors may serve the same index. Any concrete
+/// backend reference coerces at the call site, so
+/// `QueryExecutor::new(&tree)` keeps working unchanged.
 ///
 /// ```
 /// use std::sync::Arc;
@@ -124,13 +130,14 @@ impl<const D: usize> BatchReport<D> {
 /// assert_eq!(report.results[1], vec![(Rect::new([5.0, 5.0], [5.5, 5.5]), 55)]);
 /// ```
 pub struct QueryExecutor<'t, const D: usize> {
-    tree: &'t RTree<D>,
+    index: &'t dyn SpatialIndex<D>,
 }
 
 impl<'t, const D: usize> QueryExecutor<'t, D> {
-    /// Serve queries from `tree`.
-    pub fn new(tree: &'t RTree<D>) -> Self {
-        Self { tree }
+    /// Serve queries from `index` (a paged tree, flat tree, memtable, or
+    /// LSM tree).
+    pub fn new(index: &'t dyn SpatialIndex<D>) -> Self {
+        Self { index }
     }
 
     /// Run every query in `queries` across up to `threads` workers and
@@ -145,7 +152,7 @@ impl<'t, const D: usize> QueryExecutor<'t, D> {
     /// I/O error for one worker is an I/O error for all of them.
     pub fn run_batch(&self, queries: &[BatchQuery<D>], threads: usize) -> Result<BatchReport<D>> {
         let threads = threads.clamp(1, queries.len().max(1));
-        let before = self.tree.pool().stats();
+        let before = self.index.buffer_stats().unwrap_or_default();
         let start = Instant::now();
 
         let _batch_span = obs::trace::span("executor.batch");
@@ -229,7 +236,11 @@ impl<'t, const D: usize> QueryExecutor<'t, D> {
         EXEC_BATCHES.inc();
         Ok(BatchReport {
             results,
-            stats: self.tree.pool().stats().since(&before),
+            stats: self
+                .index
+                .buffer_stats()
+                .unwrap_or_default()
+                .since(&before),
             elapsed: start.elapsed(),
             threads,
             latency,
@@ -239,8 +250,8 @@ impl<'t, const D: usize> QueryExecutor<'t, D> {
 
     fn run_one(&self, query: &BatchQuery<D>) -> Result<Vec<(Rect<D>, u64)>> {
         match query {
-            BatchQuery::Region(rect) => self.tree.query_region(rect),
-            BatchQuery::Point(point) => self.tree.query_point(point),
+            BatchQuery::Region(rect) => self.index.query(rect),
+            BatchQuery::Point(point) => self.index.query_point(point),
         }
     }
 }
@@ -248,7 +259,7 @@ impl<'t, const D: usize> QueryExecutor<'t, D> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BulkLoader, Entry, NodeCapacity};
+    use crate::{BulkLoader, Entry, NodeCapacity, RTree};
     use std::sync::Arc;
     use storage::{BufferPool, Disk, MemDisk};
 

@@ -1,0 +1,167 @@
+//! A backend-neutral query interface over every index tier.
+//!
+//! The paper's measurements are all phrased as "run this query workload,
+//! count the disk accesses" — they never care *which* physical layout
+//! answers, only that the answers match and the cost is observable. This
+//! module captures that contract as [`SpatialIndex`]: the paged
+//! [`RTree`], the flat mmap tier, and the LSM memtable all implement it,
+//! so the executor, the CLI, and the differential test suites run one
+//! workload over any backend through `&dyn SpatialIndex<D>`.
+//!
+//! The trait is object-safe on purpose: the visitor takes `&mut dyn
+//! FnMut`, and cost accounting is an `Option<BufferStats>` (backends
+//! with no buffer pool — flat mmap, memtables — report `None` and the
+//! executor records a zero delta, which is also the honest number: those
+//! tiers perform no paged reads).
+
+use geom::{Point, Rect};
+use storage::BufferStats;
+
+use crate::tree::RTree;
+use crate::Result;
+
+/// Structural facts about an index backend, for reporting and logging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Short backend name (`"paged"`, `"flat"`, `"memtable"`, `"lsm"`).
+    pub backend: &'static str,
+    /// Number of data items the index holds.
+    pub len: u64,
+    /// Height in levels (a memtable reports 1; an LSM tree reports the
+    /// deepest component's height).
+    pub levels: u32,
+}
+
+/// The query surface shared by every index tier.
+///
+/// Implementations must be [`Sync`]: the executor fans one `&dyn
+/// SpatialIndex` across scoped worker threads.
+pub trait SpatialIndex<const D: usize>: Sync {
+    /// Visit every `(rectangle, item id)` whose rectangle intersects
+    /// `query`. Visit order is backend-defined; differential tests
+    /// normalize by id before comparing.
+    fn for_each_intersecting(
+        &self,
+        query: &Rect<D>,
+        visit: &mut dyn FnMut(Rect<D>, u64),
+    ) -> Result<()>;
+
+    /// Materialized form of [`for_each_intersecting`](Self::for_each_intersecting).
+    fn query(&self, query: &Rect<D>) -> Result<Vec<(Rect<D>, u64)>> {
+        let mut out = Vec::new();
+        self.for_each_intersecting(query, &mut |rect, id| out.push((rect, id)))?;
+        Ok(out)
+    }
+
+    /// All items whose rectangle contains `point`.
+    fn query_point(&self, point: &Point<D>) -> Result<Vec<(Rect<D>, u64)>> {
+        self.query(&Rect::from_point(*point))
+    }
+
+    /// Number of data items.
+    fn len(&self) -> u64;
+
+    /// Whether the index holds no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Structural summary.
+    fn stats(&self) -> IndexStats;
+
+    /// Cumulative buffer-pool counters, for backends whose reads go
+    /// through a pool. `None` means "this backend performs no paged
+    /// I/O", not "unknown".
+    fn buffer_stats(&self) -> Option<BufferStats> {
+        None
+    }
+}
+
+impl<const D: usize> SpatialIndex<D> for RTree<D> {
+    fn for_each_intersecting(
+        &self,
+        query: &Rect<D>,
+        visit: &mut dyn FnMut(Rect<D>, u64),
+    ) -> Result<()> {
+        self.query_region_visit(query, &mut |rect, id| visit(rect, id))
+    }
+
+    fn query(&self, query: &Rect<D>) -> Result<Vec<(Rect<D>, u64)>> {
+        self.query_region(query)
+    }
+
+    fn query_point(&self, point: &Point<D>) -> Result<Vec<(Rect<D>, u64)>> {
+        RTree::query_point(self, point)
+    }
+
+    fn len(&self) -> u64 {
+        RTree::len(self)
+    }
+
+    fn stats(&self) -> IndexStats {
+        IndexStats {
+            backend: "paged",
+            len: RTree::len(self),
+            levels: self.height(),
+        }
+    }
+
+    fn buffer_stats(&self) -> Option<BufferStats> {
+        Some(self.pool().stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BulkLoader, Entry, NodeCapacity};
+    use std::sync::Arc;
+    use storage::{BufferPool, MemDisk};
+
+    fn tree(n: u64) -> RTree<2> {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::default_size()), 32));
+        let entries: Vec<Entry<2>> = (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                let y = (i / 10) as f64;
+                Entry::data(Rect::new([x, y], [x + 0.5, y + 0.5]), i)
+            })
+            .collect();
+        BulkLoader::new(NodeCapacity::new(8).unwrap())
+            .load(pool, entries, &mut |es: &mut Vec<Entry<2>>, _| {
+                es.sort_by(|a, b| a.rect.lo(0).total_cmp(&b.rect.lo(0)));
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn trait_object_matches_inherent_queries() {
+        let t = tree(100);
+        let idx: &dyn SpatialIndex<2> = &t;
+        let w = Rect::new([0.0, 0.0], [3.0, 3.0]);
+        let mut via_trait = idx.query(&w).unwrap();
+        let mut direct = t.query_region(&w).unwrap();
+        via_trait.sort_by_key(|&(_, id)| id);
+        direct.sort_by_key(|&(_, id)| id);
+        assert_eq!(via_trait, direct);
+        assert_eq!(idx.len(), 100);
+        assert!(!idx.is_empty());
+        let stats = idx.stats();
+        assert_eq!(stats.backend, "paged");
+        assert_eq!(stats.len, 100);
+        assert!(stats.levels >= 2);
+        assert!(idx.buffer_stats().is_some());
+    }
+
+    #[test]
+    fn default_visitor_query_agrees_with_point_form() {
+        let t = tree(100);
+        let idx: &dyn SpatialIndex<2> = &t;
+        let hits = idx.query_point(&[5.25, 5.25].into()).unwrap();
+        assert_eq!(hits, vec![(Rect::new([5.0, 5.0], [5.5, 5.5]), 55)]);
+        let mut n = 0u64;
+        idx.for_each_intersecting(&Rect::new([0.0, 0.0], [9.5, 9.5]), &mut |_, _| n += 1)
+            .unwrap();
+        assert_eq!(n, 100);
+    }
+}

@@ -29,6 +29,7 @@ pub mod codec;
 pub mod delete;
 pub mod executor;
 pub mod fsck;
+pub mod index;
 pub mod insert;
 pub mod iter;
 pub mod lower;
@@ -47,6 +48,7 @@ pub use capacity::NodeCapacity;
 pub use codec::{NodeView, RectCodec};
 pub use executor::{BatchQuery, BatchReport, QueryExecutor};
 pub use fsck::{CheckReport, PageIssue};
+pub use index::{IndexStats, SpatialIndex};
 pub use iter::RegionIter;
 pub use lower::LevelNodes;
 pub use node::{Entry, Node};

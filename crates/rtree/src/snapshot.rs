@@ -31,8 +31,11 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use geom::Rect;
 use storage::{BufferPool, PageId, Wal};
 
+use crate::index::{IndexStats, SpatialIndex};
 use crate::tree::{StagedTx, WAL_TREE_COMMITS};
 use crate::{Entry, RTree, Result};
+use geom::Point;
+use storage::BufferStats;
 
 /// The state triple readers pin.
 #[derive(Clone, Copy)]
@@ -320,6 +323,40 @@ impl<const D: usize> Deref for Snapshot<D> {
     type Target = RTree<D>;
     fn deref(&self) -> &RTree<D> {
         &self.tree
+    }
+}
+
+/// A pinned snapshot answers queries exactly like the paged tree it
+/// froze — delegation, so `QueryExecutor` and anything else taking
+/// `&dyn SpatialIndex` can serve from an epoch without special cases
+/// (deref coercion does not apply to trait-object casts).
+impl<const D: usize> SpatialIndex<D> for Snapshot<D> {
+    fn for_each_intersecting(
+        &self,
+        query: &Rect<D>,
+        visit: &mut dyn FnMut(Rect<D>, u64),
+    ) -> Result<()> {
+        SpatialIndex::for_each_intersecting(&self.tree, query, visit)
+    }
+
+    fn query(&self, query: &Rect<D>) -> Result<Vec<(Rect<D>, u64)>> {
+        SpatialIndex::query(&self.tree, query)
+    }
+
+    fn query_point(&self, point: &Point<D>) -> Result<Vec<(Rect<D>, u64)>> {
+        SpatialIndex::query_point(&self.tree, point)
+    }
+
+    fn len(&self) -> u64 {
+        SpatialIndex::len(&self.tree)
+    }
+
+    fn stats(&self) -> IndexStats {
+        SpatialIndex::stats(&self.tree)
+    }
+
+    fn buffer_stats(&self) -> Option<BufferStats> {
+        SpatialIndex::buffer_stats(&self.tree)
     }
 }
 

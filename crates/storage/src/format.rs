@@ -286,6 +286,64 @@ impl PageAllocator {
         Ok(meta_page)
     }
 
+    /// Atomically flip the catalog: remove the entries named in
+    /// `remove`, add `add` (meta pages already allocated and written by
+    /// the caller), and optionally advance the WAL watermark — all in
+    /// **one** superblock write, so a crash leaves either the old
+    /// catalog+watermark or the new one, never a mix. This is the LSM
+    /// compaction commit point: the new segment's entry appears, the
+    /// drained memtable's history drops below the watermark, and the
+    /// replaced segments' entries vanish, indivisibly.
+    ///
+    /// Names in `remove` that are absent are ignored (the flip may be a
+    /// recovery re-execution that already removed them). A name in `add`
+    /// that still exists after the removals is an error, as is
+    /// overflowing the catalog or an invalid name/meta page.
+    pub fn flip_catalog(
+        &self,
+        remove: &[&str],
+        add: &[(&str, PageId)],
+        applied_lsn: Option<u64>,
+    ) -> Result<()> {
+        for &(name, meta) in add {
+            if name.is_empty() || name.len() > MAX_NAME_LEN {
+                return Err(corrupt(
+                    SUPERBLOCK_PAGE,
+                    format!(
+                        "tree name must be 1..={MAX_NAME_LEN} bytes, got {}",
+                        name.len()
+                    ),
+                ));
+            }
+            if !meta.is_valid() || meta == SUPERBLOCK_PAGE {
+                return Err(corrupt(meta, "catalog entry needs a valid data page"));
+            }
+        }
+        let mut st = self.state.lock();
+        let mut catalog = st.catalog.clone();
+        catalog.retain(|e| !remove.contains(&e.name.as_str()));
+        for &(name, meta_page) in add {
+            if catalog.iter().any(|e| e.name == name) {
+                return Err(StorageError::TreeExists(name.to_string()));
+            }
+            catalog.push(CatalogEntry {
+                name: name.to_string(),
+                meta_page,
+            });
+        }
+        if catalog.len() > self.max_trees() {
+            return Err(corrupt(
+                SUPERBLOCK_PAGE,
+                format!("catalog full ({} trees)", catalog.len()),
+            ));
+        }
+        st.catalog = catalog;
+        if let Some(lsn) = applied_lsn {
+            st.wal_lsn = lsn;
+        }
+        self.write_superblock(&st)
+    }
+
     /// Meta page of the named tree, if it exists.
     pub fn lookup_tree(&self, name: &str) -> Option<PageId> {
         self.state
@@ -641,6 +699,30 @@ mod tests {
         let b = PageAllocator::open(disk).unwrap();
         assert_eq!(b.wal_applied_lsn(), 41);
         assert_eq!(b.lookup_tree("t"), Some(PageId(1)));
+    }
+
+    #[test]
+    fn flip_catalog_is_one_commit() {
+        let disk = mem();
+        let a = PageAllocator::format(disk.clone()).unwrap();
+        a.create_tree("seg-old").unwrap();
+        a.create_tree("keep").unwrap();
+        let new_meta = a.allocate().unwrap();
+        a.flip_catalog(&["seg-old"], &[("seg-new", new_meta)], Some(17))
+            .unwrap();
+        // Reopen from media: the flip must be fully there or fully not.
+        let b = PageAllocator::open(disk).unwrap();
+        assert_eq!(b.lookup_tree("seg-old"), None);
+        assert_eq!(b.lookup_tree("seg-new"), Some(new_meta));
+        assert!(b.lookup_tree("keep").is_some());
+        assert_eq!(b.wal_applied_lsn(), 17);
+        // Removing a name that is already gone is fine (recovery
+        // re-executes flips); adding a duplicate is not.
+        b.flip_catalog(&["seg-old"], &[], None).unwrap();
+        assert!(b.flip_catalog(&[], &[("keep", new_meta)], None).is_err());
+        assert!(b
+            .flip_catalog(&[], &[("x", super::SUPERBLOCK_PAGE)], None)
+            .is_err());
     }
 
     /// A hand-built version-2 superblock (checksum at 32, catalog at

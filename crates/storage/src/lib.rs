@@ -35,7 +35,8 @@ pub use mmap::Mmap;
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use seq::SequentialPageWriter;
 pub use wal::{
-    FileLogStore, LogStore, MemLogStore, ReplayReport, Wal, WalOptions, WalStat, WalTicket,
+    truncate_torn_tail, FileLogStore, LogStore, MemLogStore, ReplayReport, ScanResult, ScannedTx,
+    Wal, WalOptions, WalStat, WalTicket,
 };
 
 /// Errors surfaced by the storage layer.

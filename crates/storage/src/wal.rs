@@ -80,6 +80,11 @@ static WAL_FSYNC_NS: LazyHistogram = LazyHistogram::new("wal.fsync_ns");
 const REC_PAGE: u32 = 1;
 const REC_ALLOC: u32 = 2;
 const REC_COMMIT: u32 = 3;
+/// Application note: an opaque payload carried through the log's
+/// durability and ordering guarantees but applied by the *owner* of the
+/// log, not by [`replay`] (which treats it as a no-op for page state).
+/// The LSM tier logs memtable inserts and catalog flips this way.
+const REC_NOTE: u32 = 4;
 
 /// Fixed header bytes before the payload and trailer bytes after it.
 const REC_HEADER: usize = 16;
@@ -380,8 +385,9 @@ fn put_record(buf: &mut Vec<u8>, kind: u32, lsn: u64, payload: &[u8]) {
     buf.extend_from_slice(&crc.to_le_bytes());
 }
 
-/// In-flight transaction state while scanning: (lsn, images, allocs).
-type OpenTx = (u64, Vec<(PageId, Vec<u8>)>, Vec<PageId>);
+/// In-flight transaction state while scanning:
+/// (lsn, images, allocs, notes).
+type OpenTx = (u64, Vec<(PageId, Vec<u8>)>, Vec<PageId>, Vec<Vec<u8>>);
 
 /// One committed transaction reconstructed by [`scan`].
 pub struct ScannedTx {
@@ -391,6 +397,8 @@ pub struct ScannedTx {
     pub images: Vec<(PageId, Vec<u8>)>,
     /// Pages the transaction allocated.
     pub allocs: Vec<PageId>,
+    /// Application note payloads ([`Wal::append_note`]), in write order.
+    pub notes: Vec<Vec<u8>>,
     /// Global byte offset just past this transaction's commit record.
     pub end_offset: u64,
 }
@@ -407,6 +415,32 @@ pub struct ScanResult {
     pub segments: u64,
     /// Global bytes of valid records (up to the stop point).
     pub valid_bytes: u64,
+    /// Highest LSN seen in any *valid* record, committed or not. A new
+    /// [`Wal`] must start past this: reusing the LSN of a valid
+    /// uncommitted tail record would let a later scan stitch old and new
+    /// records into one transaction.
+    pub max_lsn: u64,
+    /// Where the scan stopped, when it stopped early: the torn segment's
+    /// id and the byte length of its valid prefix. Every later segment
+    /// is garbage by the LSN-ordering contract.
+    /// [`truncate_torn_tail`] applies exactly this cut.
+    pub torn_seg: Option<(u64, u64)>,
+}
+
+/// Physically drop a torn tail found by [`scan`]: truncate the torn
+/// segment to its valid prefix and delete every later segment. No-op on
+/// a clean scan. Call before creating a new [`Wal`] over a store whose
+/// scan reported `torn`, so stale bytes past the cut can never be
+/// re-read by a future scan.
+pub fn truncate_torn_tail(store: &dyn LogStore, scanned: &ScanResult) -> Result<()> {
+    let Some((seg, keep)) = scanned.torn_seg else {
+        return Ok(());
+    };
+    store.truncate(seg, keep)?;
+    for later in store.list()?.into_iter().filter(|&s| s > seg) {
+        store.delete(later)?;
+    }
+    store.sync()
 }
 
 /// Walk every segment in id order, validating each record, and return
@@ -417,6 +451,7 @@ pub fn scan(store: &dyn LogStore) -> Result<ScanResult> {
     let mut txns = Vec::new();
     let mut records = 0u64;
     let mut torn = None;
+    let mut torn_seg = None;
     let mut global = 0u64;
     let mut valid_bytes = 0u64;
     let mut last_lsn = 0u64;
@@ -430,33 +465,38 @@ pub fn scan(store: &dyn LogStore) -> Result<ScanResult> {
             let rest = &data[off..];
             if rest.len() < REC_HEADER + REC_TRAILER {
                 torn = Some(format!("segment {seg}: truncated header at offset {off}"));
+                torn_seg = Some((seg, off as u64));
                 break 'outer;
             }
             let mut r = &rest[..REC_HEADER];
             let len = r.get_u32_le();
             let kind = r.get_u32_le();
             let lsn = r.get_u64_le();
-            if len > MAX_PAYLOAD || !(REC_PAGE..=REC_COMMIT).contains(&kind) {
+            if len > MAX_PAYLOAD || !(REC_PAGE..=REC_NOTE).contains(&kind) {
                 torn = Some(format!(
                     "segment {seg}: implausible record (len={len}, kind={kind}) at offset {off}"
                 ));
+                torn_seg = Some((seg, off as u64));
                 break 'outer;
             }
             let total = REC_HEADER + len as usize + REC_TRAILER;
             if rest.len() < total {
                 torn = Some(format!("segment {seg}: torn record at offset {off}"));
+                torn_seg = Some((seg, off as u64));
                 break 'outer;
             }
             let crc = fnv1a_update(FNV_SEED, &rest[..REC_HEADER + len as usize]);
             let stored = (&rest[REC_HEADER + len as usize..total]).get_u64_le();
             if crc != stored {
                 torn = Some(format!("segment {seg}: checksum mismatch at offset {off}"));
+                torn_seg = Some((seg, off as u64));
                 break 'outer;
             }
             if lsn < last_lsn {
                 torn = Some(format!(
                     "segment {seg}: LSN went backwards ({lsn} after {last_lsn}) at offset {off}"
                 ));
+                torn_seg = Some((seg, off as u64));
                 break 'outer;
             }
             last_lsn = lsn;
@@ -466,11 +506,11 @@ pub fn scan(store: &dyn LogStore) -> Result<ScanResult> {
                 Some(_) => {
                     // A new LSN arrived while a transaction was open:
                     // the open one never committed — discard it.
-                    open = Some((lsn, Vec::new(), Vec::new()));
+                    open = Some((lsn, Vec::new(), Vec::new(), Vec::new()));
                     open.as_mut().unwrap()
                 }
                 None => {
-                    open = Some((lsn, Vec::new(), Vec::new()));
+                    open = Some((lsn, Vec::new(), Vec::new(), Vec::new()));
                     open.as_mut().unwrap()
                 }
             };
@@ -478,6 +518,7 @@ pub fn scan(store: &dyn LogStore) -> Result<ScanResult> {
                 REC_PAGE => {
                     if payload.len() < 8 {
                         torn = Some(format!("segment {seg}: short page image at offset {off}"));
+                        torn_seg = Some((seg, off as u64));
                         break 'outer;
                     }
                     let page = PageId((&payload[..8]).get_u64_le());
@@ -487,24 +528,30 @@ pub fn scan(store: &dyn LogStore) -> Result<ScanResult> {
                     let mut r = payload;
                     if r.len() < 8 {
                         torn = Some(format!("segment {seg}: short alloc list at offset {off}"));
+                        torn_seg = Some((seg, off as u64));
                         break 'outer;
                     }
                     let count = r.get_u64_le() as usize;
                     if r.len() != count * 8 {
                         torn = Some(format!("segment {seg}: bad alloc list at offset {off}"));
+                        torn_seg = Some((seg, off as u64));
                         break 'outer;
                     }
                     for _ in 0..count {
                         tx.2.push(PageId(r.get_u64_le()));
                     }
                 }
+                REC_NOTE => {
+                    tx.3.push(payload.to_vec());
+                }
                 _ => {
                     // Commit: the open transaction becomes real.
-                    let (lsn, images, allocs) = open.take().unwrap();
+                    let (lsn, images, allocs, notes) = open.take().unwrap();
                     txns.push(ScannedTx {
                         lsn,
                         images,
                         allocs,
+                        notes,
                         end_offset: global + (off + total) as u64,
                     });
                 }
@@ -521,6 +568,8 @@ pub fn scan(store: &dyn LogStore) -> Result<ScanResult> {
         torn,
         segments: nsegs,
         valid_bytes,
+        max_lsn: last_lsn,
+        torn_seg,
     })
 }
 
@@ -691,6 +740,42 @@ impl Wal {
             lsn,
             end_offset: g.total_appended,
         })
+    }
+
+    /// Stage one *note* transaction: an opaque application payload that
+    /// rides the log's durability and ordering but is never applied by
+    /// [`replay`]. The note is its own committed transaction (note
+    /// record + commit record under one fresh LSN) and carries no page
+    /// writes, so it does not hold back [`Wal::checkpoint_lsn`].
+    /// Durable once [`Wal::commit`] returns for the ticket's LSN.
+    pub fn append_note(&self, payload: &[u8]) -> Result<WalTicket> {
+        let _tspan = obs::trace::span("wal.append");
+        let mut g = self.inner.lock();
+        let lsn = g.next_lsn;
+        g.next_lsn += 1;
+        let before = g.buf.len();
+        let mut buf = std::mem::take(&mut g.buf);
+        put_record(&mut buf, REC_NOTE, lsn, payload);
+        put_record(&mut buf, REC_COMMIT, lsn, &0u64.to_le_bytes());
+        g.buf = buf;
+        let added = (g.buf.len() - before) as u64;
+        g.total_appended += added;
+        g.staged_lsn = lsn;
+        self.txns.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(added, Ordering::Relaxed);
+        WAL_TXNS.inc();
+        WAL_BYTES.add(added);
+        Ok(WalTicket {
+            lsn,
+            end_offset: g.total_appended,
+        })
+    }
+
+    /// Highest LSN assigned so far (0 when none). A seal point recorded
+    /// as `last_lsn()` under the same lock discipline as the appends it
+    /// covers bounds exactly the transactions staged before it.
+    pub fn last_lsn(&self) -> u64 {
+        self.inner.lock().next_lsn - 1
     }
 
     /// Declare that the transaction's page writes have reached the
@@ -1097,6 +1182,55 @@ mod tests {
         );
         let res = scan(store.as_ref()).unwrap();
         assert_eq!(res.txns.len(), threads * per);
+    }
+
+    #[test]
+    fn notes_ride_the_log_and_survive_scan() {
+        let store = MemLogStore::new();
+        let wal = Wal::create(store.clone(), 1, WalOptions::default()).unwrap();
+        let a = img(1, 64);
+        let t1 = wal.append_tx(&[(PageId(2), &a)], &[]).unwrap();
+        wal.tx_applied(t1.lsn);
+        wal.commit(t1.lsn).unwrap();
+        let n1 = wal.append_note(b"insert 42").unwrap();
+        let n2 = wal.append_note(b"flip seg-1").unwrap();
+        assert_eq!(wal.last_lsn(), n2.lsn);
+        wal.commit(n2.lsn).unwrap();
+        // Notes carry no page writes, so they never hold checkpoints back.
+        assert_eq!(wal.checkpoint_lsn(), n2.lsn);
+
+        let res = scan(store.as_ref()).unwrap();
+        assert!(res.torn.is_none());
+        assert_eq!(res.txns.len(), 3);
+        assert_eq!(res.max_lsn, n2.lsn);
+        assert_eq!(res.txns[1].lsn, n1.lsn);
+        assert_eq!(res.txns[1].notes, vec![b"insert 42".to_vec()]);
+        assert!(res.txns[1].images.is_empty());
+        assert_eq!(res.txns[2].notes, vec![b"flip seg-1".to_vec()]);
+    }
+
+    #[test]
+    fn torn_tail_truncation_makes_the_log_clean_again() {
+        let store = MemLogStore::new();
+        let wal = Wal::create(store.clone(), 1, WalOptions::default()).unwrap();
+        let mut ends = Vec::new();
+        for i in 0..4u8 {
+            let t = wal.append_note(&[i; 16]).unwrap();
+            wal.commit(t.lsn).unwrap();
+            ends.push(t.end_offset);
+        }
+        store.truncate_global(ends[2] - 3);
+        let first = scan(store.as_ref()).unwrap();
+        assert!(first.torn.is_some());
+        assert_eq!(first.txns.len(), 2);
+        assert!(first.torn_seg.is_some());
+        truncate_torn_tail(store.as_ref(), &first).unwrap();
+        let second = scan(store.as_ref()).unwrap();
+        assert!(second.torn.is_none(), "{:?}", second.torn);
+        assert_eq!(second.txns.len(), 2);
+        assert_eq!(second.valid_bytes, store.total_len());
+        // A new WAL starting past max_lsn cannot collide with the tail.
+        assert!(second.max_lsn <= first.max_lsn);
     }
 
     #[test]

@@ -30,6 +30,10 @@
 //!   lowered into one contiguous checksummed buffer, served zero-copy
 //!   from an mmap'ed file with a stackless SoA traversal
 //!   ([`flat::FlatTree`]).
+//! * [`lsm`] — sustained ingestion over the flat tier: a WAL-backed
+//!   Hilbert memtable drained by crash-safe compaction into immutable
+//!   flat segments ([`lsm::LsmTree`]), all behind the same
+//!   [`rtree::SpatialIndex`] query trait as the paged and flat trees.
 //!
 //! ## Quickstart
 //!
@@ -66,6 +70,7 @@ pub use flat;
 pub use geom;
 pub use hilbert;
 pub use hrtree;
+pub use lsm;
 pub use rtree;
 pub use storage;
 pub use str_core;
@@ -76,7 +81,8 @@ pub mod prelude {
     pub use flat::FlatTree;
     pub use geom::{Point, Point2, Rect, Rect2};
     pub use hrtree::HilbertRTree;
-    pub use rtree::{NodeCapacity, RPlusTree, RTree};
+    pub use lsm::{LsmOptions, LsmTree};
+    pub use rtree::{NodeCapacity, RPlusTree, RTree, SpatialIndex};
     pub use storage::{BufferPool, Disk, FileDisk, MemDisk, PageId};
     pub use str_core::{
         pack, pack_str_external, HilbertPacker, NearestXPacker, PackerKind, PackingOrder,

@@ -25,6 +25,7 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use str_rtree::lsm::MemSegmentStore;
 use str_rtree::prelude::*;
 use str_rtree::rtree::{recover, NodeCapacity, RTree};
 use str_rtree::storage::{FaultDisk, MemLogStore, SyncClock, Wal, WalOptions};
@@ -180,6 +181,152 @@ fn every_sync_point_recovers_to_the_committed_prefix() {
     // Sanity: the clean run's final state is what an uncrashed schedule
     // converges to.
     assert!(!clean.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// LSM compaction: crash schedules across the catalog-flip commit point.
+//
+// A compaction's commit protocol has five externally visible sync
+// points — segment-store durability, meta-page write, the WAL flip
+// note (the commit point), the superblock flip, and post-flip cleanup
+// (segment deletes + WAL recycling). Crashing between any two of them
+// must never lose an acknowledged insert: before the flip note syncs,
+// recovery rebuilds the drained memtable from insert notes; after it,
+// recovery re-executes the flip against the durable segment bytes.
+// The enumeration below drives a fixed insert workload (the tiny
+// memtable bound forces a compaction every 8 inserts, and max_levels
+// forces periodic major compactions that remove old segments) and
+// crashes after every sync the clean run performs.
+// ---------------------------------------------------------------------
+
+struct LsmRig {
+    clock: Arc<SyncClock>,
+    fault: Arc<FaultDisk>,
+    log: Arc<MemLogStore>,
+    segs: Arc<MemSegmentStore>,
+    base: u64,
+    tree: LsmTree<2>,
+}
+
+fn lsm_opts() -> LsmOptions {
+    LsmOptions {
+        capacity: NodeCapacity::new(8).unwrap(),
+        memtable_items: 8,
+        max_levels: 3,
+        background: false,
+        ..LsmOptions::default()
+    }
+}
+
+fn lsm_rig() -> LsmRig {
+    let clock = SyncClock::new();
+    let fault = Arc::new(FaultDisk::new(Arc::new(MemDisk::default_size())));
+    fault.set_sync_clock(clock.clone());
+    let log = MemLogStore::with_clock(clock.clone());
+    let segs = Arc::new(MemSegmentStore::with_clock(clock.clone()));
+    let tree = LsmTree::open(fault.clone(), log.clone(), segs.clone(), lsm_opts()).unwrap();
+    let base = clock.syncs_seen();
+    LsmRig {
+        clock,
+        fault,
+        log,
+        segs,
+        base,
+        tree,
+    }
+}
+
+/// Insert `rect_of(i)` for each id in order until a crash interrupts.
+/// Returns `(acknowledged, attempted)`: recovery must produce a set
+/// between the two (the one in-flight insert may or may not have become
+/// durable before the crash fired).
+fn lsm_drive(tree: &LsmTree<2>, total: u64) -> (BTreeSet<u64>, BTreeSet<u64>) {
+    let mut acked = BTreeSet::new();
+    let mut attempted = BTreeSet::new();
+    for id in 0..total {
+        attempted.insert(id);
+        match tree.insert(rect_of(id), id) {
+            Ok(()) => {
+                acked.insert(id);
+            }
+            Err(_) => break,
+        }
+    }
+    (acked, attempted)
+}
+
+fn lsm_contents(tree: &LsmTree<2>) -> BTreeSet<u64> {
+    let hits = tree.query(&Rect2::unit()).unwrap();
+    let got: BTreeSet<u64> = hits.iter().map(|&(_, id)| id).collect();
+    assert_eq!(got.len(), hits.len(), "recovery must not duplicate items");
+    got
+}
+
+#[test]
+fn every_lsm_sync_point_preserves_acknowledged_inserts() {
+    const TOTAL: u64 = 64;
+
+    // Clean run bounds the schedule.
+    let r = lsm_rig();
+    let (clean, _) = lsm_drive(&r.tree, TOTAL);
+    assert_eq!(clean.len() as u64, TOTAL);
+    let compactions = r.tree.stats().compactions;
+    assert!(
+        compactions >= 6,
+        "workload must cross the flip commit point repeatedly, got {compactions} compactions"
+    );
+    let total_syncs = r.clock.syncs_seen() - r.base;
+    assert!(
+        total_syncs > TOTAL,
+        "every insert commit fsyncs plus compaction syncs, got {total_syncs}"
+    );
+    drop(r);
+
+    for n in 0..total_syncs {
+        let r = lsm_rig();
+        r.clock.crash_after_nth_sync(r.base + n);
+        let (acked, attempted) = lsm_drive(&r.tree, TOTAL);
+        assert!(
+            r.clock.is_crashed(),
+            "n={n}: the schedule must cover only syncs that happen"
+        );
+        drop(r.tree);
+
+        // Reboot: unsynced WAL tail and unsynced segment bytes are gone
+        // (fail-stop loses every volatile write cache at once).
+        r.log.lose_unsynced();
+        r.segs.lose_unsynced();
+        r.clock.revive();
+        r.fault.revive();
+        r.fault.set_armed(false);
+
+        let tree = LsmTree::open(r.fault.clone(), r.log.clone(), r.segs.clone(), lsm_opts())
+            .unwrap_or_else(|e| panic!("n={n}: recovery failed: {e}"));
+        let got = lsm_contents(&tree);
+        assert!(
+            got.is_superset(&acked),
+            "n={n}: lost acknowledged inserts {:?}",
+            acked.difference(&got).collect::<Vec<_>>()
+        );
+        assert!(
+            got.is_subset(&attempted),
+            "n={n}: recovered items never inserted {:?}",
+            got.difference(&attempted).collect::<Vec<_>>()
+        );
+
+        // The recovered tree must stay fully usable: top up whatever the
+        // crash swallowed and demand the complete workload.
+        for id in 0..TOTAL {
+            if !got.contains(&id) {
+                tree.insert(rect_of(id), id)
+                    .unwrap_or_else(|e| panic!("n={n}: post-recovery insert failed: {e}"));
+            }
+        }
+        tree.flush()
+            .unwrap_or_else(|e| panic!("n={n}: post-recovery flush failed: {e}"));
+        let full: BTreeSet<u64> = (0..TOTAL).collect();
+        assert_eq!(lsm_contents(&tree), full, "n={n}: post-recovery state diverges");
+    }
 }
 
 /// Crashing after the *last* sync (n = total) must be a plain clean

@@ -6,9 +6,11 @@
 //! exactly the paged tree's result set, for every packing algorithm
 //! that can feed it, including the degenerate geometry the kernels'
 //! fast paths are most likely to mishandle (zero-extent rectangles,
-//! point probes, empty trees). The ABI tests pin the wire format:
-//! little-endian at declared offsets, and a misaligned buffer is a
-//! clean error, never UB.
+//! point probes, empty trees). Both sides answer through the
+//! `&dyn SpatialIndex` surface the query executor uses, so the suite
+//! exercises the exact dispatch path production queries take. The ABI
+//! tests pin the wire format: little-endian at declared offsets, and a
+//! misaligned buffer is a clean error, never UB.
 
 use std::sync::Arc;
 
@@ -78,23 +80,26 @@ proptest! {
     ) {
         for (name, tree) in all_packings(&items, cap) {
             let flat = FlatTree::from_rtree(&tree).unwrap();
-            prop_assert_eq!(flat.len() as usize, items.len(), "{}", name);
+            let paged: &dyn SpatialIndex<2> = &tree;
+            let served: &dyn SpatialIndex<2> = &flat;
+            prop_assert_eq!(served.len() as usize, items.len(), "{}", name);
 
-            // Region query vs both the paged tree and brute force.
-            let want = ids(tree.query_region(&q).unwrap());
+            // Region query vs both the paged tree and brute force,
+            // through the trait surface production queries use.
+            let want = ids(paged.query(&q).unwrap());
             let brute: Vec<u64> = items
                 .iter()
                 .filter(|(r, _)| r.intersects(&q))
                 .map(|(_, id)| *id)
                 .collect();
             prop_assert_eq!(&want, &brute, "{}: paged vs brute force", name);
-            prop_assert_eq!(&ids(flat.query_region(&q)), &want, "{}: region", name);
+            prop_assert_eq!(&ids(served.query(&q).unwrap()), &want, "{}: region", name);
 
             // Point probe at an item corner: exact-boundary pruning.
             let p = geom::Point2::new([items[0].0.lo(0), items[0].0.lo(1)]);
             prop_assert_eq!(
-                ids(flat.query_point(&p)),
-                ids(tree.query_region(&Rect2::from_point(p)).unwrap()),
+                ids(served.query_point(&p).unwrap()),
+                ids(paged.query_point(&p).unwrap()),
                 "{}: point",
                 name
             );
